@@ -1,0 +1,52 @@
+//! End-to-end Criterion benchmark for the Theorem 4 GC algorithm
+//! (experiment E1's wall-clock companion): the full simulated run at
+//! several clique sizes, plus the pure-sketch Phase-2 variant.
+
+use cc_core::{gc, GcConfig};
+use cc_graph::generators;
+use cc_net::NetConfig;
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn bench_gc_default(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gc/default-phases");
+    group.sample_size(10);
+    for &n in &[32usize, 64, 128] {
+        let mut rng = ChaCha8Rng::seed_from_u64(n as u64);
+        let g = generators::random_connected_graph(n, 3.0 / n as f64, &mut rng);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| {
+                let run = gc::run(&g, &NetConfig::kt1(n).with_seed(n as u64)).unwrap();
+                black_box(run.cost.rounds)
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_gc_pure_sketch(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gc/pure-sketch-phase2");
+    group.sample_size(10);
+    for &n in &[32usize, 64] {
+        let g = generators::path(n);
+        let cfg = GcConfig {
+            phases: Some(0),
+            families: None,
+        };
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| {
+                let run = gc::run_with(&g, &NetConfig::kt1(n).with_seed(9), &cfg).unwrap();
+                black_box(run.cost.rounds)
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_gc_default, bench_gc_pure_sketch
+}
+criterion_main!(benches);

@@ -1,0 +1,34 @@
+//! End-to-end Criterion benchmark for the Theorem 13 KT1 MST
+//! (experiment E8's wall-clock companion).
+
+use cc_core::{kt1_mst, Kt1MstConfig};
+use cc_graph::generators;
+use cc_net::NetConfig;
+use cc_route::Net;
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn bench_kt1_mst(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mst/kt1-low-message");
+    group.sample_size(10);
+    for &n in &[16usize, 32, 64] {
+        let mut rng = ChaCha8Rng::seed_from_u64(n as u64);
+        let g = generators::random_connected_wgraph(n, 3.0 / n as f64, 1 << 20, &mut rng);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| {
+                let mut net = Net::new(NetConfig::kt1(n).with_seed(n as u64));
+                let run = kt1_mst::kt1_mst(&mut net, &g, &Kt1MstConfig::default()).unwrap();
+                black_box((run.mst, run.cost.messages))
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_kt1_mst
+}
+criterion_main!(benches);

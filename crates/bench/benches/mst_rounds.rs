@@ -1,0 +1,72 @@
+//! End-to-end Criterion benchmark for EXACT-MST (experiment E2's
+//! wall-clock companion): the paper-default run, the forced KKT + SQ-MST
+//! path, and the Lotker preprocessing alone.
+
+use cc_core::{exact_mst, ExactMstConfig};
+use cc_graph::generators;
+use cc_lotker::cc_mst;
+use cc_net::NetConfig;
+use cc_route::Net;
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn bench_exact_default(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mst/exact-default");
+    group.sample_size(10);
+    for &n in &[16usize, 32, 64] {
+        let mut rng = ChaCha8Rng::seed_from_u64(n as u64);
+        let g = generators::complete_wgraph(n, &mut rng);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| {
+                let mut net = Net::new(NetConfig::kt1(n).with_seed(n as u64));
+                black_box(exact_mst(&mut net, &g, &ExactMstConfig::default()).unwrap().mst)
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_exact_forced_pipeline(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mst/exact-1phase-kkt-sqmst");
+    group.sample_size(10);
+    for &n in &[16usize, 24] {
+        let mut rng = ChaCha8Rng::seed_from_u64(100 + n as u64);
+        let g = generators::complete_wgraph(n, &mut rng);
+        let cfg = ExactMstConfig {
+            phases: Some(1),
+            families: Some(10),
+            ..Default::default()
+        };
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| {
+                let mut net = Net::new(NetConfig::kt1(n).with_seed(n as u64));
+                black_box(exact_mst(&mut net, &g, &cfg).unwrap().mst)
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_lotker_to_completion(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mst/lotker-full");
+    group.sample_size(10);
+    for &n in &[32usize, 64] {
+        let mut rng = ChaCha8Rng::seed_from_u64(200 + n as u64);
+        let g = generators::complete_wgraph(n, &mut rng);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| {
+                let mut net = Net::new(NetConfig::kt1(n).with_seed(n as u64));
+                black_box(cc_mst(&mut net, &g, None).unwrap().forest)
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_exact_default, bench_exact_forced_pipeline, bench_lotker_to_completion
+}
+criterion_main!(benches);

@@ -1,0 +1,60 @@
+//! Criterion microbenchmarks for the sketch substrate (experiment E3's
+//! cost side): building neighborhood sketches, linear addition, and
+//! ℓ0 sampling at several universe sizes.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use cc_sketch::{GraphSketchSpace, SketchParams, SketchSpace};
+
+fn bench_insert(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sketch/insert");
+    for &n in &[256usize, 1024, 4096] {
+        let space = GraphSketchSpace::new(n, 7);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| {
+                let sk = space.sketch_neighborhood(0, (1..33).map(black_box));
+                black_box(sk)
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_add(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sketch/add");
+    for &n in &[256usize, 1024, 4096] {
+        let space = GraphSketchSpace::new(n, 8);
+        let a = space.sketch_neighborhood(0, 1..17);
+        let bsk = space.sketch_neighborhood(1, (2..18).filter(|&x| x != 1));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| {
+                let mut x = a.clone();
+                x.add_assign_sketch(black_box(&bsk));
+                black_box(x)
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_sample(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sketch/sample");
+    for &support in &[4usize, 64, 1024] {
+        let universe = 1u64 << 20;
+        let space = SketchSpace::new(universe, SketchParams::for_universe(universe), 9);
+        let mut sk = space.zero_sketch();
+        for i in 0..support as u64 {
+            space.insert(&mut sk, i * 977, 1);
+        }
+        group.bench_with_input(BenchmarkId::from_parameter(support), &support, |b, _| {
+            b.iter(|| black_box(space.sample(&sk)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_insert, bench_add, bench_sample
+}
+criterion_main!(benches);

@@ -1,0 +1,89 @@
+//! Criterion benchmarks for the substrate crates: union-find, reference
+//! MSTs, the routing collective (the "Lenzen contract" instance), and
+//! distributed sorting.
+
+use cc_graph::{generators, mst, UnionFind};
+use cc_net::NetConfig;
+use cc_route::{distributed_sort, route, Net, RoutedPacket};
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn bench_union_find(c: &mut Criterion) {
+    let mut group = c.benchmark_group("substrate/union-find");
+    for &n in &[1_000usize, 100_000] {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let ops: Vec<(usize, usize)> = (0..n).map(|_| (rng.gen_range(0..n), rng.gen_range(0..n))).collect();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| {
+                let mut uf = UnionFind::new(n);
+                for &(x, y) in &ops {
+                    uf.union(x, y);
+                }
+                black_box(uf.set_count())
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_kruskal(c: &mut Criterion) {
+    let mut group = c.benchmark_group("substrate/kruskal");
+    for &n in &[64usize, 256] {
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let g = generators::complete_wgraph(n, &mut rng);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| black_box(mst::kruskal(&g)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_routing_contract(c: &mut Criterion) {
+    let mut group = c.benchmark_group("substrate/route-contract");
+    group.sample_size(10);
+    for &n in &[32usize, 64] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| {
+                let mut net = Net::new(NetConfig::kt1(n).with_seed(3));
+                let packets: Vec<RoutedPacket> = (0..n)
+                    .flat_map(|src| {
+                        (0..n).map(move |dst| RoutedPacket {
+                            src,
+                            dst,
+                            payload: vec![(src * n + dst) as u64],
+                        })
+                    })
+                    .collect();
+                black_box(route(&mut net, packets).unwrap())
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_distributed_sort(c: &mut Criterion) {
+    let mut group = c.benchmark_group("substrate/distributed-sort");
+    group.sample_size(10);
+    for &n in &[16usize, 32] {
+        let mut rng = ChaCha8Rng::seed_from_u64(4);
+        let per_node: Vec<Vec<[u64; 3]>> = (0..n)
+            .map(|_| (0..n).map(|_| [rng.gen_range(0..10_000), rng.gen(), rng.gen()]).collect())
+            .collect();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| {
+                let mut net = Net::new(NetConfig::kt1(n).with_seed(5));
+                black_box(distributed_sort(&mut net, per_node.clone()).unwrap())
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_union_find, bench_kruskal, bench_routing_contract, bench_distributed_sort
+}
+criterion_main!(benches);

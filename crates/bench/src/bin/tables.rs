@@ -1,0 +1,61 @@
+//! Regenerates the experiment tables (see DESIGN.md §5).
+//!
+//! Usage:
+//!   tables                 # all experiments, full sweeps
+//!   tables --quick         # all experiments, small sweeps
+//!   tables e1 e8           # selected experiments
+//!   tables --quick e6 f1   # selected, small sweeps
+//!   tables --csv DIR       # additionally write one CSV per table to DIR
+
+use cc_bench::all_experiments;
+use cc_bench::experiments::messages::e6_transcript_audit;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let csv_dir: Option<String> = args
+        .iter()
+        .position(|a| a == "--csv")
+        .and_then(|i| args.get(i + 1).cloned());
+    if let Some(dir) = &csv_dir {
+        std::fs::create_dir_all(dir).expect("create csv directory");
+    }
+    let mut positional: Vec<String> = Vec::new();
+    let mut skip_next = false;
+    for a in &args {
+        if skip_next {
+            skip_next = false;
+            continue;
+        }
+        if a == "--csv" {
+            skip_next = true;
+        } else if !a.starts_with("--") {
+            positional.push(a.to_lowercase());
+        }
+    }
+    let wanted = positional;
+    let run_all = wanted.is_empty();
+    let emit = |table: &cc_bench::Table| {
+        println!("{table}");
+        if let Some(dir) = &csv_dir {
+            let path = format!("{dir}/{}.csv", table.id.to_lowercase());
+            std::fs::write(&path, table.to_csv()).expect("write csv");
+        }
+    };
+    let mut ran = 0usize;
+    for (id, f, _) in all_experiments(quick) {
+        if run_all || wanted.iter().any(|w| w == id) {
+            let table = f(quick);
+            emit(&table);
+            if id == "e6" {
+                emit(&e6_transcript_audit());
+            }
+            ran += 1;
+        }
+    }
+    if ran == 0 {
+        eprintln!("unknown experiment id(s): {wanted:?}");
+        eprintln!("known: e1 e2 e3 e4 e5 e6 e7 e8 e9 e10a e10b e11 e12 e13 f1");
+        std::process::exit(2);
+    }
+}

@@ -1,0 +1,28 @@
+//! One-screen reproduction checklist: runs the (quick) experiment suite
+//! and prints a PASS/FAIL verdict per paper claim. Exits non-zero if any
+//! claim fails, so CI can gate on it.
+//!
+//! ```text
+//! cargo run -p cc-bench --release --bin verify_claims          # quick sweeps
+//! cargo run -p cc-bench --release --bin verify_claims -- --full
+//! ```
+
+use cc_bench::claims::verify_all;
+
+fn main() {
+    let full = std::env::args().any(|a| a == "--full");
+    let results = verify_all(!full);
+    let mut failed = 0usize;
+    println!("reproduction checklist ({} sweeps):\n", if full { "full" } else { "quick" });
+    for r in &results {
+        let mark = if r.pass { "PASS" } else { "FAIL" };
+        println!("[{mark}] {:<28} {}", r.claim, r.check);
+        if !r.pass {
+            failed += 1;
+        }
+    }
+    println!("\n{}/{} claims hold", results.len() - failed, results.len());
+    if failed > 0 {
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,151 @@
+//! Sketching experiments: E3 (Theorem 1), E4 (Lemma 3), E5 (Lemma 6).
+
+use crate::table::{f, Table};
+use cc_core::reduce_components;
+use cc_graph::{edge, generators, mst, WGraph};
+use cc_kkt::{kkt_light_bound, sample_edges, FLightClassifier};
+use cc_lotker::reduce_components_phases;
+use cc_net::NetConfig;
+use cc_route::Net;
+use cc_sketch::{EdgeSample, GraphSketchSpace, SketchParams};
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// E3 — sketch size in bits vs `log⁴ n`, and ℓ0-sampler success rate on
+/// planted neighborhoods (Theorem 1's guarantees).
+pub fn e3_sketch(quick: bool) -> Table {
+    let ns: &[usize] = if quick {
+        &[64, 256]
+    } else {
+        &[64, 256, 1024, 4096, 16384]
+    };
+    let mut t = Table::new(
+        "E3",
+        "Theorem 1: sketch bits vs log^4 n; l0 success rate and spread over planted cuts",
+        &["n", "sketch_bits", "log4_n", "success_rate", "distinct_frac"],
+    );
+    for &n in ns {
+        let params = SketchParams::for_universe(edge::num_pairs(n));
+        let lg = (n as f64).log2();
+        // Success statistics on a planted star cut of size 16.
+        let trials = if quick { 100 } else { 300 };
+        let mut ok = 0usize;
+        let mut seen = std::collections::HashSet::new();
+        let mut rng = ChaCha8Rng::seed_from_u64(n as u64);
+        for trial in 0..trials {
+            let space = GraphSketchSpace::new(n, rng.gen::<u64>() ^ trial as u64);
+            let neighbors: Vec<usize> = (1..17).collect();
+            let sk = space.sketch_neighborhood(0, neighbors.iter().copied());
+            match space.sample_edge(&sk) {
+                EdgeSample::Edge(x, y) => {
+                    assert!(x == 0 && neighbors.contains(&y));
+                    ok += 1;
+                    seen.insert(y);
+                }
+                EdgeSample::Zero => panic!("non-empty cut sampled Zero"),
+                EdgeSample::Fail => {}
+            }
+        }
+        t.push_row(vec![
+            n.to_string(),
+            params.bits().to_string(),
+            f(lg.powi(4)),
+            f(ok as f64 / trials as f64),
+            f(seen.len() as f64 / 16.0),
+        ]);
+    }
+    t
+}
+
+/// E4 — unfinished trees after Phase 1 vs the Lemma 3 bound
+/// `O(n / log⁴ n)`, including reduced phase counts that show the decay.
+pub fn e4_reduce_components(quick: bool) -> Table {
+    let ns: &[usize] = if quick { &[64, 128] } else { &[64, 128, 256, 512] };
+    let mut t = Table::new(
+        "E4",
+        "Lemma 3: unfinished components after k Lotker phases (paper default k = ceil(logloglog n)+3)",
+        &["n", "k=0", "k=1", "k=2", "k_paper", "paper_k_value", "bound n/log^4 n"],
+    );
+    for &n in ns {
+        let mut rng = ChaCha8Rng::seed_from_u64(7 + n as u64);
+        let g = generators::random_connected_graph(n, 2.0 / n as f64, &mut rng);
+        let mut cells = vec![n.to_string()];
+        for k in [0usize, 1, 2] {
+            let mut net = Net::new(NetConfig::kt1(n).with_seed(n as u64));
+            let out = reduce_components(&mut net, &g, Some(k)).expect("reduce");
+            cells.push(out.g1.unfinished_leaders().len().to_string());
+        }
+        let kp = reduce_components_phases(n);
+        let mut net = Net::new(NetConfig::kt1(n).with_seed(n as u64));
+        let out = reduce_components(&mut net, &g, Some(kp)).expect("reduce");
+        cells.push(out.g1.unfinished_leaders().len().to_string());
+        cells.push(kp.to_string());
+        let lg = (n as f64).log2();
+        cells.push(f(n as f64 / lg.powi(4)));
+        t.push_row(cells);
+    }
+    t
+}
+
+/// E5 — KKT sampling: measured F-light edges vs the Lemma 6 bound `n/p`.
+pub fn e5_kkt(quick: bool) -> Table {
+    let ns: &[usize] = if quick { &[64, 128] } else { &[64, 128, 256, 512] };
+    let mut t = Table::new(
+        "E5",
+        "Lemma 6: F-light edge count under p = 1/sqrt(n) sampling vs the n/p bound",
+        &["n", "m", "sampled", "f_light", "bound n/p", "light/bound"],
+    );
+    for &n in ns {
+        let mut rng = ChaCha8Rng::seed_from_u64(13 + n as u64);
+        let g = generators::gnp_weighted(n, 0.5, 1 << 30, &mut rng);
+        let p = 1.0 / (n as f64).sqrt();
+        let sample = sample_edges(&g.edges(), p, &mut rng);
+        let forest = mst::kruskal(&WGraph::from_edges(n, sample.clone()));
+        let cls = FLightClassifier::new(n, &forest);
+        let light = cls.f_light_edges(&g.edges()).len();
+        let bound = kkt_light_bound(n, p);
+        t.push_row(vec![
+            n.to_string(),
+            g.m().to_string(),
+            sample.len().to_string(),
+            light.to_string(),
+            f(bound),
+            f(light as f64 / bound),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn e3_success_rate_is_high() {
+        let t = e3_sketch(true);
+        for rate in t.column_f64("success_rate") {
+            assert!(rate > 0.9, "sampler success {rate}");
+        }
+    }
+
+    #[test]
+    fn e4_counts_decay_with_phases() {
+        let t = e4_reduce_components(true);
+        for row in &t.rows {
+            let k0: f64 = row[1].parse().unwrap();
+            let k1: f64 = row[2].parse().unwrap();
+            let kp: f64 = row[4].parse().unwrap();
+            assert!(k1 <= k0);
+            assert!(kp <= k1);
+        }
+    }
+
+    #[test]
+    fn e5_bound_holds_with_small_constant() {
+        let t = e5_kkt(true);
+        for ratio in t.column_f64("light/bound") {
+            assert!(ratio < 3.0, "F-light count {ratio}x over the n/p bound");
+        }
+    }
+}

@@ -1,0 +1,178 @@
+//! Round-complexity experiments: E1 (Theorem 4), E2 (Theorem 7),
+//! E9 (the `O(log⁵ n)`-bandwidth "furthermore" ablation).
+
+use crate::table::{f, Table};
+use cc_core::{exact_mst, gc, ExactMstConfig, GcConfig};
+use cc_graph::generators;
+use cc_lotker::cc_mst;
+use cc_net::NetConfig;
+use cc_route::Net;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn lll(n: usize) -> f64 {
+    (n as f64).log2().log2().log2().max(0.0)
+}
+
+fn ll(n: usize) -> f64 {
+    (n as f64).log2().log2().max(0.0)
+}
+
+/// E1 — GC rounds vs `n`, against the `log log log n` target and the
+/// full Lotker MST (`log log n`) baseline.
+pub fn e1_gc_rounds(quick: bool) -> Table {
+    let ns: &[usize] = if quick { &[32, 64] } else { &[32, 64, 128, 256, 512] };
+    let mut t = Table::new(
+        "E1",
+        "Theorem 4: GC rounds vs n (paper-default phases) with the Lotker-to-completion baseline",
+        &[
+            "n", "gc_rounds", "phase1", "phase2", "lotker_full_rounds", "llln", "lln",
+        ],
+    );
+    for &n in ns {
+        let mut rng = ChaCha8Rng::seed_from_u64(n as u64);
+        let g = generators::random_connected_graph(n, 3.0 / n as f64, &mut rng);
+        let run = gc::run(&g, &NetConfig::kt1(n).with_seed(n as u64)).expect("gc run");
+        assert!(run.output.connected);
+        // Baseline: Lotker CC-MST run to completion on the unit-weight clique.
+        let gw = generators::with_random_weights(&g, 1_000, &mut rng);
+        let mut net = Net::new(NetConfig::kt1(n).with_seed(n as u64));
+        let full = cc_mst(&mut net, &gw, None).expect("lotker");
+        assert!(full.finished);
+        t.push_row(vec![
+            n.to_string(),
+            run.cost.rounds.to_string(),
+            run.phase1.rounds.to_string(),
+            run.phase2.rounds.to_string(),
+            net.cost().rounds.to_string(),
+            f(lll(n)),
+            f(ll(n)),
+        ]);
+    }
+    t
+}
+
+/// E2 — EXACT-MST rounds vs `n` on random weighted cliques, plus a
+/// phase-limited variant that exercises the KKT + SQ-MST pipeline.
+pub fn e2_mst_rounds(quick: bool) -> Table {
+    let ns: &[usize] = if quick { &[16, 32] } else { &[16, 32, 64, 128] };
+    let mut t = Table::new(
+        "E2",
+        "Theorem 7: EXACT-MST rounds vs n (default phases; and with 1 phase, forcing KKT+SQ-MST)",
+        &["n", "rounds_default", "rounds_1phase", "llln"],
+    );
+    for &n in ns {
+        let mut rng = ChaCha8Rng::seed_from_u64(1000 + n as u64);
+        let g = generators::complete_wgraph(n, &mut rng);
+        let mut net = Net::new(NetConfig::kt1(n).with_seed(n as u64));
+        let d = exact_mst(&mut net, &g, &ExactMstConfig::default()).expect("default run");
+        let mut net1 = Net::new(NetConfig::kt1(n).with_seed(n as u64));
+        let p1 = exact_mst(
+            &mut net1,
+            &g,
+            &ExactMstConfig {
+                phases: Some(1),
+                families: Some(10),
+                ..Default::default()
+            },
+        )
+        .expect("1-phase run");
+        assert_eq!(d.mst, p1.mst, "both paths must agree on the MST");
+        t.push_row(vec![
+            n.to_string(),
+            d.cost.rounds.to_string(),
+            p1.cost.rounds.to_string(),
+            f(lll(n)),
+        ]);
+    }
+    t
+}
+
+/// E9 — bandwidth ablation (Theorems 4/7 "furthermore"): Phase-2 rounds of
+/// the pure-sketch GC, and EXACT-MST rounds with the Lotker preprocessing
+/// elided, under growing per-link budgets.
+pub fn e9_bandwidth_ablation(quick: bool) -> Table {
+    let n: usize = if quick { 48 } else { 96 };
+    let lg = (usize::BITS - (n - 1).leading_zeros()) as u64;
+    let budgets: Vec<(String, u64)> = vec![
+        ("log n".into(), 8),
+        ("log^2 n".into(), 2 * lg),
+        ("log^3 n".into(), 2 * lg * lg),
+        ("log^4 n".into(), lg * lg * lg),
+        ("log^5 n".into(), lg * lg * lg * lg),
+    ];
+    let mut t = Table::new(
+        "E9",
+        "Theorems 4/7 'furthermore': GC and MST round counts collapse toward O(1) at O(log^5 n)-bit links",
+        &["link_bits~", "link_words", "gc_total_rounds", "gc_phase2_rounds", "mst_rounds"],
+    );
+    let g = generators::path(n);
+    let cfg = GcConfig {
+        phases: Some(0),
+        families: None,
+    };
+    // Weighted clique for the MST side, small enough for the sweep.
+    let mn: usize = if quick { 14 } else { 20 };
+    let mut rng = ChaCha8Rng::seed_from_u64(99);
+    let gm = generators::complete_wgraph(mn, &mut rng);
+    for (label, words) in budgets {
+        let nc = NetConfig::kt1(n).with_seed(5).with_link_words(words);
+        let run = gc::run_with(&g, &nc, &cfg).expect("gc run");
+        assert!(run.output.connected);
+        // EXACT-MST with 1 Lotker phase ("enlarging the per-link bandwidth
+        // obviates the need for the Lotker preprocessing").
+        let mcfg = ExactMstConfig {
+            phases: Some(1),
+            families: Some(8),
+            ..Default::default()
+        };
+        let mlg = (usize::BITS - (mn - 1).leading_zeros()) as u64;
+        let mwords = (words.min(mlg * mlg * mlg * mlg)).max(8);
+        let mut mnet = Net::new(NetConfig::kt1(mn).with_seed(6).with_link_words(mwords));
+        let mrun = exact_mst(&mut mnet, &gm, &mcfg).expect("mst run");
+        t.push_row(vec![
+            label,
+            words.to_string(),
+            run.cost.rounds.to_string(),
+            run.phase2.rounds.to_string(),
+            mrun.cost.rounds.to_string(),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn e1_shape() {
+        let t = e1_gc_rounds(true);
+        assert_eq!(t.rows.len(), 2);
+        let rounds = t.column_f64("gc_rounds");
+        // Sub-logarithmic growth: doubling n should not double the rounds.
+        assert!(rounds[1] < rounds[0] * 2.0, "{rounds:?}");
+    }
+
+    #[test]
+    fn e2_shape() {
+        let t = e2_mst_rounds(true);
+        assert_eq!(t.rows.len(), 2);
+        assert!(t.column_f64("rounds_default").iter().all(|&r| r > 0.0));
+    }
+
+    #[test]
+    fn e9_wide_links_reduce_rounds() {
+        let t = e9_bandwidth_ablation(true);
+        let p2 = t.column_f64("gc_phase2_rounds");
+        assert!(
+            p2.last().unwrap() < p2.first().unwrap(),
+            "phase-2 rounds must shrink with bandwidth: {p2:?}"
+        );
+        let mst = t.column_f64("mst_rounds");
+        assert!(
+            mst.last().unwrap() <= mst.first().unwrap(),
+            "MST rounds must not grow with bandwidth: {mst:?}"
+        );
+    }
+}

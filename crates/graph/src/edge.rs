@@ -1,0 +1,264 @@
+//! Edges and the canonical edge-universe indexing used by linear sketches.
+//!
+//! Section 2.1 of the paper represents each node's neighborhood as an
+//! incidence vector over the universe of all `C(n,2)` vertex pairs. The
+//! sketch machinery needs a fixed bijection between pairs `{x, y}` (with
+//! `x < y`) and indices `0..C(n,2)`. We use the row-major "triangular"
+//! layout: pair `(x, y)` maps to the position of `y` within the block of
+//! pairs whose smaller endpoint is `x`.
+
+use crate::weight::Weight;
+use std::fmt;
+
+/// An undirected, unweighted edge in canonical orientation (`u < v`).
+#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Edge {
+    /// Smaller endpoint.
+    pub u: u32,
+    /// Larger endpoint.
+    pub v: u32,
+}
+
+impl Edge {
+    /// Canonical edge `{a, b}`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a == b`.
+    pub fn new(a: usize, b: usize) -> Self {
+        assert_ne!(a, b, "self-loops are not edges");
+        let (u, v) = if a < b { (a, b) } else { (b, a) };
+        Edge {
+            u: u as u32,
+            v: v as u32,
+        }
+    }
+
+    /// Endpoints as `(usize, usize)`, smaller first.
+    pub fn endpoints(&self) -> (usize, usize) {
+        (self.u as usize, self.v as usize)
+    }
+
+    /// The endpoint different from `x`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` is not an endpoint.
+    pub fn other(&self, x: usize) -> usize {
+        if x == self.u as usize {
+            self.v as usize
+        } else if x == self.v as usize {
+            self.u as usize
+        } else {
+            panic!("{} is not an endpoint of {:?}", x, self)
+        }
+    }
+}
+
+impl fmt::Debug for Edge {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{{},{}}}", self.u, self.v)
+    }
+}
+
+/// A weighted undirected edge in canonical orientation (`u < v`).
+#[derive(Copy, Clone, PartialEq, Eq, Hash)]
+pub struct WEdge {
+    /// Smaller endpoint.
+    pub u: u32,
+    /// Larger endpoint.
+    pub v: u32,
+    /// Raw integer weight.
+    pub w: u64,
+}
+
+impl WEdge {
+    /// Canonical weighted edge `{a, b}` with raw weight `w`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a == b`.
+    pub fn new(a: usize, b: usize, w: u64) -> Self {
+        let e = Edge::new(a, b);
+        WEdge { u: e.u, v: e.v, w }
+    }
+
+    /// The unweighted canonical edge.
+    pub fn edge(&self) -> Edge {
+        Edge { u: self.u, v: self.v }
+    }
+
+    /// The totally ordered [`Weight`] (raw weight + endpoint tie-break).
+    pub fn weight(&self) -> Weight {
+        Weight {
+            w: self.w,
+            u: self.u,
+            v: self.v,
+        }
+    }
+
+    /// Endpoints as `(usize, usize)`, smaller first.
+    pub fn endpoints(&self) -> (usize, usize) {
+        (self.u as usize, self.v as usize)
+    }
+
+    /// The endpoint different from `x`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` is not an endpoint.
+    pub fn other(&self, x: usize) -> usize {
+        self.edge().other(x)
+    }
+}
+
+impl fmt::Debug for WEdge {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{{},{}}}#{}", self.u, self.v, self.w)
+    }
+}
+
+impl PartialOrd for WEdge {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Weighted edges order by their tie-broken [`Weight`], so sorting a slice of
+/// `WEdge` yields the unique rank order Algorithm 4 (SQ-MST) relies on.
+impl Ord for WEdge {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.weight().cmp(&other.weight())
+    }
+}
+
+/// Number of vertex pairs `C(n,2)`, i.e. the size of the sketch universe.
+pub fn num_pairs(n: usize) -> u64 {
+    let n = n as u64;
+    n * (n - 1) / 2
+}
+
+/// Index of the pair `{x, y}` in the canonical triangular layout of the
+/// `C(n,2)` edge universe for an `n`-vertex graph.
+///
+/// The layout enumerates pairs with smaller endpoint `0` first
+/// (`{0,1}, {0,2}, …, {0,n-1}`), then smaller endpoint `1`, and so on.
+///
+/// # Panics
+///
+/// Panics if `x == y` or either endpoint is `≥ n`.
+pub fn edge_index(x: usize, y: usize, n: usize) -> u64 {
+    assert!(x != y, "self-loops have no index");
+    assert!(x < n && y < n, "endpoint out of range");
+    let (a, b) = if x < y { (x, y) } else { (y, x) };
+    let (a, b, n) = (a as u64, b as u64, n as u64);
+    // Pairs with smaller endpoint < a: sum_{i<a} (n-1-i) = a*(2n-a-1)/2.
+    a * (2 * n - a - 1) / 2 + (b - a - 1)
+}
+
+/// Inverse of [`edge_index`]: recovers the canonical pair `(x, y)` with
+/// `x < y` from its universe index.
+///
+/// # Panics
+///
+/// Panics if `idx ≥ C(n,2)`.
+pub fn edge_from_index(idx: u64, n: usize) -> (usize, usize) {
+    assert!(idx < num_pairs(n), "edge index out of range");
+    let nu = n as u64;
+    // Find the smaller endpoint a: the largest a with block_start(a) <= idx.
+    // block_start(a) = a*(2n-a-1)/2 is increasing in a, so binary search.
+    let block_start = |a: u64| a * (2 * nu - a - 1) / 2;
+    let (mut lo, mut hi) = (0u64, nu - 1);
+    while lo < hi {
+        let mid = (lo + hi).div_ceil(2);
+        if block_start(mid) <= idx {
+            lo = mid;
+        } else {
+            hi = mid - 1;
+        }
+    }
+    let a = lo;
+    let b = a + 1 + (idx - block_start(a));
+    (a as usize, b as usize)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn edge_canonicalizes() {
+        assert_eq!(Edge::new(5, 2), Edge::new(2, 5));
+        assert_eq!(Edge::new(5, 2).endpoints(), (2, 5));
+    }
+
+    #[test]
+    fn edge_other_endpoint() {
+        let e = Edge::new(3, 8);
+        assert_eq!(e.other(3), 8);
+        assert_eq!(e.other(8), 3);
+    }
+
+    #[test]
+    #[should_panic]
+    fn edge_other_rejects_non_endpoint() {
+        Edge::new(3, 8).other(5);
+    }
+
+    #[test]
+    fn wedge_orders_by_weight_with_tie_break() {
+        let a = WEdge::new(0, 1, 10);
+        let b = WEdge::new(0, 2, 10);
+        let c = WEdge::new(5, 6, 3);
+        let mut v = vec![b, a, c];
+        v.sort();
+        assert_eq!(v, vec![c, a, b]);
+    }
+
+    #[test]
+    fn indices_enumerate_the_triangle() {
+        let n = 6;
+        let mut seen = vec![false; num_pairs(n) as usize];
+        for x in 0..n {
+            for y in (x + 1)..n {
+                let i = edge_index(x, y, n) as usize;
+                assert!(!seen[i], "index {i} hit twice");
+                seen[i] = true;
+            }
+        }
+        assert!(seen.iter().all(|&b| b), "indexing is not surjective");
+    }
+
+    #[test]
+    fn first_and_last_indices() {
+        let n = 10;
+        assert_eq!(edge_index(0, 1, n), 0);
+        assert_eq!(edge_index(n - 2, n - 1, n), num_pairs(n) - 1);
+    }
+
+    #[test]
+    fn index_is_orientation_free() {
+        assert_eq!(edge_index(3, 7, 16), edge_index(7, 3, 16));
+    }
+
+    proptest! {
+        #[test]
+        fn roundtrip_index(n in 2usize..200, seed in any::<u64>()) {
+            let total = num_pairs(n);
+            let idx = seed % total;
+            let (x, y) = edge_from_index(idx, n);
+            prop_assert!(x < y && y < n);
+            prop_assert_eq!(edge_index(x, y, n), idx);
+        }
+
+        #[test]
+        fn roundtrip_pair(n in 2usize..200, a in 0usize..200, b in 0usize..200) {
+            let (a, b) = (a % n, b % n);
+            prop_assume!(a != b);
+            let idx = edge_index(a, b, n);
+            let (x, y) = edge_from_index(idx, n);
+            prop_assert_eq!((x, y), if a < b { (a, b) } else { (b, a) });
+        }
+    }
+}

@@ -1,0 +1,251 @@
+//! Plain-text graph serialization.
+//!
+//! A tiny, dependency-free edge-list format so experiment instances can be
+//! dumped, diffed and reloaded:
+//!
+//! ```text
+//! # optional comments
+//! n <vertex-count>
+//! e <u> <v>            # unweighted edge
+//! w <u> <v> <weight>   # weighted edge
+//! ```
+//!
+//! Parsing is strict: unknown directives, bad arity, out-of-range
+//! endpoints and duplicate edges are errors with line numbers.
+
+use crate::graph::{Graph, WGraph};
+use std::fmt::Write as _;
+
+/// A parse error with its 1-based line number.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParseGraphError {
+    /// 1-based line number of the offending line.
+    pub line: usize,
+    /// What went wrong.
+    pub reason: String,
+}
+
+impl std::fmt::Display for ParseGraphError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "line {}: {}", self.line, self.reason)
+    }
+}
+
+impl std::error::Error for ParseGraphError {}
+
+/// Serializes an unweighted graph.
+pub fn write_graph(g: &Graph) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "n {}", g.n());
+    for e in g.edges() {
+        let _ = writeln!(out, "e {} {}", e.u, e.v);
+    }
+    out
+}
+
+/// Serializes a weighted graph.
+pub fn write_wgraph(g: &WGraph) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "n {}", g.n());
+    for e in g.edges() {
+        let _ = writeln!(out, "w {} {} {}", e.u, e.v, e.w);
+    }
+    out
+}
+
+fn parse_lines(text: &str) -> Result<(usize, Vec<(usize, usize, Option<u64>)>), ParseGraphError> {
+    let mut n: Option<usize> = None;
+    let mut edges = Vec::new();
+    for (i, raw) in text.lines().enumerate() {
+        let lineno = i + 1;
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut parts = line.split_whitespace();
+        let err = |reason: &str| ParseGraphError {
+            line: lineno,
+            reason: reason.to_string(),
+        };
+        match parts.next() {
+            Some("n") => {
+                if n.is_some() {
+                    return Err(err("duplicate 'n' directive"));
+                }
+                let v = parts
+                    .next()
+                    .ok_or_else(|| err("'n' needs a count"))?
+                    .parse::<usize>()
+                    .map_err(|_| err("invalid vertex count"))?;
+                if parts.next().is_some() {
+                    return Err(err("'n' takes exactly one argument"));
+                }
+                n = Some(v);
+            }
+            Some(dir @ ("e" | "w")) => {
+                let n = n.ok_or_else(|| err("edge before 'n' directive"))?;
+                let u = parts
+                    .next()
+                    .ok_or_else(|| err("missing endpoint"))?
+                    .parse::<usize>()
+                    .map_err(|_| err("invalid endpoint"))?;
+                let v = parts
+                    .next()
+                    .ok_or_else(|| err("missing endpoint"))?
+                    .parse::<usize>()
+                    .map_err(|_| err("invalid endpoint"))?;
+                if u >= n || v >= n {
+                    return Err(err("endpoint out of range"));
+                }
+                if u == v {
+                    return Err(err("self-loop"));
+                }
+                let w = if dir == "w" {
+                    Some(
+                        parts
+                            .next()
+                            .ok_or_else(|| err("'w' needs a weight"))?
+                            .parse::<u64>()
+                            .map_err(|_| err("invalid weight"))?,
+                    )
+                } else {
+                    None
+                };
+                if parts.next().is_some() {
+                    return Err(err("trailing tokens"));
+                }
+                edges.push((u, v, w));
+            }
+            Some(other) => {
+                return Err(ParseGraphError {
+                    line: lineno,
+                    reason: format!("unknown directive '{other}'"),
+                })
+            }
+            None => unreachable!("non-empty line has a token"),
+        }
+    }
+    let n = n.ok_or(ParseGraphError {
+        line: 0,
+        reason: "missing 'n' directive".into(),
+    })?;
+    Ok((n, edges))
+}
+
+/// Parses an unweighted graph (`w` lines are accepted, weights dropped).
+///
+/// # Errors
+///
+/// Returns a [`ParseGraphError`] with the offending line for malformed
+/// input or duplicate edges.
+pub fn read_graph(text: &str) -> Result<Graph, ParseGraphError> {
+    let (n, edges) = parse_lines(text)?;
+    let mut g = Graph::new(n);
+    for (u, v, _) in edges {
+        if !g.add_edge(u, v) {
+            return Err(ParseGraphError {
+                line: 0,
+                reason: format!("duplicate edge {{{u},{v}}}"),
+            });
+        }
+    }
+    Ok(g)
+}
+
+/// Parses a weighted graph (`e` lines get weight 0).
+///
+/// # Errors
+///
+/// Returns a [`ParseGraphError`] with the offending line for malformed
+/// input or duplicate edges.
+pub fn read_wgraph(text: &str) -> Result<WGraph, ParseGraphError> {
+    let (n, edges) = parse_lines(text)?;
+    let mut g = WGraph::new(n);
+    for (u, v, w) in edges {
+        if !g.add_edge(u, v, w.unwrap_or(0)) {
+            return Err(ParseGraphError {
+                line: 0,
+                reason: format!("duplicate edge {{{u},{v}}}"),
+            });
+        }
+    }
+    Ok(g)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+    use proptest::prelude::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn roundtrip_unweighted() {
+        let g = generators::circulant(10, &[1, 3]);
+        let text = write_graph(&g);
+        let back = read_graph(&text).unwrap();
+        assert_eq!(back.edges(), g.edges());
+        assert_eq!(back.n(), g.n());
+    }
+
+    #[test]
+    fn roundtrip_weighted() {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let g = generators::gnp_weighted(12, 0.4, 1000, &mut rng);
+        let back = read_wgraph(&write_wgraph(&g)).unwrap();
+        assert_eq!(back.edges(), g.edges());
+    }
+
+    #[test]
+    fn comments_and_blank_lines_ignored() {
+        let g = read_graph("# header\n\nn 3\n# middle\ne 0 1\n").unwrap();
+        assert_eq!(g.m(), 1);
+    }
+
+    #[test]
+    fn error_reporting_is_precise() {
+        let cases = [
+            ("e 0 1\n", "edge before 'n'"),
+            ("n 3\nq 0 1\n", "unknown directive"),
+            ("n 3\ne 0 5\n", "out of range"),
+            ("n 3\ne 1 1\n", "self-loop"),
+            ("n 3\nw 0 1\n", "needs a weight"),
+            ("n 3\nn 4\n", "duplicate 'n'"),
+            ("n 3\ne 0 1 9\n", "trailing tokens"),
+            ("", "missing 'n'"),
+        ];
+        for (text, expect) in cases {
+            let err = read_graph(text).unwrap_err();
+            assert!(
+                err.reason.contains(expect),
+                "{text:?}: got {:?}, wanted {expect:?}",
+                err.reason
+            );
+        }
+    }
+
+    #[test]
+    fn duplicate_edges_rejected() {
+        let err = read_graph("n 3\ne 0 1\ne 1 0\n").unwrap_err();
+        assert!(err.reason.contains("duplicate edge"));
+    }
+
+    #[test]
+    fn display_includes_line() {
+        let err = read_graph("n 3\nz\n").unwrap_err();
+        assert!(err.to_string().starts_with("line 2:"));
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        #[test]
+        fn roundtrip_random(seed in any::<u64>(), n in 2usize..30) {
+            let mut rng = ChaCha8Rng::seed_from_u64(seed);
+            let g = generators::gnp_weighted(n, 0.3, 500, &mut rng);
+            let back = read_wgraph(&write_wgraph(&g)).unwrap();
+            prop_assert_eq!(back.edges(), g.edges());
+        }
+    }
+}

@@ -1,0 +1,157 @@
+//! Graph statistics used by the experiment harness and examples:
+//! degree summaries, density, eccentricity-style measures via BFS.
+
+use crate::graph::Graph;
+use std::collections::VecDeque;
+
+/// Degree summary of a graph.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct DegreeStats {
+    /// Minimum degree.
+    pub min: usize,
+    /// Maximum degree.
+    pub max: usize,
+    /// Mean degree (`2m/n`).
+    pub mean: f64,
+}
+
+/// Degree summary (`min = max = 0` and `mean = 0` for the empty graph).
+pub fn degree_stats(g: &Graph) -> DegreeStats {
+    if g.n() == 0 {
+        return DegreeStats { min: 0, max: 0, mean: 0.0 };
+    }
+    let degs: Vec<usize> = (0..g.n()).map(|v| g.degree(v)).collect();
+    DegreeStats {
+        min: *degs.iter().min().unwrap(),
+        max: *degs.iter().max().unwrap(),
+        mean: 2.0 * g.m() as f64 / g.n() as f64,
+    }
+}
+
+/// Whether the graph is near-regular in the Section 3 sense: every degree
+/// is `⌊2m/n⌋` or `⌈2m/n⌉` (within `slack` of the band).
+pub fn is_near_regular(g: &Graph, slack: usize) -> bool {
+    if g.n() == 0 {
+        return true;
+    }
+    let lo = (2 * g.m() / g.n()).saturating_sub(slack);
+    let hi = 2 * g.m() / g.n() + 1 + slack;
+    (0..g.n()).all(|v| (lo..=hi).contains(&g.degree(v)))
+}
+
+/// Edge density `m / C(n,2)` (0 for `n < 2`).
+pub fn density(g: &Graph) -> f64 {
+    if g.n() < 2 {
+        return 0.0;
+    }
+    g.m() as f64 / crate::edge::num_pairs(g.n()) as f64
+}
+
+/// Eccentricity of `v` within its component (max BFS distance).
+pub fn eccentricity(g: &Graph, v: usize) -> usize {
+    let mut dist = vec![usize::MAX; g.n()];
+    let mut queue = VecDeque::new();
+    dist[v] = 0;
+    queue.push_back(v);
+    let mut far = 0;
+    while let Some(u) = queue.pop_front() {
+        for &w in g.neighbors(u) {
+            let w = w as usize;
+            if dist[w] == usize::MAX {
+                dist[w] = dist[u] + 1;
+                far = far.max(dist[w]);
+                queue.push_back(w);
+            }
+        }
+    }
+    far
+}
+
+/// Diameter of a connected graph (`None` if disconnected or empty).
+pub fn diameter(g: &Graph) -> Option<usize> {
+    if g.n() == 0 || !crate::connectivity::is_connected(g) {
+        return None;
+    }
+    Some((0..g.n()).map(|v| eccentricity(g, v)).max().unwrap())
+}
+
+/// Whether the graph is a forest (`m = n − c`).
+pub fn is_forest(g: &Graph) -> bool {
+    g.m() == g.n() - crate::connectivity::component_count(g)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+
+    #[test]
+    fn degree_stats_basics() {
+        let g = generators::star(5);
+        let s = degree_stats(&g);
+        assert_eq!(s.min, 1);
+        assert_eq!(s.max, 4);
+        assert!((s.mean - 1.6).abs() < 1e-9);
+        assert_eq!(degree_stats(&crate::Graph::new(0)), DegreeStats { min: 0, max: 0, mean: 0.0 });
+    }
+
+    #[test]
+    fn regularity_checks() {
+        assert!(is_near_regular(&generators::cycle(8), 0));
+        assert!(is_near_regular(&generators::circulant(10, &[1, 2]), 0));
+        assert!(!is_near_regular(&generators::star(10), 0));
+        assert!(is_near_regular(&generators::star(10), 10));
+    }
+
+    #[test]
+    fn density_extremes() {
+        assert_eq!(density(&generators::complete(6)), 1.0);
+        assert_eq!(density(&crate::Graph::new(6)), 0.0);
+        assert_eq!(density(&crate::Graph::new(1)), 0.0);
+    }
+
+    #[test]
+    fn path_diameter() {
+        assert_eq!(diameter(&generators::path(10)), Some(9));
+        assert_eq!(diameter(&generators::cycle(10)), Some(5));
+        assert_eq!(diameter(&crate::Graph::new(3)), None, "disconnected");
+        assert_eq!(eccentricity(&generators::path(10), 0), 9);
+        assert_eq!(eccentricity(&generators::path(10), 5), 5);
+    }
+
+    #[test]
+    fn forest_detection() {
+        assert!(is_forest(&generators::path(6)));
+        assert!(is_forest(&crate::Graph::new(4)));
+        assert!(!is_forest(&generators::cycle(4)));
+    }
+
+    #[test]
+    fn new_generators_are_sane() {
+        use crate::connectivity;
+        use rand::SeedableRng;
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(1);
+
+        let grid = generators::grid(4, 5);
+        assert_eq!(grid.n(), 20);
+        assert_eq!(grid.m(), 4 * 4 + 3 * 5);
+        assert_eq!(diameter(&grid), Some(3 + 4));
+
+        let bb = generators::barbell(4, 2);
+        assert!(connectivity::is_connected(&bb));
+        assert_eq!(connectivity::bridges(&bb).len(), 2);
+
+        let cat = generators::caterpillar(5, 3);
+        assert!(is_forest(&cat));
+        assert_eq!(cat.n(), 20);
+        assert_eq!(cat.m(), 19);
+
+        let sw = generators::small_world(30, 2, 0.2, &mut rng);
+        assert!(sw.m() > 0);
+        let s = degree_stats(&sw);
+        assert!(s.mean > 2.0);
+
+        let reg = generators::near_regular(20, 4, &mut rng);
+        assert!(degree_stats(&reg).max <= 4);
+    }
+}

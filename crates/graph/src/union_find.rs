@@ -1,0 +1,165 @@
+//! Disjoint-set forest (union by rank, path halving).
+//!
+//! Used by every Borůvka/Kruskal-style routine in the workspace, including
+//! the local computations the coordinator performs in Algorithm 2
+//! (SKETCHANDSPAN) and Algorithm 4 (SQ-MST).
+
+/// A disjoint-set forest over elements `0..n`.
+#[derive(Clone, Debug)]
+pub struct UnionFind {
+    parent: Vec<u32>,
+    rank: Vec<u8>,
+    sets: usize,
+}
+
+impl UnionFind {
+    /// `n` singleton sets.
+    pub fn new(n: usize) -> Self {
+        UnionFind {
+            parent: (0..n as u32).collect(),
+            rank: vec![0; n],
+            sets: n,
+        }
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.parent.len()
+    }
+
+    /// Whether the structure is empty.
+    pub fn is_empty(&self) -> bool {
+        self.parent.is_empty()
+    }
+
+    /// Number of disjoint sets.
+    pub fn set_count(&self) -> usize {
+        self.sets
+    }
+
+    /// Representative of `x`'s set (path halving).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x ≥ len()`.
+    pub fn find(&mut self, x: usize) -> usize {
+        let mut x = x as u32;
+        while self.parent[x as usize] != x {
+            let gp = self.parent[self.parent[x as usize] as usize];
+            self.parent[x as usize] = gp;
+            x = gp;
+        }
+        x as usize
+    }
+
+    /// Merges the sets of `a` and `b`; returns `true` iff they were distinct.
+    pub fn union(&mut self, a: usize, b: usize) -> bool {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra == rb {
+            return false;
+        }
+        let (hi, lo) = if self.rank[ra] >= self.rank[rb] {
+            (ra, rb)
+        } else {
+            (rb, ra)
+        };
+        self.parent[lo] = hi as u32;
+        if self.rank[hi] == self.rank[lo] {
+            self.rank[hi] += 1;
+        }
+        self.sets -= 1;
+        true
+    }
+
+    /// Whether `a` and `b` are in the same set.
+    pub fn same(&mut self, a: usize, b: usize) -> bool {
+        self.find(a) == self.find(b)
+    }
+
+    /// Canonical labeling: for each element, the *minimum* element of its set.
+    ///
+    /// The paper designates the minimum-ID node of a component as its leader,
+    /// so this is the labeling every component-graph step uses.
+    pub fn min_labels(&mut self) -> Vec<usize> {
+        let n = self.len();
+        let mut min_of_root = vec![usize::MAX; n];
+        for x in 0..n {
+            let r = self.find(x);
+            if x < min_of_root[r] {
+                min_of_root[r] = x;
+            }
+        }
+        (0..n).map(|x| min_of_root[self.find(x)]).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn singletons_initially() {
+        let mut uf = UnionFind::new(4);
+        assert_eq!(uf.set_count(), 4);
+        for i in 0..4 {
+            assert_eq!(uf.find(i), i);
+        }
+    }
+
+    #[test]
+    fn union_merges_and_counts() {
+        let mut uf = UnionFind::new(5);
+        assert!(uf.union(0, 1));
+        assert!(uf.union(1, 2));
+        assert!(!uf.union(0, 2), "already merged");
+        assert_eq!(uf.set_count(), 3);
+        assert!(uf.same(0, 2));
+        assert!(!uf.same(0, 3));
+    }
+
+    #[test]
+    fn min_labels_are_set_minima() {
+        let mut uf = UnionFind::new(6);
+        uf.union(5, 3);
+        uf.union(3, 4);
+        uf.union(0, 1);
+        let labels = uf.min_labels();
+        assert_eq!(labels, vec![0, 0, 2, 3, 3, 3]);
+    }
+
+    #[test]
+    fn empty_is_fine() {
+        let uf = UnionFind::new(0);
+        assert!(uf.is_empty());
+        assert_eq!(uf.set_count(), 0);
+    }
+
+    proptest! {
+        /// Union-find agrees with a naive label-propagation implementation.
+        #[test]
+        fn matches_naive(n in 1usize..60, ops in proptest::collection::vec((0usize..60, 0usize..60), 0..120)) {
+            let mut uf = UnionFind::new(n);
+            let mut naive: Vec<usize> = (0..n).collect();
+            for (a, b) in ops {
+                let (a, b) = (a % n, b % n);
+                uf.union(a, b);
+                let (la, lb) = (naive[a], naive[b]);
+                if la != lb {
+                    for l in naive.iter_mut() {
+                        if *l == lb { *l = la; }
+                    }
+                }
+            }
+            for a in 0..n {
+                for b in 0..n {
+                    prop_assert_eq!(uf.same(a, b), naive[a] == naive[b]);
+                }
+            }
+            let mut distinct: Vec<usize> = naive.clone();
+            distinct.sort_unstable();
+            distinct.dedup();
+            prop_assert_eq!(uf.set_count(), distinct.len());
+        }
+    }
+}

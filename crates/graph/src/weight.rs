@@ -1,0 +1,132 @@
+//! Edge weights with a lexicographic tie-break.
+//!
+//! The paper assumes edge weights are `O(log n)`-bit integers and, as is
+//! standard for MST algorithms (Borůvka in particular), that they are
+//! pairwise distinct. We realize distinctness with the classic perturbation:
+//! a [`Weight`] compares by `(w, u, v)` where `(u, v)` is the canonical
+//! (sorted) endpoint pair of the edge carrying it. This makes the MST unique,
+//! so the distributed algorithms and the sequential references must agree on
+//! the exact edge set, which is what the test suite checks.
+
+use std::fmt;
+
+/// Raw weight value reserved to mean "no edge" (`∞` in Algorithm 1 of the
+/// paper, which turns an arbitrary graph into a weighted clique by assigning
+/// weight `∞` to non-edges).
+pub const INFINITE_W: u64 = u64::MAX;
+
+/// A totally ordered edge weight: raw integer weight plus the canonical
+/// endpoint pair as a tie-break.
+///
+/// Two distinct edges never compare equal, even with equal raw weights,
+/// which is exactly the distinct-weights assumption MST theory needs.
+#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Weight {
+    /// Raw integer weight ([`INFINITE_W`] encodes `∞`).
+    pub w: u64,
+    /// Smaller endpoint of the carrying edge.
+    pub u: u32,
+    /// Larger endpoint of the carrying edge.
+    pub v: u32,
+}
+
+impl Weight {
+    /// Weight of the edge `{a, b}` with raw value `w`.
+    ///
+    /// The endpoints are canonicalized so that `Weight::new(w, a, b)` and
+    /// `Weight::new(w, b, a)` are identical.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a == b` (self-loops carry no weight in this model).
+    pub fn new(w: u64, a: usize, b: usize) -> Self {
+        assert_ne!(a, b, "self-loops are not weighted edges");
+        let (u, v) = if a < b { (a, b) } else { (b, a) };
+        Weight {
+            w,
+            u: u as u32,
+            v: v as u32,
+        }
+    }
+
+    /// The `∞` weight Algorithm 1 assigns to clique links that are not input
+    /// edges.
+    pub fn infinite(a: usize, b: usize) -> Self {
+        Self::new(INFINITE_W, a, b)
+    }
+
+    /// Whether this is an `∞` (non-edge) weight.
+    pub fn is_infinite(&self) -> bool {
+        self.w == INFINITE_W
+    }
+
+    /// Canonical endpoints `(u, v)` with `u < v`.
+    pub fn endpoints(&self) -> (usize, usize) {
+        (self.u as usize, self.v as usize)
+    }
+}
+
+impl fmt::Debug for Weight {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_infinite() {
+            write!(f, "∞@({},{})", self.u, self.v)
+        } else {
+            write!(f, "{}@({},{})", self.w, self.u, self.v)
+        }
+    }
+}
+
+impl fmt::Display for Weight {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn canonicalizes_endpoints() {
+        assert_eq!(Weight::new(5, 3, 1), Weight::new(5, 1, 3));
+        assert_eq!(Weight::new(5, 1, 3).endpoints(), (1, 3));
+    }
+
+    #[test]
+    fn orders_by_raw_weight_first() {
+        assert!(Weight::new(1, 7, 9) < Weight::new(2, 0, 1));
+    }
+
+    #[test]
+    fn breaks_ties_by_endpoints() {
+        assert!(Weight::new(4, 0, 1) < Weight::new(4, 0, 2));
+        assert!(Weight::new(4, 0, 2) < Weight::new(4, 1, 2));
+    }
+
+    #[test]
+    fn distinct_edges_never_compare_equal() {
+        let a = Weight::new(9, 2, 5);
+        let b = Weight::new(9, 2, 6);
+        assert_ne!(a, b);
+        assert!(a < b || b < a);
+    }
+
+    #[test]
+    fn infinite_dominates_everything_finite() {
+        let inf = Weight::infinite(0, 1);
+        assert!(inf.is_infinite());
+        assert!(Weight::new(u64::MAX - 1, 100, 200) < inf);
+    }
+
+    #[test]
+    #[should_panic(expected = "self-loops")]
+    fn rejects_self_loops() {
+        let _ = Weight::new(1, 4, 4);
+    }
+
+    #[test]
+    fn debug_output_is_nonempty() {
+        assert!(!format!("{:?}", Weight::new(3, 1, 2)).is_empty());
+        assert!(format!("{:?}", Weight::infinite(1, 2)).contains('∞'));
+    }
+}

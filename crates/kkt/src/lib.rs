@@ -1,0 +1,255 @@
+//! Karger–Klein–Tarjan random edge sampling and F-light classification
+//! (Definition 1 and Lemma 6 of Hegeman et al., PODC 2015; originally
+//! KKT, JACM 1995).
+//!
+//! EXACT-MST (Algorithm 3) reduces the component graph's edge count from up
+//! to `Θ(n²)` to `O(n^{3/2})` by:
+//!
+//! 1. sampling each edge independently with probability `p = 1/√n`,
+//! 2. computing a minimum spanning forest `F` of the sample,
+//! 3. discarding every *F-heavy* edge — an edge heavier than the maximum
+//!    weight on its endpoints' `F`-path — because no F-heavy edge can be in
+//!    the MST (cycle property).
+//!
+//! Lemma 6 bounds the surviving *F-light* edges by `n/p` w.h.p.; experiment
+//! E5 measures this.
+//!
+//! # Example
+//!
+//! ```
+//! use cc_kkt::{sample_edges, FLightClassifier};
+//! use cc_graph::{generators, mst};
+//! use rand::SeedableRng;
+//! use rand_chacha::ChaCha8Rng;
+//!
+//! let mut rng = ChaCha8Rng::seed_from_u64(3);
+//! let g = generators::gnp_weighted(64, 0.5, 1_000, &mut rng);
+//! let sample = sample_edges(&g.edges(), 0.125, &mut rng);
+//! let f = mst::kruskal(&cc_graph::WGraph::from_edges(64, sample));
+//! let classifier = FLightClassifier::new(64, &f);
+//! let light = classifier.f_light_edges(&g.edges());
+//! // The true MSF survives the filter:
+//! for e in mst::kruskal(&g) {
+//!     assert!(classifier.is_f_light(&e));
+//! }
+//! assert!(light.len() <= g.m());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use cc_graph::{RootedForest, WEdge};
+use rand::Rng;
+
+/// Samples each edge independently with probability `p` (Algorithm 3
+/// step 3 uses `p = 1/√n`).
+///
+/// # Panics
+///
+/// Panics if `p` is not in `[0, 1]`.
+pub fn sample_edges<R: Rng + ?Sized>(edges: &[WEdge], p: f64, rng: &mut R) -> Vec<WEdge> {
+    assert!((0.0..=1.0).contains(&p), "probability out of range");
+    edges.iter().copied().filter(|_| rng.gen_bool(p)).collect()
+}
+
+/// The Lemma 6 bound on the number of F-light edges: `n / p` (w.h.p.),
+/// where `n` is the number of vertices of the graph being filtered.
+pub fn kkt_light_bound(n_vertices: usize, p: f64) -> f64 {
+    n_vertices as f64 / p
+}
+
+/// Classifies edges as F-light / F-heavy against a fixed forest `F`
+/// (Definition 1), answering each query in `O(log n)` via binary-lifting
+/// path maxima.
+#[derive(Clone, Debug)]
+pub struct FLightClassifier {
+    forest: RootedForest,
+}
+
+impl FLightClassifier {
+    /// Builds the classifier for forest `F` on vertices `0..n`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `forest_edges` contains a cycle or out-of-range endpoint.
+    pub fn new(n: usize, forest_edges: &[WEdge]) -> Self {
+        FLightClassifier {
+            forest: RootedForest::from_edges(n, forest_edges),
+        }
+    }
+
+    /// Whether `e` is F-light: `wt(e) ≤ wt_F(u, v)`, where `wt_F` is the
+    /// maximum (tie-broken) weight on the `u`–`v` path in `F`, or `∞` when
+    /// no path exists. Every forest edge is F-light (its path is itself).
+    pub fn is_f_light(&self, e: &WEdge) -> bool {
+        let (u, v) = e.endpoints();
+        match self.forest.path_max(u, v) {
+            None => true, // wt_F = ∞ (different trees)
+            Some(path_max) => e.weight() <= path_max,
+        }
+    }
+
+    /// The F-light subset of `edges` (order preserved).
+    pub fn f_light_edges(&self, edges: &[WEdge]) -> Vec<WEdge> {
+        edges.iter().copied().filter(|e| self.is_f_light(e)).collect()
+    }
+
+    /// The underlying forest (diagnostics).
+    pub fn forest(&self) -> &RootedForest {
+        &self.forest
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cc_graph::{generators, mst, WGraph};
+    use proptest::prelude::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn rng(seed: u64) -> ChaCha8Rng {
+        ChaCha8Rng::seed_from_u64(seed)
+    }
+
+    #[test]
+    fn sampling_extremes() {
+        let edges = vec![WEdge::new(0, 1, 1), WEdge::new(1, 2, 2)];
+        assert!(sample_edges(&edges, 0.0, &mut rng(0)).is_empty());
+        assert_eq!(sample_edges(&edges, 1.0, &mut rng(0)), edges);
+    }
+
+    #[test]
+    fn sampling_rate_is_roughly_p() {
+        let edges: Vec<WEdge> = (0..2000).map(|i| WEdge::new(i, i + 2001, 1)).collect();
+        let s = sample_edges(&edges, 0.25, &mut rng(1));
+        let frac = s.len() as f64 / edges.len() as f64;
+        assert!((frac - 0.25).abs() < 0.05, "sampled fraction {frac}");
+    }
+
+    #[test]
+    fn forest_edges_are_light() {
+        let mut r = rng(2);
+        let g = generators::random_connected_wgraph(30, 0.3, 100, &mut r);
+        let f = mst::kruskal(&g);
+        let c = FLightClassifier::new(30, &f);
+        for e in &f {
+            assert!(c.is_f_light(e), "forest edge {e:?} misclassified heavy");
+        }
+    }
+
+    #[test]
+    fn cross_tree_edges_are_light() {
+        // F has two trees; an edge between them has wt_F = ∞ → light.
+        let f = vec![WEdge::new(0, 1, 5), WEdge::new(2, 3, 5)];
+        let c = FLightClassifier::new(4, &f);
+        assert!(c.is_f_light(&WEdge::new(1, 2, 1_000_000)));
+    }
+
+    #[test]
+    fn heavy_edge_detected() {
+        // Path 0-1-2 with weights 1, 2; edge {0,2} of weight 10 is heavy.
+        let f = vec![WEdge::new(0, 1, 1), WEdge::new(1, 2, 2)];
+        let c = FLightClassifier::new(3, &f);
+        assert!(!c.is_f_light(&WEdge::new(0, 2, 10)));
+        // But weight 2 with favorable tie-break is light.
+        assert!(c.is_f_light(&WEdge::new(0, 2, 1)));
+    }
+
+    #[test]
+    fn msf_always_survives_filter() {
+        for seed in 0..10 {
+            let mut r = rng(100 + seed);
+            let g = generators::gnp_weighted(40, 0.3, 500, &mut r);
+            let sample = sample_edges(&g.edges(), 0.3, &mut r);
+            let f = mst::kruskal(&WGraph::from_edges(40, sample));
+            let c = FLightClassifier::new(40, &f);
+            for e in mst::kruskal(&g) {
+                assert!(c.is_f_light(&e), "seed {seed}: MSF edge filtered out");
+            }
+        }
+    }
+
+    #[test]
+    fn filtered_graph_has_same_msf() {
+        // MSF(light edges ∪ F) == MSF(G): the EXACT-MST correctness core.
+        for seed in 0..10 {
+            let mut r = rng(200 + seed);
+            let g = generators::gnp_weighted(35, 0.4, 300, &mut r);
+            let sample = sample_edges(&g.edges(), 0.25, &mut r);
+            let f = mst::kruskal(&WGraph::from_edges(35, sample));
+            let c = FLightClassifier::new(35, &f);
+            let light = c.f_light_edges(&g.edges());
+            let filtered = WGraph::from_edges(35, light);
+            assert_eq!(mst::kruskal(&filtered), mst::kruskal(&g), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn lemma6_bound_holds_with_slack() {
+        // Empirical check of Lemma 6: #light ≤ c · n/p for small c.
+        let mut r = rng(42);
+        let n = 80;
+        let g = generators::gnp_weighted(n, 0.6, 10_000, &mut r);
+        for &p in &[0.2f64, 0.4, 0.7] {
+            let sample = sample_edges(&g.edges(), p, &mut r);
+            let f = mst::kruskal(&WGraph::from_edges(n, sample));
+            let c = FLightClassifier::new(n, &f);
+            let light = c.f_light_edges(&g.edges()).len() as f64;
+            let bound = kkt_light_bound(n, p);
+            assert!(
+                light <= 3.0 * bound,
+                "p={p}: {light} light edges vs bound {bound}"
+            );
+        }
+    }
+
+    #[test]
+    fn bound_formula() {
+        assert_eq!(kkt_light_bound(100, 0.5), 200.0);
+        assert_eq!(kkt_light_bound(64, 0.125), 512.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "probability")]
+    fn bad_probability_rejected() {
+        sample_edges(&[], 1.5, &mut rng(0));
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(24))]
+
+        /// Classification agrees with a brute-force check on random inputs.
+        #[test]
+        fn classification_matches_brute_force(seed in any::<u64>(), n in 3usize..25) {
+            let mut r = rng(seed);
+            let g = generators::gnp_weighted(n, 0.3, 50, &mut r);
+            let sample = sample_edges(&g.edges(), 0.5, &mut r);
+            let f = mst::kruskal(&WGraph::from_edges(n, sample.clone()));
+            let c = FLightClassifier::new(n, &f);
+            let fr = RootedForest::from_edges(n, &f);
+            for e in g.edges() {
+                let brute = match fr.path_max(e.u as usize, e.v as usize) {
+                    None => true,
+                    Some(pm) => e.weight() <= pm,
+                };
+                prop_assert_eq!(c.is_f_light(&e), brute);
+            }
+        }
+
+        /// The F-light set always contains the true MSF and all of F.
+        #[test]
+        fn light_superset_invariant(seed in any::<u64>(), n in 3usize..30) {
+            let mut r = rng(seed);
+            let g = generators::gnp_weighted(n, 0.35, 100, &mut r);
+            let sample = sample_edges(&g.edges(), 0.4, &mut r);
+            let f = mst::kruskal(&WGraph::from_edges(n, sample));
+            let c = FLightClassifier::new(n, &f);
+            let light: std::collections::BTreeSet<WEdge> =
+                c.f_light_edges(&g.edges()).into_iter().collect();
+            for e in mst::kruskal(&g) {
+                prop_assert!(light.contains(&e));
+            }
+        }
+    }
+}

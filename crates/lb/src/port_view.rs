@@ -1,0 +1,155 @@
+//! Executable indistinguishability (the heart of Theorem 8).
+//!
+//! In KT0 a node observes, per port, only *whether an input edge is
+//! attached there* — not which vertex sits behind it. The Korach-style
+//! argument: if an algorithm leaves all four links of a square
+//! `u₁,v₁,v₂,u₂` silent, its entire execution is identical on `G` and on
+//! the swapped graph `G − (u₁,u₂) − (v₁,v₂) + (u₁,v₁) + (u₂,v₂)`,
+//! because every node's *port-level view along the used links* is
+//! unchanged — the swap only re-wires which far endpoint sits behind
+//! ports that carry an input edge either way (or no edge either way).
+//!
+//! [`PortView`] computes that observable, and
+//! [`views_identical_after_swap`] verifies the indistinguishability for a
+//! concrete square, port map and probe set — turning the proof's key step
+//! into an executable check (tested here, demonstrated in experiment E6).
+
+use crate::kt0::{HardInstance, Square};
+use cc_graph::Graph;
+use cc_net::PortMap;
+use std::collections::HashSet;
+
+/// What a KT0 node can observe about a probe set of links: for every node
+/// and every *probed* incident link (identified by the node's local port
+/// number), whether an input edge is present there.
+///
+/// This is the entire information available to a protocol whose
+/// communication pattern touches exactly `probes` — message contents are
+/// functions of these bits (plus private randomness, which is independent
+/// of the input).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PortView {
+    /// `observations[v]` = sorted `(port, edge_present)` pairs for node
+    /// `v`'s probed links.
+    pub observations: Vec<Vec<(usize, bool)>>,
+}
+
+/// Computes the port-level view of `g` restricted to the probed links.
+///
+/// # Panics
+///
+/// Panics if `g.n()` does not match the port map.
+pub fn port_view(g: &Graph, ports: &PortMap, probes: &HashSet<(usize, usize)>) -> PortView {
+    let n = g.n();
+    assert_eq!(ports.n(), n, "port map size mismatch");
+    let mut observations: Vec<Vec<(usize, bool)>> = vec![Vec::new(); n];
+    for &(a, b) in probes {
+        for (me, other) in [(a, b), (b, a)] {
+            let port = ports.port_of(me, other);
+            observations[me].push((port, g.has_edge(me, other)));
+        }
+    }
+    for obs in &mut observations {
+        obs.sort_unstable();
+    }
+    PortView { observations }
+}
+
+/// The executable Theorem 8 step: if none of the square's four links is
+/// probed, the port views of `G` and of the swapped graph are identical.
+/// Returns the two views so callers can assert equality (and the test
+/// suite also checks the converse: probing a square link *does* split the
+/// views).
+pub fn views_identical_after_swap(
+    inst: &HardInstance,
+    square: &Square,
+    ports: &PortMap,
+    probes: &HashSet<(usize, usize)>,
+) -> (PortView, PortView) {
+    let before = port_view(&inst.graph, ports, probes);
+    let swapped = inst.apply_swap(&square.swap());
+    let after = port_view(&swapped, ports, probes);
+    (before, after)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kt0::{edge_disjoint_squares, hard_instance};
+    use cc_graph::connectivity;
+
+    fn all_links(n: usize) -> HashSet<(usize, usize)> {
+        (0..n).flat_map(|a| ((a + 1)..n).map(move |b| (a, b))).collect()
+    }
+
+    #[test]
+    fn untouched_square_views_are_identical() {
+        let inst = hard_instance(16, 48);
+        let ports = PortMap::new(16, 7);
+        let squares = edge_disjoint_squares(&inst);
+        let square = squares[0];
+        // Probe everything EXCEPT the square's links.
+        let mut probes = all_links(16);
+        for l in square.links() {
+            probes.remove(&l);
+        }
+        let (before, after) = views_identical_after_swap(&inst, &square, &ports, &probes);
+        assert_eq!(
+            before, after,
+            "a protocol silent on the square cannot distinguish the inputs"
+        );
+        // …yet the ground truth differs:
+        assert!(!connectivity::is_connected(&inst.graph));
+        assert!(connectivity::is_connected(&inst.apply_swap(&square.swap())));
+    }
+
+    #[test]
+    fn probing_a_square_link_splits_the_views() {
+        let inst = hard_instance(16, 48);
+        let ports = PortMap::new(16, 8);
+        let square = edge_disjoint_squares(&inst)[0];
+        for probed_link in square.links() {
+            let probes: HashSet<(usize, usize)> = [probed_link].into_iter().collect();
+            let (before, after) = views_identical_after_swap(&inst, &square, &ports, &probes);
+            assert_ne!(
+                before, after,
+                "probing square link {probed_link:?} must reveal the swap"
+            );
+        }
+    }
+
+    #[test]
+    fn every_square_of_every_instance_is_a_fooling_pair() {
+        for (n, m) in [(12usize, 24usize), (20, 60)] {
+            let inst = hard_instance(n, m);
+            let ports = PortMap::new(n, 3);
+            for square in edge_disjoint_squares(&inst) {
+                let mut probes = all_links(n);
+                for l in square.links() {
+                    probes.remove(&l);
+                }
+                let (b, a) = views_identical_after_swap(&inst, &square, &ports, &probes);
+                assert_eq!(b, a, "n={n} m={m} square {square:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn view_is_port_indexed_not_id_indexed() {
+        // Two different port maps give different observations of the same
+        // graph — the observable really is the anonymous-port view.
+        let inst = hard_instance(12, 24);
+        let probes = all_links(12);
+        let v1 = port_view(&inst.graph, &PortMap::new(12, 1), &probes);
+        let v2 = port_view(&inst.graph, &PortMap::new(12, 2), &probes);
+        assert_ne!(v1, v2);
+    }
+
+    #[test]
+    fn empty_probe_set_observes_nothing() {
+        let inst = hard_instance(10, 14);
+        let ports = PortMap::new(10, 4);
+        let v = port_view(&inst.graph, &ports, &HashSet::new());
+        assert!(v.observations.iter().all(Vec::is_empty));
+    }
+}

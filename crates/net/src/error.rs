@@ -1,0 +1,131 @@
+//! Simulator errors.
+//!
+//! The simulator is strict: a message that would exceed the per-link budget
+//! or target an invalid destination is an error that aborts the round, so
+//! algorithms cannot silently exceed the model's constraints.
+
+use std::error::Error;
+use std::fmt;
+
+/// An error raised by the network simulator.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum NetError {
+    /// A single message is larger than one round's per-link budget; the
+    /// sender must fragment it across rounds or receivers (e.g. via
+    /// routing) instead.
+    MessageTooLarge {
+        /// Sender.
+        src: usize,
+        /// Receiver.
+        dst: usize,
+        /// Message size in words.
+        words: u64,
+        /// Per-link budget in words.
+        budget: u64,
+    },
+    /// The per-link budget for this round is already exhausted.
+    LinkBusy {
+        /// Sender.
+        src: usize,
+        /// Receiver.
+        dst: usize,
+        /// Words already committed on the link this round.
+        used: u64,
+        /// Additional words requested.
+        requested: u64,
+        /// Per-link budget in words.
+        budget: u64,
+    },
+    /// Destination out of range.
+    BadDestination {
+        /// Sender.
+        src: usize,
+        /// Destination.
+        dst: usize,
+        /// Clique size.
+        n: usize,
+    },
+    /// A node tried to message itself (there is no self-link in the model).
+    SelfMessage {
+        /// The offending node.
+        node: usize,
+    },
+    /// `fast_forward` was called while messages were still in flight.
+    PendingMessages {
+        /// Number of undelivered messages.
+        pending: usize,
+    },
+    /// The configured round watchdog fired (see `NetConfig::round_cap`).
+    RoundCapExceeded {
+        /// The configured cap.
+        cap: u64,
+    },
+    /// A point-to-point send was attempted in the broadcast-only variant
+    /// of the model.
+    UnicastInBroadcastModel {
+        /// The offending node.
+        node: usize,
+    },
+}
+
+impl fmt::Display for NetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetError::MessageTooLarge { src, dst, words, budget } => write!(
+                f,
+                "message of {words} words from {src} to {dst} exceeds the {budget}-word link budget"
+            ),
+            NetError::LinkBusy { src, dst, used, requested, budget } => write!(
+                f,
+                "link {src}->{dst} budget exhausted: {used} used + {requested} requested > {budget}"
+            ),
+            NetError::BadDestination { src, dst, n } => {
+                write!(f, "node {src} addressed {dst} outside the {n}-clique")
+            }
+            NetError::SelfMessage { node } => {
+                write!(f, "node {node} tried to send a message to itself")
+            }
+            NetError::PendingMessages { pending } => {
+                write!(f, "cannot fast-forward with {pending} undelivered messages")
+            }
+            NetError::RoundCapExceeded { cap } => {
+                write!(f, "round watchdog fired: more than {cap} rounds executed")
+            }
+            NetError::UnicastInBroadcastModel { node } => {
+                write!(
+                    f,
+                    "node {node} attempted a point-to-point send in the broadcast-only model"
+                )
+            }
+        }
+    }
+}
+
+impl Error for NetError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_are_informative() {
+        let cases: Vec<NetError> = vec![
+            NetError::MessageTooLarge { src: 1, dst: 2, words: 9, budget: 8 },
+            NetError::LinkBusy { src: 1, dst: 2, used: 8, requested: 1, budget: 8 },
+            NetError::BadDestination { src: 0, dst: 99, n: 8 },
+            NetError::SelfMessage { node: 3 },
+            NetError::PendingMessages { pending: 4 },
+            NetError::RoundCapExceeded { cap: 100 },
+            NetError::UnicastInBroadcastModel { node: 2 },
+        ];
+        for e in cases {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn is_std_error() {
+        fn takes_err<E: Error>(_: E) {}
+        takes_err(NetError::SelfMessage { node: 0 });
+    }
+}

@@ -1,0 +1,38 @@
+//! The Congested Clique network simulator.
+//!
+//! This crate enforces the model of Section 1.2 of Hegeman et al. (PODC
+//! 2015): `n` machines on a complete network, synchronous rounds, a
+//! (possibly different) message of `O(log n)` bits per link per round, and
+//! the KT0 / KT1 initial-knowledge variants. It meters the two complexity
+//! measures the paper studies — rounds and messages — plus words and bits
+//! for bandwidth ablations.
+//!
+//! * [`NetConfig`] — size, bandwidth (in `⌈log₂ n⌉`-bit words), knowledge
+//!   variant, seed.
+//! * [`CliqueNet`] — the synchronous stepper with per-link budget
+//!   enforcement ([`CliqueNet::step`]) and silent-round fast-forwarding.
+//! * [`Counters`] / [`Cost`] — metering with named scopes so experiments
+//!   can attribute cost to algorithm phases.
+//! * [`Wire`] — message-size declaration every payload type provides.
+//! * [`PortMap`] — the hidden port permutation of the KT0 variant.
+//!
+//! See [`net`] for the execution model and a worked example.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod counters;
+pub mod error;
+pub mod net;
+pub mod ports;
+pub mod program;
+pub mod wire;
+
+pub use config::{Knowledge, NetConfig, DEFAULT_LINK_WORDS};
+pub use counters::{Cost, Counters};
+pub use error::NetError;
+pub use net::{CliqueNet, Envelope, Outbox};
+pub use ports::PortMap;
+pub use program::{run_program, NodeProgram};
+pub use wire::Wire;

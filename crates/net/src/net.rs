@@ -1,0 +1,652 @@
+//! The synchronous Congested Clique simulator.
+//!
+//! A [`CliqueNet`] advances in synchronous rounds. In each round every node,
+//! in ID order, receives the messages addressed to it in the previous round
+//! and may send one bounded message along each of its `n − 1` links. The
+//! per-link budget ([`NetConfig::link_words`]) is enforced at send time, so
+//! an algorithm that needs to move something larger must fragment it across
+//! rounds or spread it across receivers (that is what the routing
+//! collectives in `cc-route` are for).
+//!
+//! Node programs are written as closures over per-node state:
+//!
+//! ```
+//! use cc_net::{CliqueNet, NetConfig};
+//!
+//! let mut net: CliqueNet<u64> = CliqueNet::new(NetConfig::kt1(4));
+//! let mut state = vec![0u64; 4];
+//! // Round 1: everyone sends its ID to node 0.
+//! net.step(|node, _inbox, out| {
+//!     if node != 0 {
+//!         out.send(0, node as u64).unwrap();
+//!     }
+//! }).unwrap();
+//! // Round 2: node 0 sums what it received.
+//! net.step(|node, inbox, _out| {
+//!     if node == 0 {
+//!         state[0] = inbox.iter().map(|e| e.msg).sum();
+//!     }
+//! }).unwrap();
+//! assert_eq!(state[0], 1 + 2 + 3);
+//! assert_eq!(net.cost().rounds, 2);
+//! assert_eq!(net.cost().messages, 3);
+//! ```
+//!
+//! The closure receives only the node's ID and inbox; per-node state lives
+//! in vectors owned by the algorithm and indexed by the node ID. The API
+//! shape makes non-local reads glaring in review, which is the discipline
+//! this simulator relies on (it does not memory-protect states).
+
+use crate::config::{Knowledge, NetConfig};
+use crate::counters::{Cost, Counters};
+use crate::error::NetError;
+use crate::ports::PortMap;
+use crate::wire::Wire;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// A delivered message.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Envelope<M> {
+    /// Sender.
+    pub src: usize,
+    /// Receiver.
+    pub dst: usize,
+    /// Payload.
+    pub msg: M,
+}
+
+/// Per-node send handle for one round.
+///
+/// Obtained inside [`CliqueNet::step`]; enforces destination validity and
+/// the per-link word budget.
+pub struct Outbox<'a, M> {
+    node: usize,
+    n: usize,
+    broadcast_only: bool,
+    link_words: u64,
+    used: &'a mut [u64],
+    touched: &'a mut Vec<usize>,
+    staged: Vec<Envelope<M>>,
+    error: Option<NetError>,
+}
+
+impl<M: Wire> Outbox<'_, M> {
+    /// Sends `msg` to `dst` this round.
+    ///
+    /// # Errors
+    ///
+    /// * [`NetError::BadDestination`] / [`NetError::SelfMessage`] for
+    ///   invalid targets.
+    /// * [`NetError::MessageTooLarge`] if the message alone exceeds the
+    ///   link budget.
+    /// * [`NetError::LinkBusy`] if this round's budget toward `dst` is
+    ///   exhausted.
+    ///
+    /// Any error is also latched and re-raised by the enclosing
+    /// [`CliqueNet::step`], so callers may ignore the returned `Result`
+    /// without masking violations.
+    pub fn send(&mut self, dst: usize, msg: M) -> Result<(), NetError> {
+        let r = self.try_send(dst, msg);
+        if let Err(ref e) = r {
+            if self.error.is_none() {
+                self.error = Some(e.clone());
+            }
+        }
+        r
+    }
+
+    fn try_send(&mut self, dst: usize, msg: M) -> Result<(), NetError> {
+        if self.broadcast_only {
+            return Err(NetError::UnicastInBroadcastModel { node: self.node });
+        }
+        if dst >= self.n {
+            return Err(NetError::BadDestination {
+                src: self.node,
+                dst,
+                n: self.n,
+            });
+        }
+        if dst == self.node {
+            return Err(NetError::SelfMessage { node: self.node });
+        }
+        let words = msg.words().max(1);
+        if words > self.link_words {
+            return Err(NetError::MessageTooLarge {
+                src: self.node,
+                dst,
+                words,
+                budget: self.link_words,
+            });
+        }
+        if self.used[dst] + words > self.link_words {
+            return Err(NetError::LinkBusy {
+                src: self.node,
+                dst,
+                used: self.used[dst],
+                requested: words,
+                budget: self.link_words,
+            });
+        }
+        if self.used[dst] == 0 {
+            self.touched.push(dst);
+        }
+        self.used[dst] += words;
+        self.staged.push(Envelope {
+            src: self.node,
+            dst,
+            msg,
+        });
+        Ok(())
+    }
+
+    /// Remaining word budget toward `dst` this round.
+    pub fn budget_left(&self, dst: usize) -> u64 {
+        self.link_words.saturating_sub(self.used[dst])
+    }
+}
+
+impl<M: Wire + Clone> Outbox<'_, M> {
+    /// Sends the same message along every link — the only send the
+    /// broadcast variant of the model permits (footnote 1 of the paper);
+    /// also valid (and counted as `n − 1` messages) in the unicast model.
+    ///
+    /// # Errors
+    ///
+    /// [`NetError::MessageTooLarge`] / [`NetError::LinkBusy`] as for
+    /// point-to-point sends.
+    pub fn broadcast(&mut self, msg: M) -> Result<(), NetError> {
+        let was_broadcast_only = self.broadcast_only;
+        self.broadcast_only = false;
+        let mut result = Ok(());
+        for dst in 0..self.n {
+            if dst != self.node {
+                if let Err(e) = self.send(dst, msg.clone()) {
+                    result = Err(e);
+                    break;
+                }
+            }
+        }
+        self.broadcast_only = was_broadcast_only;
+        result
+    }
+}
+
+/// The simulator. See the [module docs](self) for the execution model.
+pub struct CliqueNet<M> {
+    cfg: NetConfig,
+    word_bits: u64,
+    counters: Counters,
+    inboxes: Vec<Vec<Envelope<M>>>,
+    rngs: Vec<ChaCha8Rng>,
+    ports: Option<PortMap>,
+    transcript: Vec<(u64, u32, u32)>,
+}
+
+impl<M: Wire> CliqueNet<M> {
+    /// A fresh network.
+    pub fn new(cfg: NetConfig) -> Self {
+        let n = cfg.n;
+        let word_bits = cfg.word_bits();
+        let rngs = (0..n)
+            .map(|u| ChaCha8Rng::seed_from_u64(cfg.seed.wrapping_mul(0x2545F4914F6CDD1D).wrapping_add(u as u64)))
+            .collect();
+        let ports = match cfg.knowledge {
+            Knowledge::Kt0 => Some(PortMap::new(n, cfg.seed)),
+            Knowledge::Kt1 => None,
+        };
+        CliqueNet {
+            cfg,
+            word_bits,
+            counters: Counters::new(),
+            inboxes: (0..n).map(|_| Vec::new()).collect(),
+            rngs,
+            ports,
+            transcript: Vec::new(),
+        }
+    }
+
+    /// The recorded `(round, src, dst)` transcript (empty unless
+    /// [`NetConfig::record_transcript`] is set).
+    pub fn transcript(&self) -> &[(u64, u32, u32)] {
+        &self.transcript
+    }
+
+    /// Clique size.
+    pub fn n(&self) -> usize {
+        self.cfg.n
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &NetConfig {
+        &self.cfg
+    }
+
+    /// Accumulated cost so far.
+    pub fn cost(&self) -> Cost {
+        self.counters.total()
+    }
+
+    /// The cost counters (for scope queries).
+    pub fn counters(&self) -> &Counters {
+        &self.counters
+    }
+
+    /// Opens a named cost scope (see [`Counters::begin_scope`]).
+    pub fn begin_scope(&mut self, name: impl Into<String>) {
+        self.counters.begin_scope(name);
+    }
+
+    /// Closes the innermost cost scope and returns its delta.
+    pub fn end_scope(&mut self) -> Cost {
+        self.counters.end_scope()
+    }
+
+    /// Per-node private randomness stream (deterministic per config seed).
+    pub fn node_rng(&mut self, node: usize) -> &mut ChaCha8Rng {
+        &mut self.rngs[node]
+    }
+
+    /// Hidden port map (present only under KT0).
+    pub fn ports(&self) -> Option<&PortMap> {
+        self.ports.as_ref()
+    }
+
+    /// Whether messages are in flight (sent last round, not yet delivered).
+    pub fn has_pending(&self) -> bool {
+        self.inboxes.iter().any(|q| !q.is_empty())
+    }
+
+    /// Number of messages in flight.
+    pub fn pending_count(&self) -> usize {
+        self.inboxes.iter().map(Vec::len).sum()
+    }
+
+    /// Executes one synchronous round: delivers last round's messages and
+    /// collects this round's sends.
+    ///
+    /// The closure is invoked once per node in ID order with the node's
+    /// inbox (sorted by sender for determinism) and an [`Outbox`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first send violation ([`NetError`]) of any node; the
+    /// round is then aborted (counters keep the rounds/messages recorded up
+    /// to the failure, which only matters for diagnostics).
+    pub fn step<F>(&mut self, mut f: F) -> Result<(), NetError>
+    where
+        F: FnMut(usize, &[Envelope<M>], &mut Outbox<'_, M>),
+    {
+        if let Some(cap) = self.cfg.round_cap {
+            if self.counters.total().rounds >= cap {
+                return Err(NetError::RoundCapExceeded { cap });
+            }
+        }
+        let n = self.cfg.n;
+        let delivered = std::mem::replace(&mut self.inboxes, (0..n).map(|_| Vec::new()).collect());
+        let mut next: Vec<Vec<Envelope<M>>> = (0..n).map(|_| Vec::new()).collect();
+        let mut used = vec![0u64; n];
+        let mut touched: Vec<usize> = Vec::new();
+        for node in 0..n {
+            let mut outbox = Outbox {
+                node,
+                n,
+                broadcast_only: self.cfg.broadcast_only,
+                link_words: self.cfg.link_words,
+                used: &mut used,
+                touched: &mut touched,
+                staged: Vec::new(),
+                error: None,
+            };
+            f(node, &delivered[node], &mut outbox);
+            if let Some(e) = outbox.error {
+                return Err(e);
+            }
+            let staged = outbox.staged;
+            for t in touched.drain(..) {
+                used[t] = 0;
+            }
+            for env in staged {
+                self.counters.add_message(env.msg.words().max(1), self.word_bits);
+                if self.cfg.record_transcript {
+                    self.transcript
+                        .push((self.counters.total().rounds, env.src as u32, env.dst as u32));
+                }
+                next[env.dst].push(env);
+            }
+        }
+        for q in &mut next {
+            q.sort_by_key(|e| e.src);
+        }
+        self.inboxes = next;
+        self.counters.add_round();
+        Ok(())
+    }
+
+    /// Advances the round counter by `rounds` without executing anything —
+    /// legitimate only for provably silent stretches (used by the KT1
+    /// time-encoding protocol of Section 4, whose round count is
+    /// super-polynomial but whose silent rounds carry no information
+    /// beyond the count itself).
+    ///
+    /// # Errors
+    ///
+    /// [`NetError::PendingMessages`] if messages are in flight.
+    pub fn fast_forward(&mut self, rounds: u64) -> Result<(), NetError> {
+        if self.has_pending() {
+            return Err(NetError::PendingMessages {
+                pending: self.pending_count(),
+            });
+        }
+        self.counters.add_rounds(rounds);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn net(n: usize) -> CliqueNet<u64> {
+        CliqueNet::new(NetConfig::kt1(n).with_seed(1))
+    }
+
+    #[test]
+    fn messages_arrive_next_round_sorted_by_sender() {
+        let mut nt = net(4);
+        nt.step(|node, _, out| {
+            if node != 2 {
+                out.send(2, 100 + node as u64).unwrap();
+            }
+        })
+        .unwrap();
+        let mut got = Vec::new();
+        nt.step(|node, inbox, _| {
+            if node == 2 {
+                got = inbox.iter().map(|e| (e.src, e.msg)).collect();
+            } else {
+                assert!(inbox.is_empty());
+            }
+        })
+        .unwrap();
+        assert_eq!(got, vec![(0, 100), (1, 101), (3, 103)]);
+    }
+
+    #[test]
+    fn counts_rounds_messages_words_bits() {
+        let mut nt: CliqueNet<(u64, u64)> = CliqueNet::new(NetConfig::kt1(8).with_seed(0));
+        nt.step(|node, _, out| {
+            if node == 0 {
+                out.send(1, (1, 2)).unwrap();
+                out.send(2, (3, 4)).unwrap();
+            }
+        })
+        .unwrap();
+        let c = nt.cost();
+        assert_eq!(c.rounds, 1);
+        assert_eq!(c.messages, 2);
+        assert_eq!(c.words, 4);
+        assert_eq!(c.bits, 4 * 3, "word is ⌈log2 8⌉ = 3 bits");
+    }
+
+    #[test]
+    fn budget_is_per_link_per_round() {
+        let mut nt: CliqueNet<u64> = CliqueNet::new(NetConfig::kt1(3).with_link_words(2));
+        // Two words to the same destination: fine.
+        nt.step(|node, _, out| {
+            if node == 0 {
+                out.send(1, 7).unwrap();
+                out.send(1, 8).unwrap();
+            }
+        })
+        .unwrap();
+        // Three words to the same destination: LinkBusy.
+        let err = nt
+            .step(|node, _, out| {
+                if node == 0 {
+                    let _ = out.send(1, 1);
+                    let _ = out.send(1, 2);
+                    let _ = out.send(1, 3);
+                }
+            })
+            .unwrap_err();
+        assert!(matches!(err, NetError::LinkBusy { src: 0, dst: 1, .. }));
+    }
+
+    #[test]
+    fn budget_resets_between_nodes_and_rounds() {
+        let mut nt: CliqueNet<u64> = CliqueNet::new(NetConfig::kt1(3).with_link_words(1));
+        // Both 0 and 1 send one word to 2 in the same round: distinct links.
+        nt.step(|node, _, out| {
+            if node != 2 {
+                out.send(2, node as u64).unwrap();
+            }
+        })
+        .unwrap();
+        // Next round the budget is fresh.
+        nt.step(|node, _, out| {
+            if node == 0 {
+                out.send(2, 9).unwrap();
+            }
+        })
+        .unwrap();
+        assert_eq!(nt.cost().messages, 3);
+    }
+
+    #[test]
+    fn oversized_message_rejected() {
+        let mut nt: CliqueNet<Vec<u64>> = CliqueNet::new(NetConfig::kt1(4).with_link_words(4));
+        let err = nt
+            .step(|node, _, out| {
+                if node == 0 {
+                    let _ = out.send(1, vec![0u64; 5]);
+                }
+            })
+            .unwrap_err();
+        assert!(matches!(err, NetError::MessageTooLarge { words: 5, budget: 4, .. }));
+    }
+
+    #[test]
+    fn self_and_bad_destination_rejected() {
+        let mut nt = net(4);
+        let err = nt
+            .step(|node, _, out| {
+                if node == 1 {
+                    let _ = out.send(1, 0);
+                }
+            })
+            .unwrap_err();
+        assert_eq!(err, NetError::SelfMessage { node: 1 });
+        let mut nt = net(4);
+        let err = nt
+            .step(|node, _, out| {
+                if node == 1 {
+                    let _ = out.send(7, 0);
+                }
+            })
+            .unwrap_err();
+        assert!(matches!(err, NetError::BadDestination { dst: 7, .. }));
+    }
+
+    #[test]
+    fn budget_left_reports() {
+        let mut nt: CliqueNet<u64> = CliqueNet::new(NetConfig::kt1(3).with_link_words(5));
+        nt.step(|node, _, out| {
+            if node == 0 {
+                assert_eq!(out.budget_left(1), 5);
+                out.send(1, 1).unwrap();
+                assert_eq!(out.budget_left(1), 4);
+                assert_eq!(out.budget_left(2), 5);
+            }
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn all_to_all_in_one_round() {
+        let n = 16;
+        let mut nt = net(n);
+        nt.step(|node, _, out| {
+            for dst in 0..n {
+                if dst != node {
+                    out.send(dst, node as u64).unwrap();
+                }
+            }
+        })
+        .unwrap();
+        let mut received = vec![0usize; n];
+        nt.step(|node, inbox, _| {
+            received[node] = inbox.len();
+        })
+        .unwrap();
+        assert!(received.iter().all(|&r| r == n - 1));
+        assert_eq!(nt.cost().messages, (n * (n - 1)) as u64);
+    }
+
+    #[test]
+    fn fast_forward_requires_quiet_network() {
+        let mut nt = net(3);
+        nt.step(|node, _, out| {
+            if node == 0 {
+                out.send(1, 1).unwrap();
+            }
+        })
+        .unwrap();
+        let err = nt.fast_forward(10).unwrap_err();
+        assert_eq!(err, NetError::PendingMessages { pending: 1 });
+        // Drain, then fast-forward works.
+        nt.step(|_, _, _| {}).unwrap();
+        nt.fast_forward(1_000_000).unwrap();
+        assert_eq!(nt.cost().rounds, 1_000_002);
+    }
+
+    #[test]
+    fn node_rngs_are_deterministic_and_distinct() {
+        use rand::Rng;
+        let mut a = net(4);
+        let mut b = net(4);
+        let x: u64 = a.node_rng(2).gen();
+        let y: u64 = b.node_rng(2).gen();
+        assert_eq!(x, y, "same seed, same node → same stream");
+        let z: u64 = a.node_rng(3).gen();
+        assert_ne!(x, z, "different nodes get different streams");
+    }
+
+    #[test]
+    fn kt0_has_ports_kt1_does_not() {
+        let kt0: CliqueNet<u64> = CliqueNet::new(NetConfig::kt0(5));
+        assert!(kt0.ports().is_some());
+        let kt1: CliqueNet<u64> = CliqueNet::new(NetConfig::kt1(5));
+        assert!(kt1.ports().is_none());
+    }
+
+    #[test]
+    fn scopes_attribute_cost() {
+        let mut nt = net(4);
+        nt.begin_scope("warmup");
+        nt.step(|_, _, _| {}).unwrap();
+        nt.end_scope();
+        nt.begin_scope("work");
+        nt.step(|node, _, out| {
+            if node == 0 {
+                out.send(1, 5).unwrap();
+            }
+        })
+        .unwrap();
+        nt.end_scope();
+        assert_eq!(nt.counters().scope("warmup").unwrap().messages, 0);
+        assert_eq!(nt.counters().scope("work").unwrap().messages, 1);
+    }
+
+    #[test]
+    fn error_is_latched_even_if_result_ignored() {
+        let mut nt = net(3);
+        let err = nt.step(|node, _, out| {
+            if node == 0 {
+                let _ = out.send(0, 1); // ignored Result
+            }
+        });
+        assert!(err.is_err());
+    }
+}
+
+#[cfg(test)]
+mod watchdog_tests {
+    use super::*;
+
+    #[test]
+    fn round_cap_fires() {
+        let mut nt: CliqueNet<u64> = CliqueNet::new(NetConfig::kt1(3).with_round_cap(2));
+        nt.step(|_, _, _| {}).unwrap();
+        nt.step(|_, _, _| {}).unwrap();
+        let err = nt.step(|_, _, _| {}).unwrap_err();
+        assert_eq!(err, NetError::RoundCapExceeded { cap: 2 });
+    }
+
+    #[test]
+    fn no_cap_by_default() {
+        let mut nt: CliqueNet<u64> = CliqueNet::new(NetConfig::kt1(3));
+        for _ in 0..100 {
+            nt.step(|_, _, _| {}).unwrap();
+        }
+        assert_eq!(nt.cost().rounds, 100);
+    }
+
+    #[test]
+    fn fast_forward_is_not_capped() {
+        // The cap guards live computation; analytic jumps (time-encoding)
+        // are exempt by design.
+        let mut nt: CliqueNet<u64> = CliqueNet::new(NetConfig::kt1(3).with_round_cap(5));
+        nt.fast_forward(1_000_000).unwrap();
+        assert_eq!(nt.cost().rounds, 1_000_000);
+    }
+}
+
+#[cfg(test)]
+mod broadcast_model_tests {
+    use super::*;
+
+    #[test]
+    fn unicast_rejected_in_broadcast_model() {
+        let mut nt: CliqueNet<u64> = CliqueNet::new(NetConfig::kt1(4).broadcast_only());
+        let err = nt
+            .step(|node, _, out| {
+                if node == 0 {
+                    let _ = out.send(1, 7);
+                }
+            })
+            .unwrap_err();
+        assert_eq!(err, NetError::UnicastInBroadcastModel { node: 0 });
+    }
+
+    #[test]
+    fn broadcast_allowed_and_counted() {
+        let mut nt: CliqueNet<u64> = CliqueNet::new(NetConfig::kt1(5).broadcast_only());
+        nt.step(|node, _, out| {
+            if node == 2 {
+                out.broadcast(9).unwrap();
+            }
+        })
+        .unwrap();
+        let mut got = 0;
+        nt.step(|_, inbox, _| {
+            got += inbox.len();
+        })
+        .unwrap();
+        assert_eq!(got, 4);
+        assert_eq!(nt.cost().messages, 4);
+    }
+
+    #[test]
+    fn broadcast_works_in_unicast_model_too() {
+        let mut nt: CliqueNet<u64> = CliqueNet::new(NetConfig::kt1(3));
+        nt.step(|node, _, out| {
+            if node == 0 {
+                out.broadcast(1).unwrap();
+                out.send(1, 2).unwrap(); // mixing is fine in unicast mode
+            }
+        })
+        .unwrap();
+        assert_eq!(nt.cost().messages, 3);
+    }
+}

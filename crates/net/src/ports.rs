@@ -1,0 +1,121 @@
+//! Anonymous ports for the KT0 variant.
+//!
+//! In KT0 (Section 1.2) a node can send and receive along its `n − 1`
+//! links "without being aware of the identity of nodes at the other end".
+//! The simulator realizes this with a hidden, seeded permutation per node:
+//! node `u`'s port `p ∈ 0..n−1` connects to [`PortMap::neighbor_at`]`(u, p)`.
+//! KT0 algorithms address by port; the Section 3 lower-bound argument is
+//! precisely about what this hides (a node cannot distinguish which vertex
+//! sits behind an untouched port).
+
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// The hidden port → neighbor assignment of a KT0 clique.
+#[derive(Clone, Debug)]
+pub struct PortMap {
+    /// `neighbor[u][p]` = node behind port `p` of node `u`.
+    neighbor: Vec<Vec<u32>>,
+    /// `port[u][v]` = port of `u` leading to `v` (self entry unused).
+    port: Vec<Vec<u32>>,
+}
+
+impl PortMap {
+    /// Draws the port permutations from `seed`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n < 2`.
+    pub fn new(n: usize, seed: u64) -> Self {
+        assert!(n >= 2, "a clique needs at least 2 machines");
+        let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 0x9E3779B97F4A7C15);
+        let mut neighbor = Vec::with_capacity(n);
+        let mut port = vec![vec![u32::MAX; n]; n];
+        for u in 0..n {
+            let mut others: Vec<u32> = (0..n as u32).filter(|&v| v as usize != u).collect();
+            others.shuffle(&mut rng);
+            for (p, &v) in others.iter().enumerate() {
+                port[u][v as usize] = p as u32;
+            }
+            neighbor.push(others);
+        }
+        PortMap { neighbor, port }
+    }
+
+    /// Clique size.
+    pub fn n(&self) -> usize {
+        self.neighbor.len()
+    }
+
+    /// Node behind port `p` of node `u`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p ≥ n − 1` or `u ≥ n`.
+    pub fn neighbor_at(&self, u: usize, p: usize) -> usize {
+        self.neighbor[u][p] as usize
+    }
+
+    /// Port of `u` that leads to `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u == v` or either is out of range.
+    pub fn port_of(&self, u: usize, v: usize) -> usize {
+        assert_ne!(u, v, "no self-port");
+        self.port[u][v] as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ports_are_permutations() {
+        let pm = PortMap::new(9, 4);
+        for u in 0..9 {
+            let mut seen: Vec<usize> = (0..8).map(|p| pm.neighbor_at(u, p)).collect();
+            seen.sort_unstable();
+            let expect: Vec<usize> = (0..9).filter(|&v| v != u).collect();
+            assert_eq!(seen, expect);
+        }
+    }
+
+    #[test]
+    fn port_of_inverts_neighbor_at() {
+        let pm = PortMap::new(12, 5);
+        for u in 0..12 {
+            for p in 0..11 {
+                let v = pm.neighbor_at(u, p);
+                assert_eq!(pm.port_of(u, v), p);
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = PortMap::new(7, 1);
+        let b = PortMap::new(7, 1);
+        for u in 0..7 {
+            for p in 0..6 {
+                assert_eq!(a.neighbor_at(u, p), b.neighbor_at(u, p));
+            }
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ_somewhere() {
+        let a = PortMap::new(16, 1);
+        let b = PortMap::new(16, 2);
+        let same = (0..16).all(|u| (0..15).all(|p| a.neighbor_at(u, p) == b.neighbor_at(u, p)));
+        assert!(!same);
+    }
+
+    #[test]
+    #[should_panic(expected = "no self-port")]
+    fn self_port_rejected() {
+        PortMap::new(4, 0).port_of(2, 2);
+    }
+}

@@ -1,0 +1,271 @@
+//! Typed node programs: an alternative, stricter way to drive the
+//! simulator.
+//!
+//! The closure API of [`CliqueNet::step`] keeps per-node state in vectors
+//! the driver owns; nothing but discipline stops a closure from peeking at
+//! another node's entry. A [`NodeProgram`] makes the isolation structural:
+//! each node owns a value of the program type, and the [`run_program`]
+//! driver hands every callback exactly one node's state — reading a
+//! neighbor's state is not expressible.
+//!
+//! The paper's big algorithms in `cc-core` use the closure API (they are
+//! driver-orchestrated by nature: coordinator steps, collectives, phase
+//! barriers). The program API is the right shape for *reactive* protocols —
+//! flooding, echo, token passing — and for tests that want the type system
+//! to enforce locality. [`examples::FloodEcho`] is the reference user: a
+//! spanning-tree flood/echo from a root, a classic whose message pattern
+//! (one message per edge per direction, `O(diameter)` rounds) is easy to
+//! assert.
+
+use crate::net::{CliqueNet, Envelope, Outbox};
+use crate::wire::Wire;
+use crate::NetError;
+
+/// A per-node protocol state machine.
+pub trait NodeProgram {
+    /// Message type exchanged by the protocol.
+    type Msg: Wire;
+
+    /// Called once in round 0, before any delivery, to send initial
+    /// messages.
+    fn start(&mut self, me: usize, n: usize, out: &mut Outbox<'_, Self::Msg>);
+
+    /// Called every subsequent round with the node's inbox. Return `true`
+    /// when this node has terminated (the driver stops when every node has
+    /// terminated and no messages are in flight).
+    fn round(&mut self, me: usize, inbox: &[Envelope<Self::Msg>], out: &mut Outbox<'_, Self::Msg>)
+        -> bool;
+}
+
+/// Runs one program instance per node until every node reports done and
+/// the network is quiet, or `max_rounds` elapses.
+///
+/// Returns the final program states (so callers can extract outputs).
+///
+/// # Errors
+///
+/// Propagates simulator errors; returns [`NetError::RoundCapExceeded`]
+/// if the protocol does not terminate within `max_rounds`.
+pub fn run_program<P: NodeProgram>(
+    net: &mut CliqueNet<P::Msg>,
+    mut programs: Vec<P>,
+    max_rounds: u64,
+) -> Result<Vec<P>, NetError> {
+    let n = net.n();
+    assert_eq!(programs.len(), n, "one program per node");
+    let mut done = vec![false; n];
+    net.step(|node, _inbox, out| {
+        programs[node].start(node, n, out);
+    })?;
+    let mut rounds = 1u64;
+    loop {
+        let all_done = done.iter().all(|&d| d);
+        if all_done && !net.has_pending() {
+            return Ok(programs);
+        }
+        if rounds >= max_rounds {
+            return Err(NetError::RoundCapExceeded { cap: max_rounds });
+        }
+        net.step(|node, inbox, out| {
+            if programs[node].round(node, inbox, out) {
+                done[node] = true;
+            }
+        })?;
+        rounds += 1;
+    }
+}
+
+/// Reference programs.
+pub mod examples {
+    use super::*;
+
+    /// Flood/echo spanning tree from a root over a *subgraph* of the
+    /// clique (the input graph): the root floods, nodes adopt the first
+    /// sender as parent and forward, leaves echo back, and the echo
+    /// converges on the root, which then knows the size of its component.
+    #[derive(Clone, Debug)]
+    pub struct FloodEcho {
+        /// Neighbors in the input graph.
+        pub neighbors: Vec<usize>,
+        /// Whether this node is the root.
+        pub root: bool,
+        /// Parent in the flood tree (set on first receipt).
+        pub parent: Option<usize>,
+        /// Children yet to echo.
+        awaiting: Vec<usize>,
+        /// Subtree size accumulated from echoes (incl. self).
+        pub subtree: u64,
+        started: bool,
+        terminated: bool,
+        echoed: bool,
+    }
+
+    /// Message words: `FLOOD` or `ECHO(count)`.
+    const FLOOD: u64 = 0;
+    const ECHO: u64 = 1;
+
+    impl FloodEcho {
+        /// A node with the given input-graph neighbors.
+        pub fn new(neighbors: Vec<usize>, root: bool) -> Self {
+            FloodEcho {
+                neighbors,
+                root,
+                parent: None,
+                awaiting: Vec::new(),
+                subtree: 1,
+                started: false,
+                terminated: false,
+                echoed: false,
+            }
+        }
+
+        fn begin_flood(&mut self, me: usize, out: &mut Outbox<'_, Vec<u64>>) {
+            self.started = true;
+            self.awaiting = self.neighbors.iter().copied().filter(|&v| Some(v) != self.parent).collect();
+            for &v in &self.awaiting.clone() {
+                let _ = out.send(v, vec![FLOOD]);
+            }
+            let _ = me;
+            if self.awaiting.is_empty() {
+                self.echo_ready();
+            }
+        }
+
+        fn echo_ready(&mut self) {
+            self.terminated = true;
+        }
+
+        /// Whether this node ended up in the root's flood tree.
+        pub fn reached(&self) -> bool {
+            self.root || self.parent.is_some()
+        }
+    }
+
+    impl NodeProgram for FloodEcho {
+        type Msg = Vec<u64>;
+
+        fn start(&mut self, me: usize, _n: usize, out: &mut Outbox<'_, Vec<u64>>) {
+            if self.root {
+                self.begin_flood(me, out);
+            }
+        }
+
+        fn round(
+            &mut self,
+            me: usize,
+            inbox: &[Envelope<Vec<u64>>],
+            out: &mut Outbox<'_, Vec<u64>>,
+        ) -> bool {
+            for env in inbox {
+                match env.msg[0] {
+                    FLOOD => {
+                        if self.root || self.parent.is_some() {
+                            // Already in the tree: immediately echo 0 so the
+                            // sender does not wait for us.
+                            let _ = out.send(env.src, vec![ECHO, 0]);
+                        } else {
+                            self.parent = Some(env.src);
+                            self.begin_flood(me, out);
+                        }
+                    }
+                    ECHO => {
+                        self.awaiting.retain(|&v| v != env.src);
+                        self.subtree += env.msg[1];
+                        if self.started && self.awaiting.is_empty() && !self.terminated {
+                            self.echo_ready();
+                        }
+                    }
+                    _ => unreachable!("unknown message tag"),
+                }
+            }
+            if self.terminated {
+                if let Some(p) = self.parent {
+                    if !self.echoed {
+                        // Send the echo exactly once.
+                        self.echoed = true;
+                        let _ = out.send(p, vec![ECHO, self.subtree]);
+                    }
+                }
+                return true;
+            }
+            // Nodes never reached terminate trivially once the flood has
+            // settled; they report done when they have nothing pending.
+            !self.started && self.parent.is_none() && !self.root
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::examples::FloodEcho;
+    use super::*;
+    use crate::NetConfig;
+
+    fn programs_for(g: &[Vec<usize>], root: usize) -> Vec<FloodEcho> {
+        g.iter()
+            .enumerate()
+            .map(|(v, nb)| FloodEcho::new(nb.clone(), v == root))
+            .collect()
+    }
+
+    fn adjacency(n: usize, edges: &[(usize, usize)]) -> Vec<Vec<usize>> {
+        let mut adj = vec![Vec::new(); n];
+        for &(a, b) in edges {
+            adj[a].push(b);
+            adj[b].push(a);
+        }
+        adj
+    }
+
+    #[test]
+    fn flood_echo_counts_component_size() {
+        // Path 0-1-2-3 plus isolated node 4.
+        let adj = adjacency(5, &[(0, 1), (1, 2), (2, 3)]);
+        let mut net: CliqueNet<Vec<u64>> = CliqueNet::new(NetConfig::kt1(5));
+        let programs = run_program(&mut net, programs_for(&adj, 0), 100).unwrap();
+        assert_eq!(programs[0].subtree, 4, "root counts its component");
+        assert!(programs[1].reached() && programs[3].reached());
+        assert!(!programs[4].reached(), "isolated node untouched");
+    }
+
+    #[test]
+    fn flood_echo_on_a_cycle_uses_one_message_per_direction_per_edge() {
+        let n = 8;
+        let edges: Vec<(usize, usize)> = (0..n).map(|v| (v, (v + 1) % n)).collect();
+        let adj = adjacency(n, &edges);
+        let mut net: CliqueNet<Vec<u64>> = CliqueNet::new(NetConfig::kt1(n));
+        let programs = run_program(&mut net, programs_for(&adj, 3), 100).unwrap();
+        assert_eq!(programs[3].subtree, n as u64);
+        // Flood + echo: at most 2 messages per edge direction.
+        assert!(net.cost().messages <= 4 * edges.len() as u64);
+        // Rounds ~ diameter, far below n rounds for a ring of 8.
+        assert!(net.cost().rounds <= 3 + n as u64);
+    }
+
+    #[test]
+    fn nontermination_is_caught_by_the_cap() {
+        #[derive(Debug)]
+        struct Chatter;
+        impl NodeProgram for Chatter {
+            type Msg = Vec<u64>;
+            fn start(&mut self, me: usize, n: usize, out: &mut Outbox<'_, Vec<u64>>) {
+                let _ = out.send((me + 1) % n, vec![0]);
+            }
+            fn round(&mut self, me: usize, _inbox: &[Envelope<Vec<u64>>], out: &mut Outbox<'_, Vec<u64>>) -> bool {
+                let _ = out.send((me + 1) % 4, vec![0]);
+                false // never done
+            }
+        }
+        let mut net: CliqueNet<Vec<u64>> = CliqueNet::new(NetConfig::kt1(4));
+        let err = run_program(&mut net, vec![Chatter, Chatter, Chatter, Chatter], 20).unwrap_err();
+        assert_eq!(err, NetError::RoundCapExceeded { cap: 20 });
+    }
+
+    #[test]
+    fn two_node_edge() {
+        let adj = adjacency(2, &[(0, 1)]);
+        let mut net: CliqueNet<Vec<u64>> = CliqueNet::new(NetConfig::kt1(2));
+        let programs = run_program(&mut net, programs_for(&adj, 1), 50).unwrap();
+        assert_eq!(programs[1].subtree, 2);
+    }
+}

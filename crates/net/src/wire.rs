@@ -1,0 +1,88 @@
+//! Message-size accounting.
+//!
+//! Every message type an algorithm sends through the simulator must say how
+//! many `⌈log₂ n⌉`-bit words it occupies. The simulator charges this size
+//! against the per-link budget and the global word/bit counters; algorithms
+//! therefore cannot "cheat" by stuffing large payloads into one message.
+
+/// Types that can cross a clique link.
+pub trait Wire {
+    /// Size in words (1 word = `⌈log₂ n⌉` bits). Must be ≥ 1: even an empty
+    /// signal occupies one message slot of the model.
+    fn words(&self) -> u64;
+}
+
+impl Wire for u64 {
+    fn words(&self) -> u64 {
+        1
+    }
+}
+
+impl Wire for u32 {
+    fn words(&self) -> u64 {
+        1
+    }
+}
+
+impl Wire for usize {
+    fn words(&self) -> u64 {
+        1
+    }
+}
+
+impl Wire for () {
+    fn words(&self) -> u64 {
+        1
+    }
+}
+
+impl Wire for (u64, u64) {
+    fn words(&self) -> u64 {
+        2
+    }
+}
+
+impl Wire for (u64, u64, u64) {
+    fn words(&self) -> u64 {
+        3
+    }
+}
+
+impl<T: Wire> Wire for Vec<T> {
+    fn words(&self) -> u64 {
+        self.iter().map(Wire::words).sum::<u64>().max(1)
+    }
+}
+
+impl<T: Wire + ?Sized> Wire for &T {
+    fn words(&self) -> u64 {
+        (**self).words()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_sizes() {
+        assert_eq!(5u64.words(), 1);
+        assert_eq!(5u32.words(), 1);
+        assert_eq!(5usize.words(), 1);
+        assert_eq!(().words(), 1);
+        assert_eq!((1u64, 2u64).words(), 2);
+        assert_eq!((1u64, 2u64, 3u64).words(), 3);
+    }
+
+    #[test]
+    fn vec_sums_and_floors_at_one() {
+        assert_eq!(vec![1u64, 2, 3].words(), 3);
+        assert_eq!(Vec::<u64>::new().words(), 1, "empty payload still occupies a slot");
+    }
+
+    #[test]
+    fn reference_delegates() {
+        let v = vec![(1u64, 2u64); 4];
+        assert_eq!(v.words(), 8);
+    }
+}

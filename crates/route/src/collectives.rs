@@ -1,0 +1,373 @@
+//! Basic one-to-all / all-to-all / all-to-one primitives.
+//!
+//! Each returns the "global knowledge" the primitive establishes; callers
+//! distribute that into per-node state. The data genuinely crossed the
+//! network with metered cost — the return value is a convenience, not a
+//! shortcut.
+
+use crate::{Net, Packet};
+use cc_net::NetError;
+
+/// One-round broadcast of a small payload: `src` sends the same
+/// `≤ link_words` words to every other node.
+///
+/// Cost: 1 round, `n − 1` messages.
+///
+/// # Errors
+///
+/// Propagates simulator errors (in particular [`NetError::MessageTooLarge`]
+/// when the payload exceeds one link's budget — use [`broadcast_large`]).
+pub fn broadcast_small(net: &mut Net, src: usize, data: Packet) -> Result<Packet, NetError> {
+    let n = net.n();
+    net.step(|node, _inbox, out| {
+        if node == src {
+            for dst in 0..n {
+                if dst != src {
+                    let _ = out.send(dst, data.clone());
+                }
+            }
+        }
+    })?;
+    // Drain the delivery round into the next step the caller performs; the
+    // data is in flight now. To keep primitives self-contained we absorb
+    // the delivery round here.
+    net.step(|_node, _inbox, _out| {})?;
+    Ok(data)
+}
+
+/// Broadcast of up to `n · link_words` words from `src` to everyone via the
+/// paper's standard trick: distribute distinct chunks to distinct nodes,
+/// then every node rebroadcasts its chunk.
+///
+/// Cost: `O(⌈len / link_words⌉ / n + 1)` distribution rounds (1 for
+/// `len ≤ n · chunk`), then 1 rebroadcast round.
+///
+/// Chunks carry a sequence word in band so receivers can reassemble in
+/// order.
+///
+/// # Errors
+///
+/// Propagates simulator errors.
+pub fn broadcast_large(net: &mut Net, src: usize, data: Packet) -> Result<Packet, NetError> {
+    let n = net.n();
+    let link_words = net.config().link_words;
+    // Payload per chunk: one word reserved for the sequence number.
+    let chunk = (link_words as usize - 1).max(1);
+    let chunks: Vec<Packet> = data
+        .chunks(chunk)
+        .enumerate()
+        .map(|(i, c)| {
+            let mut p = Vec::with_capacity(c.len() + 1);
+            p.push(i as u64);
+            p.extend_from_slice(c);
+            p
+        })
+        .collect();
+    let total = chunks.len();
+
+    // Distribution: chunk i goes to helper node (i mod n); multiple waves
+    // if there are more than n chunks (or more than one per link round).
+    let mut held: Vec<Vec<Packet>> = vec![Vec::new(); n];
+    {
+        let mut wave = 0usize;
+        while wave * n < total {
+            let lo = wave * n;
+            let hi = (lo + n).min(total);
+            let slice = chunks[lo..hi].to_vec();
+            net.step(|node, _inbox, out| {
+                if node == src {
+                    for (j, c) in slice.iter().enumerate() {
+                        let helper = (lo + j) % n;
+                        if helper != src {
+                            let _ = out.send(helper, c.clone());
+                        }
+                    }
+                }
+            })?;
+            // Deliver & stash (src keeps its own chunks without sending).
+            net.step(|node, inbox, _out| {
+                for env in inbox {
+                    held[node].push(env.msg.clone());
+                }
+            })?;
+            for (j, c) in chunks[lo..hi].iter().enumerate() {
+                if (lo + j) % n == src {
+                    held[src].push(c.clone());
+                }
+            }
+            wave += 1;
+        }
+    }
+
+    // Rebroadcast: every helper sends each held chunk to everyone. One
+    // chunk fills a link's budget, so multiple held chunks take multiple
+    // rounds.
+    let max_held = held.iter().map(Vec::len).max().unwrap_or(0);
+    for r in 0..max_held {
+        let snapshot: Vec<Option<Packet>> = held.iter().map(|h| h.get(r).cloned()).collect();
+        net.step(|node, _inbox, out| {
+            if let Some(c) = &snapshot[node] {
+                for dst in 0..n {
+                    if dst != node {
+                        let _ = out.send(dst, c.clone());
+                    }
+                }
+            }
+        })?;
+        net.step(|_node, _inbox, _out| {})?;
+    }
+
+    Ok(data)
+}
+
+/// All-to-all share of one word per node: everyone learns the vector
+/// `values[0..n]`.
+///
+/// Cost: 1 round (+1 delivery), `n(n−1)` messages — the `Θ(n²)` pattern the
+/// paper's `O(log log log n)` algorithms use freely.
+///
+/// # Errors
+///
+/// Propagates simulator errors.
+pub fn all_to_all_share(net: &mut Net, values: &[u64]) -> Result<Vec<u64>, NetError> {
+    let n = net.n();
+    assert_eq!(values.len(), n, "one value per node");
+    let vals = values.to_vec();
+    net.step(|node, _inbox, out| {
+        for dst in 0..n {
+            if dst != node {
+                let _ = out.send(dst, vec![vals[node]]);
+            }
+        }
+    })?;
+    net.step(|_node, _inbox, _out| {})?;
+    Ok(vals)
+}
+
+/// Direct gather: node `u` sends its items (each `≤ link_words` words) to
+/// `dst` over its single link, pipelined one per round.
+///
+/// Cost: `max_u ⌈items(u) words / link_words⌉` rounds — linear in the
+/// largest per-sender volume, which is why the algorithms use
+/// [`route`](crate::route) when senders hold many items.
+///
+/// Returns `(src, item)` pairs in deterministic order.
+///
+/// # Errors
+///
+/// Propagates simulator errors.
+pub fn gather_direct(
+    net: &mut Net,
+    dst: usize,
+    items: Vec<Vec<Packet>>,
+) -> Result<Vec<(usize, Packet)>, NetError> {
+    let n = net.n();
+    assert_eq!(items.len(), n, "one item list per node");
+    assert!(items[dst].is_empty(), "destination gathers, it does not send");
+    let link_words = net.config().link_words;
+    let mut queues = items;
+    let mut collected: Vec<(usize, Packet)> = Vec::new();
+    while queues.iter().any(|q| !q.is_empty()) {
+        // Each sender fills its link budget toward dst this round.
+        let mut sending: Vec<Vec<Packet>> = vec![Vec::new(); n];
+        for (u, q) in queues.iter_mut().enumerate() {
+            if u == dst {
+                continue;
+            }
+            let mut used = 0u64;
+            while let Some(front) = q.first() {
+                let w = (front.len() as u64).max(1);
+                if used + w > link_words {
+                    break;
+                }
+                used += w;
+                sending[u].push(q.remove(0));
+            }
+        }
+        net.step(|node, _inbox, out| {
+            for p in sending[node].drain(..) {
+                let _ = out.send(dst, p);
+            }
+        })?;
+        net.step(|node, inbox, _out| {
+            if node == dst {
+                for env in inbox {
+                    collected.push((env.src, env.msg.clone()));
+                }
+            }
+        })?;
+    }
+    Ok(collected)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cc_net::NetConfig;
+
+    fn net(n: usize) -> Net {
+        Net::new(NetConfig::kt1(n).with_seed(7))
+    }
+
+    #[test]
+    fn small_broadcast_costs_one_send_round() {
+        let mut nt = net(8);
+        let data = broadcast_small(&mut nt, 3, vec![1, 2, 3]).unwrap();
+        assert_eq!(data, vec![1, 2, 3]);
+        let c = nt.cost();
+        assert_eq!(c.messages, 7);
+        assert_eq!(c.rounds, 2, "send + delivery");
+    }
+
+    #[test]
+    fn small_broadcast_rejects_oversize() {
+        let mut nt = Net::new(NetConfig::kt1(4).with_link_words(2));
+        let err = broadcast_small(&mut nt, 0, vec![0; 3]).unwrap_err();
+        assert!(matches!(err, NetError::MessageTooLarge { .. }));
+    }
+
+    #[test]
+    fn large_broadcast_moves_many_words() {
+        let mut nt = net(16); // link_words = 8, chunk payload = 7
+        let data: Packet = (0..100).collect();
+        let out = broadcast_large(&mut nt, 5, data.clone()).unwrap();
+        assert_eq!(out, data);
+        let c = nt.cost();
+        // 15 chunks → 1 distribution wave + 1 rebroadcast pass.
+        assert!(c.rounds <= 8, "rounds = {}", c.rounds);
+        assert!(c.messages >= 15 * 15, "every chunk is rebroadcast to all");
+    }
+
+    #[test]
+    fn large_broadcast_handles_multiple_waves() {
+        let mut nt = Net::new(NetConfig::kt1(4).with_link_words(2).with_seed(1));
+        let data: Packet = (0..40).collect(); // 40 chunks of 1 payload word on a 4-clique
+        let out = broadcast_large(&mut nt, 0, data.clone()).unwrap();
+        assert_eq!(out, data);
+        assert!(nt.cost().rounds > 10, "must take several waves");
+    }
+
+    #[test]
+    fn all_to_all_is_quadratic_messages() {
+        let mut nt = net(10);
+        let vals: Vec<u64> = (0..10).map(|i| i * i).collect();
+        let got = all_to_all_share(&mut nt, &vals).unwrap();
+        assert_eq!(got, vals);
+        assert_eq!(nt.cost().messages, 90);
+        assert_eq!(nt.cost().rounds, 2);
+    }
+
+    #[test]
+    fn gather_direct_collects_everything_in_order() {
+        let mut nt = net(5);
+        let mut items: Vec<Vec<Packet>> = vec![Vec::new(); 5];
+        items[1] = vec![vec![10], vec![11]];
+        items[3] = vec![vec![30]];
+        items[4] = vec![vec![40], vec![41], vec![42]];
+        let got = gather_direct(&mut nt, 0, items).unwrap();
+        let mut sorted = got.clone();
+        sorted.sort();
+        assert_eq!(
+            sorted,
+            vec![
+                (1, vec![10]),
+                (1, vec![11]),
+                (3, vec![30]),
+                (4, vec![40]),
+                (4, vec![41]),
+                (4, vec![42]),
+            ]
+        );
+    }
+
+    #[test]
+    fn gather_pipelines_by_link_budget() {
+        // link_words = 2, each item 2 words → one item per round per sender.
+        let mut nt = Net::new(NetConfig::kt1(3).with_link_words(2));
+        let items = vec![Vec::new(), vec![vec![1, 1], vec![2, 2], vec![3, 3]], Vec::new()];
+        let got = gather_direct(&mut nt, 0, items).unwrap();
+        assert_eq!(got.len(), 3);
+        assert_eq!(nt.cost().rounds, 6, "3 waves × (send + deliver)");
+    }
+
+    #[test]
+    #[should_panic(expected = "does not send")]
+    fn gather_rejects_items_at_destination() {
+        let mut nt = net(3);
+        let items = vec![vec![vec![1u64]], Vec::new(), Vec::new()];
+        let _ = gather_direct(&mut nt, 0, items);
+    }
+}
+
+/// Personalized all-to-all: node `u` sends `values[u][v]` to every `v`
+/// (the `Θ(n²)`-message pattern of the Lotker candidate rounds, packaged).
+///
+/// Returns `received[v][u]` = the word `u` sent to `v` (`0` on the
+/// diagonal).
+///
+/// Cost: 1 round (+1 delivery), `n(n−1)` messages.
+///
+/// # Errors
+///
+/// Propagates simulator errors.
+///
+/// # Panics
+///
+/// Panics if the matrix is not `n × n`.
+pub fn all_to_all_personalized(
+    net: &mut Net,
+    values: &[Vec<u64>],
+) -> Result<Vec<Vec<u64>>, NetError> {
+    let n = net.n();
+    assert_eq!(values.len(), n, "one row per node");
+    for row in values {
+        assert_eq!(row.len(), n, "one value per destination");
+    }
+    let mut received = vec![vec![0u64; n]; n];
+    net.step(|node, _inbox, out| {
+        for dst in 0..n {
+            if dst != node {
+                let _ = out.send(dst, vec![values[node][dst]]);
+            }
+        }
+    })?;
+    net.step(|node, inbox, _out| {
+        for env in inbox {
+            received[node][env.src] = env.msg[0];
+        }
+    })?;
+    Ok(received)
+}
+
+#[cfg(test)]
+mod personalized_tests {
+    use super::*;
+    use cc_net::NetConfig;
+
+    #[test]
+    fn transposes_the_matrix() {
+        let n = 5;
+        let mut nt = Net::new(NetConfig::kt1(n).with_seed(1));
+        let values: Vec<Vec<u64>> = (0..n)
+            .map(|u| (0..n).map(|v| (10 * u + v) as u64).collect())
+            .collect();
+        let got = all_to_all_personalized(&mut nt, &values).unwrap();
+        for u in 0..n {
+            for v in 0..n {
+                if u != v {
+                    assert_eq!(got[v][u], values[u][v]);
+                }
+            }
+            assert_eq!(got[u][u], 0);
+        }
+        assert_eq!(nt.cost().messages, (n * (n - 1)) as u64);
+        assert_eq!(nt.cost().rounds, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "one value per destination")]
+    fn rejects_ragged_matrix() {
+        let mut nt = Net::new(NetConfig::kt1(3));
+        let _ = all_to_all_personalized(&mut nt, &[vec![0; 3], vec![0; 2], vec![0; 3]]);
+    }
+}

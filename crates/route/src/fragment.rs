@@ -1,0 +1,101 @@
+//! Fragmentation of large payloads into link-sized packets.
+//!
+//! Sketches are `Θ(log⁴ n)` bits, far larger than one `O(log n)`-bit
+//! message, so the algorithms ship them as many packets (the paper speaks
+//! of "O(log⁴ n) messages of size O(log n) each"). Each fragment carries
+//! its sequence number in band — that word is paid for like any other.
+
+use crate::Packet;
+
+/// Splits `data` into packets of at most `chunk_payload` payload words,
+/// each prefixed with its sequence number.
+///
+/// # Panics
+///
+/// Panics if `chunk_payload == 0`.
+pub fn fragment(data: &[u64], chunk_payload: usize) -> Vec<Packet> {
+    assert!(chunk_payload >= 1, "chunks must carry payload");
+    if data.is_empty() {
+        return vec![vec![0]];
+    }
+    data.chunks(chunk_payload)
+        .enumerate()
+        .map(|(i, c)| {
+            let mut p = Vec::with_capacity(c.len() + 1);
+            p.push(i as u64);
+            p.extend_from_slice(c);
+            p
+        })
+        .collect()
+}
+
+/// Reassembles fragments produced by [`fragment`] (in any arrival order).
+///
+/// # Panics
+///
+/// Panics if a sequence number is missing or duplicated — that indicates a
+/// routing-layer bug, not a recoverable condition.
+pub fn reassemble(mut packets: Vec<Packet>) -> Vec<u64> {
+    packets.sort_by_key(|p| p[0]);
+    let mut out = Vec::new();
+    for (expect, p) in packets.iter().enumerate() {
+        assert_eq!(p[0] as usize, expect, "fragment sequence corrupted");
+        out.extend_from_slice(&p[1..]);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn roundtrip_exact_multiple() {
+        let data: Vec<u64> = (0..12).collect();
+        let frags = fragment(&data, 4);
+        assert_eq!(frags.len(), 3);
+        assert_eq!(reassemble(frags), data);
+    }
+
+    #[test]
+    fn roundtrip_ragged_tail() {
+        let data: Vec<u64> = (0..10).collect();
+        let frags = fragment(&data, 4);
+        assert_eq!(frags.len(), 3);
+        assert_eq!(frags[2].len(), 3, "seq + 2 payload words");
+        assert_eq!(reassemble(frags), data);
+    }
+
+    #[test]
+    fn empty_payload_still_one_packet() {
+        let frags = fragment(&[], 4);
+        assert_eq!(frags.len(), 1);
+        assert_eq!(reassemble(frags), Vec::<u64>::new());
+    }
+
+    #[test]
+    fn out_of_order_reassembly() {
+        let data: Vec<u64> = (100..130).collect();
+        let mut frags = fragment(&data, 5);
+        frags.reverse();
+        assert_eq!(reassemble(frags), data);
+    }
+
+    #[test]
+    #[should_panic(expected = "sequence corrupted")]
+    fn missing_fragment_detected() {
+        let data: Vec<u64> = (0..20).collect();
+        let mut frags = fragment(&data, 4);
+        frags.remove(2);
+        reassemble(frags);
+    }
+
+    proptest! {
+        #[test]
+        fn roundtrip_random(data in proptest::collection::vec(any::<u64>(), 0..200), chunk in 1usize..16) {
+            let frags = fragment(&data, chunk);
+            prop_assert_eq!(reassemble(frags), data);
+        }
+    }
+}

@@ -1,0 +1,99 @@
+//! The KT0 → KT1 bootstrap.
+//!
+//! Section 2 of the paper: *"a KT0 algorithm can start with each node
+//! broadcasting its ID to all n − 1 other nodes"* — after which the KT0
+//! and KT1 models are equivalent (at a `Θ(n²)` message cost, which the
+//! `Θ(n²)`-message algorithms can afford and which the Section 3 lower
+//! bound shows is unavoidable in KT0 anyway).
+//!
+//! The exchange is executed and metered: every node sends its ID along
+//! every port. The returned tables give, per node and per port, the ID
+//! now known to sit behind that port.
+
+use crate::Net;
+use cc_net::{Knowledge, NetError};
+
+/// Runs the ID broadcast if the network is KT0; a no-op (zero cost) under
+/// KT1, where the knowledge is part of the model.
+///
+/// Returns `port_ids[u][p]` = ID behind port `p` of node `u` (for KT1
+/// networks the ports are identity-ordered by convention: port `p` of `u`
+/// leads to the `p`-th other node in ID order).
+///
+/// Cost under KT0: 1 send round (+1 delivery), `n(n−1)` messages.
+///
+/// # Errors
+///
+/// Propagates simulator errors.
+pub fn kt0_bootstrap(net: &mut Net) -> Result<Vec<Vec<u32>>, NetError> {
+    let n = net.n();
+    match net.config().knowledge {
+        Knowledge::Kt1 => Ok((0..n)
+            .map(|u| (0..n as u32).filter(|&v| v as usize != u).collect())
+            .collect()),
+        Knowledge::Kt0 => {
+            // Every node announces its ID on every link.
+            net.step(|node, _inbox, out| {
+                for dst in 0..n {
+                    if dst != node {
+                        let _ = out.send(dst, vec![node as u64]);
+                    }
+                }
+            })?;
+            let mut learned: Vec<Vec<(usize, u32)>> = vec![Vec::new(); n];
+            net.step(|node, inbox, _out| {
+                for env in inbox {
+                    learned[node].push((env.src, env.msg[0] as u32));
+                }
+            })?;
+            // Associate learned IDs with ports via the hidden map (the
+            // simulator's delivery is the ground truth the announcement
+            // established).
+            let ports = net.ports().expect("KT0 networks have a port map").clone();
+            Ok((0..n)
+                .map(|u| {
+                    (0..n - 1)
+                        .map(|p| ports.neighbor_at(u, p) as u32)
+                        .collect()
+                })
+                .collect())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cc_net::NetConfig;
+
+    #[test]
+    fn kt1_is_free() {
+        let mut net = Net::new(NetConfig::kt1(6));
+        let tables = kt0_bootstrap(&mut net).unwrap();
+        assert_eq!(net.cost().messages, 0);
+        assert_eq!(tables[2], vec![0, 1, 3, 4, 5]);
+    }
+
+    #[test]
+    fn kt0_pays_quadratic_messages_and_learns_ports() {
+        let n = 8;
+        let mut net = Net::new(NetConfig::kt0(n).with_seed(3));
+        let tables = kt0_bootstrap(&mut net).unwrap();
+        assert_eq!(net.cost().messages, (n * (n - 1)) as u64);
+        assert_eq!(net.cost().rounds, 2);
+        // Tables agree with the hidden permutation and cover all peers.
+        for u in 0..n {
+            let mut ids = tables[u].clone();
+            ids.sort_unstable();
+            let expect: Vec<u32> = (0..n as u32).filter(|&v| v as usize != u).collect();
+            assert_eq!(ids, expect);
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = kt0_bootstrap(&mut Net::new(NetConfig::kt0(6).with_seed(1))).unwrap();
+        let b = kt0_bootstrap(&mut Net::new(NetConfig::kt0(6).with_seed(1))).unwrap();
+        assert_eq!(a, b);
+    }
+}

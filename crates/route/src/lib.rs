@@ -1,0 +1,49 @@
+//! Clique collectives: the communication primitives the paper's algorithms
+//! treat as black boxes, implemented honestly on top of the
+//! [`cc_net`] simulator so their round and message costs are *measured*,
+//! never assumed.
+//!
+//! * [`collectives`] — one-round broadcasts, all-to-all shares, direct
+//!   gathers, and the distribute-then-rebroadcast large broadcast the paper
+//!   uses to make `≤ n` words known to everyone in `O(1)` rounds.
+//! * [`routing`] — the "Lenzen contract": any instance where every node
+//!   sends at most `n` messages and every node receives at most `n`
+//!   messages is delivered in `O(1)` rounds. The paper cites Lenzen's
+//!   deterministic algorithm (PODC'13); we implement the classic two-phase
+//!   balanced scheme (random-rotation spread, then direct delivery) with
+//!   the same contract — see DESIGN.md for the substitution note.
+//! * [`sort`] — distributed sample-sort assigning global ranks, standing in
+//!   for Lenzen's `O(1)`-round clique sorting in Algorithm 4 (SQ-MST).
+//! * [`shared_rand`] — Theorem 1's shared-randomness bootstrap: designated
+//!   nodes generate and broadcast `Θ(log n)` bits each, giving every node
+//!   the same seed for the k-wise independent sketch hash functions.
+//!
+//! All collectives run on `CliqueNet<Vec<u64>>`: payloads are word vectors
+//! ([`Packet`]), the unit the bandwidth accounting charges. Headers that a
+//! primitive needs (final destination, original sender, fragment sequence
+//! numbers) are carried *in band* and therefore paid for.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod collectives;
+pub mod fragment;
+pub mod kt0_boot;
+pub mod routing;
+pub mod shared_rand;
+pub mod sort;
+
+use cc_net::CliqueNet;
+
+/// Wire payload: a vector of `⌈log₂ n⌉`-bit words.
+pub type Packet = Vec<u64>;
+
+/// The network type every collective (and every algorithm crate) runs on.
+pub type Net = CliqueNet<Packet>;
+
+pub use collectives::{all_to_all_personalized, all_to_all_share, broadcast_large, broadcast_small, gather_direct};
+pub use fragment::{fragment, reassemble};
+pub use kt0_boot::kt0_bootstrap;
+pub use routing::{route, route_deterministic, RoutedPacket};
+pub use shared_rand::shared_seed;
+pub use sort::{distributed_sort, SortItem};

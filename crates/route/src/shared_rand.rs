@@ -1,0 +1,93 @@
+//! The shared-randomness bootstrap of Theorem 1.
+//!
+//! The sketch construction needs `Θ(log² n)` mutually independent random
+//! bits shared by all nodes (to agree on the k-wise independent hash
+//! functions). The paper's protocol: designate `Θ(log n)` nodes, each
+//! generates `⌈log n⌉` random bits locally and broadcasts them; every node
+//! concatenates the results. One round, `Θ(n log n)` messages.
+//!
+//! We run that protocol literally (metered), then let every node expand the
+//! shared bits into hash-function coefficients with the same deterministic
+//! PRG — all nodes derive identical sketch spaces from identical inputs.
+
+use crate::Net;
+use cc_net::NetError;
+
+/// Number of designated generator nodes for an `n`-clique: `⌈log₂ n⌉ + 1`
+/// (each contributes one word ≈ `log n` bits, for `Θ(log² n)` shared bits).
+pub fn designated_count(n: usize) -> usize {
+    ((usize::BITS - (n - 1).leading_zeros()) as usize + 1).min(n)
+}
+
+/// Runs the shared-randomness protocol; every node ends up knowing the
+/// same seed (returned for the caller to hand to each node's state).
+///
+/// Cost: 1 send round (+1 delivery), `d · (n − 1)` messages where
+/// `d =` [`designated_count`].
+///
+/// # Errors
+///
+/// Propagates simulator errors.
+pub fn shared_seed(net: &mut Net) -> Result<u64, NetError> {
+    let n = net.n();
+    let d = designated_count(n);
+    // Each designated node draws its contribution from its private stream.
+    let contributions: Vec<u64> = (0..d)
+        .map(|u| {
+            use rand::Rng;
+            net.node_rng(u).gen()
+        })
+        .collect();
+    let payload = contributions.clone();
+    net.step(|node, _inbox, out| {
+        if node < d {
+            for dst in 0..n {
+                if dst != node {
+                    let _ = out.send(dst, vec![payload[node]]);
+                }
+            }
+        }
+    })?;
+    net.step(|_node, _inbox, _out| {})?;
+    // Every node combines the d words identically.
+    let mut seed = 0x517C_C1B7_2722_0A95u64;
+    for (i, c) in contributions.iter().enumerate() {
+        seed = seed
+            .rotate_left(13)
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add(c.wrapping_add(i as u64));
+    }
+    Ok(seed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cc_net::NetConfig;
+
+    #[test]
+    fn designated_counts() {
+        assert_eq!(designated_count(2), 2);
+        assert_eq!(designated_count(64), 7);
+        assert_eq!(designated_count(1024), 11);
+    }
+
+    #[test]
+    fn cost_is_one_round_d_broadcasts() {
+        let n = 64;
+        let mut nt = Net::new(NetConfig::kt1(n).with_seed(5));
+        let _ = shared_seed(&mut nt).unwrap();
+        let c = nt.cost();
+        assert_eq!(c.rounds, 2, "send + delivery");
+        assert_eq!(c.messages, (designated_count(n) * (n - 1)) as u64);
+    }
+
+    #[test]
+    fn deterministic_per_net_seed() {
+        let a = shared_seed(&mut Net::new(NetConfig::kt1(16).with_seed(9))).unwrap();
+        let b = shared_seed(&mut Net::new(NetConfig::kt1(16).with_seed(9))).unwrap();
+        assert_eq!(a, b);
+        let c = shared_seed(&mut Net::new(NetConfig::kt1(16).with_seed(10))).unwrap();
+        assert_ne!(a, c);
+    }
+}

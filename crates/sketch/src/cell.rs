@@ -1,0 +1,199 @@
+//! 1-sparse recovery cells.
+//!
+//! The atom of the sketch: a cell summarizes a signed multiset of universe
+//! items with three field counters
+//!
+//! * `phi  = Σ aᵢ` — sum of coefficients,
+//! * `iota = Σ aᵢ · i` — index-weighted sum,
+//! * `tau  = Σ aᵢ · z^i` — a fingerprint at a random point `z`,
+//!
+//! all modulo `p = 2^61 − 1`. If exactly one item is present, the cell
+//! recovers it exactly; the fingerprint makes a multi-item cell pass the
+//! 1-sparse test only with probability `O(N/p)` over the choice of `z`
+//! (a degree-`N` polynomial identity test).
+
+use crate::field;
+
+/// Number of `u64` field elements a cell occupies in the flat sketch layout.
+pub const CELL_WORDS: usize = 3;
+
+/// Decoded content of a 1-sparse cell.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CellDecode {
+    /// All counters zero: the cell holds the zero vector (w.h.p.).
+    Zero,
+    /// The cell holds exactly one item `(index, coefficient)` (w.h.p.).
+    One(u64, i64),
+    /// More than one item (or an inconsistent state): not recoverable.
+    Many,
+}
+
+/// Adds `sign · (item i)` into the cell counters `cell = [phi, iota, tau]`.
+///
+/// `z_pow_i` must be `z^i mod p` for the space's fingerprint point `z`.
+pub fn cell_insert(cell: &mut [u64], i: u64, sign: i64, z_pow_i: u64) {
+    debug_assert_eq!(cell.len(), CELL_WORDS);
+    debug_assert!(sign == 1 || sign == -1);
+    let a = field::from_signed(sign);
+    cell[0] = field::add(cell[0], a);
+    cell[1] = field::add(cell[1], field::mul(a, field::reduce64(i)));
+    cell[2] = field::add(cell[2], field::mul(a, z_pow_i));
+}
+
+/// Pointwise field addition of another cell (sketch linearity).
+pub fn cell_add(into: &mut [u64], from: &[u64]) {
+    debug_assert_eq!(into.len(), CELL_WORDS);
+    debug_assert_eq!(from.len(), CELL_WORDS);
+    for k in 0..CELL_WORDS {
+        into[k] = field::add(into[k], from[k]);
+    }
+}
+
+/// Attempts 1-sparse recovery from the cell counters.
+///
+/// `z` is the space's fingerprint point and `universe` the item-index bound;
+/// candidates outside the universe are rejected as [`CellDecode::Many`].
+pub fn cell_decode(cell: &[u64], z: u64, universe: u64) -> CellDecode {
+    debug_assert_eq!(cell.len(), CELL_WORDS);
+    let (phi, iota, tau) = (cell[0], cell[1], cell[2]);
+    if phi == 0 && iota == 0 && tau == 0 {
+        return CellDecode::Zero;
+    }
+    if phi == 0 {
+        // Coefficients cancelled but content remains: definitely ≥ 2 items.
+        return CellDecode::Many;
+    }
+    // Candidate index i* = iota / phi.
+    let cand = field::mul(iota, field::inv(phi));
+    if cand >= universe {
+        return CellDecode::Many;
+    }
+    // Fingerprint check: tau must equal phi · z^{i*}.
+    if tau != field::mul(phi, field::pow(z, cand)) {
+        return CellDecode::Many;
+    }
+    CellDecode::One(cand, field::to_signed(phi))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng as _;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    const UNIVERSE: u64 = 1000;
+
+    fn z_for_test() -> u64 {
+        123_456_789_0123
+    }
+
+    fn insert(cell: &mut [u64], i: u64, sign: i64) {
+        cell_insert(cell, i, sign, field::pow(z_for_test(), i));
+    }
+
+    #[test]
+    fn empty_cell_is_zero() {
+        let cell = [0u64; CELL_WORDS];
+        assert_eq!(cell_decode(&cell, z_for_test(), UNIVERSE), CellDecode::Zero);
+    }
+
+    #[test]
+    fn single_item_recovers() {
+        let mut cell = [0u64; CELL_WORDS];
+        insert(&mut cell, 42, 1);
+        assert_eq!(
+            cell_decode(&cell, z_for_test(), UNIVERSE),
+            CellDecode::One(42, 1)
+        );
+    }
+
+    #[test]
+    fn negative_coefficient_recovers() {
+        let mut cell = [0u64; CELL_WORDS];
+        insert(&mut cell, 7, -1);
+        assert_eq!(
+            cell_decode(&cell, z_for_test(), UNIVERSE),
+            CellDecode::One(7, -1)
+        );
+    }
+
+    #[test]
+    fn accumulated_coefficient_recovers() {
+        let mut cell = [0u64; CELL_WORDS];
+        insert(&mut cell, 7, 1);
+        insert(&mut cell, 7, 1);
+        insert(&mut cell, 7, 1);
+        assert_eq!(
+            cell_decode(&cell, z_for_test(), UNIVERSE),
+            CellDecode::One(7, 3)
+        );
+    }
+
+    #[test]
+    fn cancellation_returns_to_zero() {
+        let mut cell = [0u64; CELL_WORDS];
+        insert(&mut cell, 31, 1);
+        insert(&mut cell, 31, -1);
+        assert_eq!(cell_decode(&cell, z_for_test(), UNIVERSE), CellDecode::Zero);
+    }
+
+    #[test]
+    fn two_items_detected_as_many() {
+        let mut cell = [0u64; CELL_WORDS];
+        insert(&mut cell, 3, 1);
+        insert(&mut cell, 900, 1);
+        assert_eq!(cell_decode(&cell, z_for_test(), UNIVERSE), CellDecode::Many);
+    }
+
+    #[test]
+    fn opposite_signs_two_items_detected() {
+        // phi = 0 but content remains — the fingerprint must flag it.
+        let mut cell = [0u64; CELL_WORDS];
+        insert(&mut cell, 3, 1);
+        insert(&mut cell, 900, -1);
+        assert_eq!(cell_decode(&cell, z_for_test(), UNIVERSE), CellDecode::Many);
+    }
+
+    #[test]
+    fn linearity_via_cell_add() {
+        let mut a = [0u64; CELL_WORDS];
+        let mut b = [0u64; CELL_WORDS];
+        insert(&mut a, 10, 1);
+        insert(&mut b, 10, -1);
+        insert(&mut b, 55, 1);
+        cell_add(&mut a, &b);
+        // 10 cancels, 55 remains.
+        assert_eq!(
+            cell_decode(&a, z_for_test(), UNIVERSE),
+            CellDecode::One(55, 1)
+        );
+    }
+
+    #[test]
+    fn random_multisets_never_misdecode() {
+        // With ≥2 surviving items the cell must (w.h.p.) decode to Many —
+        // check over many random multisets that we never get a wrong One.
+        let mut rng = ChaCha8Rng::seed_from_u64(99);
+        for _ in 0..500 {
+            let mut cell = [0u64; CELL_WORDS];
+            let k = rng.gen_range(2..6);
+            let mut items = std::collections::BTreeMap::new();
+            for _ in 0..k {
+                let i = rng.gen_range(0..UNIVERSE);
+                let s: i64 = if rng.gen_bool(0.5) { 1 } else { -1 };
+                insert(&mut cell, i, s);
+                *items.entry(i).or_insert(0i64) += s;
+            }
+            items.retain(|_, v| *v != 0);
+            match cell_decode(&cell, z_for_test(), UNIVERSE) {
+                CellDecode::Zero => assert!(items.is_empty()),
+                CellDecode::One(i, c) => {
+                    assert_eq!(items.len(), 1, "false positive 1-sparse");
+                    assert_eq!(items.get(&i), Some(&c));
+                }
+                CellDecode::Many => assert!(items.len() >= 2),
+            }
+        }
+    }
+}

@@ -1,0 +1,122 @@
+//! Failure-injection checks for the sampler's Monte Carlo contract.
+//!
+//! The contract throughout this workspace: an ℓ0 sample may *fail*
+//! (explicitly, as [`Sample::Fail`](crate::Sample::Fail)), but it must
+//! never silently return a coordinate outside the vector's support, and
+//! `Zero` must be exact. These tests starve the sketch of capacity (one
+//! bucket, one row, two levels) to force high failure rates and verify
+//! the contract still holds; the experiment harness (E13) measures the
+//! failure-rate / size trade-off across parameter shapes.
+
+#[cfg(test)]
+mod tests {
+    use crate::l0::{Sample, SketchParams, SketchSpace};
+    use rand::Rng;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+    use std::collections::BTreeSet;
+
+    fn starved_space(seed: u64) -> SketchSpace {
+        SketchSpace::new(
+            10_000,
+            SketchParams {
+                levels: 2,
+                rows: 1,
+                buckets: 1,
+                k: 2,
+            },
+            seed,
+        )
+    }
+
+    #[test]
+    fn starved_sketch_fails_often_but_never_lies() {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let mut fails = 0usize;
+        let trials = 300;
+        for seed in 0..trials {
+            let space = starved_space(seed);
+            let mut sk = space.zero_sketch();
+            let mut support = BTreeSet::new();
+            for _ in 0..40 {
+                let i = rng.gen_range(0..10_000u64);
+                if support.insert(i) {
+                    space.insert(&mut sk, i, 1);
+                }
+            }
+            match space.sample(&sk) {
+                Sample::Item(i, c) => {
+                    assert!(support.contains(&i), "sampled outside the support");
+                    assert_eq!(c, 1);
+                }
+                Sample::Zero => panic!("non-zero vector certified Zero"),
+                Sample::Fail => fails += 1,
+            }
+        }
+        assert!(
+            fails > trials as usize / 4,
+            "a starved sketch should fail often (got {fails}/{trials}); \
+             if this stops holding the starvation test is no longer testing anything"
+        );
+    }
+
+    #[test]
+    fn starved_zero_detection_is_still_exact() {
+        for seed in 0..50 {
+            let space = starved_space(seed);
+            let mut sk = space.zero_sketch();
+            for i in [5u64, 99, 1234] {
+                space.insert(&mut sk, i, 1);
+                space.insert(&mut sk, i, -1);
+            }
+            assert_eq!(space.sample(&sk), Sample::Zero);
+        }
+    }
+
+    #[test]
+    fn compact_params_trade_size_for_failures() {
+        let universe = 1u64 << 16;
+        let full = SketchParams::for_universe(universe);
+        let compact = SketchParams::compact_for_universe(universe);
+        assert!(compact.words() < full.words());
+
+        let rate = |params: SketchParams| -> f64 {
+            let mut fails = 0usize;
+            let trials = 200;
+            let mut rng = ChaCha8Rng::seed_from_u64(7);
+            for seed in 0..trials {
+                let space = SketchSpace::new(universe, params, 1000 + seed);
+                let mut sk = space.zero_sketch();
+                for _ in 0..64 {
+                    let i = rng.gen_range(0..universe);
+                    space.insert(&mut sk, i, 1);
+                }
+                if space.sample(&sk) == Sample::Fail {
+                    fails += 1;
+                }
+            }
+            fails as f64 / trials as f64
+        };
+        let (rf, rc) = (rate(full), rate(compact));
+        // Both must stay usable; compact may fail more but must stay far
+        // from useless (retry families absorb it).
+        assert!(rf < 0.1, "full-shape failure rate {rf}");
+        assert!(rc < 0.5, "compact-shape failure rate {rc}");
+    }
+
+    #[test]
+    fn negative_coefficients_survive_starvation() {
+        for seed in 0..50 {
+            let space = starved_space(100 + seed);
+            let mut sk = space.zero_sketch();
+            space.insert(&mut sk, 77, -1);
+            match space.sample(&sk) {
+                Sample::Item(i, c) => {
+                    assert_eq!((i, c), (77, -1));
+                }
+                Sample::Fail => {}
+                Sample::Zero => panic!("lost the only item"),
+            }
+        }
+    }
+}

@@ -1,0 +1,195 @@
+//! Arithmetic in the prime field `F_p`, `p = 2^61 − 1` (Mersenne).
+//!
+//! All sketch counters live in this field. The Mersenne prime makes the
+//! modular reduction after a 128-bit product a couple of shifts and adds,
+//! and `p > n^3` for every clique size this workspace simulates, which is
+//! what the hash-range and fingerprint arguments of Cormode–Firmani need.
+
+/// The field modulus `2^61 − 1`.
+pub const P: u64 = (1u64 << 61) - 1;
+
+/// Reduces an arbitrary `u128` modulo `P` using Mersenne folding.
+pub fn reduce128(x: u128) -> u64 {
+    // Fold twice: x = hi*2^61 + lo ≡ hi + lo (mod 2^61 − 1).
+    let lo = (x as u64) & P;
+    let hi = x >> 61;
+    let folded = lo as u128 + hi;
+    let lo2 = (folded as u64) & P;
+    let hi2 = (folded >> 61) as u64;
+    let mut r = lo2 + hi2;
+    if r >= P {
+        r -= P;
+    }
+    r
+}
+
+/// Canonicalizes a `u64` into `[0, P)`.
+pub fn reduce64(x: u64) -> u64 {
+    let lo = x & P;
+    let hi = x >> 61;
+    let mut r = lo + hi;
+    if r >= P {
+        r -= P;
+    }
+    r
+}
+
+/// `a + b (mod P)`. Inputs must be `< P`.
+pub fn add(a: u64, b: u64) -> u64 {
+    debug_assert!(a < P && b < P);
+    let mut r = a + b;
+    if r >= P {
+        r -= P;
+    }
+    r
+}
+
+/// `a − b (mod P)`. Inputs must be `< P`.
+pub fn sub(a: u64, b: u64) -> u64 {
+    debug_assert!(a < P && b < P);
+    if a >= b {
+        a - b
+    } else {
+        a + P - b
+    }
+}
+
+/// `−a (mod P)`. Input must be `< P`.
+pub fn neg(a: u64) -> u64 {
+    debug_assert!(a < P);
+    if a == 0 {
+        0
+    } else {
+        P - a
+    }
+}
+
+/// `a · b (mod P)`. Inputs must be `< P`.
+pub fn mul(a: u64, b: u64) -> u64 {
+    debug_assert!(a < P && b < P);
+    reduce128(a as u128 * b as u128)
+}
+
+/// `a^e (mod P)` by square-and-multiply.
+pub fn pow(mut a: u64, mut e: u64) -> u64 {
+    a = reduce64(a);
+    let mut acc = 1u64;
+    while e > 0 {
+        if e & 1 == 1 {
+            acc = mul(acc, a);
+        }
+        a = mul(a, a);
+        e >>= 1;
+    }
+    acc
+}
+
+/// Multiplicative inverse of `a ≠ 0` via Fermat's little theorem.
+///
+/// # Panics
+///
+/// Panics if `a ≡ 0 (mod P)`.
+pub fn inv(a: u64) -> u64 {
+    let a = reduce64(a);
+    assert_ne!(a, 0, "zero has no inverse");
+    pow(a, P - 2)
+}
+
+/// Interprets a field element as a small signed integer: values `≤ P/2` map
+/// to themselves, values `> P/2` map to `value − P`.
+///
+/// Sketch coefficients are sums of `±1` contributions, so decoded
+/// coefficients are tiny in magnitude and this interpretation is exact.
+pub fn to_signed(a: u64) -> i64 {
+    debug_assert!(a < P);
+    if a <= P / 2 {
+        a as i64
+    } else {
+        (a as i64) - (P as i64)
+    }
+}
+
+/// Encodes a signed integer as a field element.
+pub fn from_signed(x: i64) -> u64 {
+    if x >= 0 {
+        reduce64(x as u64)
+    } else {
+        neg(reduce64((-x) as u64))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn constants() {
+        assert_eq!(P, 2_305_843_009_213_693_951);
+    }
+
+    #[test]
+    fn add_sub_roundtrip() {
+        assert_eq!(add(P - 1, 1), 0);
+        assert_eq!(sub(0, 1), P - 1);
+        assert_eq!(neg(0), 0);
+        assert_eq!(add(5, neg(5)), 0);
+    }
+
+    #[test]
+    fn mul_basics() {
+        assert_eq!(mul(0, 12345), 0);
+        assert_eq!(mul(1, P - 1), P - 1);
+        assert_eq!(mul(2, P.div_ceil(2)), 1, "2 · 2^60 = 2^61 ≡ 1");
+    }
+
+    #[test]
+    fn pow_and_inv() {
+        assert_eq!(pow(3, 0), 1);
+        assert_eq!(pow(3, 5), 243);
+        for a in [1u64, 2, 17, P - 3] {
+            assert_eq!(mul(a, inv(a)), 1, "a = {a}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "no inverse")]
+    fn zero_has_no_inverse() {
+        inv(0);
+    }
+
+    #[test]
+    fn signed_roundtrip() {
+        for x in [-5i64, -1, 0, 1, 7, 1000] {
+            assert_eq!(to_signed(from_signed(x)), x);
+        }
+    }
+
+    #[test]
+    fn reduce_extremes() {
+        assert_eq!(reduce64(P), 0);
+        assert_eq!(reduce64(u64::MAX), reduce128(u64::MAX as u128));
+        assert_eq!(reduce128((P as u128) * (P as u128)), 0);
+        assert_eq!(mul(P - 1, P - 1), 1, "(−1)² = 1");
+    }
+
+    proptest! {
+        #[test]
+        fn field_axioms(a in 0u64..P, b in 0u64..P, c in 0u64..P) {
+            prop_assert_eq!(add(a, b), add(b, a));
+            prop_assert_eq!(mul(a, b), mul(b, a));
+            prop_assert_eq!(mul(a, add(b, c)), add(mul(a, b), mul(a, c)));
+            prop_assert_eq!(sub(add(a, b), b), a);
+        }
+
+        #[test]
+        fn reduce128_matches_naive(x in any::<u128>()) {
+            prop_assert_eq!(reduce128(x), (x % P as u128) as u64);
+        }
+
+        #[test]
+        fn inverse_really_inverts(a in 1u64..P) {
+            prop_assert_eq!(mul(a, inv(a)), 1);
+        }
+    }
+}

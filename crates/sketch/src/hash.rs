@@ -1,0 +1,181 @@
+//! k-wise independent hash families over `F_p`.
+//!
+//! Section 2.1 of the paper uses the Cormode–Firmani ℓ0-sampler, which needs
+//! one `Θ(log n)`-wise independent hash `h : [N] → [N³]` and `O(log N)`
+//! pairwise independent hashes `g_r`. A degree-`(k−1)` random polynomial
+//! over a prime field is the textbook construction for a k-wise family
+//! (`p = 2^61 − 1 > N³` for all our universes), and each such polynomial is
+//! described by `k` field elements — i.e. `Θ(k log n)` shared random bits,
+//! exactly the budget the paper's shared-randomness protocol distributes.
+
+use crate::field;
+use rand::Rng;
+
+/// A hash function drawn from a k-wise independent family: a random
+/// polynomial of degree `k − 1` over `F_p`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct KWiseHash {
+    /// Coefficients, constant term first. `coeffs.len()` = k.
+    coeffs: Vec<u64>,
+}
+
+impl KWiseHash {
+    /// Draws a hash from the k-wise independent family using `rng`
+    /// (which, in the distributed protocol, is seeded from the *shared*
+    /// random bits so every node draws the same function).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0`.
+    pub fn random<R: Rng + ?Sized>(k: usize, rng: &mut R) -> Self {
+        assert!(k >= 1, "independence parameter must be at least 1");
+        let coeffs = (0..k).map(|_| rng.gen_range(0..field::P)).collect();
+        KWiseHash { coeffs }
+    }
+
+    /// The independence parameter `k`.
+    pub fn k(&self) -> usize {
+        self.coeffs.len()
+    }
+
+    /// Evaluates the polynomial at `x` (Horner), returning a value in
+    /// `[0, p)`.
+    pub fn eval(&self, x: u64) -> u64 {
+        let x = field::reduce64(x);
+        let mut acc = 0u64;
+        for &c in self.coeffs.iter().rev() {
+            acc = field::add(field::mul(acc, x), c);
+        }
+        acc
+    }
+
+    /// Evaluates and reduces into `[0, range)`.
+    ///
+    /// For `range ≪ p` the modulo bias is below `2^-40` for every range this
+    /// workspace uses, which is far below the sampler's own error budget.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `range == 0`.
+    pub fn eval_range(&self, x: u64, range: u64) -> u64 {
+        assert!(range > 0, "empty range");
+        self.eval(x) % range
+    }
+
+    /// Number of shared random bits this function consumes, `k · 61`
+    /// (the quantity Theorem 1's preprocessing distributes).
+    pub fn shared_bits(&self) -> usize {
+        self.coeffs.len() * 61
+    }
+}
+
+/// A pairwise independent hash (`k = 2`), the `g_r` of the construction.
+pub type PairwiseHash = KWiseHash;
+
+/// Draws the pairwise family member.
+pub fn pairwise<R: Rng + ?Sized>(rng: &mut R) -> PairwiseHash {
+    KWiseHash::random(2, rng)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+    use std::collections::HashMap;
+
+    fn rng(seed: u64) -> ChaCha8Rng {
+        ChaCha8Rng::seed_from_u64(seed)
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let h1 = KWiseHash::random(8, &mut rng(5));
+        let h2 = KWiseHash::random(8, &mut rng(5));
+        assert_eq!(h1, h2);
+        assert_eq!(h1.eval(123), h2.eval(123));
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let h1 = KWiseHash::random(8, &mut rng(5));
+        let h2 = KWiseHash::random(8, &mut rng(6));
+        assert_ne!(h1.eval(1), h2.eval(1), "collision would be astronomically unlikely");
+    }
+
+    #[test]
+    fn degree_one_is_affine() {
+        // k=2 → h(x) = a + b·x; check via interpolation.
+        let h = pairwise(&mut rng(7));
+        let (y0, y1, y2) = (h.eval(0), h.eval(1), h.eval(2));
+        let slope = crate::field::sub(y1, y0);
+        assert_eq!(y2, crate::field::add(y1, slope));
+    }
+
+    #[test]
+    fn range_reduction_in_bounds() {
+        let h = KWiseHash::random(4, &mut rng(8));
+        for x in 0..100 {
+            assert!(h.eval_range(x, 17) < 17);
+        }
+    }
+
+    #[test]
+    fn roughly_uniform_buckets() {
+        let h = KWiseHash::random(6, &mut rng(9));
+        let buckets = 16u64;
+        let mut counts: HashMap<u64, usize> = HashMap::new();
+        let total = 16_000;
+        for x in 0..total {
+            *counts.entry(h.eval_range(x, buckets)).or_default() += 1;
+        }
+        let expected = total as f64 / buckets as f64;
+        for b in 0..buckets {
+            let c = *counts.get(&b).unwrap_or(&0) as f64;
+            assert!(
+                (c - expected).abs() < expected * 0.25,
+                "bucket {b} count {c} vs expected {expected}"
+            );
+        }
+    }
+
+    #[test]
+    fn shared_bits_accounting() {
+        let h = KWiseHash::random(10, &mut rng(10));
+        assert_eq!(h.shared_bits(), 610);
+        assert_eq!(h.k(), 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 1")]
+    fn zero_k_rejected() {
+        KWiseHash::random(0, &mut rng(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "empty range")]
+    fn zero_range_rejected() {
+        KWiseHash::random(2, &mut rng(0)).eval_range(3, 0);
+    }
+
+    /// Pairwise independence sanity: over the random choice of h, the pair
+    /// (h(x) mod 2, h(y) mod 2) should be close to uniform on {0,1}².
+    #[test]
+    fn pairwise_independence_statistics() {
+        let trials = 4000;
+        let mut counts = [0usize; 4];
+        for seed in 0..trials {
+            let h = pairwise(&mut rng(seed));
+            let a = (h.eval(3) & 1) as usize;
+            let b = (h.eval(77) & 1) as usize;
+            counts[2 * a + b] += 1;
+        }
+        for (i, &c) in counts.iter().enumerate() {
+            let expected = trials as f64 / 4.0;
+            assert!(
+                (c as f64 - expected).abs() < expected * 0.2,
+                "cell {i}: {c} vs {expected}"
+            );
+        }
+    }
+}

@@ -1,0 +1,249 @@
+//! Local Borůvka over summed sketches.
+//!
+//! This is the computation the coordinator `v*` performs in Algorithm 2
+//! (SKETCHANDSPAN) step 3, and which each guardian `g(i)` performs in
+//! Algorithm 4 (SQ-MST) step 7(a): given, for every vertex, `t` sketches
+//! from `t` independent families, compute a maximal spanning forest by
+//! repeatedly sampling an outgoing edge per component and merging.
+//!
+//! Each Borůvka iteration uses a *fresh* family, so the samples it draws
+//! are independent of the merges performed so far — the standard trick for
+//! making the w.h.p. analysis go through.
+
+use crate::graph_sketch::{EdgeSample, GraphSketchSpace};
+use crate::l0::Sketch;
+use cc_graph::{Edge, UnionFind};
+use std::collections::HashMap;
+
+/// Result of a sketch-based spanning-forest computation.
+#[derive(Clone, Debug)]
+pub struct SpanningResult {
+    /// The forest edges found (canonical, sorted).
+    pub edges: Vec<Edge>,
+    /// Total ℓ0-sample failures encountered (diagnostic).
+    pub sample_failures: usize,
+    /// `true` if the families were exhausted before every component
+    /// certified an empty cut — the forest may then be incomplete.
+    pub exhausted: bool,
+}
+
+/// Computes a maximal spanning forest of the graph whose vertex set is
+/// `ids` from per-vertex neighborhood sketches.
+///
+/// `sketches[f][j]` must be the family-`f` sketch of vertex `ids[j]`'s
+/// neighborhood, where all sketches of family `f` come from `spaces[f]`.
+/// The underlying graph must only contain edges between vertices of `ids`
+/// (otherwise a sampled "cut edge" could leave the vertex set).
+///
+/// # Panics
+///
+/// Panics if the dimensions of `spaces` / `sketches` / `ids` disagree, or
+/// if a sampled edge has an endpoint outside `ids` (which indicates the
+/// caller sketched a different graph than promised).
+pub fn spanning_forest_via_sketches(
+    spaces: &[GraphSketchSpace],
+    ids: &[usize],
+    sketches: &[Vec<Sketch>],
+) -> SpanningResult {
+    assert_eq!(spaces.len(), sketches.len(), "one sketch row per family");
+    for row in sketches {
+        assert_eq!(row.len(), ids.len(), "one sketch per vertex per family");
+    }
+    let local: HashMap<usize, usize> = ids.iter().enumerate().map(|(j, &v)| (v, j)).collect();
+    let mut uf = UnionFind::new(ids.len());
+    let mut edges: Vec<Edge> = Vec::new();
+    let mut sample_failures = 0usize;
+    let mut exhausted = true;
+
+    for (f, space) in spaces.iter().enumerate() {
+        // Sum this family's sketches per current component.
+        let mut comp_sketch: HashMap<usize, Sketch> = HashMap::new();
+        for (j, sk) in sketches[f].iter().enumerate() {
+            let root = uf.find(j);
+            comp_sketch
+                .entry(root)
+                .and_modify(|acc| acc.add_assign_sketch(sk))
+                .or_insert_with(|| sk.clone());
+        }
+        let mut all_zero = true;
+        let mut merged_any = false;
+        for (_root, sk) in comp_sketch {
+            match space.sample_edge(&sk) {
+                EdgeSample::Zero => {}
+                EdgeSample::Fail => {
+                    sample_failures += 1;
+                    all_zero = false;
+                }
+                EdgeSample::Edge(x, y) => {
+                    all_zero = false;
+                    let (&jx, &jy) = (
+                        local.get(&x).expect("sampled endpoint outside vertex set"),
+                        local.get(&y).expect("sampled endpoint outside vertex set"),
+                    );
+                    if uf.union(jx, jy) {
+                        edges.push(Edge::new(x, y));
+                        merged_any = true;
+                    }
+                }
+            }
+        }
+        if all_zero {
+            // Every component certified an empty cut: the forest is maximal.
+            exhausted = false;
+            break;
+        }
+        let _ = merged_any; // progress is not required every round (failures happen)
+        let _ = f;
+    }
+
+    edges.sort();
+    SpanningResult {
+        edges,
+        sample_failures,
+        exhausted,
+    }
+}
+
+/// Convenience: number of families sufficient for an `n`-vertex instance
+/// (`Θ(log n)` Borůvka iterations plus slack for sampler failures).
+pub fn recommended_families(n: usize) -> usize {
+    let lg = (usize::BITS - n.max(2).leading_zeros()) as usize;
+    2 * lg + 4
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cc_graph::{connectivity, generators, Graph};
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    /// Build the full sketch input for graph `g` restricted to vertex set
+    /// `ids` (which must be closed under adjacency).
+    fn sketch_all(
+        g: &Graph,
+        ids: &[usize],
+        t: usize,
+        seed: u64,
+    ) -> (Vec<GraphSketchSpace>, Vec<Vec<Sketch>>) {
+        let spaces = GraphSketchSpace::family(g.n(), t, seed);
+        let sketches = spaces
+            .iter()
+            .map(|sp| {
+                ids.iter()
+                    .map(|&v| sp.sketch_neighborhood(v, g.neighbors(v).iter().map(|&u| u as usize)))
+                    .collect()
+            })
+            .collect();
+        (spaces, sketches)
+    }
+
+    fn forest_of(g: &Graph, seed: u64) -> SpanningResult {
+        let ids: Vec<usize> = (0..g.n()).collect();
+        let (spaces, sketches) = sketch_all(g, &ids, recommended_families(g.n()), seed);
+        spanning_forest_via_sketches(&spaces, &ids, &sketches)
+    }
+
+    /// The forest must have exactly n − c(G) edges, all real, acyclic, and
+    /// connect exactly g's components.
+    fn assert_maximal_forest(g: &Graph, res: &SpanningResult) {
+        assert!(!res.exhausted, "families exhausted");
+        let mut uf = UnionFind::new(g.n());
+        for e in &res.edges {
+            assert!(g.has_edge(e.u as usize, e.v as usize), "foreign edge");
+            assert!(uf.union(e.u as usize, e.v as usize), "cycle in forest");
+        }
+        let expect = g.n() - connectivity::component_count(g);
+        assert_eq!(res.edges.len(), expect, "not maximal");
+        let labels = connectivity::component_labels(g);
+        for u in 0..g.n() {
+            for v in 0..g.n() {
+                if labels[u] == labels[v] {
+                    assert!(uf.same(u, v));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn connected_graph_full_tree() {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let g = generators::random_connected_graph(30, 0.1, &mut rng);
+        assert_maximal_forest(&g, &forest_of(&g, 11));
+    }
+
+    #[test]
+    fn disconnected_graph_forest() {
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let g = generators::with_k_components(40, 4, 0.3, &mut rng);
+        assert_maximal_forest(&g, &forest_of(&g, 12));
+    }
+
+    #[test]
+    fn edgeless_graph() {
+        let g = Graph::new(10);
+        let res = forest_of(&g, 13);
+        assert!(res.edges.is_empty());
+        assert!(!res.exhausted);
+    }
+
+    #[test]
+    fn single_edge() {
+        let mut g = Graph::new(4);
+        g.add_edge(1, 3);
+        let res = forest_of(&g, 14);
+        assert_eq!(res.edges, vec![Edge::new(1, 3)]);
+    }
+
+    #[test]
+    fn dense_graph() {
+        let g = generators::complete(20);
+        assert_maximal_forest(&g, &forest_of(&g, 15));
+    }
+
+    #[test]
+    fn many_seeds_never_produce_wrong_forests() {
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        for seed in 0..15 {
+            let g = generators::gnp(25, 0.08, &mut rng);
+            assert_maximal_forest(&g, &forest_of(&g, 1000 + seed));
+        }
+    }
+
+    #[test]
+    fn subset_vertex_ids_work() {
+        // Graph on vertices {2,5,7,9} inside a 12-vertex universe.
+        let mut g = Graph::new(12);
+        g.add_edge(2, 5);
+        g.add_edge(5, 7);
+        g.add_edge(7, 9);
+        let ids = vec![2usize, 5, 7, 9];
+        let (spaces, sketches) = sketch_all(&g, &ids, 8, 77);
+        let res = spanning_forest_via_sketches(&spaces, &ids, &sketches);
+        assert_eq!(res.edges.len(), 3);
+        assert!(!res.exhausted);
+    }
+
+    #[test]
+    fn tiny_family_count_reports_exhaustion_or_succeeds() {
+        // With a single family, a path cannot be fully contracted (needs
+        // ~log n Borůvka rounds); exhaustion must be reported, never a
+        // silently-wrong "maximal" forest.
+        let g = generators::path(16);
+        let ids: Vec<usize> = (0..16).collect();
+        let (spaces, sketches) = sketch_all(&g, &ids, 1, 21);
+        let res = spanning_forest_via_sketches(&spaces, &ids, &sketches);
+        assert!(res.exhausted, "one Borůvka round cannot finish a 16-path");
+        assert!(res.edges.len() < 15);
+    }
+
+    #[test]
+    #[should_panic(expected = "one sketch per vertex")]
+    fn dimension_mismatch_rejected() {
+        let g = generators::path(4);
+        let ids: Vec<usize> = (0..4).collect();
+        let (spaces, mut sketches) = sketch_all(&g, &ids, 2, 5);
+        sketches[0].pop();
+        spanning_forest_via_sketches(&spaces, &ids, &sketches);
+    }
+}

@@ -1,0 +1,76 @@
+//! Scenario: a battery-constrained sensor deployment where every message
+//! costs energy — the setting that motivates the paper's *message*
+//! complexity results. The Theorem 13 KT1 algorithm computes the MST with
+//! `O(n polylog n)` messages, while the `O(log log log n)`-round
+//! EXACT-MST burns `Θ(n²)`; this example measures both on the same
+//! geometric-style graph.
+//!
+//! ```text
+//! cargo run --release --example sensor_network
+//! ```
+
+use congested_clique::core::{exact_mst, kt1_mst, ExactMstConfig, Kt1MstConfig};
+use congested_clique::graph::{mst, WGraph};
+use congested_clique::net::NetConfig;
+use congested_clique::route::Net;
+
+/// Sensors on a ring with a few chords: sparse, connected, deterministic.
+fn deployment(n: usize) -> WGraph {
+    let mut g = WGraph::new(n);
+    for v in 0..n {
+        g.add_edge(v, (v + 1) % n, ((v * 17 + 3) % 100 + 1) as u64);
+        if v % 5 == 0 {
+            g.add_edge(v, (v + n / 3) % n, ((v * 29 + 7) % 100 + 50) as u64);
+        }
+    }
+    g
+}
+
+fn main() {
+    for n in [32usize, 64, 128] {
+        let g = deployment(n);
+        let reference = mst::kruskal(&g);
+
+        let mut net_low = Net::new(NetConfig::kt1(n).with_seed(1));
+        let low = kt1_mst::kt1_mst(&mut net_low, &g, &Kt1MstConfig::default())
+            .expect("simulation failed");
+        assert!(low.complete);
+        assert_eq!(low.mst, reference);
+
+        let mut net_fast = Net::new(NetConfig::kt1(n).with_seed(1));
+        let fast = exact_mst(&mut net_fast, &g, &ExactMstConfig::default())
+            .expect("simulation failed");
+        assert_eq!(fast.mst, reference);
+
+        let lg = (n as f64).log2();
+        println!("n = {n:>4}  (m = {})", g.m());
+        println!(
+            "  Theorem 13 (low-message): {:>9} messages  {:>7} rounds   [n·log⁵n = {:.0}]",
+            low.cost.messages,
+            low.cost.rounds,
+            n as f64 * lg.powi(5)
+        );
+        println!(
+            "  Theorem 7  (fast)       : {:>9} messages  {:>7} rounds   [n² = {}]",
+            fast.cost.messages,
+            fast.cost.rounds,
+            n * n
+        );
+        println!(
+            "  message ratio fast/low  : {:.2}×; round ratio low/fast: {:.2}×",
+            fast.cost.messages as f64 / low.cost.messages as f64,
+            low.cost.rounds as f64 / fast.cost.rounds as f64,
+        );
+        // Every sensor knows its incident backbone links (the paper's MST
+        // output requirement).
+        let incident_total: usize = low.incident.iter().map(Vec::len).sum();
+        assert_eq!(incident_total, 2 * low.mst.len());
+    }
+    println!("both algorithms agree with Kruskal on every deployment ✓");
+    println!(
+        "note: at laptop-scale n the log⁵ n factor still dominates n, so the \
+         low-message algorithm's absolute counts exceed Θ(n²); what the sweep \
+         shows is the *growth*: its messages scale ~n·polylog (the fast/low \
+         ratio rises with n toward the asymptotic crossover)."
+    );
+}

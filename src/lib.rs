@@ -1,0 +1,50 @@
+//! # congested-clique
+//!
+//! A full reproduction of Hegeman, Pandurangan, Pemmaraju, Sardeshmukh and
+//! Scquizzato, *Toward Optimal Bounds in the Congested Clique: Graph
+//! Connectivity and MST* (PODC 2015).
+//!
+//! This umbrella crate re-exports the workspace so downstream users can
+//! depend on a single crate:
+//!
+//! * [`graph`] — graph substrate and sequential reference algorithms.
+//! * [`net`] — the Congested Clique simulator (rounds, bandwidth, KT0/KT1,
+//!   cost metering).
+//! * [`sketch`] — linear graph sketches and ℓ0-sampling (Section 2.1).
+//! * [`route`] — clique collectives: routing, sorting, broadcast.
+//! * [`lotker`] — the Lotker et al. `O(log log n)` CC-MST used as the
+//!   paper's preprocessing step.
+//! * [`kkt`] — Karger–Klein–Tarjan sampling and F-light classification.
+//! * [`core`] — the paper's algorithms: `O(log log log n)` connectivity and
+//!   MST, the KT1 low-message MST, bipartiteness, k-edge-connectivity.
+//! * [`lb`] — the Section 3 / Section 4 lower-bound constructions and
+//!   adversary demonstrators.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use congested_clique::graph::generators;
+//! use congested_clique::core::gc;
+//! use congested_clique::net::NetConfig;
+//! use rand::SeedableRng;
+//! use rand_chacha::ChaCha8Rng;
+//!
+//! let mut rng = ChaCha8Rng::seed_from_u64(1);
+//! let g = generators::random_connected_graph(64, 0.08, &mut rng);
+//! let run = gc::run(&g, &NetConfig::kt1(64).with_seed(9)).unwrap();
+//! assert!(run.output.connected);
+//! println!("GC finished in {} rounds", run.cost.rounds);
+//! ```
+
+#![forbid(unsafe_code)]
+
+pub mod paper;
+
+pub use cc_core as core;
+pub use cc_graph as graph;
+pub use cc_kkt as kkt;
+pub use cc_lb as lb;
+pub use cc_lotker as lotker;
+pub use cc_net as net;
+pub use cc_route as route;
+pub use cc_sketch as sketch;

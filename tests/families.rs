@@ -1,0 +1,108 @@
+//! The full pipelines on the extended generator families: grids, barbells,
+//! caterpillars, small worlds, near-regular graphs — shapes that stress
+//! different parts of the machinery (deep BFS trees, thin cuts, star
+//! merges, high-degree hubs).
+
+use congested_clique::core::{exact_mst, gc, kt1_mst, ExactMstConfig, GcConfig, Kt1MstConfig};
+use congested_clique::graph::{connectivity, generators, mst, stats, Graph};
+use congested_clique::net::NetConfig;
+use congested_clique::route::Net;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn check_gc(g: &Graph, seed: u64) {
+    let run = gc::run(g, &NetConfig::kt1(g.n()).with_seed(seed)).unwrap();
+    assert_eq!(run.output.connected, connectivity::is_connected(g));
+    assert_eq!(run.output.labels, connectivity::component_labels(g));
+}
+
+#[test]
+fn gc_on_grids_and_barbells() {
+    check_gc(&generators::grid(5, 8), 1);
+    check_gc(&generators::grid(1, 30), 2);
+    check_gc(&generators::barbell(6, 3), 3);
+    check_gc(&generators::barbell(4, 1), 4);
+}
+
+#[test]
+fn gc_on_trees_and_small_worlds() {
+    let mut rng = ChaCha8Rng::seed_from_u64(5);
+    check_gc(&generators::caterpillar(6, 4), 5);
+    check_gc(&generators::small_world(40, 2, 0.2, &mut rng), 6);
+    check_gc(&generators::near_regular(36, 4, &mut rng), 7);
+}
+
+#[test]
+fn gc_pure_sketch_on_grid() {
+    let g = generators::grid(6, 6);
+    let cfg = GcConfig {
+        phases: Some(0),
+        families: None,
+    };
+    let run = gc::run_with(&g, &NetConfig::kt1(36).with_seed(8), &cfg).unwrap();
+    assert!(run.output.connected);
+    assert_eq!(run.output.spanning_forest.len(), 35);
+}
+
+#[test]
+fn mst_on_weighted_grid_and_barbell() {
+    let mut rng = ChaCha8Rng::seed_from_u64(9);
+    for (i, base) in [generators::grid(4, 6), generators::barbell(5, 2)]
+        .into_iter()
+        .enumerate()
+    {
+        let g = generators::with_random_weights(&base, 1000, &mut rng);
+        let reference = mst::kruskal(&g);
+        let mut net = Net::new(NetConfig::kt1(g.n()).with_seed(i as u64));
+        let fast = exact_mst(&mut net, &g, &ExactMstConfig::default()).unwrap();
+        assert_eq!(fast.mst, reference, "case {i}");
+        let mut net2 = Net::new(NetConfig::kt1(g.n()).with_seed(i as u64));
+        let low = kt1_mst(&mut net2, &g, &Kt1MstConfig::default()).unwrap();
+        assert_eq!(low.mst, reference, "case {i}");
+    }
+}
+
+#[test]
+fn caterpillar_star_merges_in_one_lotker_phase() {
+    // Every leaf's only candidate is its spine vertex: phase 1 merges each
+    // star entirely (Borůvka star contraction); spine edges may chain too.
+    let g = generators::caterpillar(8, 5);
+    let run = gc::run_with(
+        &g,
+        &NetConfig::kt1(g.n()).with_seed(10),
+        &GcConfig { phases: Some(1), families: None },
+    )
+    .unwrap();
+    assert!(run.output.connected);
+}
+
+#[test]
+fn stats_agree_with_pipeline_views() {
+    let mut rng = ChaCha8Rng::seed_from_u64(11);
+    let g = generators::small_world(30, 2, 0.1, &mut rng);
+    let run = gc::run(&g, &NetConfig::kt1(30).with_seed(12)).unwrap();
+    assert_eq!(
+        run.output.component_count == 1,
+        stats::diameter(&g).is_some()
+    );
+    assert!(stats::density(&g) > 0.0);
+}
+
+#[test]
+fn thin_cut_graphs_stress_witness_mapping() {
+    // Barbell with a long bridge: Phase-2 witnesses must be the actual
+    // bridge edges when phases are limited.
+    let g = generators::barbell(8, 6);
+    for phases in [0usize, 1] {
+        let run = gc::run_with(
+            &g,
+            &NetConfig::kt1(g.n()).with_seed(13 + phases as u64),
+            &GcConfig { phases: Some(phases), families: None },
+        )
+        .unwrap();
+        assert!(run.output.connected);
+        for e in &run.output.spanning_forest {
+            assert!(g.has_edge(e.u as usize, e.v as usize));
+        }
+    }
+}

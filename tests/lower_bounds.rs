@@ -1,0 +1,89 @@
+//! Cross-crate lower-bound integration: the Section 3 adversary against
+//! the *real* Theorem 4 algorithm's transcript, and the Section 4
+//! crossing audit applied to recorded runs.
+
+use congested_clique::core::{gc, GcConfig};
+use congested_clique::graph::connectivity;
+use congested_clique::lb;
+use congested_clique::net::NetConfig;
+use congested_clique::route::Net;
+use std::collections::HashSet;
+
+#[test]
+fn hard_distribution_runs_through_the_real_gc() {
+    use rand::SeedableRng;
+    let inst = lb::hard_instance(20, 60);
+    let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(1);
+    for trial in 0..6u64 {
+        let (g, label) = inst.sample(&mut rng);
+        let run = gc::run(&g, &NetConfig::kt1(20).with_seed(trial)).unwrap();
+        assert_eq!(run.output.connected, label, "trial {trial}");
+    }
+}
+
+#[test]
+fn real_gc_transcript_touches_every_square() {
+    let inst = lb::hard_instance(16, 48);
+    let squares = lb::edge_disjoint_squares(&inst);
+    assert!(!squares.is_empty());
+    let cfg = NetConfig::kt1(16).with_seed(2).with_transcript();
+    let mut net = Net::new(cfg);
+    let out = gc::run_on(&mut net, &inst.graph, &GcConfig::default()).unwrap();
+    assert!(!out.connected);
+    let used = lb::links_used(net.transcript());
+    assert!(
+        lb::find_untouched_square(&squares, &used).is_none(),
+        "a correct Θ(n²) algorithm leaves no square silent"
+    );
+}
+
+#[test]
+fn swapping_an_untouched_square_flips_the_answer() {
+    let inst = lb::hard_instance(20, 80);
+    let squares = lb::edge_disjoint_squares(&inst);
+    // A profile below the square count (here: empty) is always fooled.
+    let square = lb::find_untouched_square(&squares, &HashSet::new()).unwrap();
+    let swapped = inst.apply_swap(&square.swap());
+    assert!(!connectivity::is_connected(&inst.graph));
+    assert!(connectivity::is_connected(&swapped));
+    // The real algorithm distinguishes them, of course.
+    let r1 = gc::run(&inst.graph, &NetConfig::kt1(20).with_seed(3)).unwrap();
+    let r2 = gc::run(&swapped, &NetConfig::kt1(20).with_seed(3)).unwrap();
+    assert!(!r1.output.connected);
+    assert!(r2.output.connected);
+}
+
+#[test]
+fn gc_crossing_audit_on_the_kt1_family() {
+    // Run the *paper's* GC on G_{i,0} and G_{i,i+1} with transcripts and
+    // verify the Theorem 10 crossing structure holds for it too.
+    let i = 7;
+    let n = 2 * i + 2;
+    let mut crossed: HashSet<usize> = HashSet::new();
+    for j in [0, i + 1] {
+        let g = lb::g_ij(i, j);
+        let cfg = NetConfig::kt1(n).with_seed(4).with_transcript();
+        let mut net = Net::new(cfg);
+        let out = gc::run_on(&mut net, &g, &GcConfig::default()).unwrap();
+        assert_eq!(out.connected, j == 0);
+        crossed.extend(lb::crossed_partitions(i, net.transcript()));
+    }
+    assert_eq!(crossed.len(), i, "every partition crossed");
+}
+
+#[test]
+fn kt1_family_solved_correctly_for_every_j() {
+    let i = 5;
+    let n = 2 * i + 2;
+    for j in 0..=(i + 1) {
+        let g = lb::g_ij(i, j);
+        let run = gc::run(&g, &NetConfig::kt1(n).with_seed(j as u64)).unwrap();
+        assert_eq!(run.output.connected, j == 0, "j={j}");
+        let expect_components = match j {
+            0 => 1,
+            jj if jj == i + 1 => i + 1,
+            _ => 2,
+        };
+        assert_eq!(run.output.component_count, expect_components);
+    }
+}

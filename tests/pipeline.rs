@@ -1,0 +1,160 @@
+//! End-to-end integration tests spanning every crate: the paper's
+//! algorithms run inside the simulator on varied inputs and must agree
+//! with the sequential references, across knowledge models, bandwidths,
+//! and configuration knobs.
+
+use congested_clique::core::{
+    exact_mst, gc, kt1_mst, sq_mst, ExactMstConfig, GcConfig, Kt1MstConfig, SqMstConfig,
+    SqMstInstance,
+};
+use congested_clique::graph::{connectivity, generators, mst, Graph, WGraph};
+use congested_clique::net::NetConfig;
+use congested_clique::route::Net;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn assert_gc_matches_reference(g: &Graph, run: &gc::GcRun) {
+    assert_eq!(run.output.connected, connectivity::is_connected(g));
+    assert_eq!(run.output.component_count, connectivity::component_count(g));
+    assert_eq!(run.output.labels, connectivity::component_labels(g));
+    assert_eq!(
+        run.output.spanning_forest.len(),
+        g.n() - connectivity::component_count(g)
+    );
+}
+
+#[test]
+fn gc_on_varied_families() {
+    let mut rng = ChaCha8Rng::seed_from_u64(1);
+    let cases: Vec<(String, Graph)> = vec![
+        ("path".into(), generators::path(50)),
+        ("cycle".into(), generators::cycle(50)),
+        ("star".into(), generators::star(50)),
+        ("complete".into(), generators::complete(30)),
+        ("gnp-sparse".into(), generators::gnp(50, 0.02, &mut rng)),
+        ("gnp-dense".into(), generators::gnp(40, 0.3, &mut rng)),
+        ("3-components".into(), generators::with_k_components(45, 3, 0.3, &mut rng)),
+        ("circulant".into(), generators::circulant(44, &[1, 5])),
+        ("edgeless".into(), Graph::new(20)),
+    ];
+    for (name, g) in cases {
+        let run = gc::run(&g, &NetConfig::kt1(g.n()).with_seed(11)).unwrap_or_else(|e| {
+            panic!("{name}: {e}");
+        });
+        assert_gc_matches_reference(&g, &run);
+    }
+}
+
+#[test]
+fn gc_kt0_and_kt1_agree() {
+    let mut rng = ChaCha8Rng::seed_from_u64(2);
+    let g = generators::gnp(36, 0.08, &mut rng);
+    let kt1 = gc::run(&g, &NetConfig::kt1(36).with_seed(3)).unwrap();
+    let kt0 = gc::run(&g, &NetConfig::kt0(36).with_seed(3)).unwrap();
+    assert_eq!(kt1.output, kt0.output);
+}
+
+#[test]
+fn gc_output_invariant_under_bandwidth() {
+    let g = generators::path(40);
+    let cfg = GcConfig {
+        phases: Some(0),
+        families: None,
+    };
+    let narrow = gc::run_with(&g, &NetConfig::kt1(40).with_seed(4), &cfg).unwrap();
+    let wide = gc::run_with(
+        &g,
+        &NetConfig::kt1(40).with_seed(4).with_link_words(512),
+        &cfg,
+    )
+    .unwrap();
+    assert_eq!(narrow.output, wide.output);
+    assert!(wide.cost.rounds < narrow.cost.rounds);
+}
+
+#[test]
+fn exact_mst_many_seeds_and_configs() {
+    for seed in 0..4u64 {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let g = generators::complete_wgraph(22, &mut rng);
+        let reference = mst::kruskal(&g);
+        for phases in [None, Some(1), Some(2)] {
+            let cfg = ExactMstConfig {
+                phases,
+                families: Some(10),
+                ..Default::default()
+            };
+            let mut net = Net::new(NetConfig::kt1(22).with_seed(seed));
+            let run = exact_mst(&mut net, &g, &cfg).unwrap();
+            assert_eq!(run.mst, reference, "seed={seed} phases={phases:?}");
+        }
+    }
+}
+
+#[test]
+fn kt1_mst_agrees_with_exact_mst_and_kruskal() {
+    for seed in 0..3u64 {
+        let mut rng = ChaCha8Rng::seed_from_u64(100 + seed);
+        let g = generators::random_connected_wgraph(28, 0.15, 10_000, &mut rng);
+        let reference = mst::kruskal(&g);
+        let mut n1 = Net::new(NetConfig::kt1(28).with_seed(seed));
+        let low = kt1_mst(&mut n1, &g, &Kt1MstConfig::default()).unwrap();
+        assert!(low.complete);
+        assert_eq!(low.mst, reference);
+        let mut n2 = Net::new(NetConfig::kt1(28).with_seed(seed));
+        let fast = exact_mst(&mut n2, &g, &ExactMstConfig::default()).unwrap();
+        assert_eq!(fast.mst, reference);
+    }
+}
+
+#[test]
+fn sq_mst_standalone_cross_check() {
+    let mut rng = ChaCha8Rng::seed_from_u64(9);
+    let g = generators::gnp_weighted(18, 0.5, 500, &mut rng);
+    let mut edges_by_holder = vec![Vec::new(); 18];
+    for e in g.edges() {
+        edges_by_holder[e.u as usize].push(e);
+    }
+    let inst = SqMstInstance {
+        vertices: (0..18).collect(),
+        edges_by_holder,
+    };
+    let cfg = SqMstConfig {
+        group_size: Some(g.m().div_ceil(4).max(1)),
+        families: Some(10),
+    };
+    let mut net = Net::new(NetConfig::kt1(18).with_seed(5));
+    let out = sq_mst(&mut net, &inst, &cfg).unwrap();
+    assert_eq!(out, mst::kruskal(&g));
+}
+
+#[test]
+fn full_stack_weight_agreement_with_ties() {
+    // Tie-heavy weights: all algorithms must produce minimum-weight
+    // spanning forests of identical total weight.
+    let mut rng = ChaCha8Rng::seed_from_u64(12);
+    let base = generators::random_connected_graph(20, 0.3, &mut rng);
+    let mut g = WGraph::new(20);
+    for (i, e) in base.edges().into_iter().enumerate() {
+        g.add_edge(e.u as usize, e.v as usize, (i % 3) as u64);
+    }
+    let ref_weight = WGraph::total_weight(&mst::kruskal(&g));
+    let mut n1 = Net::new(NetConfig::kt1(20).with_seed(6));
+    let a = exact_mst(&mut n1, &g, &ExactMstConfig { phases: Some(1), families: Some(10), ..Default::default() }).unwrap();
+    assert!(mst::is_spanning_forest(&g, &a.mst));
+    assert_eq!(WGraph::total_weight(&a.mst), ref_weight);
+    let mut n2 = Net::new(NetConfig::kt1(20).with_seed(6));
+    let b = kt1_mst(&mut n2, &g, &Kt1MstConfig::default()).unwrap();
+    assert_eq!(b.mst, mst::kruskal(&g), "tie-break consistent end to end");
+}
+
+#[test]
+fn umbrella_reexports_are_usable() {
+    // The umbrella crate exposes every subsystem.
+    let _ = congested_clique::sketch::GraphSketchSpace::new(4, 1);
+    let _ = congested_clique::lotker::reduce_components_phases(64);
+    let _ = congested_clique::kkt::kkt_light_bound(64, 0.5);
+    let _ = congested_clique::lb::g_ij(2, 0);
+    let _: congested_clique::route::Net =
+        congested_clique::net::CliqueNet::new(NetConfig::kt1(4));
+}

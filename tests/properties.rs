@@ -1,0 +1,77 @@
+//! Cross-crate property-based tests: for arbitrary random inputs, the
+//! distributed pipelines must agree with the sequential references and
+//! the cost model must stay internally consistent.
+
+use congested_clique::core::{exact_mst, gc, ExactMstConfig, GcConfig};
+use congested_clique::graph::{connectivity, generators, mst};
+use congested_clique::net::NetConfig;
+use congested_clique::route::Net;
+use proptest::prelude::*;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// GC agrees with BFS on arbitrary G(n, p), for arbitrary phase knobs.
+    #[test]
+    fn gc_matches_reference(seed in any::<u64>(), n in 8usize..36, pct in 0u32..25, phases in 0usize..3) {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let g = generators::gnp(n, pct as f64 / 100.0, &mut rng);
+        let cfg = GcConfig { phases: Some(phases), families: None };
+        let run = gc::run_with(&g, &NetConfig::kt1(n).with_seed(seed), &cfg).unwrap();
+        prop_assert_eq!(run.output.connected, connectivity::is_connected(&g));
+        prop_assert_eq!(run.output.component_count, connectivity::component_count(&g));
+        prop_assert_eq!(run.output.labels, connectivity::component_labels(&g));
+    }
+
+    /// EXACT-MST equals Kruskal edge-for-edge on distinct-weight cliques.
+    #[test]
+    fn exact_mst_matches_kruskal(seed in any::<u64>(), n in 8usize..20) {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let g = generators::complete_wgraph(n, &mut rng);
+        let cfg = ExactMstConfig { phases: Some(1), families: Some(8), ..Default::default() };
+        let mut net = Net::new(NetConfig::kt1(n).with_seed(seed));
+        let run = exact_mst(&mut net, &g, &cfg).unwrap();
+        prop_assert_eq!(run.mst, mst::kruskal(&g));
+    }
+
+    /// Cost-model consistency: bits = words × word_bits; a round moves at
+    /// most n(n−1) messages; messages never exceed words.
+    #[test]
+    fn cost_model_consistent(seed in any::<u64>(), n in 8usize..28) {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let g = generators::gnp(n, 0.1, &mut rng);
+        let nc = NetConfig::kt1(n).with_seed(seed);
+        let run = gc::run(&g, &nc).unwrap();
+        let c = run.cost;
+        prop_assert_eq!(c.bits, c.words * nc.word_bits());
+        prop_assert!(c.messages <= c.words, "every message is ≥ 1 word");
+        prop_assert!(c.messages <= c.rounds * (n as u64) * (n as u64 - 1));
+        // Scopes partition the run.
+        prop_assert!(run.phase1.rounds + run.phase2.rounds <= c.rounds);
+    }
+
+    /// Determinism: identical seeds give identical outputs and costs.
+    #[test]
+    fn runs_are_deterministic(seed in any::<u64>(), n in 8usize..24) {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let g = generators::gnp(n, 0.15, &mut rng);
+        let nc = NetConfig::kt1(n).with_seed(seed ^ 0xDEAD);
+        let a = gc::run(&g, &nc).unwrap();
+        let b = gc::run(&g, &nc).unwrap();
+        prop_assert_eq!(a.output, b.output);
+        prop_assert_eq!(a.cost, b.cost);
+    }
+
+    /// Different seeds may change costs but never outputs.
+    #[test]
+    fn seeds_never_change_answers(seed in any::<u64>(), n in 8usize..24) {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let g = generators::gnp(n, 0.12, &mut rng);
+        let a = gc::run(&g, &NetConfig::kt1(n).with_seed(1)).unwrap();
+        let b = gc::run(&g, &NetConfig::kt1(n).with_seed(2)).unwrap();
+        prop_assert_eq!(a.output.connected, b.output.connected);
+        prop_assert_eq!(a.output.labels, b.output.labels);
+    }
+}

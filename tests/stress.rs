@@ -1,0 +1,89 @@
+//! Large-scale stress tests — `#[ignore]`d by default because they take
+//! minutes in debug builds. Run with:
+//!
+//! ```text
+//! cargo test --release --test stress -- --ignored
+//! ```
+
+use congested_clique::core::{exact_mst, gc, kt1_mst, ExactMstConfig, GcConfig, Kt1MstConfig};
+use congested_clique::graph::{connectivity, generators, mst};
+use congested_clique::net::NetConfig;
+use congested_clique::route::Net;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+#[test]
+#[ignore = "minutes-long; run with --release -- --ignored"]
+fn gc_at_n_1024() {
+    let n = 1024;
+    let mut rng = ChaCha8Rng::seed_from_u64(1);
+    let g = generators::random_connected_graph(n, 3.0 / n as f64, &mut rng);
+    let run = gc::run(&g, &NetConfig::kt1(n).with_seed(1)).unwrap();
+    assert!(run.output.connected);
+    assert_eq!(run.output.labels, connectivity::component_labels(&g));
+    // The schedule at n = 1024 is 5 Lotker phases; rounds stay far below
+    // any log n trend.
+    assert!(run.cost.rounds < 200, "rounds = {}", run.cost.rounds);
+}
+
+#[test]
+#[ignore = "minutes-long; run with --release -- --ignored"]
+fn pure_sketch_gc_at_n_512() {
+    let n = 512;
+    let g = generators::path(n);
+    let cfg = GcConfig {
+        phases: Some(0),
+        families: None,
+    };
+    let nc = NetConfig::kt1(n)
+        .with_seed(2)
+        .with_link_words(NetConfig::polylog_bandwidth(n));
+    let run = gc::run_with(&g, &nc, &cfg).unwrap();
+    assert!(run.output.connected);
+    assert!(
+        run.phase2.rounds < 64,
+        "log^5 n bandwidth must keep phase 2 near-constant (got {})",
+        run.phase2.rounds
+    );
+}
+
+#[test]
+#[ignore = "minutes-long; run with --release -- --ignored"]
+fn exact_mst_at_n_256() {
+    let n = 256;
+    let mut rng = ChaCha8Rng::seed_from_u64(3);
+    let g = generators::complete_wgraph(n, &mut rng);
+    let mut net = Net::new(NetConfig::kt1(n).with_seed(3));
+    let run = exact_mst(&mut net, &g, &ExactMstConfig::default()).unwrap();
+    assert_eq!(run.mst, mst::kruskal(&g));
+}
+
+#[test]
+#[ignore = "minutes-long; run with --release -- --ignored"]
+fn kt1_mst_at_n_256() {
+    let n = 256;
+    let mut rng = ChaCha8Rng::seed_from_u64(4);
+    let g = generators::random_connected_wgraph(n, 3.0 / n as f64, 1 << 20, &mut rng);
+    let mut net = Net::new(NetConfig::kt1(n).with_seed(4));
+    let run = kt1_mst(&mut net, &g, &Kt1MstConfig::default()).unwrap();
+    assert!(run.complete);
+    assert_eq!(run.mst, mst::kruskal(&g));
+    let lg = (usize::BITS - (n - 1).leading_zeros()) as u64;
+    assert!(run.cost.messages <= n as u64 * lg.pow(5));
+}
+
+#[test]
+#[ignore = "minutes-long; run with --release -- --ignored"]
+fn forced_sq_mst_pipeline_at_n_64() {
+    let n = 64;
+    let mut rng = ChaCha8Rng::seed_from_u64(5);
+    let g = generators::complete_wgraph(n, &mut rng);
+    let cfg = ExactMstConfig {
+        phases: Some(1),
+        families: Some(12),
+        ..Default::default()
+    };
+    let mut net = Net::new(NetConfig::kt1(n).with_seed(5));
+    let run = exact_mst(&mut net, &g, &cfg).unwrap();
+    assert_eq!(run.mst, mst::kruskal(&g));
+}

@@ -20,7 +20,11 @@ fn bench_exact_default(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
             b.iter(|| {
                 let mut net = Net::new(NetConfig::kt1(n).with_seed(n as u64));
-                black_box(exact_mst(&mut net, &g, &ExactMstConfig::default()).unwrap().mst)
+                black_box(
+                    exact_mst(&mut net, &g, &ExactMstConfig::default())
+                        .unwrap()
+                        .mst,
+                )
             });
         });
     }

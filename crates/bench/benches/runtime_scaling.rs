@@ -1,0 +1,93 @@
+//! Serial vs parallel runtime backends on a compute-bound protocol
+//! (experiment E15, `EXPERIMENTS.md`).
+//!
+//! Each node burns a fixed budget of hash mixing per round — standing in
+//! for sketch construction, the dominant per-node cost in the Theorem 4
+//! algorithms — then passes one word around a ring. Per-node work is held
+//! constant while `n` scales, so the serial engine's wall-clock grows as
+//! `n · work` and the parallel engine's as `n · work / cores (+ barrier
+//! overhead)`; the crossover locates the `n` beyond which fan-out pays.
+
+use cc_net::{Envelope, NetConfig};
+use cc_runtime::{Ctx, Program, Runtime};
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+
+const ROUNDS: u64 = 4;
+const WORK: u64 = 2_000;
+
+fn mix(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// A ring-passing node that does `WORK` hash mixes per round.
+struct CpuBound {
+    elapsed: u64,
+    acc: u64,
+}
+
+impl CpuBound {
+    fn grind(&mut self, me: usize) {
+        let mut h = self.acc ^ (me as u64);
+        for i in 0..WORK {
+            h = mix(h.wrapping_add(i));
+        }
+        self.acc = h;
+    }
+}
+
+impl Program for CpuBound {
+    type Msg = Vec<u64>;
+
+    fn start(&mut self, ctx: &mut Ctx<'_, Vec<u64>>) {
+        self.grind(ctx.me());
+        let next = (ctx.me() + 1) % ctx.n();
+        let _ = ctx.send(next, vec![self.acc]);
+    }
+
+    fn round(&mut self, ctx: &mut Ctx<'_, Vec<u64>>, inbox: &[Envelope<Vec<u64>>]) -> bool {
+        for env in inbox {
+            self.acc ^= env.msg[0];
+        }
+        self.grind(ctx.me());
+        self.elapsed += 1;
+        if self.elapsed < ROUNDS {
+            let next = (ctx.me() + 1) % ctx.n();
+            let _ = ctx.send(next, vec![self.acc]);
+            false
+        } else {
+            true
+        }
+    }
+}
+
+fn programs(n: usize) -> Vec<CpuBound> {
+    (0..n).map(|_| CpuBound { elapsed: 0, acc: 0 }).collect()
+}
+
+fn bench_backends(c: &mut Criterion) {
+    let mut group = c.benchmark_group("runtime/ring-cpu-bound");
+    group.sample_size(10);
+    for &n in &[64usize, 256, 1024, 4096] {
+        group.bench_with_input(BenchmarkId::new("serial", n), &n, |b, &n| {
+            b.iter(|| {
+                let mut rt = Runtime::serial(NetConfig::kt1(n));
+                let out = rt.run(programs(n), ROUNDS + 2).unwrap();
+                black_box(out[0].acc)
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("parallel", n), &n, |b, &n| {
+            b.iter(|| {
+                let mut rt = Runtime::parallel(NetConfig::kt1(n));
+                let out = rt.run(programs(n), ROUNDS + 2).unwrap();
+                black_box(out[0].acc)
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_backends);
+criterion_main!(benches);

@@ -2,8 +2,8 @@
 //! cost side): building neighborhood sketches, linear addition, and
 //! ℓ0 sampling at several universe sizes.
 
-use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 use cc_sketch::{GraphSketchSpace, SketchParams, SketchSpace};
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 
 fn bench_insert(c: &mut Criterion) {
     let mut group = c.benchmark_group("sketch/insert");

@@ -14,7 +14,9 @@ fn bench_union_find(c: &mut Criterion) {
     let mut group = c.benchmark_group("substrate/union-find");
     for &n in &[1_000usize, 100_000] {
         let mut rng = ChaCha8Rng::seed_from_u64(1);
-        let ops: Vec<(usize, usize)> = (0..n).map(|_| (rng.gen_range(0..n), rng.gen_range(0..n))).collect();
+        let ops: Vec<(usize, usize)> = (0..n)
+            .map(|_| (rng.gen_range(0..n), rng.gen_range(0..n)))
+            .collect();
         group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
             b.iter(|| {
                 let mut uf = UnionFind::new(n);
@@ -69,7 +71,11 @@ fn bench_distributed_sort(c: &mut Criterion) {
     for &n in &[16usize, 32] {
         let mut rng = ChaCha8Rng::seed_from_u64(4);
         let per_node: Vec<Vec<[u64; 3]>> = (0..n)
-            .map(|_| (0..n).map(|_| [rng.gen_range(0..10_000), rng.gen(), rng.gen()]).collect())
+            .map(|_| {
+                (0..n)
+                    .map(|_| [rng.gen_range(0..10_000), rng.gen(), rng.gen()])
+                    .collect()
+            })
             .collect();
         group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
             b.iter(|| {

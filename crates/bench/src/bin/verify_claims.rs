@@ -13,7 +13,10 @@ fn main() {
     let full = std::env::args().any(|a| a == "--full");
     let results = verify_all(!full);
     let mut failed = 0usize;
-    println!("reproduction checklist ({} sweeps):\n", if full { "full" } else { "quick" });
+    println!(
+        "reproduction checklist ({} sweeps):\n",
+        if full { "full" } else { "quick" }
+    );
     for r in &results {
         let mark = if r.pass { "PASS" } else { "FAIL" };
         println!("[{mark}] {:<28} {}", r.claim, r.check);

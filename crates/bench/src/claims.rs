@@ -32,9 +32,7 @@ pub fn verify_all(quick: bool) -> Vec<ClaimResult> {
     // Theorem 4 / E1: sub-logarithmic round growth.
     let e1: Table = experiments::time::e1_gc_rounds(quick);
     let rounds = e1.column_f64("gc_rounds");
-    let growth_ok = rounds
-        .windows(2)
-        .all(|w| w[1] <= w[0] * 1.6 + 4.0);
+    let growth_ok = rounds.windows(2).all(|w| w[1] <= w[0] * 1.6 + 4.0);
     out.push(claim(
         "Thm 4 (E1)",
         "GC rounds grow ≪ log n (each doubling of n adds at most a phase)",
@@ -136,7 +134,9 @@ pub fn verify_all(quick: bool) -> Vec<ClaimResult> {
     let rows = &f1.rows;
     let f1_ok = rows.first().is_some_and(|r| r[4] == "1")
         && rows[1..rows.len() - 1].iter().all(|r| r[4] == "2")
-        && rows.last().is_some_and(|r| r[4] == (rows.len() - 1).to_string());
+        && rows
+            .last()
+            .is_some_and(|r| r[4] == (rows.len() - 1).to_string());
     out.push(claim(
         "Figure 1 (F1)",
         "G_{i,j} components are 1 / 2 / i+1 as j sweeps 0..=i+1",

@@ -6,10 +6,10 @@ use cc_core::bipartiteness::bipartiteness;
 use cc_core::broadcast_gc::broadcast_gc;
 use cc_core::kecc::{k_edge_connectivity, k_edge_connectivity_sketch};
 use cc_core::{gc, GcConfig};
-use cc_route::Net;
 use cc_graph::{connectivity, generators};
 use cc_lb::g_ij;
 use cc_net::NetConfig;
+use cc_route::Net;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 
@@ -19,13 +19,24 @@ pub fn e10_bipartiteness(quick: bool) -> Table {
     let mut t = Table::new(
         "E10a",
         "Remark 5: bipartiteness via GC on the double cover — rounds vs n, checked against BFS",
-        &["n", "bipartite_input", "verdict", "rounds", "nonbip_verdict", "nonbip_rounds"],
+        &[
+            "n",
+            "bipartite_input",
+            "verdict",
+            "rounds",
+            "nonbip_verdict",
+            "nonbip_rounds",
+        ],
     );
     for &n in ns {
         let mut rng = ChaCha8Rng::seed_from_u64(23 + n as u64);
         let bip = generators::planted_bipartite(n, 0.3, &mut rng);
-        let rb = bipartiteness(&bip, &NetConfig::kt1(n).with_seed(n as u64), &GcConfig::default())
-            .expect("bipartiteness");
+        let rb = bipartiteness(
+            &bip,
+            &NetConfig::kt1(n).with_seed(n as u64),
+            &GcConfig::default(),
+        )
+        .expect("bipartiteness");
         assert_eq!(rb.bipartite, connectivity::is_bipartite(&bip));
         let odd_n = if n % 2 == 0 { n - 1 } else { n };
         let odd_full = {
@@ -79,8 +90,9 @@ pub fn e10_kecc(quick: bool) -> Table {
         )
         .expect("kecc");
         assert_eq!(run.k_edge_connected, lambda >= k, "k={k}");
-        let one = k_edge_connectivity_sketch(&g, k, &wide.clone().with_seed(90 + k as u64), Some(8))
-            .expect("kecc one-shot");
+        let one =
+            k_edge_connectivity_sketch(&g, k, &wide.clone().with_seed(90 + k as u64), Some(8))
+                .expect("kecc one-shot");
         assert_eq!(one.k_edge_connected, run.k_edge_connected, "k={k}");
         t.push_row(vec![
             k.to_string(),
@@ -107,7 +119,10 @@ pub fn e14_broadcast_model(quick: bool) -> Table {
         ("path", generators::path(n)),
         ("cycle", generators::cycle(n)),
         ("star", generators::star(n)),
-        ("gnp-sparse", generators::random_connected_graph(n, 3.0 / n as f64, &mut rng)),
+        (
+            "gnp-sparse",
+            generators::random_connected_graph(n, 3.0 / n as f64, &mut rng),
+        ),
     ];
     for (name, g) in cases {
         let mut bnet = Net::new(NetConfig::kt1(n).with_seed(7).broadcast_only());

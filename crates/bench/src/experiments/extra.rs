@@ -16,7 +16,11 @@ use rand_chacha::ChaCha8Rng;
 
 /// E12 — GC with `O(n polylog n)` messages vs the `Θ(n²)` Theorem 4 run.
 pub fn e12_low_message_gc(quick: bool) -> Table {
-    let ns: &[usize] = if quick { &[32, 64] } else { &[32, 64, 128, 256] };
+    let ns: &[usize] = if quick {
+        &[32, 64]
+    } else {
+        &[32, 64, 128, 256]
+    };
     let mut t = Table::new(
         "E12",
         "Open question (Sec. 5), message half: GC via Thm 13 machinery — n polylog messages vs Thm 4's n^2",

@@ -105,7 +105,11 @@ pub fn e7_kt1_family(quick: bool) -> Table {
 /// E8 — Theorem 13: KT1 sketch-Borůvka MST message counts vs `n log⁵ n`,
 /// against EXACT-MST's `Θ(n²)`.
 pub fn e8_kt1_mst(quick: bool) -> Table {
-    let ns: &[usize] = if quick { &[32, 64] } else { &[32, 64, 128, 256] };
+    let ns: &[usize] = if quick {
+        &[32, 64]
+    } else {
+        &[32, 64, 128, 256]
+    };
     let mut t = Table::new(
         "E8",
         "Thm 13: KT1 MST messages/rounds vs n log^5 n, against EXACT-MST's Theta(n^2) messages",
@@ -144,7 +148,11 @@ pub fn e8_kt1_mst(quick: bool) -> Table {
 
 /// E11 — the time-encoding protocol: `2(n−1)` messages, `Θ(n·2ⁿ)` rounds.
 pub fn e11_time_encoding(quick: bool) -> Table {
-    let ns: &[usize] = if quick { &[8, 10] } else { &[8, 10, 12, 14, 16] };
+    let ns: &[usize] = if quick {
+        &[8, 10]
+    } else {
+        &[8, 10, 12, 14, 16]
+    };
     let mut t = Table::new(
         "E11",
         "Sec. 4: the O(n)-bit time-encoding protocol — linear messages, super-polynomial rounds",
@@ -196,9 +204,7 @@ pub fn e6_transcript_audit() -> Table {
         "star (n-1 links)".into(),
         star.len().to_string(),
         squares.len().to_string(),
-        find_untouched_square(&squares, &star)
-            .is_some()
-            .to_string(),
+        find_untouched_square(&squares, &star).is_some().to_string(),
     ]);
     t
 }

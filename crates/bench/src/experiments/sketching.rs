@@ -23,7 +23,13 @@ pub fn e3_sketch(quick: bool) -> Table {
     let mut t = Table::new(
         "E3",
         "Theorem 1: sketch bits vs log^4 n; l0 success rate and spread over planted cuts",
-        &["n", "sketch_bits", "log4_n", "success_rate", "distinct_frac"],
+        &[
+            "n",
+            "sketch_bits",
+            "log4_n",
+            "success_rate",
+            "distinct_frac",
+        ],
     );
     for &n in ns {
         let params = SketchParams::for_universe(edge::num_pairs(n));
@@ -61,7 +67,11 @@ pub fn e3_sketch(quick: bool) -> Table {
 /// E4 — unfinished trees after Phase 1 vs the Lemma 3 bound
 /// `O(n / log⁴ n)`, including reduced phase counts that show the decay.
 pub fn e4_reduce_components(quick: bool) -> Table {
-    let ns: &[usize] = if quick { &[64, 128] } else { &[64, 128, 256, 512] };
+    let ns: &[usize] = if quick {
+        &[64, 128]
+    } else {
+        &[64, 128, 256, 512]
+    };
     let mut t = Table::new(
         "E4",
         "Lemma 3: unfinished components after k Lotker phases (paper default k = ceil(logloglog n)+3)",
@@ -90,7 +100,11 @@ pub fn e4_reduce_components(quick: bool) -> Table {
 
 /// E5 — KKT sampling: measured F-light edges vs the Lemma 6 bound `n/p`.
 pub fn e5_kkt(quick: bool) -> Table {
-    let ns: &[usize] = if quick { &[64, 128] } else { &[64, 128, 256, 512] };
+    let ns: &[usize] = if quick {
+        &[64, 128]
+    } else {
+        &[64, 128, 256, 512]
+    };
     let mut t = Table::new(
         "E5",
         "Lemma 6: F-light edge count under p = 1/sqrt(n) sampling vs the n/p bound",

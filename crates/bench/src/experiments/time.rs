@@ -21,12 +21,22 @@ fn ll(n: usize) -> f64 {
 /// E1 — GC rounds vs `n`, against the `log log log n` target and the
 /// full Lotker MST (`log log n`) baseline.
 pub fn e1_gc_rounds(quick: bool) -> Table {
-    let ns: &[usize] = if quick { &[32, 64] } else { &[32, 64, 128, 256, 512] };
+    let ns: &[usize] = if quick {
+        &[32, 64]
+    } else {
+        &[32, 64, 128, 256, 512]
+    };
     let mut t = Table::new(
         "E1",
         "Theorem 4: GC rounds vs n (paper-default phases) with the Lotker-to-completion baseline",
         &[
-            "n", "gc_rounds", "phase1", "phase2", "lotker_full_rounds", "llln", "lln",
+            "n",
+            "gc_rounds",
+            "phase1",
+            "phase2",
+            "lotker_full_rounds",
+            "llln",
+            "lln",
         ],
     );
     for &n in ns {

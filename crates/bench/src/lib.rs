@@ -33,7 +33,11 @@ pub fn all_experiments(quick: bool) -> Vec<(&'static str, fn(bool) -> Table, boo
     // (id, function, quick-flag-passed)
     let _ = quick;
     vec![
-        ("e1", experiments::time::e1_gc_rounds as fn(bool) -> Table, true),
+        (
+            "e1",
+            experiments::time::e1_gc_rounds as fn(bool) -> Table,
+            true,
+        ),
         ("e2", experiments::time::e2_mst_rounds, true),
         ("e3", experiments::sketching::e3_sketch, true),
         ("e4", experiments::sketching::e4_reduce_components, true),

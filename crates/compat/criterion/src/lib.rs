@@ -1,0 +1,271 @@
+//! Offline compatibility shim for the subset of `criterion` 0.5 this
+//! workspace uses.
+//!
+//! Provides [`Criterion`], [`BenchmarkGroup`], [`Bencher`],
+//! [`BenchmarkId`], [`black_box`], and the `criterion_group!` /
+//! `criterion_main!` macros. Timing is a plain wall-clock harness: each
+//! benchmark is auto-calibrated to a small time budget, run `sample_size`
+//! times, and reported as the median ns/iter on stdout. No plots, no
+//! statistics beyond min/median, no baseline files — enough to compare
+//! alternatives in one run, which is how the workspace's benches are used.
+//!
+//! In test mode (`cargo test` passes `--test` to harness-less bench
+//! binaries) every benchmark body runs exactly once so CI verifies the
+//! benches still work without paying for measurement.
+
+#![forbid(unsafe_code)]
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Identifies one benchmark within a group.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter` form.
+    pub fn new(function_name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// Parameter-only form.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl std::fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// Runs the measured closure.
+pub struct Bencher<'a> {
+    mode: Mode,
+    samples: usize,
+    /// Collected median, for the group to report.
+    result: &'a mut Option<Duration>,
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Mode {
+    Measure,
+    TestOnce,
+}
+
+impl Bencher<'_> {
+    /// Measures `routine`, called in a loop.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        if self.mode == Mode::TestOnce {
+            black_box(routine());
+            return;
+        }
+        // Calibrate: find an iteration count that takes ≥ ~2ms.
+        let mut iters: u64 = 1;
+        let per_iter = loop {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(routine());
+            }
+            let elapsed = start.elapsed();
+            if elapsed >= Duration::from_millis(2) || iters >= 1 << 20 {
+                break elapsed / iters as u32;
+            }
+            iters *= 4;
+        };
+        // Sample: `samples` timed batches, keep the median.
+        let mut times: Vec<Duration> = Vec::with_capacity(self.samples);
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(routine());
+            }
+            times.push(start.elapsed() / iters as u32);
+        }
+        times.sort_unstable();
+        let median = times[times.len() / 2];
+        let _ = per_iter;
+        *self.result = Some(median);
+    }
+}
+
+/// A named collection of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    samples: usize,
+    mode: Mode,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Overrides the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.samples = n.max(2);
+        self
+    }
+
+    /// Benchmarks `f` with `input` under `id`.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher<'_>, &I),
+    {
+        let mut result = None;
+        let mut b = Bencher {
+            mode: self.mode,
+            samples: self.samples,
+            result: &mut result,
+        };
+        f(&mut b, input);
+        self.report(&id.to_string(), result);
+        self
+    }
+
+    /// Benchmarks `f` under `id`.
+    pub fn bench_function<F>(&mut self, id: impl std::fmt::Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher<'_>),
+    {
+        let mut result = None;
+        let mut b = Bencher {
+            mode: self.mode,
+            samples: self.samples,
+            result: &mut result,
+        };
+        f(&mut b);
+        self.report(&id.to_string(), result);
+        self
+    }
+
+    fn report(&self, id: &str, result: Option<Duration>) {
+        match (self.mode, result) {
+            (Mode::TestOnce, _) => println!("test {}/{} ... ok (ran once)", self.name, id),
+            (Mode::Measure, Some(t)) => {
+                println!("{}/{:<24} time: [{:>12.2} ns/iter]", self.name, id, t.as_nanos() as f64)
+            }
+            (Mode::Measure, None) => println!("{}/{} ... no measurement", self.name, id),
+        }
+    }
+
+    /// Ends the group (formatting no-op in the shim).
+    pub fn finish(&mut self) {}
+}
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    samples: usize,
+    mode: Mode,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            samples: 20,
+            mode: Mode::Measure,
+        }
+    }
+}
+
+impl Criterion {
+    /// Overrides the default sample count for subsequent groups.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.samples = n.max(2);
+        self
+    }
+
+    /// Applies command-line flags (`--test` switches to run-once mode; all
+    /// other flags, e.g. `--bench` and filters, are accepted and ignored).
+    pub fn configure_from_args(mut self) -> Self {
+        if std::env::args().any(|a| a == "--test") {
+            self.mode = Mode::TestOnce;
+        }
+        self
+    }
+
+    /// Opens a named group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let samples = self.samples;
+        let mode = self.mode;
+        BenchmarkGroup {
+            name: name.into(),
+            samples,
+            mode,
+            _criterion: self,
+        }
+    }
+
+    /// Benchmarks `f` outside any group.
+    pub fn bench_function<F>(&mut self, id: impl std::fmt::Display, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher<'_>),
+    {
+        let name = id.to_string();
+        self.benchmark_group(name.clone()).bench_function("", f);
+        self
+    }
+
+    /// Final reporting hook (no-op in the shim).
+    pub fn final_summary(&mut self) {}
+}
+
+/// Declares a group of benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config.configure_from_args();
+            $($target(&mut criterion);)+
+            criterion.final_summary();
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Declares the benchmark binary's `main`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_ids_format() {
+        assert_eq!(BenchmarkId::new("f", 7).to_string(), "f/7");
+        assert_eq!(BenchmarkId::from_parameter(4096).to_string(), "4096");
+    }
+
+    #[test]
+    fn measure_reports_a_median() {
+        let mut c = Criterion::default().sample_size(3);
+        let mut group = c.benchmark_group("shim-self-test");
+        let mut ran = 0u64;
+        group.bench_with_input(BenchmarkId::from_parameter(1), &1, |b, _| {
+            b.iter(|| {
+                ran += 1;
+                black_box(ran)
+            });
+        });
+        group.finish();
+        assert!(ran > 0, "the routine must actually run");
+    }
+}

@@ -1,0 +1,183 @@
+//! Offline compatibility shim for `rand_chacha` 0.3.
+//!
+//! Implements the real ChaCha block function (D. J. Bernstein) with a
+//! configurable double-round count and exposes [`ChaCha8Rng`],
+//! [`ChaCha12Rng`], and [`ChaCha20Rng`] with the `rand` shim's
+//! [`RngCore`]/[`SeedableRng`] traits. Streams are deterministic per seed
+//! but not bit-identical to upstream `rand_chacha` (which nothing in this
+//! workspace relies on).
+
+#![forbid(unsafe_code)]
+
+use rand::{RngCore, SeedableRng};
+
+/// ChaCha keystream generator with `DR` double-rounds per block.
+#[derive(Clone, Debug)]
+pub struct ChaChaRng<const DR: usize> {
+    /// Key + counter state words (constants re-derived per block).
+    key: [u32; 8],
+    counter: u64,
+    buf: [u32; 16],
+    /// Next unread word in `buf`; 16 means "refill".
+    idx: usize,
+}
+
+/// ChaCha with 8 rounds (4 double-rounds): the simulator's default RNG.
+pub type ChaCha8Rng = ChaChaRng<4>;
+/// ChaCha with 12 rounds.
+pub type ChaCha12Rng = ChaChaRng<6>;
+/// ChaCha with 20 rounds.
+pub type ChaCha20Rng = ChaChaRng<10>;
+
+#[inline(always)]
+fn quarter_round(state: &mut [u32; 16], a: usize, b: usize, c: usize, d: usize) {
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(16);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(12);
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(8);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(7);
+}
+
+impl<const DR: usize> ChaChaRng<DR> {
+    /// "expand 32-byte k" — the standard ChaCha constants.
+    const SIGMA: [u32; 4] = [0x6170_7865, 0x3320_646e, 0x7962_2d32, 0x6b20_6574];
+
+    fn refill(&mut self) {
+        let mut state = [0u32; 16];
+        state[..4].copy_from_slice(&Self::SIGMA);
+        state[4..12].copy_from_slice(&self.key);
+        state[12] = self.counter as u32;
+        state[13] = (self.counter >> 32) as u32;
+        state[14] = 0; // nonce
+        state[15] = 0;
+        let input = state;
+        for _ in 0..DR {
+            // Column round.
+            quarter_round(&mut state, 0, 4, 8, 12);
+            quarter_round(&mut state, 1, 5, 9, 13);
+            quarter_round(&mut state, 2, 6, 10, 14);
+            quarter_round(&mut state, 3, 7, 11, 15);
+            // Diagonal round.
+            quarter_round(&mut state, 0, 5, 10, 15);
+            quarter_round(&mut state, 1, 6, 11, 12);
+            quarter_round(&mut state, 2, 7, 8, 13);
+            quarter_round(&mut state, 3, 4, 9, 14);
+        }
+        for (out, (s, i)) in self.buf.iter_mut().zip(state.iter().zip(input.iter())) {
+            *out = s.wrapping_add(*i);
+        }
+        self.counter = self.counter.wrapping_add(1);
+        self.idx = 0;
+    }
+}
+
+impl<const DR: usize> RngCore for ChaChaRng<DR> {
+    fn next_u32(&mut self) -> u32 {
+        if self.idx >= 16 {
+            self.refill();
+        }
+        let w = self.buf[self.idx];
+        self.idx += 1;
+        w
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        let lo = self.next_u32() as u64;
+        let hi = self.next_u32() as u64;
+        (hi << 32) | lo
+    }
+}
+
+impl<const DR: usize> SeedableRng for ChaChaRng<DR> {
+    type Seed = [u8; 32];
+
+    fn from_seed(seed: Self::Seed) -> Self {
+        let mut key = [0u32; 8];
+        for (k, chunk) in key.iter_mut().zip(seed.chunks_exact(4)) {
+            *k = u32::from_le_bytes(chunk.try_into().expect("4-byte chunk"));
+        }
+        ChaChaRng {
+            key,
+            counter: 0,
+            buf: [0; 16],
+            idx: 16,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = ChaCha8Rng::seed_from_u64(42);
+        let mut b = ChaCha8Rng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = ChaCha8Rng::seed_from_u64(1);
+        let mut b = ChaCha8Rng::seed_from_u64(2);
+        let va: Vec<u64> = (0..8).map(|_| a.next_u64()).collect();
+        let vb: Vec<u64> = (0..8).map(|_| b.next_u64()).collect();
+        assert_ne!(va, vb);
+    }
+
+    #[test]
+    fn chacha20_matches_rfc7539_first_block() {
+        // RFC 7539 §2.3.2 test vector: key 00..1f, counter 1, nonce
+        // 000000090000004a00000000. Our nonce/counter layout differs (we use
+        // a 64-bit counter and zero nonce), so instead verify the raw block
+        // function on the RFC's full state by driving quarter_round
+        // directly.
+        let mut state: [u32; 16] = [
+            0x61707865, 0x3320646e, 0x79622d32, 0x6b206574, 0x03020100, 0x07060504, 0x0b0a0908,
+            0x0f0e0d0c, 0x13121110, 0x17161514, 0x1b1a1918, 0x1f1e1d1c, 0x00000001, 0x09000000,
+            0x4a000000, 0x00000000,
+        ];
+        let input = state;
+        for _ in 0..10 {
+            quarter_round(&mut state, 0, 4, 8, 12);
+            quarter_round(&mut state, 1, 5, 9, 13);
+            quarter_round(&mut state, 2, 6, 10, 14);
+            quarter_round(&mut state, 3, 7, 11, 15);
+            quarter_round(&mut state, 0, 5, 10, 15);
+            quarter_round(&mut state, 1, 6, 11, 12);
+            quarter_round(&mut state, 2, 7, 8, 13);
+            quarter_round(&mut state, 3, 4, 9, 14);
+        }
+        for (s, i) in state.iter_mut().zip(input.iter()) {
+            *s = s.wrapping_add(*i);
+        }
+        assert_eq!(state[0], 0xe4e7f110);
+        assert_eq!(state[15], 0x4e3c50a2);
+    }
+
+    #[test]
+    fn works_with_rng_extension_methods() {
+        let mut rng = ChaCha8Rng::seed_from_u64(9);
+        let x: u64 = rng.gen();
+        let y = rng.gen_range(0usize..10);
+        let b = rng.gen_bool(0.5);
+        let _ = (x, y, b);
+        assert!(y < 10);
+    }
+
+    #[test]
+    fn clone_preserves_stream_position() {
+        let mut a = ChaCha8Rng::seed_from_u64(5);
+        for _ in 0..7 {
+            a.next_u32();
+        }
+        let mut b = a.clone();
+        assert_eq!(a.next_u64(), b.next_u64());
+    }
+}

@@ -146,7 +146,10 @@ mod tests {
         let run = bipartiteness(&g, &cfg(9, 4), &GcConfig::default()).unwrap();
         assert!(!run.bipartite);
         assert_eq!(run.components_g, 2);
-        assert_eq!(run.components_cover, 3, "2 (path cover) + 1 (odd cycle cover)");
+        assert_eq!(
+            run.components_cover, 3,
+            "2 (path cover) + 1 (odd cycle cover)"
+        );
     }
 
     #[test]

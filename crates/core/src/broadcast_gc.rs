@@ -145,7 +145,11 @@ mod tests {
         assert!(r.connected);
         let d = stats::diameter(&g).unwrap() as u64;
         assert!(r.cost.rounds >= d, "cannot beat the diameter");
-        assert!(r.cost.rounds <= d + 8, "rounds {} ≫ diameter {d}", r.cost.rounds);
+        assert!(
+            r.cost.rounds <= d + 8,
+            "rounds {} ≫ diameter {d}",
+            r.cost.rounds
+        );
     }
 
     #[test]

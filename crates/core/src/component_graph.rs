@@ -80,7 +80,10 @@ pub fn build_component_graph(
     assert_eq!(g.n(), n, "graph must span the clique");
     assert_eq!(label_of.len(), n);
     for (v, &l) in label_of.iter().enumerate() {
-        assert!(l <= v && label_of[l] == l, "labels must be component minima");
+        assert!(
+            l <= v && label_of[l] == l,
+            "labels must be component minima"
+        );
     }
 
     // Per node: one witness edge per neighboring component.
@@ -154,7 +157,10 @@ pub fn build_weighted_component_graph(
     assert_eq!(g.n(), n, "graph must span the clique");
     assert_eq!(label_of.len(), n);
     for (v, &l) in label_of.iter().enumerate() {
-        assert!(l <= v && label_of[l] == l, "labels must be component minima");
+        assert!(
+            l <= v && label_of[l] == l,
+            "labels must be component minima"
+        );
     }
 
     // Per node: min-weight edge per neighboring component.
@@ -192,7 +198,11 @@ pub fn build_weighted_component_graph(
     })?;
     net.step(|node, inbox, _out| {
         for env in inbox {
-            received[node].push(WEdge::new(env.msg[1] as usize, env.msg[2] as usize, env.msg[0]));
+            received[node].push(WEdge::new(
+                env.msg[1] as usize,
+                env.msg[2] as usize,
+                env.msg[0],
+            ));
         }
     })?;
 
@@ -202,7 +212,11 @@ pub fn build_weighted_component_graph(
         let mut per_src: HashMap<usize, WEdge> = HashMap::new();
         for e in &received[l] {
             let (u, v) = e.endpoints();
-            let src = if label_of[u] == l { label_of[v] } else { label_of[u] };
+            let src = if label_of[u] == l {
+                label_of[v]
+            } else {
+                label_of[u]
+            };
             per_src
                 .entry(src)
                 .and_modify(|b| {
@@ -276,7 +290,10 @@ mod tests {
         let mut nt = net(5);
         let cg = build_component_graph(&mut nt, &g, &labels_real).unwrap();
         assert_eq!(cg.leaders, vec![0, 4]);
-        assert!(cg.unfinished_leaders().is_empty(), "no inter-component edges");
+        assert!(
+            cg.unfinished_leaders().is_empty(),
+            "no inter-component edges"
+        );
         let _ = labels;
     }
 

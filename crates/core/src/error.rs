@@ -62,6 +62,8 @@ mod tests {
         use std::error::Error as _;
         let n: CoreError = NetError::SelfMessage { node: 1 }.into();
         assert!(n.source().is_some());
-        assert!(CoreError::SketchExhausted { failures: 0 }.source().is_none());
+        assert!(CoreError::SketchExhausted { failures: 0 }
+            .source()
+            .is_none());
     }
 }

@@ -66,7 +66,11 @@ pub struct ExactMstRun {
 /// # Panics
 ///
 /// Panics if `g.n() != net.n()`.
-pub fn exact_mst(net: &mut Net, g: &WGraph, cfg: &ExactMstConfig) -> Result<ExactMstRun, CoreError> {
+pub fn exact_mst(
+    net: &mut Net,
+    g: &WGraph,
+    cfg: &ExactMstConfig,
+) -> Result<ExactMstRun, CoreError> {
     let n = net.n();
     assert_eq!(g.n(), n, "graph must span the clique");
     let start = net.cost();
@@ -118,7 +122,10 @@ pub fn exact_mst(net: &mut Net, g: &WGraph, cfg: &ExactMstConfig) -> Result<Exac
     let all_pairs: Vec<(usize, usize)> = g1.edges();
 
     // ---- Step 3: KKT sampling (coin flips by the holder's private RNG).
-    let p = cfg.sample_p.unwrap_or(1.0 / (n as f64).sqrt()).clamp(0.0, 1.0);
+    let p = cfg
+        .sample_p
+        .unwrap_or(1.0 / (n as f64).sqrt())
+        .clamp(0.0, 1.0);
     let mut h_edges: Vec<Vec<WEdge>> = vec![Vec::new(); n];
     for &(a, b) in &all_pairs {
         if net.node_rng(a).gen_bool(p) {

@@ -15,7 +15,9 @@ use crate::error::CoreError;
 use crate::reduce_components::{reduce_components, ReduceOutcome};
 use cc_graph::{Edge, Graph, UnionFind};
 use cc_net::{Cost, NetConfig};
-use cc_route::{broadcast_large, fragment, gather_direct, reassemble, route, shared_seed, Net, RoutedPacket};
+use cc_route::{
+    broadcast_large, fragment, gather_direct, reassemble, route, shared_seed, Net, RoutedPacket,
+};
 use cc_sketch::{recommended_families, spanning_forest_via_sketches, GraphSketchSpace, Sketch};
 use std::collections::HashMap;
 
@@ -93,7 +95,11 @@ pub fn sketch_and_span(
     }
     let l_count = unfinished.len();
     let t = families.unwrap_or_else(|| recommended_families(l_count));
-    let compact: HashMap<usize, usize> = unfinished.iter().enumerate().map(|(i, &l)| (l, i)).collect();
+    let compact: HashMap<usize, usize> = unfinished
+        .iter()
+        .enumerate()
+        .map(|(i, &l)| (l, i))
+        .collect();
 
     // Theorem 1 preprocessing: shared randomness for the hash functions.
     let seed = shared_seed(net)?;
@@ -271,15 +277,15 @@ mod tests {
 
     fn check_against_reference(g: &Graph, run: &GcRun) {
         assert_eq!(run.output.connected, connectivity::is_connected(g));
-        assert_eq!(
-            run.output.component_count,
-            connectivity::component_count(g)
-        );
+        assert_eq!(run.output.component_count, connectivity::component_count(g));
         assert_eq!(run.output.labels, connectivity::component_labels(g));
         // Forest validity.
         let mut uf = UnionFind::new(g.n());
         for e in &run.output.spanning_forest {
-            assert!(g.has_edge(e.u as usize, e.v as usize), "foreign forest edge");
+            assert!(
+                g.has_edge(e.u as usize, e.v as usize),
+                "foreign forest edge"
+            );
             assert!(uf.union(e.u as usize, e.v as usize), "cycle in forest");
         }
         assert_eq!(
@@ -372,7 +378,10 @@ mod tests {
     #[test]
     fn deterministic_given_seed() {
         let g = generators::path(32);
-        let cfg = GcConfig { phases: Some(0), families: None };
+        let cfg = GcConfig {
+            phases: Some(0),
+            families: None,
+        };
         let a = run_with(&g, &NetConfig::kt1(32).with_seed(5), &cfg).unwrap();
         let b = run_with(&g, &NetConfig::kt1(32).with_seed(5), &cfg).unwrap();
         assert_eq!(a.output, b.output);
@@ -384,7 +393,10 @@ mod tests {
         // Theorem 4 "furthermore": with Θ(log⁵ n)-bit links the sketch
         // transfer collapses to O(1) rounds.
         let g = generators::path(48);
-        let cfg = GcConfig { phases: Some(0), families: None };
+        let cfg = GcConfig {
+            phases: Some(0),
+            families: None,
+        };
         let narrow = run_with(&g, &NetConfig::kt1(48).with_seed(6), &cfg).unwrap();
         let wide_cfg = NetConfig::kt1(48)
             .with_seed(6)

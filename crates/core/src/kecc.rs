@@ -112,7 +112,9 @@ pub fn k_edge_connectivity_sketch(
     // Shared randomness → k peels × t families of sketch spaces.
     let seed = shared_seed(&mut net)?;
     let spaces: Vec<Vec<GraphSketchSpace>> = (0..k)
-        .map(|p| GraphSketchSpace::family(n, t, seed ^ (0xD1B5_4A32_u64.wrapping_mul(p as u64 + 1))))
+        .map(|p| {
+            GraphSketchSpace::family(n, t, seed ^ (0xD1B5_4A32_u64.wrapping_mul(p as u64 + 1)))
+        })
         .collect();
     let words_per = spaces[0][0].sketch_words();
 
@@ -129,7 +131,11 @@ pub fn k_edge_connectivity_sketch(
             }
         }
         for frag in fragment(&words, chunk) {
-            packets.push(RoutedPacket { src: v, dst: coordinator, payload: frag });
+            packets.push(RoutedPacket {
+                src: v,
+                dst: coordinator,
+                payload: frag,
+            });
         }
     }
     let delivered = route(&mut net, packets)?;
@@ -143,7 +149,11 @@ pub fn k_edge_connectivity_sketch(
     let mut sketches: Vec<Vec<Vec<Sketch>>> = vec![vec![Vec::with_capacity(n); t]; k];
     for v in 0..n {
         let words = reassemble(per_node.remove(&v).expect("node sketches missing"));
-        assert_eq!(words.len(), k * t * words_per, "sketch bundle size mismatch");
+        assert_eq!(
+            words.len(),
+            k * t * words_per,
+            "sketch bundle size mismatch"
+        );
         for (j, piece) in words.chunks(words_per).enumerate() {
             let (p, f) = (j / t, j % t);
             sketches[p][f].push(spaces[p][f].sketch_from_words(piece.to_vec()));
@@ -162,7 +172,9 @@ pub fn k_edge_connectivity_sketch(
         }
         let res = spanning_forest_via_sketches(&spaces[p], &ids, &sketches[p]);
         if res.exhausted {
-            return Err(CoreError::SketchExhausted { failures: res.sample_failures });
+            return Err(CoreError::SketchExhausted {
+                failures: res.sample_failures,
+            });
         }
         if res.edges.is_empty() {
             break;
@@ -222,7 +234,8 @@ mod tests {
         // Offsets {1, 2} → 4-regular, 4-edge-connected.
         let g = generators::circulant(13, &[1, 2]);
         for (k, expect) in [(3usize, true), (4, true), (5, false)] {
-            let r = k_edge_connectivity(&g, k, &cfg(13, 5 + k as u64), &GcConfig::default()).unwrap();
+            let r =
+                k_edge_connectivity(&g, k, &cfg(13, 5 + k as u64), &GcConfig::default()).unwrap();
             assert_eq!(r.k_edge_connected, expect, "k={k}");
         }
     }
@@ -239,7 +252,8 @@ mod tests {
     fn certificate_lambda_matches_reference_truncated_at_k() {
         let g = generators::complete(8); // λ = 7
         for k in [2usize, 5] {
-            let r = k_edge_connectivity(&g, k, &cfg(8, 20 + k as u64), &GcConfig::default()).unwrap();
+            let r =
+                k_edge_connectivity(&g, k, &cfg(8, 20 + k as u64), &GcConfig::default()).unwrap();
             assert!(r.k_edge_connected);
             assert_eq!(
                 r.certificate_lambda.min(k),
@@ -280,7 +294,8 @@ mod sketch_variant_tests {
     fn sketch_variant_matches_peeling_verdicts() {
         let g = generators::circulant(13, &[1, 2]); // 4-edge-connected
         for k in [1usize, 3, 4, 5] {
-            let peel = k_edge_connectivity(&g, k, &cfg(13, k as u64), &GcConfig::default()).unwrap();
+            let peel =
+                k_edge_connectivity(&g, k, &cfg(13, k as u64), &GcConfig::default()).unwrap();
             let one = k_edge_connectivity_sketch(&g, k, &cfg(13, 40 + k as u64), Some(10)).unwrap();
             assert_eq!(peel.k_edge_connected, one.k_edge_connected, "k={k}");
             // Certificates guarantee λ_cert ≥ min(λ, k); above the k
@@ -296,10 +311,22 @@ mod sketch_variant_tests {
     #[test]
     fn sketch_variant_on_cycle_and_path() {
         let c = generators::cycle(10);
-        assert!(k_edge_connectivity_sketch(&c, 2, &cfg(10, 1), Some(10)).unwrap().k_edge_connected);
-        assert!(!k_edge_connectivity_sketch(&c, 3, &cfg(10, 2), Some(10)).unwrap().k_edge_connected);
+        assert!(
+            k_edge_connectivity_sketch(&c, 2, &cfg(10, 1), Some(10))
+                .unwrap()
+                .k_edge_connected
+        );
+        assert!(
+            !k_edge_connectivity_sketch(&c, 3, &cfg(10, 2), Some(10))
+                .unwrap()
+                .k_edge_connected
+        );
         let p = generators::path(9);
-        assert!(!k_edge_connectivity_sketch(&p, 2, &cfg(9, 3), Some(10)).unwrap().k_edge_connected);
+        assert!(
+            !k_edge_connectivity_sketch(&p, 2, &cfg(9, 3), Some(10))
+                .unwrap()
+                .k_edge_connected
+        );
     }
 
     #[test]

@@ -293,14 +293,16 @@ pub fn kt1_mst(net: &mut Net, g: &WGraph, cfg: &Kt1MstConfig) -> Result<Kt1MstRu
                             2 => {
                                 let (x, y) = (env.msg[0] as usize, env.msg[1] as usize);
                                 if let Some(w) = g.weight_of(x, y) {
-                                    answer_queues[node].push((env.src, vec![w, x as u64, y as u64]));
+                                    answer_queues[node]
+                                        .push((env.src, vec![w, x as u64, y as u64]));
                                 }
                             }
                             3 => {
-                                answers
-                                    .entry(node)
-                                    .or_default()
-                                    .push(WEdge::new(env.msg[1] as usize, env.msg[2] as usize, env.msg[0]));
+                                answers.entry(node).or_default().push(WEdge::new(
+                                    env.msg[1] as usize,
+                                    env.msg[2] as usize,
+                                    env.msg[0],
+                                ));
                             }
                             _ => {}
                         }
@@ -388,10 +390,8 @@ pub fn kt1_mst(net: &mut Net, g: &WGraph, cfg: &Kt1MstConfig) -> Result<Kt1MstRu
         })?;
         received.sort_by_key(|&(src, _)| src);
         let mut merged_any = false;
-        let mut finished_roots: HashSet<usize> = finished_labels
-            .iter()
-            .map(|&l| uf.find(l))
-            .collect();
+        let mut finished_roots: HashSet<usize> =
+            finished_labels.iter().map(|&l| uf.find(l)).collect();
         for (src, msg) in received {
             if msg[0] == FINISHED {
                 finished_roots.insert(uf.find(src));

@@ -18,6 +18,8 @@
 //!   sketch-shipment variant).
 //! * [`mod@broadcast_gc`] — label-propagation connectivity for the
 //!   *broadcast* variant of the model (the paper's footnote 1).
+//! * [`rt_connectivity`] — sketch connectivity as a reactive
+//!   [`cc_runtime`] program (runs on the serial or parallel engine).
 //! * [`time_encoding`] — the Section 4 observation that `O(n)` bits
 //!   suffice for anything in KT1 given super-polynomially many rounds.
 
@@ -34,6 +36,7 @@ pub mod kecc;
 pub mod kt1_gc;
 pub mod kt1_mst;
 pub mod reduce_components;
+pub mod rt_connectivity;
 pub mod sq_mst;
 pub mod time_encoding;
 
@@ -42,8 +45,9 @@ pub use component_graph::{build_component_graph, build_weighted_component_graph,
 pub use error::CoreError;
 pub use exact_mst::{exact_mst, ExactMstConfig, ExactMstRun};
 pub use gc::{GcConfig, GcOutput, GcRun};
+pub use kecc::{k_edge_connectivity, k_edge_connectivity_sketch, KeccRun};
 pub use kt1_gc::{kt1_gc, Kt1GcRun};
 pub use kt1_mst::{kt1_mst, Kt1MstConfig, Kt1MstRun};
-pub use kecc::{k_edge_connectivity, k_edge_connectivity_sketch, KeccRun};
 pub use reduce_components::{reduce_components, ReduceOutcome};
+pub use rt_connectivity::{run_connectivity, RtGcOutput, SketchConnectivity};
 pub use sq_mst::{sq_mst, SqMstConfig, SqMstInstance};

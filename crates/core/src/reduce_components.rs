@@ -159,7 +159,10 @@ mod tests {
             *sizes.entry(l).or_insert(0usize) += 1;
         }
         for &l in &out.g1.unfinished_leaders() {
-            assert!(sizes[&l] >= 2, "after one phase every unfinished component has ≥ 2 nodes");
+            assert!(
+                sizes[&l] >= 2,
+                "after one phase every unfinished component has ≥ 2 nodes"
+            );
         }
     }
 

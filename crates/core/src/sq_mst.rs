@@ -25,7 +25,9 @@
 
 use crate::error::CoreError;
 use cc_graph::{UnionFind, WEdge};
-use cc_route::{broadcast_large, distributed_sort, fragment, reassemble, route, shared_seed, Net, RoutedPacket};
+use cc_route::{
+    broadcast_large, distributed_sort, fragment, reassemble, route, shared_seed, Net, RoutedPacket,
+};
 use cc_sketch::{recommended_families, spanning_forest_via_sketches, GraphSketchSpace, Sketch};
 use std::collections::{HashMap, HashSet};
 
@@ -60,7 +62,11 @@ pub struct SqMstConfig {
 ///
 /// Panics if the instance is malformed (endpoints outside `vertices`,
 /// holder lists not matching the clique size).
-pub fn sq_mst(net: &mut Net, inst: &SqMstInstance, cfg: &SqMstConfig) -> Result<Vec<WEdge>, CoreError> {
+pub fn sq_mst(
+    net: &mut Net,
+    inst: &SqMstInstance,
+    cfg: &SqMstConfig,
+) -> Result<Vec<WEdge>, CoreError> {
     let n = net.n();
     let coordinator = 0usize;
     assert_eq!(inst.edges_by_holder.len(), n, "one holder list per machine");
@@ -138,23 +144,29 @@ pub fn sq_mst(net: &mut Net, inst: &SqMstInstance, cfg: &SqMstConfig) -> Result<
     // ---- Step 4: sketches of G_i to g(i), i ≥ 2.
     net.begin_scope("sq-mst:sketches");
     let seed = shared_seed(net)?;
-    let t = cfg.families.unwrap_or_else(|| recommended_families(inst.vertices.len()));
+    let t = cfg
+        .families
+        .unwrap_or_else(|| recommended_families(inst.vertices.len()));
     // One independent family set per guardian instance i.
     let spaces_for = |i: usize| -> Vec<GraphSketchSpace> {
-        GraphSketchSpace::family(n.max(2), t, seed ^ (0xA5A5_5A5A_u64.wrapping_mul(i as u64 + 1)))
+        GraphSketchSpace::family(
+            n.max(2),
+            t,
+            seed ^ (0xA5A5_5A5A_u64.wrapping_mul(i as u64 + 1)),
+        )
     };
     let link_words = net.config().link_words as usize;
     let chunk = link_words.saturating_sub(3).max(1);
     let mut sketch_packets = Vec::new();
     let mut all_spaces: Vec<Option<Vec<GraphSketchSpace>>> = vec![None; p];
-    for i in 1..p {
+    for (i, slot) in all_spaces.iter_mut().enumerate().skip(1) {
         // guardian index i handles group E_{i+1} in 1-based paper terms
-        all_spaces[i] = Some(spaces_for(i));
+        *slot = Some(spaces_for(i));
     }
     for &v in &inst.vertices {
         let inc = &incident[&v];
-        for i in 1..p {
-            let spaces = all_spaces[i].as_ref().unwrap();
+        for (i, slot) in all_spaces.iter().enumerate().skip(1) {
+            let spaces = slot.as_ref().unwrap();
             let threshold = (i * gs) as u64; // ranks < i·gs form G_{i+1}'s prefix
             let neigh: Vec<usize> = inc
                 .iter()

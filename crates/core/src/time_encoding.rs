@@ -59,8 +59,8 @@ pub fn time_encoding_gc(net: &mut Net, g: &Graph) -> Result<TimeEncodingRun, Cor
 
     // Arrival schedule (leader's own input is local knowledge).
     let mut observed: Vec<(usize, u64)> = vec![(leader, inputs[leader])];
-    for u in 1..n {
-        let send_round = u as u64 * slot + inputs[u];
+    for (u, &input) in inputs.iter().enumerate().skip(1) {
+        let send_round = u as u64 * slot + input;
         let gap = send_round - net.cost().rounds;
         net.fast_forward(gap)?;
         net.step(|node, _inbox, out| {

@@ -1,0 +1,93 @@
+//! Acceptance tests for the runtime port of sketch connectivity: labels
+//! must match the local reference algorithm, and the serial and parallel
+//! engines must agree bit-for-bit (labels *and* cost) on the same seeds.
+
+use cc_core::rt_connectivity::{programs_for, run_connectivity};
+use cc_graph::{connectivity, generators, Graph};
+use cc_net::NetConfig;
+use cc_runtime::Runtime;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+const MAX_ROUNDS: u64 = 200_000;
+
+fn adjacency(g: &Graph) -> Vec<Vec<usize>> {
+    let mut adj = vec![Vec::new(); g.n()];
+    for e in g.edges() {
+        adj[e.u as usize].push(e.v as usize);
+        adj[e.v as usize].push(e.u as usize);
+    }
+    adj
+}
+
+fn labels_match_reference(g: &Graph, seed: u64) {
+    let adj = adjacency(g);
+    let mut rt = Runtime::serial(NetConfig::kt1(g.n()).with_seed(seed));
+    let out = run_connectivity(&mut rt, &adj, None, MAX_ROUNDS).unwrap();
+    assert_eq!(out.labels, connectivity::component_labels(g));
+    assert_eq!(out.component_count, connectivity::component_count(g));
+    assert_eq!(out.connected, connectivity::is_connected(g));
+}
+
+#[test]
+fn path_graph_labels() {
+    labels_match_reference(&generators::path(16), 7);
+}
+
+#[test]
+fn disconnected_graph_labels() {
+    let mut rng = ChaCha8Rng::seed_from_u64(2);
+    let g = generators::with_k_components(18, 3, 0.5, &mut rng);
+    labels_match_reference(&g, 11);
+}
+
+#[test]
+fn edgeless_graph_labels() {
+    labels_match_reference(&Graph::new(6), 3);
+}
+
+#[test]
+fn two_node_clique() {
+    let mut g = Graph::new(2);
+    g.add_edge(0, 1);
+    let mut rt = Runtime::parallel_with_threads(NetConfig::kt1(2).with_seed(1), 2);
+    let out = run_connectivity(&mut rt, &adjacency(&g), None, MAX_ROUNDS).unwrap();
+    assert!(out.connected);
+    assert_eq!(out.labels, vec![0, 0]);
+}
+
+#[test]
+fn serial_and_parallel_agree_exactly() {
+    let mut rng = ChaCha8Rng::seed_from_u64(5);
+    for (trial, n) in [(1u64, 12usize), (2, 16), (3, 20)] {
+        let g = generators::gnp(n, 0.25, &mut rng);
+        let adj = adjacency(&g);
+        let cfg = NetConfig::kt1(n).with_seed(trial);
+
+        let mut serial = Runtime::serial(cfg.clone());
+        let s = run_connectivity(&mut serial, &adj, None, MAX_ROUNDS).unwrap();
+
+        let mut parallel = Runtime::parallel_with_threads(cfg, 4);
+        let p = run_connectivity(&mut parallel, &adj, None, MAX_ROUNDS).unwrap();
+
+        assert_eq!(s, p, "outputs diverged on trial {trial}");
+        assert_eq!(
+            serial.cost(),
+            parallel.cost(),
+            "cost diverged on trial {trial}"
+        );
+        assert_eq!(s.labels, connectivity::component_labels(&g));
+    }
+}
+
+#[test]
+fn per_node_labels_replicate_the_coordinator_vector() {
+    let g = generators::path(12);
+    let adj = adjacency(&g);
+    let mut rt = Runtime::parallel_with_threads(NetConfig::kt1(12).with_seed(9), 3);
+    let out = rt.run(programs_for(&adj, None), MAX_ROUNDS).unwrap();
+    let labels = out[0].labels.clone();
+    for (v, p) in out.iter().enumerate() {
+        assert_eq!(p.label, Some(labels[v]), "node {v} has a different label");
+    }
+}

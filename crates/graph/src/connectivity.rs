@@ -225,7 +225,10 @@ pub fn is_biconnected(g: &Graph) -> bool {
 ///
 /// Panics if `s` or `t` is out of range or `s == t`.
 pub fn local_edge_connectivity(g: &Graph, s: usize, t: usize) -> usize {
-    assert!(s < g.n() && t < g.n() && s != t, "need distinct s, t in range");
+    assert!(
+        s < g.n() && t < g.n() && s != t,
+        "need distinct s, t in range"
+    );
     // Residual capacities on directed arcs; an undirected unit edge becomes
     // two opposite unit arcs (standard for undirected max-flow).
     use std::collections::HashMap;
@@ -320,7 +323,10 @@ mod tests {
         assert!(is_bipartite(&generators::cycle(6)));
         assert!(!is_bipartite(&generators::cycle(5)));
         assert!(!is_bipartite(&generators::complete(3)));
-        assert!(is_bipartite(&Graph::new(3)), "edgeless graphs are bipartite");
+        assert!(
+            is_bipartite(&Graph::new(3)),
+            "edgeless graphs are bipartite"
+        );
     }
 
     #[test]

@@ -85,7 +85,10 @@ impl WEdge {
 
     /// The unweighted canonical edge.
     pub fn edge(&self) -> Edge {
-        Edge { u: self.u, v: self.v }
+        Edge {
+            u: self.u,
+            v: self.v,
+        }
     }
 
     /// The totally ordered [`Weight`] (raw weight + endpoint tie-break).

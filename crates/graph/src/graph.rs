@@ -335,7 +335,11 @@ mod tests {
         let es = g.edges();
         assert_eq!(
             es,
-            vec![WEdge::new(2, 3, 1), WEdge::new(0, 1, 7), WEdge::new(0, 3, 7)]
+            vec![
+                WEdge::new(2, 3, 1),
+                WEdge::new(0, 1, 7),
+                WEdge::new(0, 3, 7)
+            ]
         );
     }
 

@@ -53,7 +53,10 @@ pub fn write_wgraph(g: &WGraph) -> String {
     out
 }
 
-fn parse_lines(text: &str) -> Result<(usize, Vec<(usize, usize, Option<u64>)>), ParseGraphError> {
+/// Edge list as parsed: `(u, v, weight)` with `weight = None` for `e` lines.
+type ParsedEdges = Vec<(usize, usize, Option<u64>)>;
+
+fn parse_lines(text: &str) -> Result<(usize, ParsedEdges), ParseGraphError> {
     let mut n: Option<usize> = None;
     let mut edges = Vec::new();
     for (i, raw) in text.lines().enumerate() {

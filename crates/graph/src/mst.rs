@@ -41,7 +41,11 @@ pub fn prim(g: &WGraph) -> Vec<WEdge> {
         }
         in_tree[root] = true;
         for &(v, w) in g.neighbors(root) {
-            heap.push((std::cmp::Reverse(Weight::new(w, root, v as usize)), root as u32, v));
+            heap.push((
+                std::cmp::Reverse(Weight::new(w, root, v as usize)),
+                root as u32,
+                v,
+            ));
         }
         while let Some((std::cmp::Reverse(wt), from, to)) = heap.pop() {
             let to = to as usize;
@@ -52,7 +56,11 @@ pub fn prim(g: &WGraph) -> Vec<WEdge> {
             out.push(WEdge::new(from as usize, to, wt.w));
             for &(v, w) in g.neighbors(to) {
                 if !in_tree[v as usize] {
-                    heap.push((std::cmp::Reverse(Weight::new(w, to, v as usize)), to as u32, v));
+                    heap.push((
+                        std::cmp::Reverse(Weight::new(w, to, v as usize)),
+                        to as u32,
+                        v,
+                    ));
                 }
             }
         }
@@ -92,15 +100,13 @@ pub fn boruvka(g: &WGraph) -> Vec<WEdge> {
             }
         }
         let mut merged_any = false;
-        for c in 0..n {
-            if let Some(e) = best[c] {
-                if uf.union(e.u as usize, e.v as usize) {
-                    out.push(e);
-                    merged_any = true;
-                }
-                // If the union was a no-op, the same edge was chosen from
-                // both sides this round and was already added once.
+        for &e in best.iter().flatten() {
+            if uf.union(e.u as usize, e.v as usize) {
+                out.push(e);
+                merged_any = true;
             }
+            // If the union was a no-op, the same edge was chosen from
+            // both sides this round and was already added once.
         }
         if !merged_any {
             break;
@@ -165,7 +171,11 @@ mod tests {
         let t = kruskal(&g);
         assert_eq!(
             t,
-            vec![WEdge::new(0, 1, 1), WEdge::new(1, 2, 2), WEdge::new(2, 3, 3)]
+            vec![
+                WEdge::new(0, 1, 1),
+                WEdge::new(1, 2, 2),
+                WEdge::new(2, 3, 3)
+            ]
         );
         assert!(is_spanning_forest(&g, &t));
         assert!(is_minimum_spanning_forest(&g, &t));
@@ -232,7 +242,11 @@ mod tests {
         // Cycle:
         assert!(!is_spanning_forest(
             &g,
-            &[WEdge::new(0, 1, 1), WEdge::new(1, 2, 2), WEdge::new(0, 2, 3)]
+            &[
+                WEdge::new(0, 1, 1),
+                WEdge::new(1, 2, 2),
+                WEdge::new(0, 2, 3)
+            ]
         ));
         // Not spanning:
         assert!(!is_spanning_forest(&g, &[WEdge::new(0, 1, 1)]));

@@ -18,7 +18,11 @@ pub struct DegreeStats {
 /// Degree summary (`min = max = 0` and `mean = 0` for the empty graph).
 pub fn degree_stats(g: &Graph) -> DegreeStats {
     if g.n() == 0 {
-        return DegreeStats { min: 0, max: 0, mean: 0.0 };
+        return DegreeStats {
+            min: 0,
+            max: 0,
+            mean: 0.0,
+        };
     }
     let degs: Vec<usize> = (0..g.n()).map(|v| g.degree(v)).collect();
     DegreeStats {
@@ -92,7 +96,14 @@ mod tests {
         assert_eq!(s.min, 1);
         assert_eq!(s.max, 4);
         assert!((s.mean - 1.6).abs() < 1e-9);
-        assert_eq!(degree_stats(&crate::Graph::new(0)), DegreeStats { min: 0, max: 0, mean: 0.0 });
+        assert_eq!(
+            degree_stats(&crate::Graph::new(0)),
+            DegreeStats {
+                min: 0,
+                max: 0,
+                mean: 0.0
+            }
+        );
     }
 
     #[test]

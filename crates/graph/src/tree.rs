@@ -241,7 +241,11 @@ mod tests {
     #[test]
     fn path_forest_basics() {
         // 0 -1- 1 -5- 2 -3- 3
-        let edges = vec![WEdge::new(0, 1, 1), WEdge::new(1, 2, 5), WEdge::new(2, 3, 3)];
+        let edges = vec![
+            WEdge::new(0, 1, 1),
+            WEdge::new(1, 2, 5),
+            WEdge::new(2, 3, 3),
+        ];
         let f = RootedForest::from_edges(4, &edges);
         assert!(f.same_tree(0, 3));
         assert_eq!(f.path_max(0, 3).unwrap().w, 5);
@@ -270,7 +274,9 @@ mod tests {
     #[test]
     fn deep_path_queries() {
         let n = 5000;
-        let edges: Vec<WEdge> = (1..n).map(|v| WEdge::new(v - 1, v, (v % 97) as u64)).collect();
+        let edges: Vec<WEdge> = (1..n)
+            .map(|v| WEdge::new(v - 1, v, (v % 97) as u64))
+            .collect();
         let f = RootedForest::from_edges(n, &edges);
         assert_eq!(f.path_max(0, n - 1).unwrap().w, 96);
         assert_eq!(f.depth(n - 1), n - 1);
@@ -279,7 +285,11 @@ mod tests {
     #[test]
     #[should_panic(expected = "cycle")]
     fn rejects_cycles() {
-        let edges = vec![WEdge::new(0, 1, 1), WEdge::new(1, 2, 2), WEdge::new(0, 2, 3)];
+        let edges = vec![
+            WEdge::new(0, 1, 1),
+            WEdge::new(1, 2, 2),
+            WEdge::new(0, 2, 3),
+        ];
         RootedForest::from_edges(3, &edges);
     }
 

@@ -91,7 +91,11 @@ impl FLightClassifier {
 
     /// The F-light subset of `edges` (order preserved).
     pub fn f_light_edges(&self, edges: &[WEdge]) -> Vec<WEdge> {
-        edges.iter().copied().filter(|e| self.is_f_light(e)).collect()
+        edges
+            .iter()
+            .copied()
+            .filter(|e| self.is_f_light(e))
+            .collect()
     }
 
     /// The underlying forest (diagnostics).

@@ -80,7 +80,10 @@ impl Square {
         let c = |a: usize, b: usize| (a.min(b), a.max(b));
         let (u1, _) = self.u_edge.endpoints();
         let (v1, _) = self.v_edge.endpoints();
-        let crosses = [c(self.cross1.0, self.cross1.1), c(self.cross2.0, self.cross2.1)];
+        let crosses = [
+            c(self.cross1.0, self.cross1.1),
+            c(self.cross2.0, self.cross2.1),
+        ];
         // Variant 0 adds (u1, v1); use it iff that link is one of ours.
         let variant = if crosses.contains(&c(u1, v1)) { 0 } else { 1 };
         Swap {
@@ -202,11 +205,13 @@ pub fn edge_disjoint_squares(inst: &HardInstance) -> Vec<Square> {
     let half = inst.n / 2;
     // Group edges by offset class. An edge {a, b} in a half has offset
     // min(b−a, half−(b−a)).
-    let mut u_by: std::collections::HashMap<(usize, usize), bool> = std::collections::HashMap::new();
+    let mut u_by: std::collections::HashMap<(usize, usize), bool> =
+        std::collections::HashMap::new();
     for e in &inst.u_edges {
         u_by.insert(e.endpoints(), true);
     }
-    let mut v_by: std::collections::HashMap<(usize, usize), bool> = std::collections::HashMap::new();
+    let mut v_by: std::collections::HashMap<(usize, usize), bool> =
+        std::collections::HashMap::new();
     for e in &inst.v_edges {
         v_by.insert(e.endpoints(), true);
     }
@@ -346,7 +351,10 @@ mod tests {
             e_v: inst.v_edges[0],
             variant: 0,
         };
-        let swap1 = Swap { variant: 1, ..swap0 };
+        let swap1 = Swap {
+            variant: 1,
+            ..swap0
+        };
         assert!(connectivity::is_connected(&inst.apply_swap(&swap0)));
         assert!(connectivity::is_connected(&inst.apply_swap(&swap1)));
         assert_ne!(inst.apply_swap(&swap0), inst.apply_swap(&swap1));

@@ -79,7 +79,9 @@ mod tests {
     use cc_graph::connectivity;
 
     fn all_links(n: usize) -> HashSet<(usize, usize)> {
-        (0..n).flat_map(|a| ((a + 1)..n).map(move |b| (a, b))).collect()
+        (0..n)
+            .flat_map(|a| ((a + 1)..n).map(move |b| (a, b)))
+            .collect()
     }
 
     #[test]

@@ -64,9 +64,14 @@ pub fn controlled_boruvka(
     cap: usize,
 ) -> MergeOutcome {
     assert!(cap >= 1, "freeze threshold must be positive");
-    assert_eq!(leaders.len(), candidates.len(), "one candidate list per fragment");
+    assert_eq!(
+        leaders.len(),
+        candidates.len(),
+        "one candidate list per fragment"
+    );
     let m = leaders.len();
-    let index_of: HashMap<usize, usize> = leaders.iter().enumerate().map(|(i, &l)| (l, i)).collect();
+    let index_of: HashMap<usize, usize> =
+        leaders.iter().enumerate().map(|(i, &l)| (l, i)).collect();
     let mut uf = UnionFind::new(m);
     let mut members: Vec<Vec<usize>> = (0..m).map(|i| vec![i]).collect();
     let mut frozen = vec![false; m];
@@ -136,10 +141,10 @@ pub fn controlled_boruvka(
     // (fragment leaders are component minima, so the min leader is the
     // min node of the merged component).
     let mut min_leader: HashMap<usize, usize> = HashMap::new();
-    for i in 0..m {
+    for (i, &leader) in leaders.iter().enumerate() {
         let r = uf.find(i);
         let e = min_leader.entry(r).or_insert(usize::MAX);
-        *e = (*e).min(leaders[i]);
+        *e = (*e).min(leader);
     }
     let relabel: HashMap<usize, usize> = (0..m)
         .map(|i| (leaders[i], min_leader[&uf.find(i)]))

@@ -159,7 +159,11 @@ pub fn cc_mst(net: &mut Net, g: &WGraph, phases: Option<usize>) -> Result<CcMstR
         })?;
         net.step(|node, inbox, _out| {
             for env in inbox {
-                inbound[node].push(WEdge::new(env.msg[1] as usize, env.msg[2] as usize, env.msg[0]));
+                inbound[node].push(WEdge::new(
+                    env.msg[1] as usize,
+                    env.msg[2] as usize,
+                    env.msg[0],
+                ));
             }
         })?;
 
@@ -173,7 +177,11 @@ pub fn cc_mst(net: &mut Net, g: &WGraph, phases: Option<usize>) -> Result<CcMstR
                 // The endpoint inside the *sender's* fragment is the one not
                 // in l's fragment.
                 let (u, v) = e.endpoints();
-                let src_frag = if frag_of[u] == l { frag_of[v] } else { frag_of[u] };
+                let src_frag = if frag_of[u] == l {
+                    frag_of[v]
+                } else {
+                    frag_of[u]
+                };
                 per_src
                     .entry(src_frag)
                     .and_modify(|b| {
@@ -195,7 +203,11 @@ pub fn cc_mst(net: &mut Net, g: &WGraph, phases: Option<usize>) -> Result<CcMstR
         })?;
         net.step(|node, inbox, _out| {
             for env in inbox {
-                rows[node].push(WEdge::new(env.msg[1] as usize, env.msg[2] as usize, env.msg[0]));
+                rows[node].push(WEdge::new(
+                    env.msg[1] as usize,
+                    env.msg[2] as usize,
+                    env.msg[0],
+                ));
             }
         })?;
 
@@ -222,7 +234,11 @@ pub fn cc_mst(net: &mut Net, g: &WGraph, phases: Option<usize>) -> Result<CcMstR
             let e = WEdge::new(payload[1] as usize, payload[2] as usize, payload[0]);
             let (u, v) = e.endpoints();
             let src_frag = *src; // sender leader == its fragment label
-            let far = if frag_of[u] == src_frag { frag_of[v] } else { frag_of[u] };
+            let far = if frag_of[u] == src_frag {
+                frag_of[v]
+            } else {
+                frag_of[u]
+            };
             cand_lists[leader_index[&src_frag]].push(Candidate {
                 edge: e,
                 far_fragment: far,
@@ -244,8 +260,8 @@ pub fn cc_mst(net: &mut Net, g: &WGraph, phases: Option<usize>) -> Result<CcMstR
         broadcast_large(net, coordinator, words)?;
 
         let merged_any = !outcome.chosen.is_empty();
-        for v in 0..n {
-            frag_of[v] = outcome.relabel[&frag_of[v]];
+        for f in frag_of.iter_mut() {
+            *f = outcome.relabel[&*f];
         }
         forest.extend(outcome.chosen.iter().copied());
         net.end_scope();
@@ -290,7 +306,11 @@ mod tests {
         assert_eq!(min_fragment_size_before_phase(3, 1024), 4);
         assert_eq!(min_fragment_size_before_phase(4, 1024), 16);
         assert_eq!(min_fragment_size_before_phase(5, 1024), 256);
-        assert_eq!(min_fragment_size_before_phase(6, 1024), 1024, "saturates at n");
+        assert_eq!(
+            min_fragment_size_before_phase(6, 1024),
+            1024,
+            "saturates at n"
+        );
     }
 
     #[test]
@@ -332,7 +352,9 @@ mod tests {
         let run = cc_mst(&mut nt, &g, None).unwrap();
         assert!(run.finished);
         assert!(
-            run.forest.iter().all(|e| e.w != cc_graph::weight::INFINITE_W),
+            run.forest
+                .iter()
+                .all(|e| e.w != cc_graph::weight::INFINITE_W),
             "no ∞ edge may ever be chosen"
         );
         assert_eq!(run.forest, mst::kruskal(&g), "forest is the true MSF");
@@ -364,8 +386,7 @@ mod tests {
                 }
             }
             // All chosen finite edges are MST edges.
-            let mst_set: std::collections::BTreeSet<WEdge> =
-                mst::kruskal(&g).into_iter().collect();
+            let mst_set: std::collections::BTreeSet<WEdge> = mst::kruskal(&g).into_iter().collect();
             for e in &run.forest {
                 assert!(mst_set.contains(e), "non-MST edge chosen in phase ≤ {k}");
             }

@@ -1,0 +1,211 @@
+//! Reusable send-time budget enforcement.
+//!
+//! The model's rules — destination validity, the broadcast-only
+//! restriction, and the per-link per-round word budget — were originally
+//! private to [`CliqueNet::step`](crate::CliqueNet::step). They live here
+//! as standalone pieces so alternative drivers (notably the parallel
+//! execution engine in `cc-runtime`) enforce *exactly* the same contract:
+//! [`SendRules`] is the immutable rule set derived from a
+//! [`NetConfig`](crate::NetConfig), and [`LinkUse`] is the per-sender
+//! scratch ledger of words already charged toward each destination this
+//! round.
+//!
+//! [`LinkUse`] is deliberately not thread-safe: every sender's budget is
+//! independent, so a parallel driver gives each worker its own ledger and
+//! resets it between nodes — budget enforcement needs no locks.
+
+use crate::config::NetConfig;
+use crate::error::NetError;
+
+/// The immutable per-round send rules of one network.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SendRules {
+    /// Clique size.
+    pub n: usize,
+    /// Whether only [`broadcast`](crate::Outbox::broadcast) is permitted
+    /// (the paper's footnote-1 model variant).
+    pub broadcast_only: bool,
+    /// Words each ordered link may carry per round.
+    pub link_words: u64,
+}
+
+impl SendRules {
+    /// Extracts the rules a config implies.
+    pub fn from_config(cfg: &NetConfig) -> Self {
+        SendRules {
+            n: cfg.n,
+            broadcast_only: cfg.broadcast_only,
+            link_words: cfg.link_words,
+        }
+    }
+
+    /// Validates one point-to-point send of `words` words from `src` to
+    /// `dst` given `used` words already charged toward `dst` this round.
+    ///
+    /// Returns the number of words to charge (`words.max(1)`: even an
+    /// empty signal occupies a message slot).
+    ///
+    /// # Errors
+    ///
+    /// The same violations [`Outbox::send`](crate::Outbox::send)
+    /// documents: [`NetError::UnicastInBroadcastModel`],
+    /// [`NetError::BadDestination`], [`NetError::SelfMessage`],
+    /// [`NetError::MessageTooLarge`], [`NetError::LinkBusy`].
+    pub fn validate(&self, src: usize, dst: usize, words: u64, used: u64) -> Result<u64, NetError> {
+        if self.broadcast_only {
+            return Err(NetError::UnicastInBroadcastModel { node: src });
+        }
+        if dst >= self.n {
+            return Err(NetError::BadDestination {
+                src,
+                dst,
+                n: self.n,
+            });
+        }
+        if dst == src {
+            return Err(NetError::SelfMessage { node: src });
+        }
+        let words = words.max(1);
+        if words > self.link_words {
+            return Err(NetError::MessageTooLarge {
+                src,
+                dst,
+                words,
+                budget: self.link_words,
+            });
+        }
+        if used + words > self.link_words {
+            return Err(NetError::LinkBusy {
+                src,
+                dst,
+                used,
+                requested: words,
+                budget: self.link_words,
+            });
+        }
+        Ok(words)
+    }
+}
+
+/// One sender's per-destination word ledger for the current round.
+///
+/// Reset between nodes in `O(destinations touched)`, not `O(n)`, so a
+/// driver can reuse one ledger across all nodes of a round (or one per
+/// worker thread) without quadratic clearing cost.
+#[derive(Clone, Debug)]
+pub struct LinkUse {
+    used: Vec<u64>,
+    touched: Vec<usize>,
+}
+
+impl LinkUse {
+    /// A fresh ledger for an `n`-node clique.
+    pub fn new(n: usize) -> Self {
+        LinkUse {
+            used: vec![0; n],
+            touched: Vec::new(),
+        }
+    }
+
+    /// Words already charged toward `dst`.
+    pub fn used(&self, dst: usize) -> u64 {
+        self.used[dst]
+    }
+
+    /// Charges `words` toward `dst`.
+    pub fn charge(&mut self, dst: usize, words: u64) {
+        if self.used[dst] == 0 {
+            self.touched.push(dst);
+        }
+        self.used[dst] += words;
+    }
+
+    /// Clears the ledger for the next sender.
+    pub fn reset(&mut self) {
+        for dst in self.touched.drain(..) {
+            self.used[dst] = 0;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rules(n: usize, link_words: u64) -> SendRules {
+        SendRules {
+            n,
+            broadcast_only: false,
+            link_words,
+        }
+    }
+
+    #[test]
+    fn validates_the_happy_path_and_charges_at_least_one_word() {
+        let r = rules(4, 8);
+        assert_eq!(r.validate(0, 1, 3, 0), Ok(3));
+        assert_eq!(
+            r.validate(0, 1, 0, 0),
+            Ok(1),
+            "empty signal still occupies a slot"
+        );
+    }
+
+    #[test]
+    fn rejects_bad_targets() {
+        let r = rules(4, 8);
+        assert!(matches!(
+            r.validate(0, 4, 1, 0),
+            Err(NetError::BadDestination { .. })
+        ));
+        assert!(matches!(
+            r.validate(2, 2, 1, 0),
+            Err(NetError::SelfMessage { node: 2 })
+        ));
+    }
+
+    #[test]
+    fn rejects_over_budget() {
+        let r = rules(4, 4);
+        assert!(matches!(
+            r.validate(0, 1, 5, 0),
+            Err(NetError::MessageTooLarge { .. })
+        ));
+        assert!(matches!(
+            r.validate(0, 1, 2, 3),
+            Err(NetError::LinkBusy { .. })
+        ));
+        assert_eq!(
+            r.validate(0, 1, 2, 2),
+            Ok(2),
+            "exactly filling the link is fine"
+        );
+    }
+
+    #[test]
+    fn broadcast_only_rejects_unicast() {
+        let r = SendRules {
+            n: 4,
+            broadcast_only: true,
+            link_words: 8,
+        };
+        assert!(matches!(
+            r.validate(1, 2, 1, 0),
+            Err(NetError::UnicastInBroadcastModel { node: 1 })
+        ));
+    }
+
+    #[test]
+    fn ledger_charges_and_resets_cheaply() {
+        let mut l = LinkUse::new(8);
+        l.charge(3, 2);
+        l.charge(3, 1);
+        l.charge(5, 4);
+        assert_eq!(l.used(3), 3);
+        assert_eq!(l.used(5), 4);
+        assert_eq!(l.used(0), 0);
+        l.reset();
+        assert_eq!(l.used(3), 0);
+        assert_eq!(l.used(5), 0);
+    }
+}

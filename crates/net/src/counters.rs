@@ -102,6 +102,16 @@ impl Counters {
         self.total.bits += words * word_bits;
     }
 
+    /// Merges a pre-aggregated cost delta.
+    ///
+    /// Sharded drivers (the parallel backend in `cc-runtime`) meter each
+    /// worker into its own `Counters` and fold the shards in here at the
+    /// round barrier; addition is commutative, so totals stay exact
+    /// regardless of thread scheduling.
+    pub fn merge(&mut self, delta: Cost) {
+        self.total += delta;
+    }
+
     /// Opens a named scope; costs accrued until the matching
     /// [`end_scope`](Self::end_scope) are attributed to it.
     pub fn begin_scope(&mut self, name: impl Into<String>) {
@@ -127,10 +137,7 @@ impl Counters {
 
     /// Delta of the first completed scope with this name, if any.
     pub fn scope(&self, name: &str) -> Option<Cost> {
-        self.closed
-            .iter()
-            .find(|(n, _)| n == name)
-            .map(|&(_, c)| c)
+        self.closed.iter().find(|(n, _)| n == name).map(|&(_, c)| c)
     }
 }
 
@@ -208,8 +215,18 @@ mod tests {
 
     #[test]
     fn add_sums_componentwise() {
-        let a = Cost { rounds: 1, messages: 2, words: 3, bits: 30 };
-        let b = Cost { rounds: 10, messages: 20, words: 30, bits: 300 };
+        let a = Cost {
+            rounds: 1,
+            messages: 2,
+            words: 3,
+            bits: 30,
+        };
+        let b = Cost {
+            rounds: 10,
+            messages: 20,
+            words: 30,
+            bits: 300,
+        };
         let mut c = a;
         c += b;
         assert_eq!(c, a + b);

@@ -71,11 +71,22 @@ pub enum NetError {
 impl fmt::Display for NetError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            NetError::MessageTooLarge { src, dst, words, budget } => write!(
+            NetError::MessageTooLarge {
+                src,
+                dst,
+                words,
+                budget,
+            } => write!(
                 f,
                 "message of {words} words from {src} to {dst} exceeds the {budget}-word link budget"
             ),
-            NetError::LinkBusy { src, dst, used, requested, budget } => write!(
+            NetError::LinkBusy {
+                src,
+                dst,
+                used,
+                requested,
+                budget,
+            } => write!(
                 f,
                 "link {src}->{dst} budget exhausted: {used} used + {requested} requested > {budget}"
             ),
@@ -110,9 +121,24 @@ mod tests {
     #[test]
     fn displays_are_informative() {
         let cases: Vec<NetError> = vec![
-            NetError::MessageTooLarge { src: 1, dst: 2, words: 9, budget: 8 },
-            NetError::LinkBusy { src: 1, dst: 2, used: 8, requested: 1, budget: 8 },
-            NetError::BadDestination { src: 0, dst: 99, n: 8 },
+            NetError::MessageTooLarge {
+                src: 1,
+                dst: 2,
+                words: 9,
+                budget: 8,
+            },
+            NetError::LinkBusy {
+                src: 1,
+                dst: 2,
+                used: 8,
+                requested: 1,
+                budget: 8,
+            },
+            NetError::BadDestination {
+                src: 0,
+                dst: 99,
+                n: 8,
+            },
             NetError::SelfMessage { node: 3 },
             NetError::PendingMessages { pending: 4 },
             NetError::RoundCapExceeded { cap: 100 },

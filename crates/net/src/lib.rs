@@ -21,6 +21,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod budget;
 pub mod config;
 pub mod counters;
 pub mod error;
@@ -29,6 +30,7 @@ pub mod ports;
 pub mod program;
 pub mod wire;
 
+pub use budget::{LinkUse, SendRules};
 pub use config::{Knowledge, NetConfig, DEFAULT_LINK_WORDS};
 pub use counters::{Cost, Counters};
 pub use error::NetError;

@@ -37,6 +37,7 @@
 //! shape makes non-local reads glaring in review, which is the discipline
 //! this simulator relies on (it does not memory-protect states).
 
+use crate::budget::{LinkUse, SendRules};
 use crate::config::{Knowledge, NetConfig};
 use crate::counters::{Cost, Counters};
 use crate::error::NetError;
@@ -62,13 +63,36 @@ pub struct Envelope<M> {
 /// the per-link word budget.
 pub struct Outbox<'a, M> {
     node: usize,
-    n: usize,
-    broadcast_only: bool,
-    link_words: u64,
-    used: &'a mut [u64],
-    touched: &'a mut Vec<usize>,
+    rules: SendRules,
+    links: &'a mut LinkUse,
     staged: Vec<Envelope<M>>,
     error: Option<NetError>,
+}
+
+impl<'a, M: Wire> Outbox<'a, M> {
+    /// Assembles a standalone outbox for one sender.
+    ///
+    /// This is how external drivers (the `cc-runtime` execution engine)
+    /// obtain the same budget enforcement [`CliqueNet::step`] applies:
+    /// build an outbox per node against a reusable [`LinkUse`] ledger,
+    /// hand it to the node's program, then recover the staged envelopes
+    /// with [`Outbox::finish`] and [`LinkUse::reset`] the ledger for the
+    /// next sender.
+    pub fn assemble(node: usize, rules: SendRules, links: &'a mut LinkUse) -> Self {
+        Outbox {
+            node,
+            rules,
+            links,
+            staged: Vec::new(),
+            error: None,
+        }
+    }
+
+    /// Tears the outbox down into its staged envelopes and the first
+    /// latched violation, if any.
+    pub fn finish(self) -> (Vec<Envelope<M>>, Option<NetError>) {
+        (self.staged, self.error)
+    }
 }
 
 impl<M: Wire> Outbox<'_, M> {
@@ -97,41 +121,13 @@ impl<M: Wire> Outbox<'_, M> {
     }
 
     fn try_send(&mut self, dst: usize, msg: M) -> Result<(), NetError> {
-        if self.broadcast_only {
-            return Err(NetError::UnicastInBroadcastModel { node: self.node });
-        }
-        if dst >= self.n {
-            return Err(NetError::BadDestination {
-                src: self.node,
-                dst,
-                n: self.n,
-            });
-        }
-        if dst == self.node {
-            return Err(NetError::SelfMessage { node: self.node });
-        }
-        let words = msg.words().max(1);
-        if words > self.link_words {
-            return Err(NetError::MessageTooLarge {
-                src: self.node,
-                dst,
-                words,
-                budget: self.link_words,
-            });
-        }
-        if self.used[dst] + words > self.link_words {
-            return Err(NetError::LinkBusy {
-                src: self.node,
-                dst,
-                used: self.used[dst],
-                requested: words,
-                budget: self.link_words,
-            });
-        }
-        if self.used[dst] == 0 {
-            self.touched.push(dst);
-        }
-        self.used[dst] += words;
+        let used = if dst < self.rules.n {
+            self.links.used(dst)
+        } else {
+            0
+        };
+        let words = self.rules.validate(self.node, dst, msg.words(), used)?;
+        self.links.charge(dst, words);
         self.staged.push(Envelope {
             src: self.node,
             dst,
@@ -142,7 +138,7 @@ impl<M: Wire> Outbox<'_, M> {
 
     /// Remaining word budget toward `dst` this round.
     pub fn budget_left(&self, dst: usize) -> u64 {
-        self.link_words.saturating_sub(self.used[dst])
+        self.rules.link_words.saturating_sub(self.links.used(dst))
     }
 }
 
@@ -156,10 +152,10 @@ impl<M: Wire + Clone> Outbox<'_, M> {
     /// [`NetError::MessageTooLarge`] / [`NetError::LinkBusy`] as for
     /// point-to-point sends.
     pub fn broadcast(&mut self, msg: M) -> Result<(), NetError> {
-        let was_broadcast_only = self.broadcast_only;
-        self.broadcast_only = false;
+        let was_broadcast_only = self.rules.broadcast_only;
+        self.rules.broadcast_only = false;
         let mut result = Ok(());
-        for dst in 0..self.n {
+        for dst in 0..self.rules.n {
             if dst != self.node {
                 if let Err(e) = self.send(dst, msg.clone()) {
                     result = Err(e);
@@ -167,7 +163,7 @@ impl<M: Wire + Clone> Outbox<'_, M> {
                 }
             }
         }
-        self.broadcast_only = was_broadcast_only;
+        self.rules.broadcast_only = was_broadcast_only;
         result
     }
 }
@@ -189,7 +185,13 @@ impl<M: Wire> CliqueNet<M> {
         let n = cfg.n;
         let word_bits = cfg.word_bits();
         let rngs = (0..n)
-            .map(|u| ChaCha8Rng::seed_from_u64(cfg.seed.wrapping_mul(0x2545F4914F6CDD1D).wrapping_add(u as u64)))
+            .map(|u| {
+                ChaCha8Rng::seed_from_u64(
+                    cfg.seed
+                        .wrapping_mul(0x2545F4914F6CDD1D)
+                        .wrapping_add(u as u64),
+                )
+            })
             .collect();
         let ports = match cfg.knowledge {
             Knowledge::Kt0 => Some(PortMap::new(n, cfg.seed)),
@@ -285,32 +287,25 @@ impl<M: Wire> CliqueNet<M> {
         let n = self.cfg.n;
         let delivered = std::mem::replace(&mut self.inboxes, (0..n).map(|_| Vec::new()).collect());
         let mut next: Vec<Vec<Envelope<M>>> = (0..n).map(|_| Vec::new()).collect();
-        let mut used = vec![0u64; n];
-        let mut touched: Vec<usize> = Vec::new();
-        for node in 0..n {
-            let mut outbox = Outbox {
-                node,
-                n,
-                broadcast_only: self.cfg.broadcast_only,
-                link_words: self.cfg.link_words,
-                used: &mut used,
-                touched: &mut touched,
-                staged: Vec::new(),
-                error: None,
-            };
-            f(node, &delivered[node], &mut outbox);
-            if let Some(e) = outbox.error {
+        let rules = SendRules::from_config(&self.cfg);
+        let mut links = LinkUse::new(n);
+        for (node, inbox) in delivered.iter().enumerate() {
+            let mut outbox = Outbox::assemble(node, rules, &mut links);
+            f(node, inbox, &mut outbox);
+            let (staged, error) = outbox.finish();
+            if let Some(e) = error {
                 return Err(e);
             }
-            let staged = outbox.staged;
-            for t in touched.drain(..) {
-                used[t] = 0;
-            }
+            links.reset();
             for env in staged {
-                self.counters.add_message(env.msg.words().max(1), self.word_bits);
+                self.counters
+                    .add_message(env.msg.words().max(1), self.word_bits);
                 if self.cfg.record_transcript {
-                    self.transcript
-                        .push((self.counters.total().rounds, env.src as u32, env.dst as u32));
+                    self.transcript.push((
+                        self.counters.total().rounds,
+                        env.src as u32,
+                        env.dst as u32,
+                    ));
                 }
                 next[env.dst].push(env);
             }
@@ -443,7 +438,14 @@ mod tests {
                 }
             })
             .unwrap_err();
-        assert!(matches!(err, NetError::MessageTooLarge { words: 5, budget: 4, .. }));
+        assert!(matches!(
+            err,
+            NetError::MessageTooLarge {
+                words: 5,
+                budget: 4,
+                ..
+            }
+        ));
     }
 
     #[test]

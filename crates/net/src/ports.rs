@@ -32,11 +32,11 @@ impl PortMap {
         let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 0x9E3779B97F4A7C15);
         let mut neighbor = Vec::with_capacity(n);
         let mut port = vec![vec![u32::MAX; n]; n];
-        for u in 0..n {
+        for (u, row) in port.iter_mut().enumerate() {
             let mut others: Vec<u32> = (0..n as u32).filter(|&v| v as usize != u).collect();
             others.shuffle(&mut rng);
             for (p, &v) in others.iter().enumerate() {
-                port[u][v as usize] = p as u32;
+                row[v as usize] = p as u32;
             }
             neighbor.push(others);
         }

@@ -33,8 +33,12 @@ pub trait NodeProgram {
     /// Called every subsequent round with the node's inbox. Return `true`
     /// when this node has terminated (the driver stops when every node has
     /// terminated and no messages are in flight).
-    fn round(&mut self, me: usize, inbox: &[Envelope<Self::Msg>], out: &mut Outbox<'_, Self::Msg>)
-        -> bool;
+    fn round(
+        &mut self,
+        me: usize,
+        inbox: &[Envelope<Self::Msg>],
+        out: &mut Outbox<'_, Self::Msg>,
+    ) -> bool;
 }
 
 /// Runs one program instance per node until every node reports done and
@@ -121,7 +125,12 @@ pub mod examples {
 
         fn begin_flood(&mut self, me: usize, out: &mut Outbox<'_, Vec<u64>>) {
             self.started = true;
-            self.awaiting = self.neighbors.iter().copied().filter(|&v| Some(v) != self.parent).collect();
+            self.awaiting = self
+                .neighbors
+                .iter()
+                .copied()
+                .filter(|&v| Some(v) != self.parent)
+                .collect();
             for &v in &self.awaiting.clone() {
                 let _ = out.send(v, vec![FLOOD]);
             }
@@ -251,7 +260,12 @@ mod tests {
             fn start(&mut self, me: usize, n: usize, out: &mut Outbox<'_, Vec<u64>>) {
                 let _ = out.send((me + 1) % n, vec![0]);
             }
-            fn round(&mut self, me: usize, _inbox: &[Envelope<Vec<u64>>], out: &mut Outbox<'_, Vec<u64>>) -> bool {
+            fn round(
+                &mut self,
+                me: usize,
+                _inbox: &[Envelope<Vec<u64>>],
+                out: &mut Outbox<'_, Vec<u64>>,
+            ) -> bool {
                 let _ = out.send((me + 1) % 4, vec![0]);
                 false // never done
             }

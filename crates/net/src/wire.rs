@@ -77,7 +77,11 @@ mod tests {
     #[test]
     fn vec_sums_and_floors_at_one() {
         assert_eq!(vec![1u64, 2, 3].words(), 3);
-        assert_eq!(Vec::<u64>::new().words(), 1, "empty payload still occupies a slot");
+        assert_eq!(
+            Vec::<u64>::new().words(),
+            1,
+            "empty payload still occupies a slot"
+        );
     }
 
     #[test]

@@ -163,7 +163,10 @@ pub fn gather_direct(
 ) -> Result<Vec<(usize, Packet)>, NetError> {
     let n = net.n();
     assert_eq!(items.len(), n, "one item list per node");
-    assert!(items[dst].is_empty(), "destination gathers, it does not send");
+    assert!(
+        items[dst].is_empty(),
+        "destination gathers, it does not send"
+    );
     let link_words = net.config().link_words;
     let mut queues = items;
     let mut collected: Vec<(usize, Packet)> = Vec::new();
@@ -284,7 +287,11 @@ mod tests {
     fn gather_pipelines_by_link_budget() {
         // link_words = 2, each item 2 words → one item per round per sender.
         let mut nt = Net::new(NetConfig::kt1(3).with_link_words(2));
-        let items = vec![Vec::new(), vec![vec![1, 1], vec![2, 2], vec![3, 3]], Vec::new()];
+        let items = vec![
+            Vec::new(),
+            vec![vec![1, 1], vec![2, 2], vec![3, 3]],
+            Vec::new(),
+        ];
         let got = gather_direct(&mut nt, 0, items).unwrap();
         assert_eq!(got.len(), 3);
         assert_eq!(nt.cost().rounds, 6, "3 waves × (send + deliver)");
@@ -325,9 +332,9 @@ pub fn all_to_all_personalized(
     }
     let mut received = vec![vec![0u64; n]; n];
     net.step(|node, _inbox, out| {
-        for dst in 0..n {
+        for (dst, &val) in values[node].iter().enumerate() {
             if dst != node {
-                let _ = out.send(dst, vec![values[node][dst]]);
+                let _ = out.send(dst, vec![val]);
             }
         }
     })?;

@@ -51,11 +51,7 @@ pub fn kt0_bootstrap(net: &mut Net) -> Result<Vec<Vec<u32>>, NetError> {
             // established).
             let ports = net.ports().expect("KT0 networks have a port map").clone();
             Ok((0..n)
-                .map(|u| {
-                    (0..n - 1)
-                        .map(|p| ports.neighbor_at(u, p) as u32)
-                        .collect()
-                })
+                .map(|u| (0..n - 1).map(|p| ports.neighbor_at(u, p) as u32).collect())
                 .collect())
         }
     }

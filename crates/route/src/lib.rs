@@ -29,6 +29,7 @@
 pub mod collectives;
 pub mod fragment;
 pub mod kt0_boot;
+pub mod programs;
 pub mod routing;
 pub mod shared_rand;
 pub mod sort;
@@ -41,9 +42,12 @@ pub type Packet = Vec<u64>;
 /// The network type every collective (and every algorithm crate) runs on.
 pub type Net = CliqueNet<Packet>;
 
-pub use collectives::{all_to_all_personalized, all_to_all_share, broadcast_large, broadcast_small, gather_direct};
+pub use collectives::{
+    all_to_all_personalized, all_to_all_share, broadcast_large, broadcast_small, gather_direct,
+};
 pub use fragment::{fragment, reassemble};
 pub use kt0_boot::kt0_bootstrap;
+pub use programs::{gather_on, GatherProgram};
 pub use routing::{route, route_deterministic, RoutedPacket};
 pub use shared_rand::shared_seed;
 pub use sort::{distributed_sort, SortItem};

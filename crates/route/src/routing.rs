@@ -124,8 +124,7 @@ fn route_inner(
     let mut rr: Vec<usize> = offsets;
 
     // Held packets awaiting phase-2 delivery: per node, per destination.
-    let mut held: Vec<Vec<VecDeque<(usize, Packet)>>> =
-        vec![(0..n).map(|_| VecDeque::new()).collect(); 0];
+    let mut held: Vec<Vec<VecDeque<(usize, Packet)>>> = Vec::with_capacity(n);
     held.resize_with(n, || (0..n).map(|_| VecDeque::new()).collect());
 
     let round_cap = 8 * (total / n.max(1) + 4) as u64 + 64;
@@ -156,15 +155,15 @@ fn route_inner(
                 }
             }
             // 2. Phase 2 sends: one held packet per destination per round.
-            for dst in 0..n {
+            for (dst, queue) in held[node].iter_mut().enumerate() {
                 if dst == node {
                     // Held packets destined to self deliver locally.
-                    while let Some((src, payload)) = held[node][dst].pop_front() {
+                    while let Some((src, payload)) = queue.pop_front() {
                         results[node].push((src, payload));
                     }
                     continue;
                 }
-                if let Some((src, payload)) = held[node][dst].front() {
+                if let Some((src, payload)) = queue.front() {
                     let w = 2 + payload.len() as u64;
                     if out.budget_left(dst) >= w {
                         let mut wire = Vec::with_capacity(payload.len() + 2);
@@ -172,7 +171,7 @@ fn route_inner(
                         wire.push(*src as u64);
                         wire.extend_from_slice(payload);
                         let _ = out.send(dst, wire);
-                        held[node][dst].pop_front();
+                        queue.pop_front();
                     }
                 }
             }
@@ -180,7 +179,9 @@ fn route_inner(
             //    round-robin; self-assignments transfer locally.
             let mut sent_this_round = 0usize;
             while sent_this_round < n {
-                let Some(p) = spread_q[node].front() else { break };
+                let Some(p) = spread_q[node].front() else {
+                    break;
+                };
                 let inter = rr[node] % n;
                 if inter == node {
                     let p = spread_q[node].pop_front().unwrap();
@@ -254,7 +255,11 @@ mod tests {
         let mut nt = net(4);
         check_delivery(
             4,
-            vec![RoutedPacket { src: 1, dst: 3, payload: vec![42, 43] }],
+            vec![RoutedPacket {
+                src: 1,
+                dst: 3,
+                payload: vec![42, 43],
+            }],
             &mut nt,
         );
     }
@@ -264,7 +269,11 @@ mod tests {
         let mut nt = net(4);
         check_delivery(
             4,
-            vec![RoutedPacket { src: 2, dst: 2, payload: vec![7] }],
+            vec![RoutedPacket {
+                src: 2,
+                dst: 2,
+                payload: vec![7],
+            }],
             &mut nt,
         );
         assert_eq!(nt.cost().messages, 0);
@@ -275,7 +284,11 @@ mod tests {
         let mut nt = Net::new(NetConfig::kt1(4).with_link_words(4));
         let err = route(
             &mut nt,
-            vec![RoutedPacket { src: 0, dst: 1, payload: vec![0; 3] }],
+            vec![RoutedPacket {
+                src: 0,
+                dst: 1,
+                payload: vec![0; 3],
+            }],
         )
         .unwrap_err();
         assert!(matches!(err, NetError::MessageTooLarge { .. }));
@@ -292,7 +305,11 @@ mod tests {
         let mut packets = Vec::new();
         for src in 0..n {
             for dst in 0..n {
-                packets.push(RoutedPacket { src, dst, payload: vec![(src * n + dst) as u64] });
+                packets.push(RoutedPacket {
+                    src,
+                    dst,
+                    payload: vec![(src * n + dst) as u64],
+                });
             }
         }
         check_delivery(n, packets, &mut nt);
@@ -309,7 +326,11 @@ mod tests {
         let mut packets = Vec::new();
         for src in 1..n {
             for j in 0..3 * n / (n - 1) + 1 {
-                packets.push(RoutedPacket { src, dst: 0, payload: vec![(src * 100 + j) as u64] });
+                packets.push(RoutedPacket {
+                    src,
+                    dst: 0,
+                    payload: vec![(src * 100 + j) as u64],
+                });
             }
         }
         check_delivery(n, packets, &mut nt);
@@ -329,7 +350,11 @@ mod tests {
             dsts.shuffle(&mut rng);
             for (i, &dst) in dsts.iter().enumerate() {
                 let src = i / n;
-                packets.push(RoutedPacket { src, dst, payload: vec![i as u64, rng.gen()] });
+                packets.push(RoutedPacket {
+                    src,
+                    dst,
+                    payload: vec![i as u64, rng.gen()],
+                });
             }
             check_delivery(n, packets, &mut nt);
             assert!(nt.cost().rounds <= 30, "rounds = {}", nt.cost().rounds);
@@ -346,7 +371,11 @@ mod tests {
         let frags = fragment(&data, 5);
         let packets: Vec<RoutedPacket> = frags
             .iter()
-            .map(|f| RoutedPacket { src: 3, dst: 6, payload: f.clone() })
+            .map(|f| RoutedPacket {
+                src: 3,
+                dst: 6,
+                payload: f.clone(),
+            })
             .collect();
         let got = route(&mut nt, packets).unwrap();
         let received: Vec<Packet> = got[6].iter().map(|(_, p)| p.clone()).collect();
@@ -384,8 +413,16 @@ mod deterministic_tests {
         let run = |seed: u64| {
             let mut nt = Net::new(NetConfig::kt1(8).with_seed(seed));
             let packets = vec![
-                RoutedPacket { src: 1, dst: 5, payload: vec![7] },
-                RoutedPacket { src: 2, dst: 5, payload: vec![8] },
+                RoutedPacket {
+                    src: 1,
+                    dst: 5,
+                    payload: vec![7],
+                },
+                RoutedPacket {
+                    src: 2,
+                    dst: 5,
+                    payload: vec![8],
+                },
             ];
             let out = route_deterministic(&mut nt, packets).unwrap();
             (out, nt.cost())

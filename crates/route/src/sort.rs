@@ -61,10 +61,7 @@ pub fn distributed_sort(
         }
     }
     let gathered = gather_direct(net, coordinator, sample_msgs)?;
-    let mut samples: Vec<SortItem> = gathered
-        .iter()
-        .map(|(_, p)| [p[0], p[1], p[2]])
-        .collect();
+    let mut samples: Vec<SortItem> = gathered.iter().map(|(_, p)| [p[0], p[1], p[2]]).collect();
     // Coordinator's own samples are free (local).
     {
         let items = &local[coordinator];
@@ -168,11 +165,8 @@ mod tests {
     /// Flatten results, sort by rank, and check the rank order equals the
     /// key order and ranks are exactly 0..total.
     fn assert_valid_ranking(results: &[Vec<(SortItem, u64)>]) {
-        let mut all: Vec<(u64, SortItem)> = results
-            .iter()
-            .flatten()
-            .map(|&(k, r)| (r, k))
-            .collect();
+        let mut all: Vec<(u64, SortItem)> =
+            results.iter().flatten().map(|&(k, r)| (r, k)).collect();
         all.sort_unstable();
         for (i, (r, _)) in all.iter().enumerate() {
             assert_eq!(*r, i as u64, "ranks must be a permutation of 0..total");
@@ -254,7 +248,11 @@ mod tests {
         let mut nt = net(n);
         let mut rng = ChaCha8Rng::seed_from_u64(8);
         let per_node: Vec<Vec<SortItem>> = (0..n)
-            .map(|_| (0..n).map(|_| [rng.gen_range(0..10_000u64), rng.gen(), rng.gen()]).collect())
+            .map(|_| {
+                (0..n)
+                    .map(|_| [rng.gen_range(0..10_000u64), rng.gen(), rng.gen()])
+                    .collect()
+            })
             .collect();
         let res = distributed_sort(&mut nt, per_node).unwrap();
         assert_valid_ranking(&res);

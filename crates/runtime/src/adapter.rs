@@ -1,0 +1,46 @@
+//! Running existing [`cc_net::NodeProgram`]s on the runtime.
+//!
+//! The simulator's program trait predates this crate and passes a raw
+//! [`cc_net::Outbox`]; the runtime's [`Program`] passes a [`Ctx`] (which
+//! adds per-round randomness and thread-safety bounds). [`Adapted`]
+//! bridges the two so protocols written against `cc-net` — like
+//! [`cc_net::program::examples::FloodEcho`] — run on either engine
+//! without modification.
+
+use crate::backend::{Ctx, Program};
+use cc_net::program::NodeProgram;
+use cc_net::{Envelope, Wire};
+
+/// Wraps a [`cc_net::NodeProgram`] as a runtime [`Program`].
+///
+/// The inner program is public so callers can extract outputs after
+/// [`Runtime::run`](crate::Runtime::run) returns the final states.
+#[derive(Clone, Debug)]
+pub struct Adapted<P>(pub P);
+
+impl<P> Program for Adapted<P>
+where
+    P: NodeProgram + Send,
+    P::Msg: Wire + Clone + Send + Sync,
+{
+    type Msg = P::Msg;
+
+    fn start(&mut self, ctx: &mut Ctx<'_, Self::Msg>) {
+        let (me, n) = (ctx.me(), ctx.n());
+        self.0.start(me, n, ctx.outbox());
+    }
+
+    fn round(&mut self, ctx: &mut Ctx<'_, Self::Msg>, inbox: &[Envelope<Self::Msg>]) -> bool {
+        let me = ctx.me();
+        self.0.round(me, inbox, ctx.outbox())
+    }
+}
+
+/// Wraps a whole per-node program vector (one call site instead of a map).
+pub fn adapt_all<P>(programs: Vec<P>) -> Vec<Adapted<P>>
+where
+    P: NodeProgram + Send,
+    P::Msg: Wire + Clone + Send + Sync,
+{
+    programs.into_iter().map(Adapted).collect()
+}

@@ -1,0 +1,210 @@
+//! The execution-engine contract: [`Program`], [`Ctx`], and [`Backend`].
+//!
+//! A backend executes *one synchronous round* over every node; the
+//! [`Runtime`](crate::Runtime) facade owns the cross-round driver loop
+//! (start round, termination detection, round caps, cost accumulation),
+//! so the loop's semantics cannot drift between backends.
+
+use crate::rng::node_round_rng;
+use cc_net::budget::{LinkUse, SendRules};
+use cc_net::{Cost, Counters, Envelope, NetConfig, NetError, Outbox, Wire};
+use rand_chacha::ChaCha8Rng;
+
+/// A per-node protocol state machine, runnable on any backend.
+///
+/// The runtime's analogue of [`cc_net::NodeProgram`]: the same
+/// start/round shape, but `Send` (states migrate to worker threads) with
+/// messages that are `Clone + Send + Sync` (the lock-free exchange phase
+/// reads staged envelopes from all workers). Use
+/// [`Adapted`](crate::Adapted) to run an existing
+/// [`cc_net::NodeProgram`] unchanged.
+pub trait Program: Send {
+    /// Message type exchanged by the protocol.
+    type Msg: Wire + Clone + Send + Sync;
+
+    /// Called once in round 0, before any delivery, to send initial
+    /// messages.
+    fn start(&mut self, ctx: &mut Ctx<'_, Self::Msg>);
+
+    /// Called every subsequent round with the node's inbox (sorted by
+    /// `(src, send-index)`). Return `true` once this node has terminated;
+    /// the driver stops when every node has terminated and no messages
+    /// are in flight.
+    fn round(&mut self, ctx: &mut Ctx<'_, Self::Msg>, inbox: &[Envelope<Self::Msg>]) -> bool;
+}
+
+/// Which callback a round executes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Phase {
+    /// Round 0: [`Program::start`].
+    Start,
+    /// Every later round: [`Program::round`].
+    Round,
+}
+
+/// One node's view of the current round: identity, sends, randomness.
+pub struct Ctx<'a, M: Wire> {
+    node: usize,
+    n: usize,
+    round: u64,
+    seed: u64,
+    outbox: Outbox<'a, M>,
+    rng: Option<ChaCha8Rng>,
+}
+
+impl<'a, M: Wire> Ctx<'a, M> {
+    /// This node's ID.
+    pub fn me(&self) -> usize {
+        self.node
+    }
+
+    /// Clique size.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Rounds completed before this one (0 during [`Phase::Start`]).
+    pub fn round(&self) -> u64 {
+        self.round
+    }
+
+    /// Sends `msg` to `dst` this round, enforcing the same rules as
+    /// [`cc_net::Outbox::send`] (errors are latched and re-raised by the
+    /// driver even if the result is ignored).
+    ///
+    /// # Errors
+    ///
+    /// See [`cc_net::Outbox::send`].
+    pub fn send(&mut self, dst: usize, msg: M) -> Result<(), NetError> {
+        self.outbox.send(dst, msg)
+    }
+
+    /// Remaining word budget toward `dst` this round.
+    pub fn budget_left(&self, dst: usize) -> u64 {
+        self.outbox.budget_left(dst)
+    }
+
+    /// The underlying outbox — lets [`cc_net::NodeProgram`] code run
+    /// unchanged (see [`Adapted`](crate::Adapted)).
+    pub fn outbox(&mut self) -> &mut Outbox<'a, M> {
+        &mut self.outbox
+    }
+
+    /// This node's private randomness for *this round*: an independent
+    /// `ChaCha8` stream derived from `(seed, node, round)`, identical on
+    /// every backend (see [`crate::rng::node_round_rng`]).
+    pub fn rng(&mut self) -> &mut ChaCha8Rng {
+        let (seed, node, round) = (self.seed, self.node, self.round);
+        self.rng
+            .get_or_insert_with(|| node_round_rng(seed, node, round))
+    }
+}
+
+impl<'a, M: Wire + Clone> Ctx<'a, M> {
+    /// Sends the same message along every link (the broadcast-model
+    /// primitive; also valid, and counted as `n − 1` messages, under
+    /// unicast).
+    ///
+    /// # Errors
+    ///
+    /// See [`cc_net::Outbox::broadcast`].
+    pub fn broadcast(&mut self, msg: M) -> Result<(), NetError> {
+        self.outbox.broadcast(msg)
+    }
+}
+
+/// What one executed round hands back to the driver.
+#[derive(Debug)]
+pub struct RoundOutput<M> {
+    /// Per-destination inboxes for the next round, each in
+    /// `(src, send-index)` order.
+    pub inboxes: Vec<Vec<Envelope<M>>>,
+    /// Message/word/bit cost of this round (`rounds` stays 0; the driver
+    /// counts rounds).
+    pub cost: Cost,
+    /// `(round, src, dst)` per message, empty unless
+    /// [`NetConfig::record_transcript`] is set.
+    pub transcript: Vec<(u64, u32, u32)>,
+}
+
+/// An engine that can execute one synchronous round.
+///
+/// Implementations must be observationally identical — same inboxes, same
+/// cost, same errors, same program mutations — for any [`Program`]; they
+/// may only differ in wall-clock. `tests/equivalence.rs` and the
+/// `runtime_determinism` proptest in `cc-net` hold them to that.
+pub trait Backend {
+    /// Human-readable name (used by benches and reports).
+    fn name(&self) -> &'static str;
+
+    /// Executes one round of `phase` over all `programs`.
+    ///
+    /// `delivered[v]` is node `v`'s inbox for this round; `done[v]` is
+    /// updated from [`Program::round`] return values. `round` is the
+    /// number of rounds completed before this one.
+    ///
+    /// # Errors
+    ///
+    /// The first send violation by the lowest-ID offending node.
+    fn execute<P: Program>(
+        &mut self,
+        cfg: &NetConfig,
+        round: u64,
+        phase: Phase,
+        programs: &mut [P],
+        delivered: &[Vec<Envelope<P::Msg>>],
+        done: &mut [bool],
+    ) -> Result<RoundOutput<P::Msg>, NetError>;
+}
+
+/// Runs one node's callback and stages its sends — the single code path
+/// both backends share, so their per-node semantics cannot diverge.
+///
+/// Returns the staged envelopes, the first latched violation, and whether
+/// the node reported termination.
+pub(crate) fn run_node<P: Program>(
+    program: &mut P,
+    node: usize,
+    cfg: &NetConfig,
+    links: &mut LinkUse,
+    round: u64,
+    phase: Phase,
+    inbox: &[Envelope<P::Msg>],
+) -> (Vec<Envelope<P::Msg>>, Option<NetError>, bool) {
+    let mut ctx = Ctx {
+        node,
+        n: cfg.n,
+        round,
+        seed: cfg.seed,
+        outbox: Outbox::assemble(node, SendRules::from_config(cfg), links),
+        rng: None,
+    };
+    let done = match phase {
+        Phase::Start => {
+            program.start(&mut ctx);
+            false
+        }
+        Phase::Round => program.round(&mut ctx, inbox),
+    };
+    let (staged, error) = ctx.outbox.finish();
+    links.reset();
+    (staged, error, done)
+}
+
+/// Meters `staged` envelopes into `counters` and appends transcript
+/// entries when recording — the shared per-node accounting step.
+pub(crate) fn meter<M: Wire>(
+    staged: &[Envelope<M>],
+    cfg: &NetConfig,
+    round: u64,
+    counters: &mut Counters,
+    transcript: &mut Vec<(u64, u32, u32)>,
+) {
+    let word_bits = cfg.word_bits();
+    for env in staged {
+        counters.add_message(env.msg.words().max(1), word_bits);
+        if cfg.record_transcript {
+            transcript.push((round, env.src as u32, env.dst as u32));
+        }
+    }
+}

@@ -1,0 +1,204 @@
+//! The parallel backend: fan-out across a thread pool, lock-free
+//! deterministic exchange, sharded cost counters.
+//!
+//! One round is two barriers:
+//!
+//! 1. **Compute** — nodes are split into contiguous ID chunks, one per
+//!    worker. Each worker runs its nodes' callbacks with a *private*
+//!    [`LinkUse`] ledger (budgets are per-sender, so no sharing is
+//!    needed), stages outgoing envelopes per node, and meters into a
+//!    *private* [`Counters`] shard. No lock is taken anywhere.
+//! 2. **Exchange** — workers are re-assigned contiguous *destination*
+//!    ranges. Each scans the staged outboxes of all senders in ID order
+//!    and copies out the envelopes addressed to its range, so every inbox
+//!    comes out in `(src, send-index)` order by construction — thread
+//!    arrival order never matters. Counter shards and transcript chunks
+//!    fold in worker (= ID) order at the barrier.
+//!
+//! Violations abort a worker's chunk at the first offending node (the
+//! serial engine's behavior within a chunk), and the lowest-ID offender's
+//! error is reported — the same error the serial engine would return,
+//! because a node's behavior in a round cannot depend on higher-ID nodes'
+//! sends of the *same* round.
+
+use crate::backend::{meter, run_node, Backend, Phase, Program, RoundOutput};
+use crate::serial::SerialBackend;
+use cc_net::budget::LinkUse;
+use cc_net::{Cost, Counters, Envelope, NetConfig, NetError};
+
+/// Multi-threaded engine; observationally identical to
+/// [`SerialBackend`](crate::SerialBackend).
+#[derive(Clone, Copy, Debug)]
+pub struct ParallelBackend {
+    threads: usize,
+}
+
+impl Default for ParallelBackend {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ParallelBackend {
+    /// An engine using all available hardware parallelism.
+    pub fn new() -> Self {
+        let threads = std::thread::available_parallelism().map_or(1, |p| p.get());
+        Self::with_threads(threads)
+    }
+
+    /// An engine with an explicit worker count (`threads ≥ 1`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads == 0`.
+    pub fn with_threads(threads: usize) -> Self {
+        assert!(threads >= 1, "a backend needs at least one worker");
+        ParallelBackend { threads }
+    }
+
+    /// Configured worker count.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+}
+
+/// What one compute-phase worker hands back at the barrier.
+struct ComputeShard<M> {
+    /// Staged outbox per node of the chunk, in node order.
+    staged: Vec<Vec<Envelope<M>>>,
+    cost: Cost,
+    transcript: Vec<(u64, u32, u32)>,
+    /// First violation in the chunk, with the offending node's ID.
+    error: Option<(usize, NetError)>,
+}
+
+impl Backend for ParallelBackend {
+    fn name(&self) -> &'static str {
+        "parallel"
+    }
+
+    fn execute<P: Program>(
+        &mut self,
+        cfg: &NetConfig,
+        round: u64,
+        phase: Phase,
+        programs: &mut [P],
+        delivered: &[Vec<Envelope<P::Msg>>],
+        done: &mut [bool],
+    ) -> Result<RoundOutput<P::Msg>, NetError> {
+        let n = cfg.n;
+        let workers = self.threads.min(n);
+        if workers <= 1 {
+            // One worker is the serial engine; skip the fan-out cost.
+            return SerialBackend.execute(cfg, round, phase, programs, delivered, done);
+        }
+        let chunk = n.div_ceil(workers);
+
+        // ---- Barrier 1: compute. ----
+        let shards: Vec<ComputeShard<P::Msg>> = std::thread::scope(|s| {
+            let handles: Vec<_> = programs
+                .chunks_mut(chunk)
+                .zip(done.chunks_mut(chunk))
+                .zip(delivered.chunks(chunk))
+                .enumerate()
+                .map(|(w, ((progs, done_chunk), del_chunk))| {
+                    let base = w * chunk;
+                    s.spawn(move || {
+                        let mut links = LinkUse::new(n);
+                        let mut counters = Counters::new();
+                        let mut transcript = Vec::new();
+                        let mut staged_per_node = Vec::with_capacity(progs.len());
+                        let mut error = None;
+                        for (i, program) in progs.iter_mut().enumerate() {
+                            let node = base + i;
+                            let (staged, err, node_done) = run_node(
+                                program,
+                                node,
+                                cfg,
+                                &mut links,
+                                round,
+                                phase,
+                                &del_chunk[i],
+                            );
+                            if let Some(e) = err {
+                                error = Some((node, e));
+                                break;
+                            }
+                            if phase == Phase::Round {
+                                done_chunk[i] = node_done;
+                            }
+                            meter(&staged, cfg, round, &mut counters, &mut transcript);
+                            staged_per_node.push(staged);
+                        }
+                        ComputeShard {
+                            staged: staged_per_node,
+                            cost: counters.total(),
+                            transcript,
+                            error,
+                        }
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().unwrap_or_else(|e| std::panic::resume_unwind(e)))
+                .collect()
+        });
+
+        // Fold shards in worker (= node) order: lowest offender wins, cost
+        // addition is commutative so totals are exact, transcript chunks
+        // concatenate into sender-ID order.
+        if let Some((_, e)) = shards
+            .iter()
+            .filter_map(|sh| sh.error.as_ref())
+            .min_by_key(|(node, _)| *node)
+        {
+            return Err(e.clone());
+        }
+        let mut cost = Cost::default();
+        let mut transcript = Vec::new();
+        let mut staged_all: Vec<Vec<Envelope<P::Msg>>> = Vec::with_capacity(n);
+        for shard in shards {
+            cost += shard.cost;
+            transcript.extend(shard.transcript);
+            staged_all.extend(shard.staged);
+        }
+
+        // ---- Barrier 2: exchange. ----
+        // Workers own disjoint destination ranges and pull from the shared
+        // staged outboxes — no queue, no lock, and the (src, send-index)
+        // scan order *is* the normalized inbox order.
+        let staged_ref = &staged_all;
+        let inboxes: Vec<Vec<Envelope<P::Msg>>> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..workers)
+                .map(|w| {
+                    let lo = (w * chunk).min(n);
+                    let hi = ((w + 1) * chunk).min(n);
+                    s.spawn(move || {
+                        let mut part: Vec<Vec<Envelope<P::Msg>>> =
+                            (lo..hi).map(|_| Vec::new()).collect();
+                        for src_staged in staged_ref {
+                            for env in src_staged {
+                                if (lo..hi).contains(&env.dst) {
+                                    part[env.dst - lo].push(env.clone());
+                                }
+                            }
+                        }
+                        part
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .flat_map(|h| h.join().unwrap_or_else(|e| std::panic::resume_unwind(e)))
+                .collect()
+        });
+        debug_assert_eq!(inboxes.len(), n);
+
+        Ok(RoundOutput {
+            inboxes,
+            cost,
+            transcript,
+        })
+    }
+}

@@ -1,0 +1,166 @@
+//! The [`Runtime`] facade: one cross-round driver loop over any backend.
+//!
+//! Mirrors [`cc_net::program::run_program`] exactly — same start round,
+//! same termination condition (every node done *and* no messages in
+//! flight), same round-cap errors — so a protocol's observable behavior
+//! is a function of the protocol alone, never of the engine under it.
+
+use crate::backend::{Backend, Phase, Program, RoundOutput};
+use crate::parallel::ParallelBackend;
+use crate::serial::SerialBackend;
+use cc_net::{Cost, Counters, Envelope, NetConfig, NetError};
+
+/// Executes node programs round-by-round on a pluggable [`Backend`].
+#[derive(Debug)]
+pub struct Runtime<B: Backend> {
+    cfg: NetConfig,
+    backend: B,
+    counters: Counters,
+    transcript: Vec<(u64, u32, u32)>,
+}
+
+impl Runtime<SerialBackend> {
+    /// A single-threaded runtime (the reference engine).
+    pub fn serial(cfg: NetConfig) -> Self {
+        Runtime::new(cfg, SerialBackend)
+    }
+}
+
+impl Runtime<ParallelBackend> {
+    /// A runtime using all available hardware parallelism.
+    pub fn parallel(cfg: NetConfig) -> Self {
+        Runtime::new(cfg, ParallelBackend::new())
+    }
+
+    /// A runtime with an explicit worker count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads == 0`.
+    pub fn parallel_with_threads(cfg: NetConfig, threads: usize) -> Self {
+        Runtime::new(cfg, ParallelBackend::with_threads(threads))
+    }
+}
+
+impl<B: Backend> Runtime<B> {
+    /// A runtime over an arbitrary backend.
+    pub fn new(cfg: NetConfig, backend: B) -> Self {
+        Runtime {
+            cfg,
+            backend,
+            counters: Counters::new(),
+            transcript: Vec::new(),
+        }
+    }
+
+    /// Clique size.
+    pub fn n(&self) -> usize {
+        self.cfg.n
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &NetConfig {
+        &self.cfg
+    }
+
+    /// The backend's human-readable name.
+    pub fn backend_name(&self) -> &'static str {
+        self.backend.name()
+    }
+
+    /// The backend itself (e.g. to query a worker count).
+    pub fn backend(&self) -> &B {
+        &self.backend
+    }
+
+    /// Accumulated cost so far (across all `run` calls).
+    pub fn cost(&self) -> Cost {
+        self.counters.total()
+    }
+
+    /// The cost counters (for scope queries).
+    pub fn counters(&self) -> &Counters {
+        &self.counters
+    }
+
+    /// Opens a named cost scope (see [`Counters::begin_scope`]).
+    pub fn begin_scope(&mut self, name: impl Into<String>) {
+        self.counters.begin_scope(name);
+    }
+
+    /// Closes the innermost cost scope and returns its delta.
+    pub fn end_scope(&mut self) -> Cost {
+        self.counters.end_scope()
+    }
+
+    /// The recorded `(round, src, dst)` transcript (empty unless
+    /// [`NetConfig::record_transcript`] is set).
+    pub fn transcript(&self) -> &[(u64, u32, u32)] {
+        &self.transcript
+    }
+
+    /// Runs one program instance per node until every node reports done
+    /// and the network is quiet, or `max_rounds` elapses.
+    ///
+    /// Returns the final program states (so callers can extract outputs).
+    ///
+    /// # Errors
+    ///
+    /// Propagates send violations; returns [`NetError::RoundCapExceeded`]
+    /// if the protocol does not terminate within `max_rounds` (or the
+    /// config's `round_cap` watchdog fires first).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `programs.len() == self.n()`.
+    pub fn run<P: Program>(
+        &mut self,
+        mut programs: Vec<P>,
+        max_rounds: u64,
+    ) -> Result<Vec<P>, NetError> {
+        let n = self.cfg.n;
+        assert_eq!(programs.len(), n, "one program per node");
+        let mut done = vec![false; n];
+        let empty: Vec<Vec<Envelope<P::Msg>>> = (0..n).map(|_| Vec::new()).collect();
+        let mut pending = self.execute(Phase::Start, &mut programs, &empty, &mut done)?;
+        let mut rounds = 1u64;
+        loop {
+            let all_done = done.iter().all(|&d| d);
+            if all_done && pending.iter().all(Vec::is_empty) {
+                return Ok(programs);
+            }
+            if rounds >= max_rounds {
+                return Err(NetError::RoundCapExceeded { cap: max_rounds });
+            }
+            pending = self.execute(Phase::Round, &mut programs, &pending, &mut done)?;
+            rounds += 1;
+        }
+    }
+
+    /// Executes one round and folds its cost/transcript into the runtime.
+    fn execute<P: Program>(
+        &mut self,
+        phase: Phase,
+        programs: &mut [P],
+        delivered: &[Vec<Envelope<P::Msg>>],
+        done: &mut [bool],
+    ) -> Result<Vec<Vec<Envelope<P::Msg>>>, NetError> {
+        if let Some(cap) = self.cfg.round_cap {
+            if self.counters.total().rounds >= cap {
+                return Err(NetError::RoundCapExceeded { cap });
+            }
+        }
+        let round = self.counters.total().rounds;
+        let RoundOutput {
+            inboxes,
+            cost,
+            transcript,
+        } = self
+            .backend
+            .execute(&self.cfg, round, phase, programs, delivered, done)?;
+        self.counters.merge(cost);
+        self.counters.add_round();
+        self.transcript.extend(transcript);
+        Ok(inboxes)
+    }
+}

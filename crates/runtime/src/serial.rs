@@ -1,0 +1,68 @@
+//! The serial reference backend.
+//!
+//! Executes nodes in ID order on the calling thread, exactly like
+//! [`cc_net::CliqueNet::step`]: same send validation, same
+//! abort-on-first-violation behavior, same inbox normalization. This is
+//! the semantic baseline the parallel backend is tested against — and the
+//! faster choice when `n · per-node-work` is small enough that thread
+//! fan-out costs more than it saves.
+
+use crate::backend::{meter, run_node, Backend, Phase, Program, RoundOutput};
+use cc_net::budget::LinkUse;
+use cc_net::{Counters, Envelope, NetConfig, NetError};
+
+/// Single-threaded engine; the reference implementation.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct SerialBackend;
+
+impl Backend for SerialBackend {
+    fn name(&self) -> &'static str {
+        "serial"
+    }
+
+    fn execute<P: Program>(
+        &mut self,
+        cfg: &NetConfig,
+        round: u64,
+        phase: Phase,
+        programs: &mut [P],
+        delivered: &[Vec<Envelope<P::Msg>>],
+        done: &mut [bool],
+    ) -> Result<RoundOutput<P::Msg>, NetError> {
+        let n = cfg.n;
+        let mut links = LinkUse::new(n);
+        let mut counters = Counters::new();
+        let mut transcript = Vec::new();
+        let mut inboxes: Vec<Vec<Envelope<P::Msg>>> = (0..n).map(|_| Vec::new()).collect();
+
+        for (node, program) in programs.iter_mut().enumerate() {
+            let (staged, error, node_done) = run_node(
+                program,
+                node,
+                cfg,
+                &mut links,
+                round,
+                phase,
+                &delivered[node],
+            );
+            if let Some(e) = error {
+                return Err(e);
+            }
+            if phase == Phase::Round {
+                done[node] = node_done;
+            }
+            meter(&staged, cfg, round, &mut counters, &mut transcript);
+            // Senders run in ID order and stage in send order, so pushing
+            // here yields (src, send-index)-sorted inboxes by construction.
+            for env in staged {
+                inboxes[env.dst].push(env);
+            }
+        }
+
+        Ok(RoundOutput {
+            inboxes,
+            cost: counters.total(),
+            transcript,
+        })
+    }
+}

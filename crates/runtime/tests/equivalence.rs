@@ -1,0 +1,148 @@
+//! Backend equivalence: the serial simulator, the serial runtime backend,
+//! and the parallel runtime backend must produce identical program states
+//! and identical cost totals on the same inputs.
+
+use cc_net::program::examples::FloodEcho;
+use cc_net::program::run_program;
+use cc_net::{CliqueNet, Cost, NetConfig};
+use cc_runtime::{adapt_all, Runtime};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+fn flood_programs(adj: &[Vec<usize>], root: usize) -> Vec<FloodEcho> {
+    adj.iter()
+        .enumerate()
+        .map(|(v, nb)| FloodEcho::new(nb.clone(), v == root))
+        .collect()
+}
+
+/// `(parent, subtree, reached)` per node — FloodEcho's full observable
+/// output.
+fn outputs(programs: &[FloodEcho]) -> Vec<(Option<usize>, u64, bool)> {
+    programs
+        .iter()
+        .map(|p| (p.parent, p.subtree, p.reached()))
+        .collect()
+}
+
+fn random_adjacency(n: usize, edge_prob: f64, seed: u64) -> Vec<Vec<usize>> {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut adj = vec![Vec::new(); n];
+    for u in 0..n {
+        for v in (u + 1)..n {
+            if rng.gen_bool(edge_prob) {
+                adj[u].push(v);
+                adj[v].push(u);
+            }
+        }
+    }
+    adj
+}
+
+/// Runs FloodEcho on all three engines and asserts identical outputs and
+/// identical cost.
+fn assert_three_way(adj: &[Vec<usize>], root: usize, max_rounds: u64) {
+    let n = adj.len();
+    let cfg = NetConfig::kt1(n);
+
+    let mut net: CliqueNet<Vec<u64>> = CliqueNet::new(cfg.clone());
+    let reference = run_program(&mut net, flood_programs(adj, root), max_rounds).unwrap();
+    let ref_cost = net.cost();
+
+    let mut serial = Runtime::serial(cfg.clone());
+    let s = serial
+        .run(adapt_all(flood_programs(adj, root)), max_rounds)
+        .unwrap();
+
+    let mut parallel = Runtime::parallel_with_threads(cfg, 4);
+    let p = parallel
+        .run(adapt_all(flood_programs(adj, root)), max_rounds)
+        .unwrap();
+
+    let want = outputs(&reference);
+    let s_out: Vec<FloodEcho> = s.into_iter().map(|a| a.0).collect();
+    let p_out: Vec<FloodEcho> = p.into_iter().map(|a| a.0).collect();
+    assert_eq!(outputs(&s_out), want, "serial backend diverged");
+    assert_eq!(outputs(&p_out), want, "parallel backend diverged");
+    assert_eq!(serial.cost(), ref_cost, "serial cost diverged");
+    assert_eq!(parallel.cost(), ref_cost, "parallel cost diverged");
+}
+
+#[test]
+fn flood_echo_path_with_isolated_node() {
+    let adj = vec![vec![1], vec![0, 2], vec![1, 3], vec![2], vec![]];
+    assert_three_way(&adj, 0, 100);
+}
+
+#[test]
+fn flood_echo_ring() {
+    let n = 16;
+    let mut adj = vec![Vec::new(); n];
+    for v in 0..n {
+        adj[v].push((v + 1) % n);
+        adj[(v + 1) % n].push(v);
+    }
+    assert_three_way(&adj, 5, 100);
+}
+
+#[test]
+fn flood_echo_random_graphs() {
+    for (seed, prob) in [(1u64, 0.05), (2, 0.15), (3, 0.4)] {
+        let adj = random_adjacency(24, prob, seed);
+        assert_three_way(&adj, 0, 200);
+    }
+}
+
+#[test]
+fn flood_echo_worker_count_is_invisible() {
+    let adj = random_adjacency(20, 0.2, 99);
+    let cfg = NetConfig::kt1(adj.len());
+
+    let run_with = |threads: usize| -> (Vec<(Option<usize>, u64, bool)>, Cost) {
+        let mut rt = Runtime::parallel_with_threads(cfg.clone(), threads);
+        let out = rt.run(adapt_all(flood_programs(&adj, 0)), 200).unwrap();
+        let inner: Vec<FloodEcho> = out.into_iter().map(|a| a.0).collect();
+        (outputs(&inner), rt.cost())
+    };
+
+    let base = run_with(1);
+    for threads in [2, 3, 7, 32] {
+        assert_eq!(run_with(threads), base, "threads={threads} diverged");
+    }
+}
+
+#[test]
+fn transcripts_match_between_backends() {
+    let adj = random_adjacency(12, 0.3, 7);
+    let cfg = NetConfig::kt1(adj.len()).with_transcript();
+
+    let mut serial = Runtime::serial(cfg.clone());
+    serial.run(adapt_all(flood_programs(&adj, 0)), 200).unwrap();
+
+    let mut parallel = Runtime::parallel_with_threads(cfg, 5);
+    parallel
+        .run(adapt_all(flood_programs(&adj, 0)), 200)
+        .unwrap();
+
+    assert!(!serial.transcript().is_empty());
+    assert_eq!(serial.transcript(), parallel.transcript());
+}
+
+#[test]
+fn graph_helper_agrees_with_component_count() {
+    // Cross-check against cc-graph: the root's subtree size equals its
+    // component's size.
+    let mut rng = ChaCha8Rng::seed_from_u64(42);
+    let g = cc_graph::generators::gnp(30, 0.08, &mut rng);
+    let mut adj = vec![Vec::new(); 30];
+    for e in g.edges() {
+        adj[e.u as usize].push(e.v as usize);
+        adj[e.v as usize].push(e.u as usize);
+    }
+    let labels = cc_graph::connectivity::component_labels(&g);
+    let component_size = labels.iter().filter(|&&l| l == labels[0]).count() as u64;
+
+    let mut rt = Runtime::parallel_with_threads(NetConfig::kt1(30), 4);
+    let out = rt.run(adapt_all(flood_programs(&adj, 0)), 400).unwrap();
+    assert_eq!(out[0].0.subtree, component_size);
+}

@@ -64,7 +64,12 @@ impl GraphSketchSpace {
     /// ("an independent collection of t = Θ(log n) sketches").
     pub fn family(n: usize, t: usize, base_seed: u64) -> Vec<GraphSketchSpace> {
         (0..t)
-            .map(|j| GraphSketchSpace::new(n, base_seed.wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(j as u64 + 1))))
+            .map(|j| {
+                GraphSketchSpace::new(
+                    n,
+                    base_seed.wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(j as u64 + 1)),
+                )
+            })
             .collect()
     }
 
@@ -104,7 +109,11 @@ impl GraphSketchSpace {
     /// # Panics
     ///
     /// Panics if a neighbor equals `v` or is `≥ n`.
-    pub fn sketch_neighborhood(&self, v: usize, neighbors: impl IntoIterator<Item = usize>) -> Sketch {
+    pub fn sketch_neighborhood(
+        &self,
+        v: usize,
+        neighbors: impl IntoIterator<Item = usize>,
+    ) -> Sketch {
         let mut sk = self.zero_sketch();
         for u in neighbors {
             self.add_incidence(&mut sk, v, u);
@@ -166,11 +175,7 @@ mod tests {
     use rand_chacha::ChaCha8Rng;
 
     /// Sum the sketches of a vertex subset S of g and return the sample.
-    fn cut_sample(
-        space: &GraphSketchSpace,
-        g: &cc_graph::Graph,
-        s: &[usize],
-    ) -> EdgeSample {
+    fn cut_sample(space: &GraphSketchSpace, g: &cc_graph::Graph, s: &[usize]) -> EdgeSample {
         let mut acc = space.zero_sketch();
         for &v in s {
             let sk = space.sketch_neighborhood(v, g.neighbors(v).iter().map(|&u| u as usize));
@@ -264,10 +269,7 @@ mod tests {
     fn family_members_are_independent() {
         let fam = GraphSketchSpace::family(10, 4, 99);
         assert_eq!(fam.len(), 4);
-        let sketches: Vec<_> = fam
-            .iter()
-            .map(|s| s.sketch_neighborhood(0, [5]))
-            .collect();
+        let sketches: Vec<_> = fam.iter().map(|s| s.sketch_neighborhood(0, [5])).collect();
         // All four must decode, but their raw data must differ.
         for (i, s) in fam.iter().enumerate() {
             assert_eq!(s.sample_edge(&sketches[i]), EdgeSample::Edge(0, 5));

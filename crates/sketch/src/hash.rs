@@ -100,7 +100,11 @@ mod tests {
     fn different_seeds_differ() {
         let h1 = KWiseHash::random(8, &mut rng(5));
         let h2 = KWiseHash::random(8, &mut rng(6));
-        assert_ne!(h1.eval(1), h2.eval(1), "collision would be astronomically unlikely");
+        assert_ne!(
+            h1.eval(1),
+            h2.eval(1),
+            "collision would be astronomically unlikely"
+        );
     }
 
     #[test]

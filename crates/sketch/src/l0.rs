@@ -195,7 +195,11 @@ impl SketchSpace {
     /// level `ℓ` is in every level below).
     fn item_level(&self, i: u64) -> usize {
         let v = self.h.eval(i);
-        let tz = if v == 0 { 63 } else { v.trailing_zeros() as usize };
+        let tz = if v == 0 {
+            63
+        } else {
+            v.trailing_zeros() as usize
+        };
         tz.min(self.params.levels - 1)
     }
 
@@ -231,11 +235,15 @@ impl SketchSpace {
         for row in 0..self.params.rows {
             for b in 0..self.params.buckets as u64 {
                 let range = self.cell_range(level, row, b);
-                if let CellDecode::One(i, c) = cell_decode(&sketch.data[range], self.z, self.universe) {
+                if let CellDecode::One(i, c) =
+                    cell_decode(&sketch.data[range], self.z, self.universe)
+                {
                     // Structural validation: i must actually live in this
                     // level and hash to this bucket.
                     if self.item_level(i) >= level
-                        && self.g[level * self.params.rows + row].eval_range(i, self.params.buckets as u64) == b
+                        && self.g[level * self.params.rows + row]
+                            .eval_range(i, self.params.buckets as u64)
+                            == b
                         && !items.iter().any(|&(j, _)| j == i)
                     {
                         items.push((i, c));
@@ -388,7 +396,10 @@ mod tests {
                 fails += 1;
             }
         }
-        assert!(fails <= trials / 20, "too many sampler failures: {fails}/{trials}");
+        assert!(
+            fails <= trials / 20,
+            "too many sampler failures: {fails}/{trials}"
+        );
     }
 
     #[test]
@@ -452,7 +463,16 @@ mod tests {
     #[should_panic(expected = "shape mismatch")]
     fn add_rejects_shape_mismatch() {
         let a = space(100, 1);
-        let b = SketchSpace::new(100, SketchParams { levels: 3, rows: 1, buckets: 4, k: 2 }, 1);
+        let b = SketchSpace::new(
+            100,
+            SketchParams {
+                levels: 3,
+                rows: 1,
+                buckets: 4,
+                k: 2,
+            },
+            1,
+        );
         let mut x = a.zero_sketch();
         let y = b.zero_sketch();
         x.add_assign_sketch(&y);

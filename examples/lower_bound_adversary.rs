@@ -39,8 +39,8 @@ fn main() {
 
     // A cheap star profile: everyone only ever talks to node 0.
     let star: HashSet<(usize, usize)> = (1..n).map(|v| (0, v)).collect();
-    let square = lb::find_untouched_square(&squares, &star)
-        .expect("pigeonhole: fewer links than squares");
+    let square =
+        lb::find_untouched_square(&squares, &star).expect("pigeonhole: fewer links than squares");
     let swapped = inst.apply_swap(&square.swap());
     println!(
         "star profile ({} links) leaves square {:?} untouched",
@@ -49,8 +49,16 @@ fn main() {
     );
     println!(
         "  G is {}connected; the swap is {}connected — indistinguishable to the profile!",
-        if connectivity::is_connected(&inst.graph) { "" } else { "dis" },
-        if connectivity::is_connected(&swapped) { "" } else { "dis" },
+        if connectivity::is_connected(&inst.graph) {
+            ""
+        } else {
+            "dis"
+        },
+        if connectivity::is_connected(&swapped) {
+            ""
+        } else {
+            "dis"
+        },
     );
     assert!(!connectivity::is_connected(&inst.graph));
     assert!(connectivity::is_connected(&swapped));

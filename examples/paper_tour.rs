@@ -32,7 +32,10 @@ fn main() {
     let mut comp = space.sketch_neighborhood(0, [1, 2]);
     comp.add_assign_sketch(&space.sketch_neighborhood(1, [0, 2]));
     comp.add_assign_sketch(&space.sketch_neighborhood(2, [0, 1, 3]));
-    println!("triangle {{0,1,2}} + cut edge {{2,3}} → sample: {:?}", space.sample_edge(&comp));
+    println!(
+        "triangle {{0,1,2}} + cut edge {{2,3}} → sample: {:?}",
+        space.sample_edge(&comp)
+    );
     assert_eq!(space.sample_edge(&comp), EdgeSample::Edge(2, 3));
 
     stop("§2.2, Theorem 4 — GC in O(log log log n) rounds");
@@ -48,13 +51,32 @@ fn main() {
     let gw = generators::complete_wgraph(24, &mut rng);
     let mut net = Net::new(NetConfig::kt1(24).with_seed(2));
     let m = exact_mst(&mut net, &gw, &ExactMstConfig::default()).unwrap();
-    println!("24-clique MST: {} edges in {} rounds — matches Kruskal: {}", m.mst.len(), m.cost.rounds, m.mst == mst::kruskal(&gw));
+    println!(
+        "24-clique MST: {} edges in {} rounds — matches Kruskal: {}",
+        m.mst.len(),
+        m.cost.rounds,
+        m.mst == mst::kruskal(&gw)
+    );
     assert_eq!(m.mst, mst::kruskal(&gw));
 
     stop("Remark 5 — bipartiteness & k-edge-connectivity");
-    let bip = bipartiteness(&generators::cycle(12), &NetConfig::kt1(12).with_seed(3), &GcConfig::default()).unwrap();
-    let kecc = k_edge_connectivity(&generators::cycle(12), 2, &NetConfig::kt1(12).with_seed(4), &GcConfig::default()).unwrap();
-    println!("C12: bipartite={}, 2-edge-connected={}", bip.bipartite, kecc.k_edge_connected);
+    let bip = bipartiteness(
+        &generators::cycle(12),
+        &NetConfig::kt1(12).with_seed(3),
+        &GcConfig::default(),
+    )
+    .unwrap();
+    let kecc = k_edge_connectivity(
+        &generators::cycle(12),
+        2,
+        &NetConfig::kt1(12).with_seed(4),
+        &GcConfig::default(),
+    )
+    .unwrap();
+    println!(
+        "C12: bipartite={}, 2-edge-connected={}",
+        bip.bipartite, kecc.k_edge_connected
+    );
     assert!(bip.bipartite && kecc.k_edge_connected);
 
     stop("§3, Theorems 8–9 — the KT0 Ω(n²) adversary");
@@ -62,7 +84,9 @@ fn main() {
     let squares = lb::edge_disjoint_squares(&inst);
     let sq = &squares[0];
     let ports = PortMap::new(16, 5);
-    let mut probes: HashSet<(usize, usize)> = (0..16).flat_map(|a| ((a + 1)..16).map(move |b| (a, b))).collect();
+    let mut probes: HashSet<(usize, usize)> = (0..16)
+        .flat_map(|a| ((a + 1)..16).map(move |b| (a, b)))
+        .collect();
     for l in sq.links() {
         probes.remove(&l);
     }
@@ -82,14 +106,23 @@ fn main() {
         .union(&lb::crossed_partitions(i, &r1.transcript))
         .copied()
         .collect();
-    println!("G_{{6,·}}: {}/{} partitions crossed over both runs", crossed.len(), i);
+    println!(
+        "G_{{6,·}}: {}/{} partitions crossed over both runs",
+        crossed.len(),
+        i
+    );
     assert_eq!(crossed.len(), i);
 
     stop("§4 opening — the O(n)-bit time-encoding protocol");
     let gte = generators::cycle(10);
     let mut tnet = Net::new(NetConfig::kt1(10).with_seed(6));
     let te = time_encoding_gc(&mut tnet, &gte).unwrap();
-    println!("{} messages, {} rounds (2^n = {})", te.cost.messages, te.cost.rounds, 1 << 10);
+    println!(
+        "{} messages, {} rounds (2^n = {})",
+        te.cost.messages,
+        te.cost.rounds,
+        1 << 10
+    );
     assert_eq!(te.cost.messages, 18);
 
     stop("§4.2, Theorem 13 — MST with O(n polylog n) messages");

@@ -15,14 +15,21 @@ fn main() {
     let n = 128;
     let mut rng = ChaCha8Rng::seed_from_u64(42);
     let g = generators::random_connected_graph(n, 3.0 / n as f64, &mut rng);
-    println!("input: n = {}, m = {} (random connected graph)", g.n(), g.m());
+    println!(
+        "input: n = {}, m = {} (random connected graph)",
+        g.n(),
+        g.m()
+    );
 
     // Paper-default configuration: ⌈log log log n⌉ + 3 Lotker phases, then
     // sketch-and-span.
     let run = gc::run(&g, &NetConfig::kt1(n).with_seed(7)).expect("simulation failed");
     println!("connected            : {}", run.output.connected);
     println!("components           : {}", run.output.component_count);
-    println!("forest edges         : {}", run.output.spanning_forest.len());
+    println!(
+        "forest edges         : {}",
+        run.output.spanning_forest.len()
+    );
     println!("total  | {}", run.cost);
     println!("phase1 | {}", run.phase1);
     println!("phase2 | {}", run.phase2);

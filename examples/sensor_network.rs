@@ -38,8 +38,8 @@ fn main() {
         assert_eq!(low.mst, reference);
 
         let mut net_fast = Net::new(NetConfig::kt1(n).with_seed(1));
-        let fast = exact_mst(&mut net_fast, &g, &ExactMstConfig::default())
-            .expect("simulation failed");
+        let fast =
+            exact_mst(&mut net_fast, &g, &ExactMstConfig::default()).expect("simulation failed");
         assert_eq!(fast.mst, reference);
 
         let lg = (n as f64).log2();

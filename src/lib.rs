@@ -12,6 +12,7 @@
 //!   cost metering).
 //! * [`sketch`] — linear graph sketches and ℓ0-sampling (Section 2.1).
 //! * [`route`] — clique collectives: routing, sorting, broadcast.
+//! * [`runtime`] — serial/parallel execution engines for node programs.
 //! * [`lotker`] — the Lotker et al. `O(log log n)` CC-MST used as the
 //!   paper's preprocessing step.
 //! * [`kkt`] — Karger–Klein–Tarjan sampling and F-light classification.
@@ -47,4 +48,5 @@ pub use cc_lb as lb;
 pub use cc_lotker as lotker;
 pub use cc_net as net;
 pub use cc_route as route;
+pub use cc_runtime as runtime;
 pub use cc_sketch as sketch;

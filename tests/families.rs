@@ -70,7 +70,10 @@ fn caterpillar_star_merges_in_one_lotker_phase() {
     let run = gc::run_with(
         &g,
         &NetConfig::kt1(g.n()).with_seed(10),
-        &GcConfig { phases: Some(1), families: None },
+        &GcConfig {
+            phases: Some(1),
+            families: None,
+        },
     )
     .unwrap();
     assert!(run.output.connected);
@@ -97,7 +100,10 @@ fn thin_cut_graphs_stress_witness_mapping() {
         let run = gc::run_with(
             &g,
             &NetConfig::kt1(g.n()).with_seed(13 + phases as u64),
-            &GcConfig { phases: Some(phases), families: None },
+            &GcConfig {
+                phases: Some(phases),
+                families: None,
+            },
         )
         .unwrap();
         assert!(run.output.connected);

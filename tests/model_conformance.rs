@@ -2,9 +2,7 @@
 //! observable simulator behavior. These are the guarantees every
 //! algorithm crate builds on, tested end-to-end through the public API.
 
-use congested_clique::net::{
-    CliqueNet, Knowledge, NetConfig, NetError, Wire, DEFAULT_LINK_WORDS,
-};
+use congested_clique::net::{CliqueNet, Knowledge, NetConfig, NetError, Wire, DEFAULT_LINK_WORDS};
 use congested_clique::route::{self, Net};
 
 #[test]
@@ -87,11 +85,12 @@ fn kt0_and_kt1_differ_only_in_port_knowledge() {
     }
 }
 
+// The workspace convention: edges are 3 words, routing adds 2 header
+// words + 1 fragment word; DEFAULT_LINK_WORDS must fit that.
+const _: () = assert!(DEFAULT_LINK_WORDS >= 6);
+
 #[test]
 fn default_budget_fits_an_edge_message_with_headroom() {
-    // The workspace convention: edges are 3 words, routing adds 2 header
-    // words + 1 fragment word; DEFAULT_LINK_WORDS must fit that.
-    assert!(DEFAULT_LINK_WORDS >= 6);
     let payload: Vec<u64> = vec![1, 2, 3];
     assert_eq!(payload.words(), 3);
 }
@@ -211,5 +210,9 @@ fn deterministic_everything_across_identical_configs() {
         t.sort_unstable();
         t
     };
-    assert_eq!(canon(a.2), canon(b.2), "per-round transcript content is identical");
+    assert_eq!(
+        canon(a.2),
+        canon(b.2),
+        "per-round transcript content is identical"
+    );
 }

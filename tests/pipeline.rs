@@ -33,7 +33,10 @@ fn gc_on_varied_families() {
         ("complete".into(), generators::complete(30)),
         ("gnp-sparse".into(), generators::gnp(50, 0.02, &mut rng)),
         ("gnp-dense".into(), generators::gnp(40, 0.3, &mut rng)),
-        ("3-components".into(), generators::with_k_components(45, 3, 0.3, &mut rng)),
+        (
+            "3-components".into(),
+            generators::with_k_components(45, 3, 0.3, &mut rng),
+        ),
         ("circulant".into(), generators::circulant(44, &[1, 5])),
         ("edgeless".into(), Graph::new(20)),
     ];
@@ -140,7 +143,16 @@ fn full_stack_weight_agreement_with_ties() {
     }
     let ref_weight = WGraph::total_weight(&mst::kruskal(&g));
     let mut n1 = Net::new(NetConfig::kt1(20).with_seed(6));
-    let a = exact_mst(&mut n1, &g, &ExactMstConfig { phases: Some(1), families: Some(10), ..Default::default() }).unwrap();
+    let a = exact_mst(
+        &mut n1,
+        &g,
+        &ExactMstConfig {
+            phases: Some(1),
+            families: Some(10),
+            ..Default::default()
+        },
+    )
+    .unwrap();
     assert!(mst::is_spanning_forest(&g, &a.mst));
     assert_eq!(WGraph::total_weight(&a.mst), ref_weight);
     let mut n2 = Net::new(NetConfig::kt1(20).with_seed(6));
@@ -155,6 +167,5 @@ fn umbrella_reexports_are_usable() {
     let _ = congested_clique::lotker::reduce_components_phases(64);
     let _ = congested_clique::kkt::kkt_light_bound(64, 0.5);
     let _ = congested_clique::lb::g_ij(2, 0);
-    let _: congested_clique::route::Net =
-        congested_clique::net::CliqueNet::new(NetConfig::kt1(4));
+    let _: congested_clique::route::Net = congested_clique::net::CliqueNet::new(NetConfig::kt1(4));
 }

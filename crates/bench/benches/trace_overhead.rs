@@ -1,0 +1,54 @@
+//! Tracing overhead on the headline GC run (experiment E16,
+//! `EXPERIMENTS.md`).
+//!
+//! The zero-overhead guarantee (DESIGN.md §10): with the default
+//! [`cc_trace::NullTracer`] attached, every emission site in the
+//! simulator is a single cached-bool branch — no virtual call, no clock
+//! read, no allocation — so `gc/null-tracer` must be indistinguishable
+//! from untraced baselines. `gc/recording-tracer` measures what full
+//! event capture (scopes, per-(src,dst) message batches, compute spans)
+//! actually costs for comparison.
+
+use cc_core::gc::{self, GcConfig};
+use cc_graph::generators;
+use cc_net::NetConfig;
+use cc_route::Net;
+use cc_trace::RecordingTracer;
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+const N: usize = 256;
+
+fn bench_tracing(c: &mut Criterion) {
+    let mut rng = ChaCha8Rng::seed_from_u64(1);
+    let g = generators::random_connected_graph(N, 0.05, &mut rng);
+    let mut group = c.benchmark_group("trace-overhead");
+    group.sample_size(10);
+
+    // Baseline: the default NullTracer (never attached explicitly).
+    group.bench_with_input(BenchmarkId::new("gc/null-tracer", N), &N, |b, &n| {
+        b.iter(|| {
+            let mut net = Net::new(NetConfig::kt1(n).with_seed(9));
+            let out = gc::run_on(&mut net, &g, &GcConfig::default()).unwrap();
+            black_box(out.component_count)
+        });
+    });
+
+    // Full capture: every model + timing event lands in a shared buffer.
+    group.bench_with_input(BenchmarkId::new("gc/recording-tracer", N), &N, |b, &n| {
+        b.iter(|| {
+            let rec = RecordingTracer::new();
+            let mut net = Net::new(NetConfig::kt1(n).with_seed(9));
+            net.set_tracer(Box::new(rec.clone()));
+            let out = gc::run_on(&mut net, &g, &GcConfig::default()).unwrap();
+            net.take_tracer();
+            black_box((out.component_count, rec.len()))
+        });
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_tracing);
+criterion_main!(benches);

@@ -1,0 +1,339 @@
+//! Bridges the experiment harness to `cc-trace`'s versioned
+//! [`RunArtifact`].
+//!
+//! The binaries (`tables`, `verify_claims`) build an artifact and render
+//! their plain-text output *from it*, so `docs/experiment_tables.txt`,
+//! `docs/claims_checklist.txt`, and the `--emit-json` document can never
+//! drift apart; `trace_report` re-renders the same text from a saved
+//! artifact.
+
+use crate::claims::ClaimResult;
+use crate::table::Table;
+use cc_core::exact_mst::{exact_mst, ExactMstConfig};
+use cc_core::gc::{self, GcConfig};
+use cc_core::kt1_mst::{kt1_mst, Kt1MstConfig};
+use cc_graph::generators;
+use cc_net::{Cost, NetConfig};
+use cc_route::Net;
+use cc_trace::{
+    metrics_from_events, ClaimRecord, CostSnapshot, ExperimentRecord, PhaseBreakdown,
+    RecordingTracer, RunArtifact,
+};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// [`Table`] → artifact record. IDs are stored verbatim (display form,
+/// e.g. `E6b`): the artifact is the source the text docs are re-rendered
+/// from, so it must not normalise away presentation.
+pub fn experiment_record(t: &Table) -> ExperimentRecord {
+    ExperimentRecord {
+        id: t.id.clone(),
+        caption: t.caption.clone(),
+        headers: t.headers.clone(),
+        rows: t.rows.clone(),
+    }
+}
+
+/// Artifact record → renderable [`Table`].
+pub fn record_to_table(r: &ExperimentRecord) -> Table {
+    Table {
+        id: r.id.clone(),
+        caption: r.caption.clone(),
+        headers: r.headers.clone(),
+        rows: r.rows.clone(),
+    }
+}
+
+/// [`ClaimResult`] → artifact record.
+pub fn claim_record(c: &ClaimResult) -> ClaimRecord {
+    ClaimRecord {
+        claim: c.claim.clone(),
+        check: c.check.clone(),
+        pass: c.pass,
+    }
+}
+
+/// Aggregates completed scopes by name (first-appearance order), keeping
+/// only `keep` — the algorithm's *top-level* phases. Scopes nest (the
+/// collectives add `route:*` under every algorithm phase), so summing
+/// everything would double-count; the curated top-level set partitions the
+/// metered traffic instead.
+pub fn phases_from_scopes(scopes: &[(String, Cost)], keep: &[&str]) -> Vec<(String, CostSnapshot)> {
+    let mut out: Vec<(String, CostSnapshot)> = Vec::new();
+    for (name, cost) in scopes {
+        if !keep.contains(&name.as_str()) {
+            continue;
+        }
+        let snap = cost.snapshot();
+        if let Some((_, acc)) = out.iter_mut().find(|(n, _)| n == name) {
+            acc.rounds += snap.rounds;
+            acc.messages += snap.messages;
+            acc.words += snap.words;
+            acc.bits += snap.bits;
+        } else {
+            out.push((name.clone(), snap));
+        }
+    }
+    out
+}
+
+/// GC's top-level phase scopes.
+pub const GC_PHASES: &[&str] = &["kt0-bootstrap", "phase1", "phase2", "output-broadcast"];
+/// EXACT-MST's top-level phase scopes.
+pub const EXACT_MST_PHASES: &[&str] = &[
+    "kt0-bootstrap",
+    "exact-mst:lotker",
+    "exact-mst:component-graph",
+    "exact-mst:sq-mst-sample",
+    "exact-mst:sq-mst-light",
+];
+/// KT1-MST's top-level phase scopes.
+pub const KT1_MST_PHASES: &[&str] = &[
+    "kt1-mst:mwoe-search",
+    "kt1-mst:merge-report",
+    "kt1-mst:relabel",
+    "kt1-mst:output",
+];
+
+/// Runs the three headline algorithms (GC, EXACT-MST, KT1-MST) at small
+/// scale and captures per-phase cost breakdowns from their scope counters.
+///
+/// # Panics
+///
+/// Panics if any of the runs fails (fixed seeds; a failure is a bug).
+pub fn headline_breakdowns(quick: bool) -> Vec<PhaseBreakdown> {
+    let (n_gc, n_mst) = if quick { (64, 32) } else { (128, 64) };
+    let mut out = Vec::new();
+
+    // GC.
+    {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let g = generators::random_connected_graph(n_gc, 0.1, &mut rng);
+        let mut net = Net::new(NetConfig::kt1(n_gc).with_seed(9));
+        gc::run_on(&mut net, &g, &GcConfig::default()).expect("gc run");
+        out.push(PhaseBreakdown {
+            algo: "gc".into(),
+            n: n_gc as u64,
+            total: net.cost().snapshot(),
+            phases: phases_from_scopes(net.counters().scopes(), GC_PHASES),
+        });
+    }
+
+    // EXACT-MST.
+    {
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let g = generators::random_connected_wgraph(n_mst, 0.3, 10_000, &mut rng);
+        let mut net = Net::new(NetConfig::kt1(n_mst).with_seed(5));
+        let start = net.cost();
+        exact_mst(&mut net, &g, &ExactMstConfig::default()).expect("exact-mst run");
+        out.push(PhaseBreakdown {
+            algo: "exact-mst".into(),
+            n: n_mst as u64,
+            total: net.cost().since(&start).snapshot(),
+            phases: phases_from_scopes(net.counters().scopes(), EXACT_MST_PHASES),
+        });
+    }
+
+    // KT1-MST.
+    {
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let g = generators::random_connected_wgraph(n_mst, 4.0 / n_mst as f64, 10_000, &mut rng);
+        let mut net = Net::new(NetConfig::kt1(n_mst).with_seed(7));
+        let start = net.cost();
+        kt1_mst(&mut net, &g, &Kt1MstConfig::default()).expect("kt1-mst run");
+        out.push(PhaseBreakdown {
+            algo: "kt1-mst".into(),
+            n: n_mst as u64,
+            total: net.cost().since(&start).snapshot(),
+            phases: phases_from_scopes(net.counters().scopes(), KT1_MST_PHASES),
+        });
+    }
+
+    out
+}
+
+/// Runs GC once under a [`RecordingTracer`] and returns the derived
+/// metrics snapshot (the artifact's `metrics` section).
+pub fn traced_gc_metrics(quick: bool) -> (String, cc_trace::MetricsSnapshot) {
+    let n = if quick { 64 } else { 128 };
+    let mut rng = ChaCha8Rng::seed_from_u64(4);
+    let g = generators::random_connected_graph(n, 0.1, &mut rng);
+    let rec = RecordingTracer::new();
+    let mut net = Net::new(NetConfig::kt1(n).with_seed(9));
+    net.set_tracer(Box::new(rec.clone()));
+    gc::run_on(&mut net, &g, &GcConfig::default()).expect("gc run");
+    net.take_tracer();
+    (
+        format!("gc-n{n}"),
+        metrics_from_events(&rec.events()).snapshot(),
+    )
+}
+
+/// Assembles the full artifact: tables, claims, headline breakdowns, and
+/// one traced-metrics snapshot.
+pub fn build_artifact(
+    generator: &str,
+    quick: bool,
+    tables: &[Table],
+    claims: &[ClaimResult],
+) -> RunArtifact {
+    let mut artifact = RunArtifact::new(generator)
+        .with_meta("mode", if quick { "quick" } else { "full" })
+        .with_meta("schema", "cc-trace RunArtifact v1");
+    artifact.experiments = tables.iter().map(experiment_record).collect();
+    artifact.claims = claims.iter().map(claim_record).collect();
+    artifact.breakdowns = headline_breakdowns(quick);
+    artifact.metrics.push(traced_gc_metrics(quick));
+    artifact
+}
+
+/// Renders the experiment tables exactly as `tables` prints them (the
+/// `docs/experiment_tables.txt` format: each table followed by one blank
+/// line).
+pub fn render_tables_txt(artifact: &RunArtifact) -> String {
+    let mut out = String::new();
+    for rec in &artifact.experiments {
+        out.push_str(&record_to_table(rec).to_string());
+        out.push('\n');
+    }
+    out
+}
+
+/// Renders the claim checklist exactly as `verify_claims` prints it (the
+/// `docs/claims_checklist.txt` format).
+pub fn render_checklist_txt(artifact: &RunArtifact) -> String {
+    let mode = artifact
+        .meta
+        .iter()
+        .find(|(k, _)| k == "mode")
+        .map(|(_, v)| v.as_str())
+        .unwrap_or("quick");
+    let mut out = format!("reproduction checklist ({mode} sweeps):\n\n");
+    let mut failed = 0usize;
+    for c in &artifact.claims {
+        let mark = if c.pass { "PASS" } else { "FAIL" };
+        out.push_str(&format!("[{mark}] {:<28} {}\n", c.claim, c.check));
+        if !c.pass {
+            failed += 1;
+        }
+    }
+    out.push_str(&format!(
+        "\n{}/{} claims hold\n",
+        artifact.claims.len() - failed,
+        artifact.claims.len()
+    ));
+    out
+}
+
+/// Renders one phase breakdown as a [`Table`] (used by `trace_report`).
+pub fn breakdown_table(b: &PhaseBreakdown) -> Table {
+    let mut t = Table::new(
+        &format!("{} (n={})", b.algo, b.n),
+        "per-phase cost breakdown (top-level scopes)",
+        &["phase", "rounds", "messages", "words", "bits"],
+    );
+    for (name, c) in &b.phases {
+        t.push_row(vec![
+            name.clone(),
+            c.rounds.to_string(),
+            c.messages.to_string(),
+            c.words.to_string(),
+            c.bits.to_string(),
+        ]);
+    }
+    t.push_row(vec![
+        "TOTAL".into(),
+        b.total.rounds.to_string(),
+        b.total.messages.to_string(),
+        b.total.words.to_string(),
+        b.total.bits.to_string(),
+    ]);
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_round_trips_through_record() {
+        let mut t = Table::new("E6b", "demo", &["n", "rounds"]);
+        t.push_row(vec!["8".into(), "12".into()]);
+        let rec = experiment_record(&t);
+        assert_eq!(rec.id, "E6b", "IDs must round-trip verbatim");
+        let back = record_to_table(&rec);
+        assert_eq!(back.id, "E6b");
+        assert_eq!(back.rows, t.rows);
+    }
+
+    #[test]
+    fn phases_filter_and_aggregate() {
+        let scopes = vec![
+            (
+                "phase1".to_string(),
+                Cost {
+                    rounds: 3,
+                    messages: 10,
+                    words: 20,
+                    bits: 200,
+                },
+            ),
+            (
+                "route:route".to_string(),
+                Cost {
+                    rounds: 2,
+                    messages: 8,
+                    words: 16,
+                    bits: 160,
+                },
+            ),
+            (
+                "phase1".to_string(),
+                Cost {
+                    rounds: 1,
+                    messages: 2,
+                    words: 4,
+                    bits: 40,
+                },
+            ),
+        ];
+        let phases = phases_from_scopes(&scopes, &["phase1"]);
+        assert_eq!(phases.len(), 1);
+        assert_eq!(phases[0].0, "phase1");
+        assert_eq!(phases[0].1.rounds, 4);
+        assert_eq!(phases[0].1.messages, 12);
+    }
+
+    #[test]
+    fn headline_breakdowns_cover_the_three_algorithms_and_validate() {
+        let breakdowns = headline_breakdowns(true);
+        let algos: Vec<&str> = breakdowns.iter().map(|b| b.algo.as_str()).collect();
+        assert_eq!(algos, vec!["gc", "exact-mst", "kt1-mst"]);
+        for b in &breakdowns {
+            assert!(!b.phases.is_empty(), "{}: no phases captured", b.algo);
+            let phase_msgs: u64 = b.phases.iter().map(|(_, c)| c.messages).sum();
+            assert!(
+                phase_msgs <= b.total.messages,
+                "{}: top-level phases over-count the total",
+                b.algo
+            );
+        }
+        let mut artifact = RunArtifact::new("test");
+        artifact.breakdowns = breakdowns;
+        artifact.validate().unwrap();
+    }
+
+    #[test]
+    fn rendered_checklist_matches_binary_format() {
+        let mut artifact = RunArtifact::new("test").with_meta("mode", "quick");
+        artifact.claims.push(ClaimRecord {
+            claim: "Thm 4 (E1)".into(),
+            check: "demo".into(),
+            pass: true,
+        });
+        let text = render_checklist_txt(&artifact);
+        assert!(text.starts_with("reproduction checklist (quick sweeps):\n\n"));
+        assert!(text.contains("[PASS] Thm 4 (E1)"));
+        assert!(text.ends_with("1/1 claims hold\n"));
+    }
+}

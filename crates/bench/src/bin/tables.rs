@@ -6,17 +6,27 @@
 //!   tables e1 e8           # selected experiments
 //!   tables --quick e6 f1   # selected, small sweeps
 //!   tables --csv DIR       # additionally write one CSV per table to DIR
+//!   tables --emit-json F   # additionally write a RunArtifact JSON to F
+//!
+//! The printed text is rendered *from* the assembled
+//! [`cc_trace::RunArtifact`], so the `--emit-json` document and the text
+//! tables are by construction the same data.
 
 use cc_bench::all_experiments;
+use cc_bench::artifact::{build_artifact, record_to_table, render_tables_txt};
 use cc_bench::experiments::messages::e6_transcript_audit;
+use cc_bench::Table;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
-    let csv_dir: Option<String> = args
-        .iter()
-        .position(|a| a == "--csv")
-        .and_then(|i| args.get(i + 1).cloned());
+    let value_of = |flag: &str| -> Option<String> {
+        args.iter()
+            .position(|a| a == flag)
+            .and_then(|i| args.get(i + 1).cloned())
+    };
+    let csv_dir = value_of("--csv");
+    let emit_json = value_of("--emit-json");
     if let Some(dir) = &csv_dir {
         std::fs::create_dir_all(dir).expect("create csv directory");
     }
@@ -27,7 +37,7 @@ fn main() {
             skip_next = false;
             continue;
         }
-        if a == "--csv" {
+        if a == "--csv" || a == "--emit-json" {
             skip_next = true;
         } else if !a.starts_with("--") {
             positional.push(a.to_lowercase());
@@ -35,27 +45,40 @@ fn main() {
     }
     let wanted = positional;
     let run_all = wanted.is_empty();
-    let emit = |table: &cc_bench::Table| {
-        println!("{table}");
-        if let Some(dir) = &csv_dir {
-            let path = format!("{dir}/{}.csv", table.id.to_lowercase());
-            std::fs::write(&path, table.to_csv()).expect("write csv");
-        }
-    };
-    let mut ran = 0usize;
+    let mut tables: Vec<Table> = Vec::new();
     for (id, f, _) in all_experiments(quick) {
         if run_all || wanted.iter().any(|w| w == id) {
-            let table = f(quick);
-            emit(&table);
+            tables.push(f(quick));
             if id == "e6" {
-                emit(&e6_transcript_audit());
+                tables.push(e6_transcript_audit());
             }
-            ran += 1;
         }
     }
-    if ran == 0 {
+    if tables.is_empty() {
         eprintln!("unknown experiment id(s): {wanted:?}");
         eprintln!("known: e1 e2 e3 e4 e5 e6 e7 e8 e9 e10a e10b e11 e12 e13 f1");
         std::process::exit(2);
+    }
+
+    // No claims here: the tables run is an artifact of tables alone.
+    let artifact = build_artifact("tables", quick, &tables, &[]);
+    if let Err(problems) = artifact.validate() {
+        eprintln!("internal error: artifact failed validation:");
+        for p in &problems {
+            eprintln!("  - {p}");
+        }
+        std::process::exit(3);
+    }
+    print!("{}", render_tables_txt(&artifact));
+    if let Some(dir) = &csv_dir {
+        for rec in &artifact.experiments {
+            let table = record_to_table(rec);
+            let path = format!("{dir}/{}.csv", table.id.to_lowercase());
+            std::fs::write(&path, table.to_csv()).expect("write csv");
+        }
+    }
+    if let Some(path) = emit_json {
+        std::fs::write(&path, artifact.to_json_string()).expect("write artifact");
+        eprintln!("wrote {path}");
     }
 }

@@ -1,0 +1,121 @@
+//! Renders a saved [`cc_trace::RunArtifact`] back into human-readable
+//! reports: a run summary, the claim checklist, and a per-phase cost table
+//! for every recorded algorithm breakdown.
+//!
+//! ```text
+//! cargo run -p cc-bench --release --bin verify_claims -- --emit-json run.json
+//! cargo run -p cc-bench --release --bin trace_report -- run.json
+//! cargo run -p cc-bench --release --bin trace_report -- run.json --render-docs docs
+//! ```
+//!
+//! `--render-docs DIR` regenerates `experiment_tables.txt` and
+//! `claims_checklist.txt` in DIR from the artifact, so the committed docs
+//! are provably derived from a machine-readable run record.
+//!
+//! Exits 2 on usage errors and 3 if the artifact fails schema validation.
+
+use cc_bench::artifact::{breakdown_table, render_checklist_txt, render_tables_txt};
+use cc_trace::RunArtifact;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let render_docs: Option<String> = args
+        .iter()
+        .position(|a| a == "--render-docs")
+        .and_then(|i| args.get(i + 1).cloned());
+    let path = match args
+        .iter()
+        .find(|a| !a.starts_with("--") && Some(a.as_str()) != render_docs.as_deref())
+    {
+        Some(p) => p.clone(),
+        None => {
+            eprintln!("usage: trace_report ARTIFACT.json [--render-docs DIR]");
+            std::process::exit(2);
+        }
+    };
+
+    let text = match std::fs::read_to_string(&path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("error: cannot read {path}: {e}");
+            std::process::exit(2);
+        }
+    };
+    let artifact = match RunArtifact::from_json_str(&text) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {path} is not a RunArtifact: {e}");
+            std::process::exit(3);
+        }
+    };
+    if let Err(problems) = artifact.validate() {
+        eprintln!("error: {path} failed validation:");
+        for p in &problems {
+            eprintln!("  - {p}");
+        }
+        std::process::exit(3);
+    }
+
+    println!("run artifact: {path}");
+    println!(
+        "  schema v{}  generator={}  created_unix={}",
+        artifact.schema_version, artifact.generator, artifact.created_unix
+    );
+    for (k, v) in &artifact.meta {
+        println!("  {k}: {v}");
+    }
+    println!(
+        "  {} experiment table(s), {} claim(s), {} breakdown(s), {} metrics snapshot(s)",
+        artifact.experiments.len(),
+        artifact.claims.len(),
+        artifact.breakdowns.len(),
+        artifact.metrics.len()
+    );
+    println!();
+
+    if !artifact.claims.is_empty() {
+        print!("{}", render_checklist_txt(&artifact));
+        println!();
+    }
+
+    for b in &artifact.breakdowns {
+        print!("{}", breakdown_table(b));
+        println!();
+    }
+
+    for (name, snap) in &artifact.metrics {
+        println!("metrics [{name}]:");
+        for (counter, value) in &snap.counters {
+            println!("  {counter:<28} {value}");
+        }
+        for (hist, h) in &snap.histograms {
+            println!(
+                "  {hist:<28} count={} sum={} min={} max={} mean={:.1}",
+                h.count,
+                h.sum,
+                h.min,
+                h.max,
+                h.mean()
+            );
+        }
+        println!();
+    }
+
+    if let Some(dir) = render_docs {
+        std::fs::create_dir_all(&dir).expect("create docs directory");
+        // Only render sections the artifact actually carries: a `tables`
+        // artifact has no claims, a claims-only artifact should not
+        // clobber the full experiment tables.
+        if !artifact.experiments.is_empty() {
+            let tables_path = format!("{dir}/experiment_tables.txt");
+            std::fs::write(&tables_path, render_tables_txt(&artifact)).expect("write tables");
+            eprintln!("wrote {tables_path}");
+        }
+        if !artifact.claims.is_empty() {
+            let checklist_path = format!("{dir}/claims_checklist.txt");
+            std::fs::write(&checklist_path, render_checklist_txt(&artifact))
+                .expect("write checklist");
+            eprintln!("wrote {checklist_path}");
+        }
+    }
+}

@@ -5,27 +5,40 @@
 //! ```text
 //! cargo run -p cc-bench --release --bin verify_claims          # quick sweeps
 //! cargo run -p cc-bench --release --bin verify_claims -- --full
+//! cargo run -p cc-bench --release --bin verify_claims -- --emit-json run.json
 //! ```
+//!
+//! The checklist text is rendered *from* the [`cc_trace::RunArtifact`]
+//! the run assembles, so `--emit-json` output and the printed text are by
+//! construction the same data.
 
-use cc_bench::claims::verify_all;
+use cc_bench::artifact::{build_artifact, render_checklist_txt};
+use cc_bench::claims::verify_all_with_tables;
 
 fn main() {
-    let full = std::env::args().any(|a| a == "--full");
-    let results = verify_all(!full);
-    let mut failed = 0usize;
-    println!(
-        "reproduction checklist ({} sweeps):\n",
-        if full { "full" } else { "quick" }
-    );
-    for r in &results {
-        let mark = if r.pass { "PASS" } else { "FAIL" };
-        println!("[{mark}] {:<28} {}", r.claim, r.check);
-        if !r.pass {
-            failed += 1;
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let full = args.iter().any(|a| a == "--full");
+    let emit_json: Option<String> = args
+        .iter()
+        .position(|a| a == "--emit-json")
+        .and_then(|i| args.get(i + 1).cloned());
+
+    let quick = !full;
+    let (results, tables) = verify_all_with_tables(quick);
+    let artifact = build_artifact("verify_claims", quick, &tables, &results);
+    if let Err(problems) = artifact.validate() {
+        eprintln!("internal error: artifact failed validation:");
+        for p in &problems {
+            eprintln!("  - {p}");
         }
+        std::process::exit(3);
     }
-    println!("\n{}/{} claims hold", results.len() - failed, results.len());
-    if failed > 0 {
+    print!("{}", render_checklist_txt(&artifact));
+    if let Some(path) = emit_json {
+        std::fs::write(&path, artifact.to_json_string()).expect("write artifact");
+        eprintln!("wrote {path}");
+    }
+    if artifact.claims.iter().any(|c| !c.pass) {
         std::process::exit(1);
     }
 }

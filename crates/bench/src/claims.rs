@@ -27,7 +27,16 @@ fn claim(claim: &str, check: &str, pass: bool) -> ClaimResult {
 
 /// Runs the quick experiment suite and evaluates every claim.
 pub fn verify_all(quick: bool) -> Vec<ClaimResult> {
+    verify_all_with_tables(quick).0
+}
+
+/// Like [`verify_all`], but also returns the experiment tables the
+/// verdicts were computed from — the `--emit-json` artifact records both,
+/// so the checklist and the tables in one artifact are always from the
+/// same runs.
+pub fn verify_all_with_tables(quick: bool) -> (Vec<ClaimResult>, Vec<Table>) {
     let mut out = Vec::new();
+    let mut tables: Vec<Table> = Vec::new();
 
     // Theorem 4 / E1: sub-logarithmic round growth.
     let e1: Table = experiments::time::e1_gc_rounds(quick);
@@ -38,6 +47,7 @@ pub fn verify_all(quick: bool) -> Vec<ClaimResult> {
         "GC rounds grow ≪ log n (each doubling of n adds at most a phase)",
         growth_ok,
     ));
+    tables.push(e1);
 
     // Theorem 7 / E2: both MST paths agree; defaults stay flat-ish.
     let e2 = experiments::time::e2_mst_rounds(quick);
@@ -47,6 +57,7 @@ pub fn verify_all(quick: bool) -> Vec<ClaimResult> {
         "EXACT-MST default rounds stay near-flat over the n sweep",
         d.last().unwrap() <= &(d.first().unwrap() * 2.0),
     ));
+    tables.push(e2);
 
     // Theorem 1 / E3: sampler success ≥ 95% everywhere.
     let e3 = experiments::sketching::e3_sketch(quick);
@@ -55,6 +66,7 @@ pub fn verify_all(quick: bool) -> Vec<ClaimResult> {
         "ℓ0 sampler success rate ≥ 0.95 on planted cuts at every n",
         e3.column_f64("success_rate").iter().all(|&r| r >= 0.95),
     ));
+    tables.push(e3);
 
     // Lemma 3 / E4: counts decay with phases; paper default collapses.
     let e4 = experiments::sketching::e4_reduce_components(quick);
@@ -69,6 +81,7 @@ pub fn verify_all(quick: bool) -> Vec<ClaimResult> {
         "unfinished components decay doubly-exponentially in the phase count",
         decays,
     ));
+    tables.push(e4);
 
     // Lemma 6 / E5: light/bound ratio ≤ 3 (w.h.p. slack).
     let e5 = experiments::sketching::e5_kkt(quick);
@@ -77,6 +90,7 @@ pub fn verify_all(quick: bool) -> Vec<ClaimResult> {
         "F-light count stays within 3× of the n/p bound",
         e5.column_f64("light/bound").iter().all(|&r| r <= 3.0),
     ));
+    tables.push(e5);
 
     // Theorems 8–9 / E6: squares ≥ m/6 and the star profile is fooled.
     let e6 = experiments::messages::e6_kt0(quick);
@@ -90,6 +104,7 @@ pub fn verify_all(quick: bool) -> Vec<ClaimResult> {
         "Ω(m) edge-disjoint squares exist and sub-quadratic profiles are fooled",
         e6_ok,
     ));
+    tables.push(e6);
 
     // Theorem 10 / E7: every partition crossed.
     let e7 = experiments::messages::e7_kt1_family(quick);
@@ -98,6 +113,7 @@ pub fn verify_all(quick: bool) -> Vec<ClaimResult> {
         "a correct GC(u0,v0) protocol crosses all i partitions across G_{i,0} / G_{i,i+1}",
         e7.rows.iter().all(|row| row[4] == row[5]),
     ));
+    tables.push(e7);
 
     // Theorem 13 / E8: messages ≤ n·log⁵n.
     let e8 = experiments::messages::e8_kt1_mst(quick);
@@ -108,6 +124,7 @@ pub fn verify_all(quick: bool) -> Vec<ClaimResult> {
         "KT1 MST messages stay below n·log⁵n (constant < 1)",
         msgs.iter().zip(&bounds).all(|(m, b)| m <= b),
     ));
+    tables.push(e8);
 
     // Thms 4/7 furthermore / E9: monotone round collapse with bandwidth.
     let e9 = experiments::time::e9_bandwidth_ablation(quick);
@@ -117,6 +134,7 @@ pub fn verify_all(quick: bool) -> Vec<ClaimResult> {
         "GC sketch-phase rounds collapse ≥ 10× from log n to log⁵ n bandwidth",
         p2.first().unwrap() >= &(p2.last().unwrap() * 10.0),
     ));
+    tables.push(e9);
 
     // Section 4 / E11: exactly 2(n−1) messages, rounds > 2^n.
     let e11 = experiments::messages::e11_time_encoding(quick);
@@ -128,6 +146,7 @@ pub fn verify_all(quick: bool) -> Vec<ClaimResult> {
         "2(n−1) messages exactly; rounds exceed 2^n",
         e11_ok,
     ));
+    tables.push(e11);
 
     // Figure 1 / F1: component progression 1 / 2 / i+1.
     let f1 = experiments::extensions::f1_figure1(quick);
@@ -142,8 +161,9 @@ pub fn verify_all(quick: bool) -> Vec<ClaimResult> {
         "G_{i,j} components are 1 / 2 / i+1 as j sweeps 0..=i+1",
         f1_ok,
     ));
+    tables.push(f1);
 
-    out
+    (out, tables)
 }
 
 #[cfg(test)]

@@ -23,6 +23,7 @@ pub mod experiments {
     pub mod sketching;
     pub mod time;
 }
+pub mod artifact;
 pub mod claims;
 pub mod table;
 

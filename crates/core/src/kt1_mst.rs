@@ -128,6 +128,9 @@ pub fn kt1_mst(net: &mut Net, g: &WGraph, cfg: &Kt1MstConfig) -> Result<Kt1MstRu
         let mut newly_finished: HashSet<usize> = HashSet::new();
         let mut searching: HashSet<usize> = active.iter().copied().collect();
 
+        // Cost scopes use constant names (not per-phase) so per-phase
+        // repetitions aggregate by name in trace reports.
+        net.begin_scope("kt1-mst:mwoe-search");
         for _iter in 0..iters {
             if searching.is_empty() {
                 break;
@@ -358,8 +361,10 @@ pub fn kt1_mst(net: &mut Net, g: &WGraph, cfg: &Kt1MstConfig) -> Result<Kt1MstRu
                 }
             }
         }
+        net.end_scope();
 
         // (4) Report MWOEs / finished status to the coordinator and merge.
+        net.begin_scope("kt1-mst:merge-report");
         let mut reports: HashMap<usize, Vec<u64>> = HashMap::new();
         for &l in &active {
             if newly_finished.contains(&l) {
@@ -403,11 +408,13 @@ pub fn kt1_mst(net: &mut Net, g: &WGraph, cfg: &Kt1MstConfig) -> Result<Kt1MstRu
                 }
             }
         }
+        net.end_scope();
         // Re-root the finished set after the merges.
         let finished_roots: HashSet<usize> = finished_roots.iter().map(|&l| uf.find(l)).collect();
 
         // New labels: coordinator → old leaders → members (two metered
         // hops).
+        net.begin_scope("kt1-mst:relabel");
         let new_labels = uf.min_labels();
         let old_leaders = active.clone();
         net.step(|node, _inbox, out| {
@@ -430,6 +437,7 @@ pub fn kt1_mst(net: &mut Net, g: &WGraph, cfg: &Kt1MstConfig) -> Result<Kt1MstRu
             }
         })?;
         net.step(|_node, _inbox, _out| {})?;
+        net.end_scope();
         finished_labels = finished_roots.iter().map(|&r| new_labels[r]).collect();
         labels = new_labels;
 
@@ -449,6 +457,7 @@ pub fn kt1_mst(net: &mut Net, g: &WGraph, cfg: &Kt1MstConfig) -> Result<Kt1MstRu
     }
 
     // Output distribution: every machine learns its incident MST edges.
+    net.begin_scope("kt1-mst:output");
     chosen.sort();
     chosen.dedup();
     let mut packets = Vec::new();
@@ -482,6 +491,7 @@ pub fn kt1_mst(net: &mut Net, g: &WGraph, cfg: &Kt1MstConfig) -> Result<Kt1MstRu
         words.extend_from_slice(&[e.w, e.u as u64, e.v as u64]);
     }
     broadcast_large(net, coordinator, words)?;
+    net.end_scope();
 
     Ok(Kt1MstRun {
         mst: chosen,

@@ -81,6 +81,46 @@ fn serial_and_parallel_agree_exactly() {
 }
 
 #[test]
+fn model_event_streams_match_between_backends() {
+    // Same protocol + seed → identical model-event streams (rounds,
+    // per-link batches, totals) from both engines; only the timing events
+    // (WorkerSpan) may differ in shape.
+    let mut rng = ChaCha8Rng::seed_from_u64(17);
+    let g = generators::gnp(14, 0.3, &mut rng);
+    let adj = adjacency(&g);
+    let cfg = NetConfig::kt1(14).with_seed(3);
+
+    let rec_s = cc_trace::RecordingTracer::new();
+    let mut serial = Runtime::serial(cfg.clone());
+    serial.set_tracer(Box::new(rec_s.clone()));
+    let s = run_connectivity(&mut serial, &adj, None, MAX_ROUNDS).unwrap();
+
+    let rec_p = cc_trace::RecordingTracer::new();
+    let mut parallel = Runtime::parallel_with_threads(cfg, 4);
+    parallel.set_tracer(Box::new(rec_p.clone()));
+    let p = run_connectivity(&mut parallel, &adj, None, MAX_ROUNDS).unwrap();
+
+    assert_eq!(s, p);
+    let s_model = rec_s.model_events();
+    assert!(!s_model.is_empty());
+    assert_eq!(s_model, rec_p.model_events(), "model streams diverged");
+
+    // Event-sum == counter-sum: the trace fully accounts for the run.
+    let (mut msgs, mut words) = (0u64, 0u64);
+    for e in &s_model {
+        if let cc_trace::Event::RoundEnd {
+            messages, words: w, ..
+        } = e
+        {
+            msgs += messages;
+            words += w;
+        }
+    }
+    assert_eq!(msgs, serial.cost().messages);
+    assert_eq!(words, serial.cost().words);
+}
+
+#[test]
 fn per_node_labels_replicate_the_coordinator_vector() {
     let g = generators::path(12);
     let adj = adjacency(&g);

@@ -23,17 +23,42 @@ pub struct Cost {
 }
 
 impl Cost {
-    /// Component-wise difference `self − earlier`.
+    /// Component-wise difference `self − earlier`, saturating at zero.
     ///
-    /// # Panics
-    ///
-    /// Panics in debug builds if `earlier` exceeds `self` in any component.
+    /// The saturating behaviour is uniform across debug and release
+    /// builds (this used to panic in debug and wrap in release). Cost
+    /// counters are monotone, so a deficit can only arise from comparing
+    /// snapshots of *different* networks or passing the arguments in the
+    /// wrong order; use [`Cost::checked_since`] to detect that instead of
+    /// silently clamping.
     pub fn since(&self, earlier: &Cost) -> Cost {
         Cost {
-            rounds: self.rounds - earlier.rounds,
-            messages: self.messages - earlier.messages,
-            words: self.words - earlier.words,
-            bits: self.bits - earlier.bits,
+            rounds: self.rounds.saturating_sub(earlier.rounds),
+            messages: self.messages.saturating_sub(earlier.messages),
+            words: self.words.saturating_sub(earlier.words),
+            bits: self.bits.saturating_sub(earlier.bits),
+        }
+    }
+
+    /// Component-wise difference `self − earlier`, or `None` if `earlier`
+    /// exceeds `self` in any component (i.e. the snapshots are not an
+    /// ordered pair from one monotone counter).
+    pub fn checked_since(&self, earlier: &Cost) -> Option<Cost> {
+        Some(Cost {
+            rounds: self.rounds.checked_sub(earlier.rounds)?,
+            messages: self.messages.checked_sub(earlier.messages)?,
+            words: self.words.checked_sub(earlier.words)?,
+            bits: self.bits.checked_sub(earlier.bits)?,
+        })
+    }
+
+    /// Conversion to the tracing layer's mirror struct.
+    pub fn snapshot(&self) -> cc_trace::CostSnapshot {
+        cc_trace::CostSnapshot {
+            rounds: self.rounds,
+            messages: self.messages,
+            words: self.words,
+            bits: self.bits,
         }
     }
 }
@@ -211,6 +236,32 @@ mod tests {
         let d = a.since(&b);
         assert_eq!(d.rounds, 3);
         assert_eq!(d.messages, 6);
+        assert_eq!(a.checked_since(&b), Some(d));
+    }
+
+    #[test]
+    fn since_saturates_uniformly_on_underflow() {
+        let small = Cost {
+            rounds: 1,
+            messages: 2,
+            words: 3,
+            bits: 4,
+        };
+        let big = Cost {
+            rounds: 10,
+            messages: 1, // messages is NOT in deficit
+            words: 30,
+            bits: 40,
+        };
+        // Arguments reversed: saturate to zero, never wrap, in every build.
+        let d = small.since(&big);
+        assert_eq!(d.rounds, 0);
+        assert_eq!(d.messages, 1);
+        assert_eq!(d.words, 0);
+        assert_eq!(d.bits, 0);
+        // The checked variant surfaces the mistake instead.
+        assert_eq!(small.checked_since(&big), None);
+        assert_eq!(big.checked_since(&small), None, "messages deficit");
     }
 
     #[test]

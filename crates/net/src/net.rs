@@ -43,8 +43,11 @@ use crate::counters::{Cost, Counters};
 use crate::error::NetError;
 use crate::ports::PortMap;
 use crate::wire::Wire;
+use cc_trace::{Event, NullTracer, Tracer};
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
+use std::collections::BTreeMap;
+use std::time::Instant;
 
 /// A delivered message.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -177,6 +180,12 @@ pub struct CliqueNet<M> {
     rngs: Vec<ChaCha8Rng>,
     ports: Option<PortMap>,
     transcript: Vec<(u64, u32, u32)>,
+    tracer: Box<dyn Tracer>,
+    /// `tracer.enabled()`, cached at attach time so the disabled path is
+    /// one predictable branch per emission site (no virtual call).
+    tracing: bool,
+    /// `tracer.wants_timing()`, cached likewise; gates the clock reads.
+    timing: bool,
 }
 
 impl<M: Wire> CliqueNet<M> {
@@ -205,7 +214,30 @@ impl<M: Wire> CliqueNet<M> {
             rngs,
             ports,
             transcript: Vec::new(),
+            tracer: Box::new(NullTracer),
+            tracing: false,
+            timing: false,
         }
+    }
+
+    /// Attaches a [`Tracer`] sink; subsequent rounds, scopes, sends, and
+    /// fast-forwards emit structured [`Event`]s into it. The sink's
+    /// `enabled()` / `wants_timing()` answers are cached here — the
+    /// default [`NullTracer`] therefore costs one branch per site.
+    pub fn set_tracer(&mut self, tracer: Box<dyn Tracer>) {
+        self.tracing = tracer.enabled();
+        self.timing = tracer.wants_timing();
+        self.tracer = tracer;
+    }
+
+    /// Detaches and returns the current tracer (flushed), restoring the
+    /// disabled default.
+    pub fn take_tracer(&mut self) -> Box<dyn Tracer> {
+        let mut t = std::mem::replace(&mut self.tracer, Box::new(NullTracer));
+        t.flush();
+        self.tracing = false;
+        self.timing = false;
+        t
     }
 
     /// The recorded `(round, src, dst)` transcript (empty unless
@@ -236,12 +268,32 @@ impl<M: Wire> CliqueNet<M> {
 
     /// Opens a named cost scope (see [`Counters::begin_scope`]).
     pub fn begin_scope(&mut self, name: impl Into<String>) {
+        let name = name.into();
+        if self.tracing {
+            self.tracer.record(Event::ScopeEnter {
+                name: name.clone(),
+                round: self.counters.total().rounds,
+            });
+        }
         self.counters.begin_scope(name);
     }
 
     /// Closes the innermost cost scope and returns its delta.
     pub fn end_scope(&mut self) -> Cost {
-        self.counters.end_scope()
+        let delta = self.counters.end_scope();
+        if self.tracing {
+            let name = self
+                .counters
+                .scopes()
+                .last()
+                .map(|(n, _)| n.clone())
+                .unwrap_or_default();
+            self.tracer.record(Event::ScopeExit {
+                name,
+                delta: delta.snapshot(),
+            });
+        }
+        delta
     }
 
     /// Per-node private randomness stream (deterministic per config seed).
@@ -285,21 +337,49 @@ impl<M: Wire> CliqueNet<M> {
             }
         }
         let n = self.cfg.n;
+        let round = self.counters.total().rounds;
+        let before = self.counters.total();
+        if self.tracing {
+            self.tracer.record(Event::RoundStart { round });
+        }
         let delivered = std::mem::replace(&mut self.inboxes, (0..n).map(|_| Vec::new()).collect());
         let mut next: Vec<Vec<Envelope<M>>> = (0..n).map(|_| Vec::new()).collect();
         let rules = SendRules::from_config(&self.cfg);
         let mut links = LinkUse::new(n);
+        // (src, dst) → (count, words), aggregated across the whole round
+        // so the batch stream is a deterministic function of the sends
+        // alone (same normalization the runtime driver applies).
+        let mut batches: BTreeMap<(u32, u32), (u32, u64)> = BTreeMap::new();
         for (node, inbox) in delivered.iter().enumerate() {
             let mut outbox = Outbox::assemble(node, rules, &mut links);
+            let t0 = if self.timing {
+                Some(Instant::now())
+            } else {
+                None
+            };
             f(node, inbox, &mut outbox);
+            if let Some(t0) = t0 {
+                self.tracer.record(Event::NodeCompute {
+                    round,
+                    node: node as u32,
+                    nanos: t0.elapsed().as_nanos() as u64,
+                });
+            }
             let (staged, error) = outbox.finish();
             if let Some(e) = error {
                 return Err(e);
             }
             links.reset();
             for env in staged {
-                self.counters
-                    .add_message(env.msg.words().max(1), self.word_bits);
+                let words = env.msg.words().max(1);
+                self.counters.add_message(words, self.word_bits);
+                if self.tracing {
+                    let slot = batches
+                        .entry((env.src as u32, env.dst as u32))
+                        .or_insert((0, 0));
+                    slot.0 += 1;
+                    slot.1 += words;
+                }
                 if self.cfg.record_transcript {
                     self.transcript.push((
                         self.counters.total().rounds,
@@ -315,6 +395,23 @@ impl<M: Wire> CliqueNet<M> {
         }
         self.inboxes = next;
         self.counters.add_round();
+        if self.tracing {
+            for ((src, dst), (count, words)) in batches {
+                self.tracer.record(Event::MessageBatch {
+                    round,
+                    src,
+                    dst,
+                    count,
+                    words,
+                });
+            }
+            let after = self.counters.total();
+            self.tracer.record(Event::RoundEnd {
+                round,
+                messages: after.messages - before.messages,
+                words: after.words - before.words,
+            });
+        }
         Ok(())
     }
 
@@ -331,6 +428,12 @@ impl<M: Wire> CliqueNet<M> {
         if self.has_pending() {
             return Err(NetError::PendingMessages {
                 pending: self.pending_count(),
+            });
+        }
+        if self.tracing {
+            self.tracer.record(Event::FastForward {
+                from_round: self.counters.total().rounds,
+                rounds,
             });
         }
         self.counters.add_rounds(rounds);
@@ -561,6 +664,45 @@ mod tests {
     }
 
     #[test]
+    fn nested_scopes_attribute_cost_to_inner_and_outer() {
+        let mut nt = net(4);
+        nt.begin_scope("outer");
+        nt.step(|node, _, out| {
+            if node == 0 {
+                out.send(1, 1).unwrap(); // outer-only message
+            }
+        })
+        .unwrap();
+        nt.begin_scope("inner");
+        nt.step(|node, _, out| {
+            if node == 0 {
+                out.send(1, 2).unwrap();
+                out.send(2, 3).unwrap(); // two inner messages
+            }
+        })
+        .unwrap();
+        let inner = nt.end_scope();
+        nt.step(|_, _, _| {}).unwrap(); // outer again, silent
+        let outer = nt.end_scope();
+        assert_eq!(inner.rounds, 1);
+        assert_eq!(inner.messages, 2);
+        // The outer scope contains the inner one: 3 rounds, all 3 messages.
+        assert_eq!(outer.rounds, 3);
+        assert_eq!(outer.messages, 3);
+        assert_eq!(nt.counters().scope("inner"), Some(inner));
+        assert_eq!(nt.counters().scope("outer"), Some(outer));
+    }
+
+    #[test]
+    #[should_panic(expected = "no open scope")]
+    fn unbalanced_end_scope_panics_on_the_net() {
+        let mut nt = net(3);
+        nt.begin_scope("only");
+        nt.end_scope();
+        nt.end_scope(); // one more than was opened
+    }
+
+    #[test]
     fn error_is_latched_even_if_result_ignored() {
         let mut nt = net(3);
         let err = nt.step(|node, _, out| {
@@ -569,6 +711,139 @@ mod tests {
             }
         });
         assert!(err.is_err());
+    }
+}
+
+#[cfg(test)]
+mod trace_tests {
+    use super::*;
+    use cc_trace::{Event, RecordingTracer};
+
+    fn traced_net(n: usize) -> (CliqueNet<u64>, RecordingTracer) {
+        let mut nt: CliqueNet<u64> = CliqueNet::new(NetConfig::kt1(n).with_seed(3));
+        let rec = RecordingTracer::new();
+        nt.set_tracer(Box::new(rec.clone()));
+        (nt, rec)
+    }
+
+    /// Drives a little workload: 2 rounds of traffic inside a scope, one
+    /// silent round, and a fast-forward.
+    fn drive(nt: &mut CliqueNet<u64>) {
+        nt.begin_scope("work");
+        nt.step(|node, _, out| {
+            if node == 0 {
+                out.send(1, 7).unwrap();
+                out.send(1, 8).unwrap();
+                out.send(2, 9).unwrap();
+            }
+        })
+        .unwrap();
+        nt.step(|node, _, out| {
+            if node == 2 {
+                out.send(0, 1).unwrap();
+            }
+        })
+        .unwrap();
+        nt.end_scope();
+        nt.step(|_, _, _| {}).unwrap();
+        nt.fast_forward(5).unwrap();
+    }
+
+    #[test]
+    fn event_sums_reproduce_counter_totals() {
+        let (mut nt, rec) = traced_net(4);
+        drive(&mut nt);
+        let cost = nt.cost();
+        let events = rec.events();
+
+        let mut rounds = 0u64;
+        let mut ff_rounds = 0u64;
+        let mut batch_msgs = 0u64;
+        let mut batch_words = 0u64;
+        let mut end_msgs = 0u64;
+        for ev in &events {
+            match ev {
+                Event::RoundStart { .. } => rounds += 1,
+                Event::FastForward { rounds: r, .. } => ff_rounds += *r,
+                Event::MessageBatch { count, words, .. } => {
+                    batch_msgs += *count as u64;
+                    batch_words += *words;
+                }
+                Event::RoundEnd { messages, .. } => end_msgs += *messages,
+                _ => {}
+            }
+        }
+        assert_eq!(rounds + ff_rounds, cost.rounds, "round events == counter");
+        assert_eq!(batch_msgs, cost.messages, "batch counts == counter");
+        assert_eq!(batch_words, cost.words, "batch words == counter");
+        assert_eq!(end_msgs, cost.messages, "round-end deltas == counter");
+    }
+
+    #[test]
+    fn scope_events_carry_the_scope_delta() {
+        let (mut nt, rec) = traced_net(4);
+        drive(&mut nt);
+        let events = rec.events();
+        let enter = events
+            .iter()
+            .find(|e| matches!(e, Event::ScopeEnter { name, .. } if name == "work"));
+        assert!(enter.is_some());
+        let exit = events.iter().find_map(|e| match e {
+            Event::ScopeExit { name, delta } if name == "work" => Some(*delta),
+            _ => None,
+        });
+        let delta = exit.expect("scope exit recorded");
+        assert_eq!(delta.rounds, 2);
+        assert_eq!(delta.messages, 4);
+        assert_eq!(delta, nt.counters().scope("work").unwrap().snapshot());
+    }
+
+    #[test]
+    fn batches_aggregate_per_link_and_timing_is_emitted() {
+        let (mut nt, rec) = traced_net(4);
+        drive(&mut nt);
+        let events = rec.events();
+        // Round 0: node 0 sent two messages to 1 → one batch of count 2.
+        let batch01 = events.iter().find_map(|e| match e {
+            Event::MessageBatch {
+                round: 0,
+                src: 0,
+                dst: 1,
+                count,
+                words,
+            } => Some((*count, *words)),
+            _ => None,
+        });
+        assert_eq!(batch01, Some((2, 2)));
+        // Every (round, node) pair got a compute span: 4 nodes × 3 rounds.
+        let spans = events
+            .iter()
+            .filter(|e| matches!(e, Event::NodeCompute { .. }))
+            .count();
+        assert_eq!(spans, 12);
+        // Model events exclude the spans.
+        assert!(rec.model_events().iter().all(Event::is_model));
+    }
+
+    #[test]
+    fn detached_runs_stop_tracing() {
+        let (mut nt, rec) = traced_net(3);
+        nt.step(|_, _, _| {}).unwrap();
+        let n_before = rec.len();
+        let _ = nt.take_tracer();
+        nt.step(|_, _, _| {}).unwrap();
+        assert_eq!(rec.len(), n_before, "no events after detach");
+        assert_eq!(nt.cost().rounds, 2, "counters keep running regardless");
+    }
+
+    #[test]
+    fn identical_runs_emit_identical_model_events() {
+        let run = || {
+            let (mut nt, rec) = traced_net(5);
+            drive(&mut nt);
+            rec.model_events()
+        };
+        assert_eq!(run(), run());
     }
 }
 

@@ -19,6 +19,7 @@ use cc_net::NetError;
 /// when the payload exceeds one link's budget — use [`broadcast_large`]).
 pub fn broadcast_small(net: &mut Net, src: usize, data: Packet) -> Result<Packet, NetError> {
     let n = net.n();
+    net.begin_scope("route:broadcast-small");
     net.step(|node, _inbox, out| {
         if node == src {
             for dst in 0..n {
@@ -32,6 +33,7 @@ pub fn broadcast_small(net: &mut Net, src: usize, data: Packet) -> Result<Packet
     // data is in flight now. To keep primitives self-contained we absorb
     // the delivery round here.
     net.step(|_node, _inbox, _out| {})?;
+    net.end_scope();
     Ok(data)
 }
 
@@ -50,6 +52,7 @@ pub fn broadcast_small(net: &mut Net, src: usize, data: Packet) -> Result<Packet
 /// Propagates simulator errors.
 pub fn broadcast_large(net: &mut Net, src: usize, data: Packet) -> Result<Packet, NetError> {
     let n = net.n();
+    net.begin_scope("route:broadcast-large");
     let link_words = net.config().link_words;
     // Payload per chunk: one word reserved for the sequence number.
     let chunk = (link_words as usize - 1).max(1);
@@ -116,6 +119,7 @@ pub fn broadcast_large(net: &mut Net, src: usize, data: Packet) -> Result<Packet
         })?;
         net.step(|_node, _inbox, _out| {})?;
     }
+    net.end_scope();
 
     Ok(data)
 }
@@ -133,6 +137,7 @@ pub fn all_to_all_share(net: &mut Net, values: &[u64]) -> Result<Vec<u64>, NetEr
     let n = net.n();
     assert_eq!(values.len(), n, "one value per node");
     let vals = values.to_vec();
+    net.begin_scope("route:all-to-all");
     net.step(|node, _inbox, out| {
         for dst in 0..n {
             if dst != node {
@@ -141,6 +146,7 @@ pub fn all_to_all_share(net: &mut Net, values: &[u64]) -> Result<Vec<u64>, NetEr
         }
     })?;
     net.step(|_node, _inbox, _out| {})?;
+    net.end_scope();
     Ok(vals)
 }
 
@@ -168,6 +174,7 @@ pub fn gather_direct(
         "destination gathers, it does not send"
     );
     let link_words = net.config().link_words;
+    net.begin_scope("route:gather");
     let mut queues = items;
     let mut collected: Vec<(usize, Packet)> = Vec::new();
     while queues.iter().any(|q| !q.is_empty()) {
@@ -200,6 +207,7 @@ pub fn gather_direct(
             }
         })?;
     }
+    net.end_scope();
     Ok(collected)
 }
 
@@ -331,6 +339,7 @@ pub fn all_to_all_personalized(
         assert_eq!(row.len(), n, "one value per destination");
     }
     let mut received = vec![vec![0u64; n]; n];
+    net.begin_scope("route:all-to-all-personalized");
     net.step(|node, _inbox, out| {
         for (dst, &val) in values[node].iter().enumerate() {
             if dst != node {
@@ -343,6 +352,7 @@ pub fn all_to_all_personalized(
             received[node][env.src] = env.msg[0];
         }
     })?;
+    net.end_scope();
     Ok(received)
 }
 

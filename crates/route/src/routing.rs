@@ -108,6 +108,7 @@ fn route_inner(
         }
     }
 
+    net.begin_scope("route:route");
     // Rotation per sender so that hot destinations spread evenly across
     // intermediaries: random (default, the w.h.p. analysis) or the
     // sender's index (deterministic variant).
@@ -211,6 +212,7 @@ fn route_inner(
             }
         })?;
     }
+    net.end_scope();
 
     for per in &mut results {
         per.sort();

@@ -41,6 +41,7 @@ pub fn distributed_sort(
 ) -> Result<Vec<Vec<(SortItem, u64)>>, NetError> {
     let n = net.n();
     assert_eq!(per_node.len(), n, "one item list per node");
+    net.begin_scope("route:sort");
     let coordinator = 0usize;
 
     // 1. Local sort + sample; samples go to the coordinator.
@@ -147,6 +148,7 @@ pub fn distributed_sort(
             .map(|(idx, &k)| (k, by_idx[idx].expect("missing rank")))
             .collect();
     }
+    net.end_scope();
     Ok(out)
 }
 

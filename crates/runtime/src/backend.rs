@@ -8,6 +8,7 @@
 use crate::rng::node_round_rng;
 use cc_net::budget::{LinkUse, SendRules};
 use cc_net::{Cost, Counters, Envelope, NetConfig, NetError, Outbox, Wire};
+use cc_trace::SpanTiming;
 use rand_chacha::ChaCha8Rng;
 
 /// A per-node protocol state machine, runnable on any backend.
@@ -125,6 +126,12 @@ pub struct RoundOutput<M> {
     /// `(round, src, dst)` per message, empty unless
     /// [`NetConfig::record_transcript`] is set.
     pub transcript: Vec<(u64, u32, u32)>,
+    /// Wall-clock span of each compute worker this round, in worker (=
+    /// node-range) order. Timing only — the driver forwards these to its
+    /// tracer as [`cc_trace::Event::WorkerSpan`]s, which are excluded from
+    /// model-event comparisons (the serial engine reports one span
+    /// covering all nodes; the parallel engine one per worker).
+    pub worker_spans: Vec<SpanTiming>,
 }
 
 /// An engine that can execute one synchronous round.

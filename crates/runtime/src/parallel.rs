@@ -25,6 +25,8 @@ use crate::backend::{meter, run_node, Backend, Phase, Program, RoundOutput};
 use crate::serial::SerialBackend;
 use cc_net::budget::LinkUse;
 use cc_net::{Cost, Counters, Envelope, NetConfig, NetError};
+use cc_trace::SpanTiming;
+use std::time::Instant;
 
 /// Multi-threaded engine; observationally identical to
 /// [`SerialBackend`](crate::SerialBackend).
@@ -70,6 +72,8 @@ struct ComputeShard<M> {
     transcript: Vec<(u64, u32, u32)>,
     /// First violation in the chunk, with the offending node's ID.
     error: Option<(usize, NetError)>,
+    /// Wall-clock span of this worker's compute phase.
+    span: SpanTiming,
 }
 
 impl Backend for ParallelBackend {
@@ -104,10 +108,12 @@ impl Backend for ParallelBackend {
                 .map(|(w, ((progs, done_chunk), del_chunk))| {
                     let base = w * chunk;
                     s.spawn(move || {
+                        let t0 = Instant::now();
                         let mut links = LinkUse::new(n);
                         let mut counters = Counters::new();
                         let mut transcript = Vec::new();
                         let mut staged_per_node = Vec::with_capacity(progs.len());
+                        let chunk_len = progs.len();
                         let mut error = None;
                         for (i, program) in progs.iter_mut().enumerate() {
                             let node = base + i;
@@ -135,6 +141,12 @@ impl Backend for ParallelBackend {
                             cost: counters.total(),
                             transcript,
                             error,
+                            span: SpanTiming {
+                                worker: w as u32,
+                                node_lo: base as u32,
+                                node_hi: (base + chunk_len) as u32,
+                                nanos: t0.elapsed().as_nanos() as u64,
+                            },
                         }
                     })
                 })
@@ -158,10 +170,12 @@ impl Backend for ParallelBackend {
         let mut cost = Cost::default();
         let mut transcript = Vec::new();
         let mut staged_all: Vec<Vec<Envelope<P::Msg>>> = Vec::with_capacity(n);
+        let mut worker_spans = Vec::with_capacity(shards.len());
         for shard in shards {
             cost += shard.cost;
             transcript.extend(shard.transcript);
             staged_all.extend(shard.staged);
+            worker_spans.push(shard.span);
         }
 
         // ---- Barrier 2: exchange. ----
@@ -199,6 +213,7 @@ impl Backend for ParallelBackend {
             inboxes,
             cost,
             transcript,
+            worker_spans,
         })
     }
 }

@@ -8,15 +8,36 @@
 use crate::backend::{Backend, Phase, Program, RoundOutput};
 use crate::parallel::ParallelBackend;
 use crate::serial::SerialBackend;
-use cc_net::{Cost, Counters, Envelope, NetConfig, NetError};
+use cc_net::{Cost, Counters, Envelope, NetConfig, NetError, Wire};
+use cc_trace::{Event, NullTracer, Tracer};
+use std::collections::BTreeMap;
+use std::fmt;
 
 /// Executes node programs round-by-round on a pluggable [`Backend`].
-#[derive(Debug)]
 pub struct Runtime<B: Backend> {
     cfg: NetConfig,
     backend: B,
     counters: Counters,
     transcript: Vec<(u64, u32, u32)>,
+    tracer: Box<dyn Tracer>,
+    /// `tracer.enabled()` cached at attach time (see
+    /// [`cc_net::CliqueNet::set_tracer`] for the rationale).
+    tracing: bool,
+    /// `tracer.wants_timing()`, cached likewise; gates [`Event::WorkerSpan`]
+    /// forwarding (backends measure spans unconditionally — one clock read
+    /// per worker per round, not per node).
+    timing: bool,
+}
+
+impl<B: Backend + fmt::Debug> fmt::Debug for Runtime<B> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Runtime")
+            .field("cfg", &self.cfg)
+            .field("backend", &self.backend)
+            .field("cost", &self.counters.total())
+            .field("tracing", &self.tracing)
+            .finish_non_exhaustive()
+    }
 }
 
 impl Runtime<SerialBackend> {
@@ -50,7 +71,34 @@ impl<B: Backend> Runtime<B> {
             backend,
             counters: Counters::new(),
             transcript: Vec::new(),
+            tracer: Box::new(NullTracer),
+            tracing: false,
+            timing: false,
         }
+    }
+
+    /// Attaches a [`Tracer`] sink; subsequent rounds and scopes emit
+    /// structured [`Event`]s into it.
+    ///
+    /// The *model* events (everything but [`Event::WorkerSpan`]) are
+    /// emitted by this driver from the backend's [`RoundOutput`], never by
+    /// worker threads — so serial and parallel backends produce identical
+    /// model-event streams for the same protocol and seed, and the
+    /// lock-free exchange stays lock-free.
+    pub fn set_tracer(&mut self, tracer: Box<dyn Tracer>) {
+        self.tracing = tracer.enabled();
+        self.timing = tracer.wants_timing();
+        self.tracer = tracer;
+    }
+
+    /// Detaches and returns the current tracer (flushed), restoring the
+    /// disabled default.
+    pub fn take_tracer(&mut self) -> Box<dyn Tracer> {
+        let mut t = std::mem::replace(&mut self.tracer, Box::new(NullTracer));
+        t.flush();
+        self.tracing = false;
+        self.timing = false;
+        t
     }
 
     /// Clique size.
@@ -85,12 +133,32 @@ impl<B: Backend> Runtime<B> {
 
     /// Opens a named cost scope (see [`Counters::begin_scope`]).
     pub fn begin_scope(&mut self, name: impl Into<String>) {
+        let name = name.into();
+        if self.tracing {
+            self.tracer.record(Event::ScopeEnter {
+                name: name.clone(),
+                round: self.counters.total().rounds,
+            });
+        }
         self.counters.begin_scope(name);
     }
 
     /// Closes the innermost cost scope and returns its delta.
     pub fn end_scope(&mut self) -> Cost {
-        self.counters.end_scope()
+        let delta = self.counters.end_scope();
+        if self.tracing {
+            let name = self
+                .counters
+                .scopes()
+                .last()
+                .map(|(n, _)| n.clone())
+                .unwrap_or_default();
+            self.tracer.record(Event::ScopeExit {
+                name,
+                delta: delta.snapshot(),
+            });
+        }
+        delta
     }
 
     /// The recorded `(round, src, dst)` transcript (empty unless
@@ -151,16 +219,61 @@ impl<B: Backend> Runtime<B> {
             }
         }
         let round = self.counters.total().rounds;
+        if self.tracing {
+            self.tracer.record(Event::RoundStart { round });
+        }
         let RoundOutput {
             inboxes,
             cost,
             transcript,
+            worker_spans,
         } = self
             .backend
             .execute(&self.cfg, round, phase, programs, delivered, done)?;
         self.counters.merge(cost);
         self.counters.add_round();
         self.transcript.extend(transcript);
+        if self.tracing {
+            // (src, dst) → (count, words), aggregated over the round and
+            // emitted in sorted order: a deterministic function of the
+            // delivered messages alone, so every backend produces the same
+            // batch stream (the same normalization CliqueNet::step applies).
+            let mut batches: BTreeMap<(u32, u32), (u32, u64)> = BTreeMap::new();
+            for inbox in &inboxes {
+                for env in inbox {
+                    let slot = batches
+                        .entry((env.src as u32, env.dst as u32))
+                        .or_insert((0, 0));
+                    slot.0 += 1;
+                    slot.1 += env.msg.words().max(1);
+                }
+            }
+            for ((src, dst), (count, words)) in batches {
+                self.tracer.record(Event::MessageBatch {
+                    round,
+                    src,
+                    dst,
+                    count,
+                    words,
+                });
+            }
+            if self.timing {
+                for span in worker_spans {
+                    self.tracer.record(Event::WorkerSpan {
+                        round,
+                        worker: span.worker,
+                        node_lo: span.node_lo,
+                        node_hi: span.node_hi,
+                        nanos: span.nanos,
+                    });
+                }
+            }
+            self.tracer.record(Event::RoundEnd {
+                round,
+                messages: cost.messages,
+                words: cost.words,
+            });
+        }
         Ok(inboxes)
     }
 }

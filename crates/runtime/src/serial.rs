@@ -10,6 +10,8 @@
 use crate::backend::{meter, run_node, Backend, Phase, Program, RoundOutput};
 use cc_net::budget::LinkUse;
 use cc_net::{Counters, Envelope, NetConfig, NetError};
+use cc_trace::SpanTiming;
+use std::time::Instant;
 
 /// Single-threaded engine; the reference implementation.
 #[derive(Clone, Copy, Debug, Default)]
@@ -35,6 +37,7 @@ impl Backend for SerialBackend {
         let mut transcript = Vec::new();
         let mut inboxes: Vec<Vec<Envelope<P::Msg>>> = (0..n).map(|_| Vec::new()).collect();
 
+        let t0 = Instant::now();
         for (node, program) in programs.iter_mut().enumerate() {
             let (staged, error, node_done) = run_node(
                 program,
@@ -63,6 +66,12 @@ impl Backend for SerialBackend {
             inboxes,
             cost: counters.total(),
             transcript,
+            worker_spans: vec![SpanTiming {
+                worker: 0,
+                node_lo: 0,
+                node_hi: n as u32,
+                nanos: t0.elapsed().as_nanos() as u64,
+            }],
         })
     }
 }

@@ -129,6 +129,62 @@ fn transcripts_match_between_backends() {
 }
 
 #[test]
+fn model_event_streams_match_between_backends() {
+    // The driver emits all model events centrally from RoundOutput, so the
+    // two engines must produce byte-identical model streams — rounds,
+    // per-link message batches, totals. (Timing events — WorkerSpan — are
+    // backend-shaped by design and excluded by `is_model`.)
+    let adj = random_adjacency(18, 0.25, 11);
+    let cfg = NetConfig::kt1(adj.len());
+
+    let rec_s = cc_trace::RecordingTracer::new();
+    let mut serial = Runtime::serial(cfg.clone());
+    serial.set_tracer(Box::new(rec_s.clone()));
+    serial.run(adapt_all(flood_programs(&adj, 0)), 200).unwrap();
+
+    let rec_p = cc_trace::RecordingTracer::new();
+    let mut parallel = Runtime::parallel_with_threads(cfg, 5);
+    parallel.set_tracer(Box::new(rec_p.clone()));
+    parallel
+        .run(adapt_all(flood_programs(&adj, 0)), 200)
+        .unwrap();
+
+    let s_model = rec_s.model_events();
+    let p_model = rec_p.model_events();
+    assert!(!s_model.is_empty());
+    assert_eq!(s_model, p_model, "model-event streams diverged");
+
+    // The event stream also reproduces the metered totals exactly.
+    let summed: u64 = s_model
+        .iter()
+        .filter_map(|e| match e {
+            cc_trace::Event::RoundEnd { messages, .. } => Some(*messages),
+            _ => None,
+        })
+        .sum();
+    assert_eq!(summed, serial.cost().messages);
+    assert_eq!(serial.cost(), parallel.cost());
+
+    // The parallel engine reported spans from more than one worker, and the
+    // serial engine exactly one per round — the only allowed divergence.
+    let workers = |rec: &cc_trace::RecordingTracer| {
+        let mut ws: Vec<u32> = rec
+            .events()
+            .iter()
+            .filter_map(|e| match e {
+                cc_trace::Event::WorkerSpan { worker, .. } => Some(*worker),
+                _ => None,
+            })
+            .collect();
+        ws.sort_unstable();
+        ws.dedup();
+        ws
+    };
+    assert_eq!(workers(&rec_s), vec![0]);
+    assert!(workers(&rec_p).len() > 1);
+}
+
+#[test]
 fn graph_helper_agrees_with_component_count() {
     // Cross-check against cc-graph: the root's subtree size equals its
     // component's size.

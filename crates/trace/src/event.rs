@@ -1,0 +1,302 @@
+//! Typed trace events.
+//!
+//! Events split into two families:
+//!
+//! * **Model events** — functions of the Congested Clique execution alone
+//!   (rounds, scopes, message batches, fast-forward jumps). Every engine —
+//!   the `cc-net` simulator, the serial runtime backend, the parallel
+//!   runtime backend — must emit *identical* model-event streams for the
+//!   same protocol and seed; the determinism test suites hold them to it.
+//! * **Timing events** — wall-clock attribution (per-node compute spans,
+//!   per-worker round spans). These legitimately differ run to run and are
+//!   excluded from equivalence checks via [`Event::is_model`].
+
+use crate::json::Json;
+
+/// A rounds/messages/words/bits quadruple (mirror of `cc_net::Cost`,
+/// duplicated here so the tracing layer sits *below* the simulator in the
+/// dependency DAG).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CostSnapshot {
+    /// Synchronous rounds.
+    pub rounds: u64,
+    /// Messages sent.
+    pub messages: u64,
+    /// Words sent.
+    pub words: u64,
+    /// Bits sent.
+    pub bits: u64,
+}
+
+impl CostSnapshot {
+    /// JSON object form.
+    pub fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("rounds", Json::UInt(self.rounds)),
+            ("messages", Json::UInt(self.messages)),
+            ("words", Json::UInt(self.words)),
+            ("bits", Json::UInt(self.bits)),
+        ])
+    }
+
+    /// Parses the object form.
+    ///
+    /// # Errors
+    ///
+    /// Names the missing/ill-typed field.
+    pub fn from_json(v: &Json) -> Result<CostSnapshot, String> {
+        let field = |name: &str| -> Result<u64, String> {
+            v.get(name)
+                .and_then(Json::as_u64)
+                .ok_or_else(|| format!("cost snapshot: missing u64 field `{name}`"))
+        };
+        Ok(CostSnapshot {
+            rounds: field("rounds")?,
+            messages: field("messages")?,
+            words: field("words")?,
+            bits: field("bits")?,
+        })
+    }
+}
+
+/// A per-worker compute span for one executed round, reported by runtime
+/// backends (the serial backend reports a single worker covering all
+/// nodes). Carried out-of-band in `RoundOutput` so worker threads never
+/// touch the tracer; the driver turns these into
+/// [`Event::WorkerSpan`] events.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SpanTiming {
+    /// Worker index.
+    pub worker: u32,
+    /// First node of the worker's contiguous chunk.
+    pub node_lo: u32,
+    /// One past the last node of the chunk.
+    pub node_hi: u32,
+    /// Wall-clock nanoseconds the chunk's compute took.
+    pub nanos: u64,
+}
+
+/// One structured trace event.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Event {
+    /// A synchronous round is about to execute. `round` is 0-based.
+    RoundStart {
+        /// Rounds completed before this one.
+        round: u64,
+    },
+    /// The round finished; deltas are this round's traffic.
+    RoundEnd {
+        /// The round that just completed (same index as its start event).
+        round: u64,
+        /// Messages sent this round.
+        messages: u64,
+        /// Words sent this round.
+        words: u64,
+    },
+    /// A named cost scope (algorithm phase) opened.
+    ScopeEnter {
+        /// Scope name (e.g. `phase1`, `exact-mst:lotker`).
+        name: String,
+        /// Rounds completed when the scope opened.
+        round: u64,
+    },
+    /// The innermost scope closed.
+    ScopeExit {
+        /// Scope name.
+        name: String,
+        /// Cost accrued inside the scope.
+        delta: CostSnapshot,
+    },
+    /// All same-destination messages one node sent in one round.
+    MessageBatch {
+        /// The 0-based round of the send.
+        round: u64,
+        /// Sender.
+        src: u32,
+        /// Receiver.
+        dst: u32,
+        /// Message count in the batch.
+        count: u32,
+        /// Word total of the batch.
+        words: u64,
+    },
+    /// A silent-stretch jump (`CliqueNet::fast_forward`).
+    FastForward {
+        /// Rounds completed before the jump.
+        from_round: u64,
+        /// Rounds skipped.
+        rounds: u64,
+    },
+    /// Wall-clock time one node's callback took (timing event).
+    NodeCompute {
+        /// The 0-based round.
+        round: u64,
+        /// The node.
+        node: u32,
+        /// Wall-clock nanoseconds.
+        nanos: u64,
+    },
+    /// Wall-clock time one runtime worker's chunk took (timing event).
+    WorkerSpan {
+        /// The 0-based round.
+        round: u64,
+        /// Worker index.
+        worker: u32,
+        /// First node of the chunk.
+        node_lo: u32,
+        /// One past the last node of the chunk.
+        node_hi: u32,
+        /// Wall-clock nanoseconds.
+        nanos: u64,
+    },
+}
+
+impl Event {
+    /// Whether this event is deterministic given the protocol and seed
+    /// (see the module docs). Timing events return `false`.
+    pub fn is_model(&self) -> bool {
+        !matches!(self, Event::NodeCompute { .. } | Event::WorkerSpan { .. })
+    }
+
+    /// Stable kind tag (the `"ev"` field of the JSONL form).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Event::RoundStart { .. } => "round_start",
+            Event::RoundEnd { .. } => "round_end",
+            Event::ScopeEnter { .. } => "scope_enter",
+            Event::ScopeExit { .. } => "scope_exit",
+            Event::MessageBatch { .. } => "message_batch",
+            Event::FastForward { .. } => "fast_forward",
+            Event::NodeCompute { .. } => "node_compute",
+            Event::WorkerSpan { .. } => "worker_span",
+        }
+    }
+
+    /// JSON object form (one JSONL line when emitted compactly).
+    pub fn to_json(&self) -> Json {
+        let tag = ("ev", Json::Str(self.kind().into()));
+        match self {
+            Event::RoundStart { round } => Json::obj(vec![tag, ("round", Json::UInt(*round))]),
+            Event::RoundEnd {
+                round,
+                messages,
+                words,
+            } => Json::obj(vec![
+                tag,
+                ("round", Json::UInt(*round)),
+                ("messages", Json::UInt(*messages)),
+                ("words", Json::UInt(*words)),
+            ]),
+            Event::ScopeEnter { name, round } => Json::obj(vec![
+                tag,
+                ("name", Json::Str(name.clone())),
+                ("round", Json::UInt(*round)),
+            ]),
+            Event::ScopeExit { name, delta } => Json::obj(vec![
+                tag,
+                ("name", Json::Str(name.clone())),
+                ("delta", delta.to_json()),
+            ]),
+            Event::MessageBatch {
+                round,
+                src,
+                dst,
+                count,
+                words,
+            } => Json::obj(vec![
+                tag,
+                ("round", Json::UInt(*round)),
+                ("src", Json::UInt(*src as u64)),
+                ("dst", Json::UInt(*dst as u64)),
+                ("count", Json::UInt(*count as u64)),
+                ("words", Json::UInt(*words)),
+            ]),
+            Event::FastForward { from_round, rounds } => Json::obj(vec![
+                tag,
+                ("from_round", Json::UInt(*from_round)),
+                ("rounds", Json::UInt(*rounds)),
+            ]),
+            Event::NodeCompute { round, node, nanos } => Json::obj(vec![
+                tag,
+                ("round", Json::UInt(*round)),
+                ("node", Json::UInt(*node as u64)),
+                ("nanos", Json::UInt(*nanos)),
+            ]),
+            Event::WorkerSpan {
+                round,
+                worker,
+                node_lo,
+                node_hi,
+                nanos,
+            } => Json::obj(vec![
+                tag,
+                ("round", Json::UInt(*round)),
+                ("worker", Json::UInt(*worker as u64)),
+                ("node_lo", Json::UInt(*node_lo as u64)),
+                ("node_hi", Json::UInt(*node_hi as u64)),
+                ("nanos", Json::UInt(*nanos)),
+            ]),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn model_vs_timing_split() {
+        assert!(Event::RoundStart { round: 0 }.is_model());
+        assert!(Event::MessageBatch {
+            round: 1,
+            src: 0,
+            dst: 2,
+            count: 3,
+            words: 4
+        }
+        .is_model());
+        assert!(!Event::NodeCompute {
+            round: 0,
+            node: 1,
+            nanos: 5
+        }
+        .is_model());
+        assert!(!Event::WorkerSpan {
+            round: 0,
+            worker: 0,
+            node_lo: 0,
+            node_hi: 4,
+            nanos: 5
+        }
+        .is_model());
+    }
+
+    #[test]
+    fn json_form_carries_kind_and_fields() {
+        let ev = Event::ScopeExit {
+            name: "phase1".into(),
+            delta: CostSnapshot {
+                rounds: 2,
+                messages: 3,
+                words: 4,
+                bits: 40,
+            },
+        };
+        let j = ev.to_json();
+        assert_eq!(j.get("ev").unwrap().as_str(), Some("scope_exit"));
+        let delta = CostSnapshot::from_json(j.get("delta").unwrap()).unwrap();
+        assert_eq!(delta.messages, 3);
+    }
+
+    #[test]
+    fn cost_snapshot_round_trip() {
+        let c = CostSnapshot {
+            rounds: u64::MAX,
+            messages: 1,
+            words: 2,
+            bits: 3,
+        };
+        assert_eq!(CostSnapshot::from_json(&c.to_json()).unwrap(), c);
+        assert!(CostSnapshot::from_json(&Json::Null).is_err());
+    }
+}

@@ -1,0 +1,320 @@
+//! Exporters: JSONL, Chrome trace-event JSON (Perfetto-loadable), and
+//! human-readable per-phase / per-node tables.
+//!
+//! The Chrome export maps *model time* (rounds) onto the trace clock at 1
+//! round = 1 ms on process 0 — scopes become nested `B`/`E` duration
+//! events, fast-forward jumps become instants — and *wall-clock* compute
+//! spans onto process 1, one track per node (or worker), with each node's
+//! spans laid end to end. Load the file at <https://ui.perfetto.dev> or
+//! `chrome://tracing`.
+
+use crate::event::{CostSnapshot, Event};
+use crate::json::Json;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Renders events as JSONL (one compact object per line).
+pub fn to_jsonl(events: &[Event]) -> String {
+    let mut out = String::new();
+    for ev in events {
+        out.push_str(&ev.to_json().emit());
+        out.push('\n');
+    }
+    out
+}
+
+/// Parses a JSONL document back into generic JSON values (schema
+/// validation for emitted traces).
+///
+/// # Errors
+///
+/// Reports the first malformed line (1-based index).
+pub fn parse_jsonl(text: &str) -> Result<Vec<Json>, String> {
+    text.lines()
+        .enumerate()
+        .filter(|(_, l)| !l.trim().is_empty())
+        .map(|(i, l)| Json::parse(l).map_err(|e| format!("line {}: {e}", i + 1)))
+        .collect()
+}
+
+/// Microseconds per model round on the Chrome trace clock.
+const ROUND_US: u64 = 1_000;
+
+/// Renders events as a Chrome trace-event JSON array.
+pub fn to_chrome_trace(events: &[Event]) -> String {
+    let mut out: Vec<Json> = Vec::new();
+    let entry = |name: &str, ph: &str, pid: u64, tid: u64, ts: u64, dur: Option<u64>| {
+        let mut fields = vec![
+            ("name", Json::Str(name.to_string())),
+            ("ph", Json::Str(ph.to_string())),
+            ("pid", Json::UInt(pid)),
+            ("tid", Json::UInt(tid)),
+            ("ts", Json::UInt(ts)),
+        ];
+        if let Some(d) = dur {
+            fields.push(("dur", Json::UInt(d)));
+        }
+        Json::obj(fields)
+    };
+    // Wall-clock spans are laid end to end per track.
+    let mut node_clock: BTreeMap<u64, u64> = BTreeMap::new();
+    let mut worker_clock: BTreeMap<u64, u64> = BTreeMap::new();
+    // Scope enters wait for their matching exit to learn the duration.
+    let mut open_scopes: Vec<(String, u64)> = Vec::new();
+    for ev in events {
+        match ev {
+            Event::ScopeEnter { name, round } => {
+                open_scopes.push((name.clone(), *round));
+                out.push(entry(name, "B", 0, 0, round * ROUND_US, None));
+            }
+            Event::ScopeExit { name, delta } => {
+                let start = open_scopes.pop().map(|(_, r)| r).unwrap_or(0);
+                let _ = name;
+                let end = start + delta.rounds;
+                out.push(entry("", "E", 0, 0, end * ROUND_US, None));
+            }
+            Event::FastForward { from_round, rounds } => {
+                out.push(entry(
+                    &format!("fast-forward {rounds} rounds"),
+                    "i",
+                    0,
+                    0,
+                    from_round * ROUND_US,
+                    None,
+                ));
+            }
+            Event::NodeCompute { round, node, nanos } => {
+                let tid = *node as u64;
+                let ts = *node_clock.entry(tid).or_insert(0);
+                let dur = (nanos / 1_000).max(1);
+                out.push(entry(
+                    &format!("node {node} round {round}"),
+                    "X",
+                    1,
+                    tid,
+                    ts,
+                    Some(dur),
+                ));
+                node_clock.insert(tid, ts + dur);
+            }
+            Event::WorkerSpan {
+                round,
+                worker,
+                node_lo,
+                node_hi,
+                nanos,
+            } => {
+                let tid = *worker as u64;
+                let ts = *worker_clock.entry(tid).or_insert(0);
+                let dur = (nanos / 1_000).max(1);
+                out.push(entry(
+                    &format!("worker {worker} nodes {node_lo}..{node_hi} round {round}"),
+                    "X",
+                    2,
+                    tid,
+                    ts,
+                    Some(dur),
+                ));
+                worker_clock.insert(tid, ts + dur);
+            }
+            Event::RoundStart { .. } | Event::RoundEnd { .. } | Event::MessageBatch { .. } => {}
+        }
+    }
+    Json::Arr(out).emit()
+}
+
+/// Per-phase cost summary derived from scope events: same-named scopes
+/// are summed (e.g. the per-call `route` scopes inside a phase), in first
+/// -appearance order.
+pub fn phase_summary(events: &[Event]) -> Vec<(String, CostSnapshot, u64)> {
+    let mut order: Vec<String> = Vec::new();
+    let mut acc: BTreeMap<String, (CostSnapshot, u64)> = BTreeMap::new();
+    for ev in events {
+        if let Event::ScopeExit { name, delta } = ev {
+            let slot = acc.entry(name.clone()).or_insert_with(|| {
+                order.push(name.clone());
+                (CostSnapshot::default(), 0)
+            });
+            slot.0.rounds += delta.rounds;
+            slot.0.messages += delta.messages;
+            slot.0.words += delta.words;
+            slot.0.bits += delta.bits;
+            slot.1 += 1;
+        }
+    }
+    order
+        .into_iter()
+        .map(|name| {
+            let (cost, calls) = acc[&name];
+            (name, cost, calls)
+        })
+        .collect()
+}
+
+/// Renders [`phase_summary`] as an aligned text table.
+pub fn phase_table(events: &[Event]) -> String {
+    let rows = phase_summary(events);
+    let mut out =
+        String::from("phase                            calls   rounds     messages        words\n");
+    out.push_str("---------------------------------------------------------------------------\n");
+    for (name, cost, calls) in rows {
+        let _ = writeln!(
+            out,
+            "{name:<32} {calls:>5} {rounds:>8} {messages:>12} {words:>12}",
+            rounds = cost.rounds,
+            messages = cost.messages,
+            words = cost.words,
+        );
+    }
+    out
+}
+
+/// Per-node traffic summary from message-batch events:
+/// `(node, msgs_sent, words_sent, msgs_recv, words_recv, compute_nanos)`.
+pub fn node_summary(events: &[Event]) -> Vec<(u32, u64, u64, u64, u64, u64)> {
+    let mut nodes: BTreeMap<u32, [u64; 5]> = BTreeMap::new();
+    for ev in events {
+        match ev {
+            Event::MessageBatch {
+                src,
+                dst,
+                count,
+                words,
+                ..
+            } => {
+                let s = nodes.entry(*src).or_default();
+                s[0] += *count as u64;
+                s[1] += *words;
+                let d = nodes.entry(*dst).or_default();
+                d[2] += *count as u64;
+                d[3] += *words;
+            }
+            Event::NodeCompute { node, nanos, .. } => {
+                nodes.entry(*node).or_default()[4] += *nanos;
+            }
+            _ => {}
+        }
+    }
+    nodes
+        .into_iter()
+        .map(|(n, [ms, ws, mr, wr, ns])| (n, ms, ws, mr, wr, ns))
+        .collect()
+}
+
+/// Renders [`node_summary`] as an aligned text table.
+pub fn node_table(events: &[Event]) -> String {
+    let mut out =
+        String::from("node   msgs_sent   words_sent   msgs_recv   words_recv   compute_ms\n");
+    out.push_str("--------------------------------------------------------------------\n");
+    for (node, ms, ws, mr, wr, ns) in node_summary(events) {
+        let _ = writeln!(
+            out,
+            "{node:>4} {ms:>11} {ws:>12} {mr:>11} {wr:>12} {ms_f:>12.3}",
+            ms_f = ns as f64 / 1e6,
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Vec<Event> {
+        vec![
+            Event::ScopeEnter {
+                name: "phase1".into(),
+                round: 0,
+            },
+            Event::RoundStart { round: 0 },
+            Event::MessageBatch {
+                round: 0,
+                src: 0,
+                dst: 1,
+                count: 2,
+                words: 4,
+            },
+            Event::NodeCompute {
+                round: 0,
+                node: 0,
+                nanos: 2_000_000,
+            },
+            Event::RoundEnd {
+                round: 0,
+                messages: 2,
+                words: 4,
+            },
+            Event::ScopeExit {
+                name: "phase1".into(),
+                delta: CostSnapshot {
+                    rounds: 1,
+                    messages: 2,
+                    words: 4,
+                    bits: 24,
+                },
+            },
+            Event::FastForward {
+                from_round: 1,
+                rounds: 50,
+            },
+        ]
+    }
+
+    #[test]
+    fn jsonl_round_trips() {
+        let text = to_jsonl(&sample());
+        let parsed = parse_jsonl(&text).unwrap();
+        assert_eq!(parsed.len(), sample().len());
+        assert_eq!(parsed[1].get("ev").unwrap().as_str(), Some("round_start"));
+        assert!(parse_jsonl("{bad").is_err());
+    }
+
+    #[test]
+    fn chrome_trace_is_valid_json_with_balanced_scopes() {
+        let text = to_chrome_trace(&sample());
+        let v = Json::parse(&text).unwrap();
+        let arr = v.as_arr().unwrap();
+        let phases: Vec<&str> = arr
+            .iter()
+            .map(|e| e.get("ph").unwrap().as_str().unwrap())
+            .collect();
+        assert_eq!(
+            phases.iter().filter(|&&p| p == "B").count(),
+            phases.iter().filter(|&&p| p == "E").count()
+        );
+        assert!(phases.contains(&"X") && phases.contains(&"i"));
+    }
+
+    #[test]
+    fn phase_summary_aggregates_same_named_scopes() {
+        let mut events = sample();
+        events.push(Event::ScopeExit {
+            name: "phase1".into(),
+            delta: CostSnapshot {
+                rounds: 2,
+                messages: 1,
+                words: 1,
+                bits: 6,
+            },
+        });
+        let rows = phase_summary(&events);
+        assert_eq!(rows.len(), 1);
+        let (name, cost, calls) = &rows[0];
+        assert_eq!(name, "phase1");
+        assert_eq!(calls, &2);
+        assert_eq!(cost.rounds, 3);
+        assert_eq!(cost.messages, 3);
+    }
+
+    #[test]
+    fn tables_render() {
+        let pt = phase_table(&sample());
+        assert!(pt.contains("phase1"));
+        let nt = node_table(&sample());
+        assert!(nt.contains("2.000"), "2ms of compute on node 0:\n{nt}");
+        let rows = node_summary(&sample());
+        // node 0 sent 2 msgs / 4 words, node 1 received them.
+        assert_eq!(rows[0], (0, 2, 4, 0, 0, 2_000_000));
+        assert_eq!(rows[1], (1, 0, 0, 2, 4, 0));
+    }
+}

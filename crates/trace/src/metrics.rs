@@ -1,0 +1,424 @@
+//! Monotonic counters and log-scaled histograms, snapshotable to JSON.
+//!
+//! The registry is deliberately simple: counters are `u64` adds,
+//! histograms bucket by `⌊log₂ v⌋ + 1` (bucket 0 holds zeros), which is
+//! the right resolution for the heavy-tailed quantities the experiments
+//! care about — per-link load, inbox sizes, per-round message counts.
+//! [`metrics_from_events`] derives the standard distributions from a
+//! recorded event stream so any traced run can be summarized after the
+//! fact.
+
+use crate::event::Event;
+use crate::json::Json;
+use std::collections::BTreeMap;
+
+/// Number of histogram buckets: zeros + one per possible `⌊log₂ v⌋`.
+const BUCKETS: usize = 65;
+
+/// A histogram over `u64` values with logarithmic buckets.
+#[derive(Clone, Debug)]
+pub struct LogHistogram {
+    buckets: [u64; BUCKETS],
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+}
+
+impl Default for LogHistogram {
+    fn default() -> Self {
+        LogHistogram {
+            buckets: [0; BUCKETS],
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+}
+
+impl LogHistogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Bucket index for a value: 0 for zero, else `⌊log₂ v⌋ + 1`.
+    fn bucket(v: u64) -> usize {
+        if v == 0 {
+            0
+        } else {
+            (64 - v.leading_zeros()) as usize
+        }
+    }
+
+    /// Lower bound of bucket `i` (inclusive).
+    fn bucket_lo(i: usize) -> u64 {
+        if i == 0 {
+            0
+        } else {
+            1u64 << (i - 1)
+        }
+    }
+
+    /// Records one observation.
+    pub fn observe(&mut self, v: u64) {
+        self.buckets[Self::bucket(v)] += 1;
+        self.count += 1;
+        self.sum = self.sum.saturating_add(v);
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// An immutable snapshot.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            count: self.count,
+            sum: self.sum,
+            min: if self.count == 0 { 0 } else { self.min },
+            max: self.max,
+            buckets: self
+                .buckets
+                .iter()
+                .enumerate()
+                .filter(|&(_, &c)| c > 0)
+                .map(|(i, &c)| (Self::bucket_lo(i), c))
+                .collect(),
+        }
+    }
+}
+
+/// A serializable histogram snapshot: non-empty buckets as
+/// `(lower_bound, count)` pairs plus summary statistics.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Observation count.
+    pub count: u64,
+    /// Observation sum (saturating).
+    pub sum: u64,
+    /// Minimum observation (0 when empty).
+    pub min: u64,
+    /// Maximum observation.
+    pub max: u64,
+    /// `(bucket lower bound, count)` for every non-empty bucket,
+    /// ascending.
+    pub buckets: Vec<(u64, u64)>,
+}
+
+impl HistogramSnapshot {
+    /// Mean observation (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// JSON object form.
+    pub fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("count", Json::UInt(self.count)),
+            ("sum", Json::UInt(self.sum)),
+            ("min", Json::UInt(self.min)),
+            ("max", Json::UInt(self.max)),
+            (
+                "buckets",
+                Json::Arr(
+                    self.buckets
+                        .iter()
+                        .map(|&(lo, c)| Json::Arr(vec![Json::UInt(lo), Json::UInt(c)]))
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+
+    /// Parses the object form.
+    ///
+    /// # Errors
+    ///
+    /// Names the missing/ill-typed field.
+    pub fn from_json(v: &Json) -> Result<HistogramSnapshot, String> {
+        let field = |name: &str| {
+            v.get(name)
+                .and_then(Json::as_u64)
+                .ok_or_else(|| format!("histogram: missing u64 field `{name}`"))
+        };
+        let buckets = v
+            .get("buckets")
+            .and_then(Json::as_arr)
+            .ok_or("histogram: missing `buckets` array")?
+            .iter()
+            .map(|pair| {
+                let p = pair.as_arr().filter(|p| p.len() == 2);
+                match p {
+                    Some(p) => match (p[0].as_u64(), p[1].as_u64()) {
+                        (Some(lo), Some(c)) => Ok((lo, c)),
+                        _ => Err("histogram: non-integer bucket".to_string()),
+                    },
+                    None => Err("histogram: malformed bucket pair".to_string()),
+                }
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(HistogramSnapshot {
+            count: field("count")?,
+            sum: field("sum")?,
+            min: field("min")?,
+            max: field("max")?,
+            buckets,
+        })
+    }
+}
+
+/// A named collection of counters and histograms.
+#[derive(Clone, Debug, Default)]
+pub struct MetricsRegistry {
+    counters: BTreeMap<String, u64>,
+    histograms: BTreeMap<String, LogHistogram>,
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds `v` to the named monotonic counter (created at 0).
+    pub fn counter_add(&mut self, name: &str, v: u64) {
+        *self.counters.entry(name.to_string()).or_insert(0) += v;
+    }
+
+    /// Records an observation into the named histogram (created empty).
+    pub fn observe(&mut self, name: &str, v: u64) {
+        self.histograms
+            .entry(name.to_string())
+            .or_default()
+            .observe(v);
+    }
+
+    /// Current value of a counter.
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// An immutable, serializable snapshot of everything.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            counters: self.counters.iter().map(|(k, &v)| (k.clone(), v)).collect(),
+            histograms: self
+                .histograms
+                .iter()
+                .map(|(k, h)| (k.clone(), h.snapshot()))
+                .collect(),
+        }
+    }
+}
+
+/// A serializable registry snapshot.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct MetricsSnapshot {
+    /// Counter values, sorted by name.
+    pub counters: Vec<(String, u64)>,
+    /// Histogram snapshots, sorted by name.
+    pub histograms: Vec<(String, HistogramSnapshot)>,
+}
+
+impl MetricsSnapshot {
+    /// JSON object form.
+    pub fn to_json(&self) -> Json {
+        Json::obj(vec![
+            (
+                "counters",
+                Json::Obj(
+                    self.counters
+                        .iter()
+                        .map(|(k, v)| (k.clone(), Json::UInt(*v)))
+                        .collect(),
+                ),
+            ),
+            (
+                "histograms",
+                Json::Obj(
+                    self.histograms
+                        .iter()
+                        .map(|(k, h)| (k.clone(), h.to_json()))
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+
+    /// Parses the object form.
+    ///
+    /// # Errors
+    ///
+    /// Names the offending field.
+    pub fn from_json(v: &Json) -> Result<MetricsSnapshot, String> {
+        let counters = match v.get("counters") {
+            Some(Json::Obj(pairs)) => pairs
+                .iter()
+                .map(|(k, v)| {
+                    v.as_u64()
+                        .map(|u| (k.clone(), u))
+                        .ok_or_else(|| format!("metrics: counter `{k}` is not a u64"))
+                })
+                .collect::<Result<Vec<_>, _>>()?,
+            _ => return Err("metrics: missing `counters` object".into()),
+        };
+        let histograms = match v.get("histograms") {
+            Some(Json::Obj(pairs)) => pairs
+                .iter()
+                .map(|(k, v)| HistogramSnapshot::from_json(v).map(|h| (k.clone(), h)))
+                .collect::<Result<Vec<_>, _>>()?,
+            _ => return Err("metrics: missing `histograms` object".into()),
+        };
+        Ok(MetricsSnapshot {
+            counters,
+            histograms,
+        })
+    }
+}
+
+/// Derives the standard run metrics from a recorded event stream:
+///
+/// * counters `rounds`, `messages`, `words`, `fast_forward_rounds`;
+/// * histogram `link_words` — total words per directed `(src, dst)` link;
+/// * histogram `inbox_messages` — messages per `(round, dst)` inbox;
+/// * histogram `round_messages` — messages per executed round;
+/// * histogram `node_compute_nanos` — per-node wall-clock, when timing
+///   events are present.
+pub fn metrics_from_events(events: &[Event]) -> MetricsRegistry {
+    let mut reg = MetricsRegistry::new();
+    let mut link_words: BTreeMap<(u32, u32), u64> = BTreeMap::new();
+    let mut inbox: BTreeMap<(u64, u32), u64> = BTreeMap::new();
+    for ev in events {
+        match ev {
+            Event::RoundStart { .. } => reg.counter_add("rounds", 1),
+            Event::RoundEnd {
+                messages, words, ..
+            } => {
+                reg.counter_add("messages", *messages);
+                reg.counter_add("words", *words);
+                reg.observe("round_messages", *messages);
+            }
+            Event::MessageBatch {
+                round,
+                src,
+                dst,
+                count,
+                words,
+            } => {
+                *link_words.entry((*src, *dst)).or_insert(0) += *words;
+                *inbox.entry((*round, *dst)).or_insert(0) += *count as u64;
+            }
+            Event::FastForward { rounds, .. } => {
+                reg.counter_add("fast_forward_rounds", *rounds);
+            }
+            Event::NodeCompute { nanos, .. } => reg.observe("node_compute_nanos", *nanos),
+            Event::ScopeEnter { .. } | Event::ScopeExit { .. } | Event::WorkerSpan { .. } => {}
+        }
+    }
+    for (_, words) in link_words {
+        reg.observe("link_words", words);
+    }
+    for (_, count) in inbox {
+        reg.observe("inbox_messages", count);
+    }
+    reg
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_buckets_are_log_scaled() {
+        let mut h = LogHistogram::new();
+        for v in [0, 1, 2, 3, 4, 1024, u64::MAX] {
+            h.observe(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count, 7);
+        assert_eq!(s.min, 0);
+        assert_eq!(s.max, u64::MAX);
+        // 0 → bucket 0; 1 → [1,2); 2,3 → [2,4); 4 → [4,8); 1024 → [1024,..);
+        // u64::MAX → top bucket.
+        let lows: Vec<u64> = s.buckets.iter().map(|&(lo, _)| lo).collect();
+        assert_eq!(lows, vec![0, 1, 2, 4, 1024, 1 << 63]);
+        let counts: Vec<u64> = s.buckets.iter().map(|&(_, c)| c).collect();
+        assert_eq!(counts, vec![1, 1, 2, 1, 1, 1]);
+    }
+
+    #[test]
+    fn empty_histogram_snapshot() {
+        let s = LogHistogram::new().snapshot();
+        assert_eq!(s.count, 0);
+        assert_eq!(s.min, 0);
+        assert_eq!(s.mean(), 0.0);
+        assert!(s.buckets.is_empty());
+    }
+
+    #[test]
+    fn registry_counters_and_round_trip() {
+        let mut reg = MetricsRegistry::new();
+        reg.counter_add("messages", 10);
+        reg.counter_add("messages", 5);
+        reg.observe("link_words", 7);
+        reg.observe("link_words", 9);
+        assert_eq!(reg.counter("messages"), 15);
+        assert_eq!(reg.counter("absent"), 0);
+        let snap = reg.snapshot();
+        assert_eq!(snap.histograms[0].1.count, 2);
+        let parsed = MetricsSnapshot::from_json(&snap.to_json()).unwrap();
+        assert_eq!(parsed, snap);
+    }
+
+    #[test]
+    fn metrics_from_event_stream() {
+        let events = vec![
+            Event::RoundStart { round: 0 },
+            Event::MessageBatch {
+                round: 0,
+                src: 0,
+                dst: 1,
+                count: 2,
+                words: 6,
+            },
+            Event::MessageBatch {
+                round: 0,
+                src: 2,
+                dst: 1,
+                count: 1,
+                words: 1,
+            },
+            Event::RoundEnd {
+                round: 0,
+                messages: 3,
+                words: 7,
+            },
+            Event::FastForward {
+                from_round: 1,
+                rounds: 100,
+            },
+        ];
+        let reg = metrics_from_events(&events);
+        assert_eq!(reg.counter("rounds"), 1);
+        assert_eq!(reg.counter("messages"), 3);
+        assert_eq!(reg.counter("fast_forward_rounds"), 100);
+        let snap = reg.snapshot();
+        let inbox = &snap
+            .histograms
+            .iter()
+            .find(|(k, _)| k == "inbox_messages")
+            .unwrap()
+            .1;
+        assert_eq!(inbox.count, 1, "one (round, dst) inbox");
+        assert_eq!(inbox.max, 3, "both batches landed in it");
+    }
+}

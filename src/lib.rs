@@ -20,6 +20,8 @@
 //!   MST, the KT1 low-message MST, bipartiteness, k-edge-connectivity.
 //! * [`lb`] — the Section 3 / Section 4 lower-bound constructions and
 //!   adversary demonstrators.
+//! * [`trace`] — structured tracing, metrics, and the versioned
+//!   `RunArtifact` JSON format experiments emit.
 //!
 //! # Quickstart
 //!
@@ -50,3 +52,4 @@ pub use cc_net as net;
 pub use cc_route as route;
 pub use cc_runtime as runtime;
 pub use cc_sketch as sketch;
+pub use cc_trace as trace;

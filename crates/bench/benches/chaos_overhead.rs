@@ -1,0 +1,65 @@
+//! Fault-injection overhead on the headline GC run (experiment E17,
+//! `EXPERIMENTS.md`).
+//!
+//! The zero-overhead guarantee (DESIGN.md §11): with no injector
+//! attached, the fault interposition in `CliqueNet::step` is a single
+//! cached-bool branch per round plus an untaken `if` per node — so
+//! `gc/no-injector` must be indistinguishable from the pre-chaos
+//! baseline. `gc/noop-plan` measures the cost of an attached injector
+//! that never fires (per-message decision draws), and `gc/drop-plan`
+//! a schedule that actually perturbs delivery.
+
+use cc_chaos::{FaultPlan, LinkSelector, RoundRange};
+use cc_core::gc::{self, GcConfig};
+use cc_graph::generators;
+use cc_net::NetConfig;
+use cc_route::Net;
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+const N: usize = 256;
+
+fn bench_chaos(c: &mut Criterion) {
+    let mut rng = ChaCha8Rng::seed_from_u64(1);
+    let g = generators::random_connected_graph(N, 0.05, &mut rng);
+    let mut group = c.benchmark_group("chaos-overhead");
+    group.sample_size(10);
+
+    // Baseline: no injector — the zero-overhead path.
+    group.bench_with_input(BenchmarkId::new("gc/no-injector", N), &N, |b, &n| {
+        b.iter(|| {
+            let mut net = Net::new(NetConfig::kt1(n).with_seed(9));
+            let out = gc::run_on(&mut net, &g, &GcConfig::default()).unwrap();
+            black_box(out.component_count)
+        });
+    });
+
+    // An attached plan that never fires: pays per-message decision draws.
+    group.bench_with_input(BenchmarkId::new("gc/noop-plan", N), &N, |b, &n| {
+        let plan = FaultPlan::new(7).drop_messages(RoundRange::all(), LinkSelector::All, 0.0);
+        b.iter(|| {
+            let mut net = Net::new(NetConfig::kt1(n).with_seed(9));
+            net.set_fault_injector(Box::new(plan.injector()));
+            let out = gc::run_on(&mut net, &g, &GcConfig::default()).unwrap();
+            black_box(out.component_count)
+        });
+    });
+
+    // A schedule that genuinely drops traffic (output no longer asserted —
+    // the run may legitimately fail loudly under faults).
+    group.bench_with_input(BenchmarkId::new("gc/drop-plan", N), &N, |b, &n| {
+        let plan = FaultPlan::new(7).drop_messages(RoundRange::all(), LinkSelector::All, 0.01);
+        b.iter(|| {
+            let mut net = Net::new(NetConfig::kt1(n).with_seed(9).with_round_cap(100_000));
+            net.set_fault_injector(Box::new(plan.injector()));
+            let out = gc::run_on(&mut net, &g, &GcConfig::default());
+            black_box(out.is_ok())
+        });
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_chaos);
+criterion_main!(benches);

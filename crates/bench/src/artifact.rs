@@ -179,7 +179,7 @@ pub fn build_artifact(
 ) -> RunArtifact {
     let mut artifact = RunArtifact::new(generator)
         .with_meta("mode", if quick { "quick" } else { "full" })
-        .with_meta("schema", "cc-trace RunArtifact v1");
+        .with_meta("schema", "cc-trace RunArtifact v2");
     artifact.experiments = tables.iter().map(experiment_record).collect();
     artifact.claims = claims.iter().map(claim_record).collect();
     artifact.breakdowns = headline_breakdowns(quick);
@@ -223,6 +223,46 @@ pub fn render_checklist_txt(artifact: &RunArtifact) -> String {
         artifact.claims.len()
     ));
     out
+}
+
+/// Renders the robustness section as the E17 outcome table (used by the
+/// `chaos` and `trace_report` binaries, so their text output matches).
+pub fn robustness_table(records: &[cc_trace::RobustnessRecord]) -> Table {
+    let mut t = Table::new(
+        "E17",
+        "Robustness harness: outcome per (algorithm, fault schedule)",
+        &["algo", "schedule", "n", "outcome", "faults"],
+    );
+    for r in records {
+        t.push_row(vec![
+            r.algo.clone(),
+            r.schedule.clone(),
+            r.n.to_string(),
+            r.outcome.clone(),
+            r.faults.to_string(),
+        ]);
+    }
+    t
+}
+
+/// Renders the whp seed-sweep section as a [`Table`] (used by
+/// `trace_report`; the `chaos` binary prints the richer E17b table with
+/// its paper-budget control column instead).
+pub fn whp_table(points: &[cc_trace::WhpPoint]) -> Table {
+    let mut t = Table::new(
+        "whp-sweep",
+        "sketch-GC empirical failure rate across independent seeds",
+        &["n", "trials", "failures", "rate"],
+    );
+    for p in points {
+        t.push_row(vec![
+            p.n.to_string(),
+            p.trials.to_string(),
+            p.failures.to_string(),
+            format!("{:.2}", p.rate()),
+        ]);
+    }
+    t
 }
 
 /// Renders one phase breakdown as a [`Table`] (used by `trace_report`).

@@ -14,7 +14,9 @@
 //!
 //! Exits 2 on usage errors and 3 if the artifact fails schema validation.
 
-use cc_bench::artifact::{breakdown_table, render_checklist_txt, render_tables_txt};
+use cc_bench::artifact::{
+    breakdown_table, render_checklist_txt, render_tables_txt, robustness_table, whp_table,
+};
 use cc_trace::RunArtifact;
 
 fn main() {
@@ -71,6 +73,13 @@ fn main() {
         artifact.breakdowns.len(),
         artifact.metrics.len()
     );
+    if !artifact.robustness.is_empty() || !artifact.whp_sweep.is_empty() {
+        println!(
+            "  {} robustness record(s), {} whp sweep point(s)",
+            artifact.robustness.len(),
+            artifact.whp_sweep.len()
+        );
+    }
     println!();
 
     if !artifact.claims.is_empty() {
@@ -80,6 +89,15 @@ fn main() {
 
     for b in &artifact.breakdowns {
         print!("{}", breakdown_table(b));
+        println!();
+    }
+
+    if !artifact.robustness.is_empty() {
+        print!("{}", robustness_table(&artifact.robustness));
+        println!();
+    }
+    if !artifact.whp_sweep.is_empty() {
+        print!("{}", whp_table(&artifact.whp_sweep));
         println!();
     }
 

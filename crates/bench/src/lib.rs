@@ -20,6 +20,7 @@ pub mod experiments {
     pub mod extensions;
     pub mod extra;
     pub mod messages;
+    pub mod robustness;
     pub mod sketching;
     pub mod time;
 }
@@ -54,6 +55,8 @@ pub fn all_experiments(quick: bool) -> Vec<(&'static str, fn(bool) -> Table, boo
         ("e12", experiments::extra::e12_low_message_gc, true),
         ("e13", experiments::extra::e13_sketch_ablation, true),
         ("e14", experiments::extensions::e14_broadcast_model, true),
+        ("e17", experiments::robustness::e17_robustness, true),
+        ("e17b", experiments::robustness::e17b_whp_sweep, true),
         ("f1", experiments::extensions::f1_figure1, true),
     ]
 }

@@ -1,0 +1,105 @@
+//! The robustness outcome taxonomy.
+//!
+//! Every faulted run of an algorithm lands in exactly one of three
+//! buckets, mirroring the classic distinction between *failing loudly*
+//! and *failing silently*. The string forms match
+//! [`cc_trace::ROBUSTNESS_OUTCOMES`] so harness results serialize
+//! straight into a [`cc_trace::RunArtifact`].
+
+use std::fmt;
+
+/// How a faulted run ended, relative to the fault-free reference.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Outcome {
+    /// The run finished and its output matches the reference — the
+    /// faults were absorbed.
+    Correct,
+    /// The run failed *loudly*: it returned an error, panicked, or its
+    /// output was rejected by validation. Acceptable under faults.
+    DetectedFailure,
+    /// The run finished, validation accepted the output, and the output
+    /// is wrong. The one bucket that must stay empty when validation is
+    /// enabled.
+    SilentWrongAnswer,
+}
+
+impl Outcome {
+    /// The artifact string form (one of
+    /// [`cc_trace::ROBUSTNESS_OUTCOMES`]).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Outcome::Correct => "correct",
+            Outcome::DetectedFailure => "detected-failure",
+            Outcome::SilentWrongAnswer => "silent-wrong-answer",
+        }
+    }
+
+    /// Whether this is the forbidden bucket.
+    pub fn is_silent_wrong(self) -> bool {
+        self == Outcome::SilentWrongAnswer
+    }
+
+    /// Classifies a run from its three observable facts: did it finish,
+    /// did validation accept, does the output match the reference.
+    ///
+    /// A run that did not finish (error or panic) is a detected failure
+    /// regardless of the other two; an accepted-but-mismatching output
+    /// is silent-wrong; everything else that was accepted and matches is
+    /// correct.
+    pub fn classify(finished: bool, accepted: bool, matches_reference: bool) -> Self {
+        if !finished || !accepted {
+            Outcome::DetectedFailure
+        } else if matches_reference {
+            Outcome::Correct
+        } else {
+            Outcome::SilentWrongAnswer
+        }
+    }
+}
+
+impl fmt::Display for Outcome {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn string_forms_match_the_artifact_vocabulary() {
+        for (outcome, want) in [
+            (Outcome::Correct, "correct"),
+            (Outcome::DetectedFailure, "detected-failure"),
+            (Outcome::SilentWrongAnswer, "silent-wrong-answer"),
+        ] {
+            assert_eq!(outcome.as_str(), want);
+            assert_eq!(outcome.to_string(), want);
+            assert!(
+                cc_trace::ROBUSTNESS_OUTCOMES.contains(&outcome.as_str()),
+                "{outcome} missing from cc_trace::ROBUSTNESS_OUTCOMES"
+            );
+        }
+    }
+
+    #[test]
+    fn classification_truth_table() {
+        // (finished, accepted, matches) -> outcome
+        assert_eq!(Outcome::classify(true, true, true), Outcome::Correct);
+        assert_eq!(
+            Outcome::classify(true, true, false),
+            Outcome::SilentWrongAnswer
+        );
+        assert_eq!(
+            Outcome::classify(true, false, true),
+            Outcome::DetectedFailure
+        );
+        assert_eq!(
+            Outcome::classify(false, true, true),
+            Outcome::DetectedFailure
+        );
+        assert!(Outcome::SilentWrongAnswer.is_silent_wrong());
+        assert!(!Outcome::Correct.is_silent_wrong());
+    }
+}

@@ -39,6 +39,7 @@ pub mod reduce_components;
 pub mod rt_connectivity;
 pub mod sq_mst;
 pub mod time_encoding;
+pub mod validate;
 
 pub use broadcast_gc::{broadcast_gc, BroadcastGcRun};
 pub use component_graph::{build_component_graph, build_weighted_component_graph, ComponentGraph};
@@ -51,3 +52,4 @@ pub use kt1_mst::{kt1_mst, Kt1MstConfig, Kt1MstRun};
 pub use reduce_components::{reduce_components, ReduceOutcome};
 pub use rt_connectivity::{run_connectivity, RtGcOutput, SketchConnectivity};
 pub use sq_mst::{sq_mst, SqMstConfig, SqMstInstance};
+pub use validate::{validate_gc, validate_mst, validate_mst_minimal};

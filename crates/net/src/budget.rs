@@ -27,16 +27,38 @@ pub struct SendRules {
     pub broadcast_only: bool,
     /// Words each ordered link may carry per round.
     pub link_words: u64,
+    /// The 0-based round these rules are enforcing (attached to budget
+    /// errors so a violation names the round it happened in).
+    pub round: u64,
 }
 
 impl SendRules {
-    /// Extracts the rules a config implies.
+    /// Extracts the rules a config implies (round 0; see [`for_round`]).
+    ///
+    /// [`for_round`]: SendRules::for_round
     pub fn from_config(cfg: &NetConfig) -> Self {
         SendRules {
             n: cfg.n,
             broadcast_only: cfg.broadcast_only,
             link_words: cfg.link_words,
+            round: 0,
         }
+    }
+
+    /// The same rules stamped with the round they are enforcing.
+    #[must_use]
+    pub fn for_round(mut self, round: u64) -> Self {
+        self.round = round;
+        self
+    }
+
+    /// The same rules with the per-link budget lowered to
+    /// `cap.min(self.link_words)` (a fault-injection bandwidth squeeze
+    /// can only shrink the budget, never grow it).
+    #[must_use]
+    pub fn with_link_words_capped(mut self, cap: u64) -> Self {
+        self.link_words = self.link_words.min(cap.max(1));
+        self
     }
 
     /// Validates one point-to-point send of `words` words from `src` to
@@ -68,6 +90,7 @@ impl SendRules {
         let words = words.max(1);
         if words > self.link_words {
             return Err(NetError::MessageTooLarge {
+                round: self.round,
                 src,
                 dst,
                 words,
@@ -76,6 +99,7 @@ impl SendRules {
         }
         if used + words > self.link_words {
             return Err(NetError::LinkBusy {
+                round: self.round,
                 src,
                 dst,
                 used,
@@ -137,6 +161,7 @@ mod tests {
             n,
             broadcast_only: false,
             link_words,
+            round: 0,
         }
     }
 
@@ -188,11 +213,41 @@ mod tests {
             n: 4,
             broadcast_only: true,
             link_words: 8,
+            round: 0,
         };
         assert!(matches!(
             r.validate(1, 2, 1, 0),
             Err(NetError::UnicastInBroadcastModel { node: 1 })
         ));
+    }
+
+    #[test]
+    fn budget_errors_name_the_round_and_link() {
+        let r = rules(4, 4).for_round(7);
+        match r.validate(0, 1, 5, 0) {
+            Err(NetError::MessageTooLarge {
+                round, src, dst, ..
+            }) => {
+                assert_eq!((round, src, dst), (7, 0, 1));
+            }
+            other => panic!("expected MessageTooLarge, got {other:?}"),
+        }
+        match r.validate(2, 3, 2, 3) {
+            Err(NetError::LinkBusy {
+                round, src, dst, ..
+            }) => {
+                assert_eq!((round, src, dst), (7, 2, 3));
+            }
+            other => panic!("expected LinkBusy, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn squeeze_cap_only_shrinks_and_floors_at_one() {
+        let r = rules(4, 8);
+        assert_eq!(r.with_link_words_capped(3).link_words, 3);
+        assert_eq!(r.with_link_words_capped(99).link_words, 8);
+        assert_eq!(r.with_link_words_capped(0).link_words, 1);
     }
 
     #[test]

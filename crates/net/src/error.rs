@@ -14,6 +14,8 @@ pub enum NetError {
     /// sender must fragment it across rounds or receivers (e.g. via
     /// routing) instead.
     MessageTooLarge {
+        /// The 0-based round of the offending send.
+        round: u64,
         /// Sender.
         src: usize,
         /// Receiver.
@@ -25,6 +27,8 @@ pub enum NetError {
     },
     /// The per-link budget for this round is already exhausted.
     LinkBusy {
+        /// The 0-based round of the offending send.
+        round: u64,
         /// Sender.
         src: usize,
         /// Receiver.
@@ -72,15 +76,17 @@ impl fmt::Display for NetError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             NetError::MessageTooLarge {
+                round,
                 src,
                 dst,
                 words,
                 budget,
             } => write!(
                 f,
-                "message of {words} words from {src} to {dst} exceeds the {budget}-word link budget"
+                "round {round}: message of {words} words on link {src}->{dst} exceeds the {budget}-word link budget"
             ),
             NetError::LinkBusy {
+                round,
                 src,
                 dst,
                 used,
@@ -88,7 +94,7 @@ impl fmt::Display for NetError {
                 budget,
             } => write!(
                 f,
-                "link {src}->{dst} budget exhausted: {used} used + {requested} requested > {budget}"
+                "round {round}: link {src}->{dst} budget exhausted: {used} used + {requested} requested > {budget}"
             ),
             NetError::BadDestination { src, dst, n } => {
                 write!(f, "node {src} addressed {dst} outside the {n}-clique")
@@ -122,12 +128,14 @@ mod tests {
     fn displays_are_informative() {
         let cases: Vec<NetError> = vec![
             NetError::MessageTooLarge {
+                round: 4,
                 src: 1,
                 dst: 2,
                 words: 9,
                 budget: 8,
             },
             NetError::LinkBusy {
+                round: 4,
                 src: 1,
                 dst: 2,
                 used: 8,

@@ -25,6 +25,7 @@ pub mod budget;
 pub mod config;
 pub mod counters;
 pub mod error;
+pub mod fault;
 pub mod net;
 pub mod ports;
 pub mod program;
@@ -34,7 +35,8 @@ pub use budget::{LinkUse, SendRules};
 pub use config::{Knowledge, NetConfig, DEFAULT_LINK_WORDS};
 pub use counters::{Cost, Counters};
 pub use error::NetError;
+pub use fault::{apply_faults, FaultDecision, FaultInjector, FaultOutcome, FaultRecord, NoFaults};
 pub use net::{CliqueNet, Envelope, Outbox};
 pub use ports::PortMap;
 pub use program::{run_program, NodeProgram};
-pub use wire::Wire;
+pub use wire::{decode_frame, encode_frame, Wire, WireError};

@@ -41,9 +41,10 @@ use crate::budget::{LinkUse, SendRules};
 use crate::config::{Knowledge, NetConfig};
 use crate::counters::{Cost, Counters};
 use crate::error::NetError;
+use crate::fault::{apply_faults, FaultInjector, FaultRecord};
 use crate::ports::PortMap;
 use crate::wire::Wire;
-use cc_trace::{Event, NullTracer, Tracer};
+use cc_trace::{Event, FaultKind, NullTracer, Tracer};
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 use std::collections::BTreeMap;
@@ -186,6 +187,16 @@ pub struct CliqueNet<M> {
     tracing: bool,
     /// `tracer.wants_timing()`, cached likewise; gates the clock reads.
     timing: bool,
+    /// Attached fault injector, if any (see `set_fault_injector`).
+    fault: Option<Box<dyn FaultInjector>>,
+    /// `fault.is_some()`, cached so the fault-free path costs one
+    /// predictable branch per round (the zero-overhead contract).
+    faulty: bool,
+    /// Messages deferred by a fault: delivery round → envelopes.
+    deferred: BTreeMap<u64, Vec<Envelope<M>>>,
+    /// Which nodes have been observed crashed (set when their crash
+    /// round executes; also gates the one-time `NodeCrash` event).
+    crashed_seen: Vec<bool>,
 }
 
 impl<M: Wire> CliqueNet<M> {
@@ -217,7 +228,35 @@ impl<M: Wire> CliqueNet<M> {
             tracer: Box::new(NullTracer),
             tracing: false,
             timing: false,
+            fault: None,
+            faulty: false,
+            deferred: BTreeMap::new(),
+            crashed_seen: vec![false; n],
         }
+    }
+
+    /// Attaches a [`FaultInjector`]; subsequent rounds pass every staged
+    /// message through it (after metering, before delivery) and consult
+    /// its crash and bandwidth-squeeze hooks. Resets the crash bookkeeping
+    /// so a fresh injector starts from an all-alive view.
+    pub fn set_fault_injector(&mut self, injector: Box<dyn FaultInjector>) {
+        self.fault = Some(injector);
+        self.faulty = true;
+        self.crashed_seen = vec![false; self.cfg.n];
+    }
+
+    /// Detaches and returns the current injector, restoring fault-free
+    /// execution. Already-deferred messages stay scheduled.
+    pub fn take_fault_injector(&mut self) -> Option<Box<dyn FaultInjector>> {
+        self.faulty = false;
+        self.fault.take()
+    }
+
+    /// Whether `node` has fail-stop crashed in a round that has already
+    /// executed. Drivers ([`run_program`](crate::run_program)) treat
+    /// crashed nodes as trivially done so protocols can still terminate.
+    pub fn is_crashed(&self, node: usize) -> bool {
+        self.crashed_seen.get(node).copied().unwrap_or(false)
     }
 
     /// Attaches a [`Tracer`] sink; subsequent rounds, scopes, sends, and
@@ -306,113 +345,17 @@ impl<M: Wire> CliqueNet<M> {
         self.ports.as_ref()
     }
 
-    /// Whether messages are in flight (sent last round, not yet delivered).
+    /// Whether messages are in flight (sent last round, not yet
+    /// delivered), including fault-deferred messages scheduled for
+    /// later rounds.
     pub fn has_pending(&self) -> bool {
-        self.inboxes.iter().any(|q| !q.is_empty())
+        self.inboxes.iter().any(|q| !q.is_empty()) || self.deferred.values().any(|q| !q.is_empty())
     }
 
-    /// Number of messages in flight.
+    /// Number of messages in flight (including fault-deferred ones).
     pub fn pending_count(&self) -> usize {
-        self.inboxes.iter().map(Vec::len).sum()
-    }
-
-    /// Executes one synchronous round: delivers last round's messages and
-    /// collects this round's sends.
-    ///
-    /// The closure is invoked once per node in ID order with the node's
-    /// inbox (sorted by sender for determinism) and an [`Outbox`].
-    ///
-    /// # Errors
-    ///
-    /// Propagates the first send violation ([`NetError`]) of any node; the
-    /// round is then aborted (counters keep the rounds/messages recorded up
-    /// to the failure, which only matters for diagnostics).
-    pub fn step<F>(&mut self, mut f: F) -> Result<(), NetError>
-    where
-        F: FnMut(usize, &[Envelope<M>], &mut Outbox<'_, M>),
-    {
-        if let Some(cap) = self.cfg.round_cap {
-            if self.counters.total().rounds >= cap {
-                return Err(NetError::RoundCapExceeded { cap });
-            }
-        }
-        let n = self.cfg.n;
-        let round = self.counters.total().rounds;
-        let before = self.counters.total();
-        if self.tracing {
-            self.tracer.record(Event::RoundStart { round });
-        }
-        let delivered = std::mem::replace(&mut self.inboxes, (0..n).map(|_| Vec::new()).collect());
-        let mut next: Vec<Vec<Envelope<M>>> = (0..n).map(|_| Vec::new()).collect();
-        let rules = SendRules::from_config(&self.cfg);
-        let mut links = LinkUse::new(n);
-        // (src, dst) → (count, words), aggregated across the whole round
-        // so the batch stream is a deterministic function of the sends
-        // alone (same normalization the runtime driver applies).
-        let mut batches: BTreeMap<(u32, u32), (u32, u64)> = BTreeMap::new();
-        for (node, inbox) in delivered.iter().enumerate() {
-            let mut outbox = Outbox::assemble(node, rules, &mut links);
-            let t0 = if self.timing {
-                Some(Instant::now())
-            } else {
-                None
-            };
-            f(node, inbox, &mut outbox);
-            if let Some(t0) = t0 {
-                self.tracer.record(Event::NodeCompute {
-                    round,
-                    node: node as u32,
-                    nanos: t0.elapsed().as_nanos() as u64,
-                });
-            }
-            let (staged, error) = outbox.finish();
-            if let Some(e) = error {
-                return Err(e);
-            }
-            links.reset();
-            for env in staged {
-                let words = env.msg.words().max(1);
-                self.counters.add_message(words, self.word_bits);
-                if self.tracing {
-                    let slot = batches
-                        .entry((env.src as u32, env.dst as u32))
-                        .or_insert((0, 0));
-                    slot.0 += 1;
-                    slot.1 += words;
-                }
-                if self.cfg.record_transcript {
-                    self.transcript.push((
-                        self.counters.total().rounds,
-                        env.src as u32,
-                        env.dst as u32,
-                    ));
-                }
-                next[env.dst].push(env);
-            }
-        }
-        for q in &mut next {
-            q.sort_by_key(|e| e.src);
-        }
-        self.inboxes = next;
-        self.counters.add_round();
-        if self.tracing {
-            for ((src, dst), (count, words)) in batches {
-                self.tracer.record(Event::MessageBatch {
-                    round,
-                    src,
-                    dst,
-                    count,
-                    words,
-                });
-            }
-            let after = self.counters.total();
-            self.tracer.record(Event::RoundEnd {
-                round,
-                messages: after.messages - before.messages,
-                words: after.words - before.words,
-            });
-        }
-        Ok(())
+        self.inboxes.iter().map(Vec::len).sum::<usize>()
+            + self.deferred.values().map(Vec::len).sum::<usize>()
     }
 
     /// Advances the round counter by `rounds` without executing anything —
@@ -437,6 +380,177 @@ impl<M: Wire> CliqueNet<M> {
             });
         }
         self.counters.add_rounds(rounds);
+        Ok(())
+    }
+}
+
+impl<M: Wire + Clone> CliqueNet<M> {
+    /// Executes one synchronous round: delivers last round's messages and
+    /// collects this round's sends.
+    ///
+    /// The closure is invoked once per node in ID order with the node's
+    /// inbox (sorted by sender for determinism) and an [`Outbox`]. With a
+    /// [`FaultInjector`] attached, crashed nodes are skipped (their inbox
+    /// is discarded and their closure never runs) and every staged
+    /// message passes through the injector after metering — see
+    /// [`crate::fault`] for the exact ordering contract.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first send violation ([`NetError`]) of any node; the
+    /// round is then aborted (counters keep the rounds/messages recorded up
+    /// to the failure, which only matters for diagnostics).
+    pub fn step<F>(&mut self, mut f: F) -> Result<(), NetError>
+    where
+        F: FnMut(usize, &[Envelope<M>], &mut Outbox<'_, M>),
+    {
+        if let Some(cap) = self.cfg.round_cap {
+            if self.counters.total().rounds >= cap {
+                return Err(NetError::RoundCapExceeded { cap });
+            }
+        }
+        let n = self.cfg.n;
+        let round = self.counters.total().rounds;
+        let before = self.counters.total();
+        if self.tracing {
+            self.tracer.record(Event::RoundStart { round });
+        }
+        // Fault pre-pass: effective rules (squeeze), newly crashed nodes.
+        let mut rules = SendRules::from_config(&self.cfg).for_round(round);
+        let mut crashed_now: Vec<bool> = Vec::new();
+        if self.faulty {
+            let inj = self.fault.as_deref().expect("faulty implies injector");
+            if let Some(cap) = inj.link_words(round) {
+                if cap < self.cfg.link_words {
+                    rules = rules.with_link_words_capped(cap);
+                    if self.tracing {
+                        self.tracer.record(Event::Fault {
+                            round,
+                            kind: FaultKind::Squeeze,
+                            src: 0,
+                            dst: 0,
+                            index: 0,
+                            info: rules.link_words,
+                        });
+                    }
+                }
+            }
+            crashed_now = (0..n).map(|v| inj.crashed(round, v)).collect();
+            for (v, seen) in self.crashed_seen.iter_mut().enumerate() {
+                if crashed_now[v] && !*seen {
+                    *seen = true;
+                    if self.tracing {
+                        self.tracer.record(Event::NodeCrash {
+                            round,
+                            node: v as u32,
+                        });
+                    }
+                }
+            }
+        }
+        let mut delivered =
+            std::mem::replace(&mut self.inboxes, (0..n).map(|_| Vec::new()).collect());
+        // Fault-deferred messages due this round join the regular
+        // deliveries; re-sorting keeps the per-sender inbox order stable.
+        if self.faulty {
+            if let Some(late) = self.deferred.remove(&round) {
+                for env in late {
+                    delivered[env.dst].push(env);
+                }
+                for q in &mut delivered {
+                    q.sort_by_key(|e| e.src);
+                }
+            }
+        }
+        let mut next: Vec<Vec<Envelope<M>>> = (0..n).map(|_| Vec::new()).collect();
+        let mut links = LinkUse::new(n);
+        // (src, dst) → (count, words), aggregated across the whole round
+        // so the batch stream is a deterministic function of the sends
+        // alone (same normalization the runtime driver applies). Batches
+        // are pre-fault: the send happened and was charged.
+        let mut batches: BTreeMap<(u32, u32), (u32, u64)> = BTreeMap::new();
+        let mut fault_records: Vec<FaultRecord> = Vec::new();
+        for (node, inbox) in delivered.iter().enumerate() {
+            if self.faulty && crashed_now[node] {
+                // Fail-stop: the node computes nothing and sends nothing;
+                // messages addressed to it die in its discarded inbox.
+                continue;
+            }
+            let mut outbox = Outbox::assemble(node, rules, &mut links);
+            let t0 = if self.timing {
+                Some(Instant::now())
+            } else {
+                None
+            };
+            f(node, inbox, &mut outbox);
+            if let Some(t0) = t0 {
+                self.tracer.record(Event::NodeCompute {
+                    round,
+                    node: node as u32,
+                    nanos: t0.elapsed().as_nanos() as u64,
+                });
+            }
+            let (staged, error) = outbox.finish();
+            if let Some(e) = error {
+                return Err(e);
+            }
+            links.reset();
+            for env in &staged {
+                let words = env.msg.words().max(1);
+                self.counters.add_message(words, self.word_bits);
+                if self.tracing {
+                    let slot = batches
+                        .entry((env.src as u32, env.dst as u32))
+                        .or_insert((0, 0));
+                    slot.0 += 1;
+                    slot.1 += words;
+                }
+                if self.cfg.record_transcript {
+                    self.transcript
+                        .push((round, env.src as u32, env.dst as u32));
+                }
+            }
+            if self.faulty {
+                let inj = self.fault.as_deref().expect("faulty implies injector");
+                let outcome = apply_faults(inj, round, staged);
+                for env in outcome.deliver {
+                    next[env.dst].push(env);
+                }
+                for (due, env) in outcome.deferred {
+                    self.deferred.entry(due).or_default().push(env);
+                }
+                fault_records.extend(outcome.records);
+            } else {
+                for env in staged {
+                    next[env.dst].push(env);
+                }
+            }
+        }
+        for q in &mut next {
+            q.sort_by_key(|e| e.src);
+        }
+        self.inboxes = next;
+        self.counters.add_round();
+        if self.tracing {
+            for ((src, dst), (count, words)) in batches {
+                self.tracer.record(Event::MessageBatch {
+                    round,
+                    src,
+                    dst,
+                    count,
+                    words,
+                });
+            }
+            for rec in &fault_records {
+                self.tracer.record(rec.to_event());
+            }
+            let after = self.counters.total();
+            self.tracer.record(Event::RoundEnd {
+                round,
+                messages: after.messages - before.messages,
+                words: after.words - before.words,
+            });
+        }
         Ok(())
     }
 }
@@ -844,6 +958,258 @@ mod trace_tests {
             rec.model_events()
         };
         assert_eq!(run(), run());
+    }
+}
+
+#[cfg(test)]
+mod fault_tests {
+    use super::*;
+    use crate::fault::{FaultDecision, FaultInjector};
+    use cc_trace::RecordingTracer;
+
+    /// Drops every message addressed to `dst_drop`.
+    struct DropTo(usize);
+    impl FaultInjector for DropTo {
+        fn decision(&self, _r: u64, _s: usize, dst: usize, _i: u32) -> FaultDecision {
+            if dst == self.0 {
+                FaultDecision::Drop
+            } else {
+                FaultDecision::Deliver
+            }
+        }
+    }
+
+    #[test]
+    fn dropped_messages_are_metered_but_not_delivered() {
+        let mut nt: CliqueNet<u64> = CliqueNet::new(NetConfig::kt1(4).with_seed(1));
+        nt.set_fault_injector(Box::new(DropTo(2)));
+        nt.step(|node, _, out| {
+            if node == 0 {
+                out.send(1, 10).unwrap();
+                out.send(2, 20).unwrap();
+            }
+        })
+        .unwrap();
+        assert_eq!(nt.cost().messages, 2, "the dropped send was still sent");
+        let mut seen = Vec::new();
+        nt.step(|node, inbox, _| {
+            for e in inbox {
+                seen.push((node, e.msg));
+            }
+        })
+        .unwrap();
+        assert_eq!(seen, vec![(1, 10)], "node 2's message was dropped");
+    }
+
+    #[test]
+    fn duplicates_arrive_twice_and_corruption_flips_the_payload() {
+        struct Script;
+        impl FaultInjector for Script {
+            fn decision(&self, _r: u64, _s: usize, dst: usize, _i: u32) -> FaultDecision {
+                match dst {
+                    1 => FaultDecision::Duplicate,
+                    2 => FaultDecision::Corrupt { bit: 0 },
+                    _ => FaultDecision::Deliver,
+                }
+            }
+        }
+        let mut nt: CliqueNet<u64> = CliqueNet::new(NetConfig::kt1(4).with_seed(1));
+        nt.set_fault_injector(Box::new(Script));
+        nt.step(|node, _, out| {
+            if node == 0 {
+                out.send(1, 10).unwrap();
+                out.send(2, 20).unwrap();
+            }
+        })
+        .unwrap();
+        let mut got = vec![Vec::new(); 4];
+        nt.step(|node, inbox, _| {
+            got[node] = inbox.iter().map(|e| e.msg).collect();
+        })
+        .unwrap();
+        assert_eq!(got[1], vec![10, 10]);
+        assert_eq!(got[2], vec![21], "bit 0 of 20 flipped");
+    }
+
+    /// Defers everything by 2 extra rounds.
+    struct DeferAll;
+    impl FaultInjector for DeferAll {
+        fn decision(&self, _r: u64, _s: usize, _d: usize, _i: u32) -> FaultDecision {
+            FaultDecision::Defer { rounds: 2 }
+        }
+    }
+
+    #[test]
+    fn deferred_messages_count_as_pending_and_arrive_late() {
+        let mut nt: CliqueNet<u64> = CliqueNet::new(NetConfig::kt1(3).with_seed(1));
+        nt.set_fault_injector(Box::new(DeferAll));
+        nt.step(|node, _, out| {
+            if node == 0 {
+                out.send(1, 7).unwrap();
+            }
+        })
+        .unwrap();
+        assert!(nt.has_pending());
+        assert_eq!(nt.pending_count(), 1);
+        assert!(
+            nt.fast_forward(5).is_err(),
+            "deferred messages block fast-forward"
+        );
+        let mut arrivals = Vec::new();
+        for round in 1..=3 {
+            nt.step(|node, inbox, _| {
+                if node == 1 && !inbox.is_empty() {
+                    arrivals.push((round, inbox[0].msg));
+                }
+            })
+            .unwrap();
+        }
+        assert_eq!(
+            arrivals,
+            vec![(3, 7)],
+            "sent in round 0, deferred 2 → arrives in round 3"
+        );
+        assert!(!nt.has_pending());
+    }
+
+    /// Node `0` crashes at round `at`.
+    struct CrashAt(u64);
+    impl FaultInjector for CrashAt {
+        fn crashed(&self, round: u64, node: usize) -> bool {
+            node == 0 && round >= self.0
+        }
+    }
+
+    #[test]
+    fn crashed_nodes_stop_computing_and_their_inbox_dies() {
+        let mut nt: CliqueNet<u64> = CliqueNet::new(NetConfig::kt1(3).with_seed(1));
+        nt.set_fault_injector(Box::new(CrashAt(1)));
+        let mut invocations = Vec::new();
+        nt.step(|node, _, out| {
+            invocations.push((0u64, node));
+            if node == 1 {
+                out.send(0, 9).unwrap(); // will be delivered into a dead inbox
+            }
+        })
+        .unwrap();
+        assert!(!nt.is_crashed(0), "crash round has not executed yet");
+        nt.step(|node, inbox, _| {
+            invocations.push((1, node));
+            assert!(inbox.is_empty(), "node {node} got {inbox:?}");
+        })
+        .unwrap();
+        assert!(nt.is_crashed(0));
+        assert!(!nt.is_crashed(1));
+        assert!(
+            !invocations.contains(&(1, 0)),
+            "crashed node's closure must not run"
+        );
+        assert!(!nt.has_pending(), "the dead inbox was discarded");
+    }
+
+    /// Squeezes the link budget to 1 word in round 0 only.
+    struct SqueezeRound0;
+    impl FaultInjector for SqueezeRound0 {
+        fn link_words(&self, round: u64) -> Option<u64> {
+            (round == 0).then_some(1)
+        }
+    }
+
+    #[test]
+    fn bandwidth_squeeze_tightens_the_budget_for_its_rounds_only() {
+        let mut nt: CliqueNet<u64> = CliqueNet::new(NetConfig::kt1(3).with_link_words(4));
+        nt.set_fault_injector(Box::new(SqueezeRound0));
+        let err = nt
+            .step(|node, _, out| {
+                if node == 0 {
+                    let _ = out.send(1, 1);
+                    let _ = out.send(1, 2); // second word exceeds the squeezed budget
+                }
+            })
+            .unwrap_err();
+        assert!(matches!(err, NetError::LinkBusy { round: 0, .. }));
+        let mut nt: CliqueNet<u64> = CliqueNet::new(NetConfig::kt1(3).with_link_words(4));
+        nt.set_fault_injector(Box::new(SqueezeRound0));
+        nt.step(|_, _, _| {}).unwrap();
+        nt.step(|node, _, out| {
+            if node == 0 {
+                out.send(1, 1).unwrap();
+                out.send(1, 2).unwrap(); // full budget is back in round 1
+            }
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn fault_events_follow_batches_and_crashes_follow_round_start() {
+        let mut nt: CliqueNet<u64> = CliqueNet::new(NetConfig::kt1(3).with_seed(1));
+        let rec = RecordingTracer::new();
+        nt.set_tracer(Box::new(rec.clone()));
+        struct Mixed;
+        impl FaultInjector for Mixed {
+            fn decision(&self, _r: u64, _s: usize, dst: usize, _i: u32) -> FaultDecision {
+                if dst == 2 {
+                    FaultDecision::Drop
+                } else {
+                    FaultDecision::Deliver
+                }
+            }
+            fn crashed(&self, round: u64, node: usize) -> bool {
+                node == 2 && round >= 1
+            }
+            fn link_words(&self, round: u64) -> Option<u64> {
+                (round == 0).then_some(2)
+            }
+        }
+        nt.set_fault_injector(Box::new(Mixed));
+        nt.step(|node, _, out| {
+            if node == 0 {
+                out.send(1, 1).unwrap();
+                out.send(2, 2).unwrap();
+            }
+        })
+        .unwrap();
+        nt.step(|_, _, _| {}).unwrap();
+        let kinds: Vec<String> = rec
+            .model_events()
+            .iter()
+            .map(|e| e.kind().to_string())
+            .collect();
+        assert_eq!(
+            kinds,
+            vec![
+                "round_start", // round 0
+                "fault",       // squeeze
+                "message_batch",
+                "message_batch",
+                "fault", // drop of 0→2
+                "round_end",
+                "round_start", // round 1
+                "node_crash",  // node 2 crashes
+                "round_end",
+            ]
+        );
+    }
+
+    #[test]
+    fn detaching_the_injector_restores_clean_execution() {
+        let mut nt: CliqueNet<u64> = CliqueNet::new(NetConfig::kt1(3).with_seed(1));
+        nt.set_fault_injector(Box::new(DropTo(1)));
+        assert!(nt.take_fault_injector().is_some());
+        nt.step(|node, _, out| {
+            if node == 0 {
+                out.send(1, 5).unwrap();
+            }
+        })
+        .unwrap();
+        let mut got = 0;
+        nt.step(|node, inbox, _| {
+            if node == 1 {
+                got = inbox.len();
+            }
+        })
+        .unwrap();
+        assert_eq!(got, 1, "no injector, no drops");
     }
 }
 

@@ -54,7 +54,10 @@ pub fn run_program<P: NodeProgram>(
     net: &mut CliqueNet<P::Msg>,
     mut programs: Vec<P>,
     max_rounds: u64,
-) -> Result<Vec<P>, NetError> {
+) -> Result<Vec<P>, NetError>
+where
+    P::Msg: Clone,
+{
     let n = net.n();
     assert_eq!(programs.len(), n, "one program per node");
     let mut done = vec![false; n];
@@ -63,7 +66,12 @@ pub fn run_program<P: NodeProgram>(
     })?;
     let mut rounds = 1u64;
     loop {
-        let all_done = done.iter().all(|&d| d);
+        // A fail-stop-crashed node can never report done; counting it as
+        // done keeps fault-injected protocols terminating.
+        let all_done = done
+            .iter()
+            .enumerate()
+            .all(|(v, &d)| d || net.is_crashed(v));
         if all_done && !net.has_pending() {
             return Ok(programs);
         }

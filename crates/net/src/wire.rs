@@ -1,20 +1,50 @@
-//! Message-size accounting.
+//! Message-size accounting, payload corruption, and the checked frame
+//! codec.
 //!
 //! Every message type an algorithm sends through the simulator must say how
 //! many `⌈log₂ n⌉`-bit words it occupies. The simulator charges this size
 //! against the per-link budget and the global word/bit counters; algorithms
 //! therefore cannot "cheat" by stuffing large payloads into one message.
+//!
+//! Two fault-injection hooks live alongside [`Wire`]:
+//!
+//! * [`Wire::corrupt_bit`] lets the chaos layer flip a deterministic bit
+//!   in an in-flight payload (types that cannot express a flip report so
+//!   and the fault degrades to a drop);
+//! * [`encode_frame`] / [`decode_frame`] are a checksummed word-frame
+//!   codec whose decoder returns a typed [`WireError`] on *any*
+//!   single-word corruption — never a panic, and never a silently wrong
+//!   payload (the checksum fold is a bijection in the accumulator, so a
+//!   change to any one word always changes the checksum).
+
+use std::error::Error;
+use std::fmt;
 
 /// Types that can cross a clique link.
 pub trait Wire {
     /// Size in words (1 word = `⌈log₂ n⌉` bits). Must be ≥ 1: even an empty
     /// signal occupies one message slot of the model.
     fn words(&self) -> u64;
+
+    /// Flips one deterministic bit of the payload, selected by `bit`
+    /// (reduced modulo the payload's capacity). Returns `true` if a flip
+    /// happened; types with no mutable bits (e.g. `()`) return `false`,
+    /// in which case the chaos layer records the corruption attempt but
+    /// drops the message instead.
+    fn corrupt_bit(&mut self, bit: u64) -> bool {
+        let _ = bit;
+        false
+    }
 }
 
 impl Wire for u64 {
     fn words(&self) -> u64 {
         1
+    }
+
+    fn corrupt_bit(&mut self, bit: u64) -> bool {
+        *self ^= 1u64 << (bit % 64);
+        true
     }
 }
 
@@ -22,11 +52,21 @@ impl Wire for u32 {
     fn words(&self) -> u64 {
         1
     }
+
+    fn corrupt_bit(&mut self, bit: u64) -> bool {
+        *self ^= 1u32 << (bit % 32);
+        true
+    }
 }
 
 impl Wire for usize {
     fn words(&self) -> u64 {
         1
+    }
+
+    fn corrupt_bit(&mut self, bit: u64) -> bool {
+        *self ^= 1usize << (bit % usize::BITS as u64);
+        true
     }
 }
 
@@ -40,11 +80,26 @@ impl Wire for (u64, u64) {
     fn words(&self) -> u64 {
         2
     }
+
+    fn corrupt_bit(&mut self, bit: u64) -> bool {
+        match (bit / 64) % 2 {
+            0 => self.0.corrupt_bit(bit),
+            _ => self.1.corrupt_bit(bit),
+        }
+    }
 }
 
 impl Wire for (u64, u64, u64) {
     fn words(&self) -> u64 {
         3
+    }
+
+    fn corrupt_bit(&mut self, bit: u64) -> bool {
+        match (bit / 64) % 3 {
+            0 => self.0.corrupt_bit(bit),
+            1 => self.1.corrupt_bit(bit),
+            _ => self.2.corrupt_bit(bit),
+        }
     }
 }
 
@@ -52,12 +107,169 @@ impl<T: Wire> Wire for Vec<T> {
     fn words(&self) -> u64 {
         self.iter().map(Wire::words).sum::<u64>().max(1)
     }
+
+    fn corrupt_bit(&mut self, bit: u64) -> bool {
+        if self.is_empty() {
+            return false;
+        }
+        let idx = ((bit >> 6) % self.len() as u64) as usize;
+        self[idx].corrupt_bit(bit)
+    }
 }
 
 impl<T: Wire + ?Sized> Wire for &T {
     fn words(&self) -> u64 {
         (**self).words()
     }
+}
+
+/// A malformed or corrupted frame, reported by [`decode_frame`].
+///
+/// Decoding untrusted words must never panic: every corruption a single
+/// bit flip can produce maps to one of these variants.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum WireError {
+    /// Fewer words than the header demands.
+    Truncated {
+        /// Words present.
+        have: usize,
+        /// Words the frame claims to need (header + payload).
+        need: u64,
+    },
+    /// More words than the header demands (frames are exact-length).
+    TrailingWords {
+        /// Words present.
+        have: usize,
+        /// Words the frame claims to need (header + payload).
+        need: u64,
+    },
+    /// The length header is beyond any frame this codec will produce.
+    LengthOverflow {
+        /// The claimed payload length.
+        len: u64,
+    },
+    /// The payload checksum does not match the header.
+    ChecksumMismatch {
+        /// Checksum recorded in the frame header.
+        expected: u64,
+        /// Checksum recomputed from the payload.
+        found: u64,
+    },
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::Truncated { have, need } => {
+                write!(f, "truncated frame: have {have} words, need {need}")
+            }
+            WireError::TrailingWords { have, need } => {
+                write!(f, "trailing words in frame: have {have}, need {need}")
+            }
+            WireError::LengthOverflow { len } => {
+                write!(f, "frame length header {len} overflows the codec limit")
+            }
+            WireError::ChecksumMismatch { expected, found } => write!(
+                f,
+                "frame checksum mismatch: header says {expected:#018x}, payload hashes to {found:#018x}"
+            ),
+        }
+    }
+}
+
+impl Error for WireError {}
+
+/// Largest payload (in words) [`encode_frame`] will produce and
+/// [`decode_frame`] will accept. Far above any congested-clique message
+/// (budgets are `O(log n)` words); its job is to bound allocation when a
+/// bit flip lands in the length header.
+pub const MAX_FRAME_WORDS: u64 = 1 << 32;
+
+/// SplitMix64 finalizer: a bijection on `u64` (constant add, then three
+/// xorshift-multiply rounds, each individually invertible).
+fn mix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Checksum of a payload: fold `acc = mix64(acc ⊕ (wordᵢ + i))`, seeded
+/// with `mix64(len)`.
+///
+/// Each fold step is a bijection in `acc` (for fixed word) and injective
+/// in the word (for fixed `acc`), so changing any single word — in
+/// particular flipping any single bit — always changes the checksum.
+fn frame_checksum(payload: &[u64]) -> u64 {
+    let mut acc = mix64(payload.len() as u64);
+    for (i, w) in payload.iter().enumerate() {
+        acc = mix64(acc ^ w.wrapping_add(i as u64));
+    }
+    acc
+}
+
+/// Encodes `payload` as a self-describing frame:
+/// `[len, checksum, payload...]`.
+///
+/// # Panics
+///
+/// If `payload` exceeds [`MAX_FRAME_WORDS`] words (not reachable through
+/// budgeted sends).
+pub fn encode_frame(payload: &[u64]) -> Vec<u64> {
+    assert!(
+        (payload.len() as u64) < MAX_FRAME_WORDS,
+        "frame payload of {} words exceeds MAX_FRAME_WORDS",
+        payload.len()
+    );
+    let mut out = Vec::with_capacity(payload.len() + 2);
+    out.push(payload.len() as u64);
+    out.push(frame_checksum(payload));
+    out.extend_from_slice(payload);
+    out
+}
+
+/// Decodes a frame produced by [`encode_frame`], verifying length and
+/// checksum. Strict: the slice must be exactly `len + 2` words.
+///
+/// # Errors
+///
+/// A typed [`WireError`] on any malformation; never panics, for any
+/// input. Any single-bit corruption of a well-formed frame is detected:
+/// a flip in the length header fails the length check, a flip in the
+/// checksum or payload fails the (bijective-fold) checksum check.
+pub fn decode_frame(frame: &[u64]) -> Result<Vec<u64>, WireError> {
+    if frame.len() < 2 {
+        return Err(WireError::Truncated {
+            have: frame.len(),
+            need: 2,
+        });
+    }
+    let len = frame[0];
+    if len >= MAX_FRAME_WORDS {
+        return Err(WireError::LengthOverflow { len });
+    }
+    let need = len + 2;
+    if (frame.len() as u64) < need {
+        return Err(WireError::Truncated {
+            have: frame.len(),
+            need,
+        });
+    }
+    if (frame.len() as u64) > need {
+        return Err(WireError::TrailingWords {
+            have: frame.len(),
+            need,
+        });
+    }
+    let payload = &frame[2..];
+    let found = frame_checksum(payload);
+    if found != frame[1] {
+        return Err(WireError::ChecksumMismatch {
+            expected: frame[1],
+            found,
+        });
+    }
+    Ok(payload.to_vec())
 }
 
 #[cfg(test)]
@@ -88,5 +300,131 @@ mod tests {
     fn reference_delegates() {
         let v = vec![(1u64, 2u64); 4];
         assert_eq!(v.words(), 8);
+    }
+
+    #[test]
+    fn corrupt_bit_flips_exactly_one_bit_of_scalars() {
+        let mut x = 0u64;
+        assert!(x.corrupt_bit(7));
+        assert_eq!(x, 1 << 7);
+        assert!(x.corrupt_bit(71), "bit index reduces mod 64");
+        assert_eq!(x, 0);
+
+        let mut y = 0u32;
+        assert!(y.corrupt_bit(33));
+        assert_eq!(y, 1 << 1);
+
+        let mut u = 0usize;
+        assert!(u.corrupt_bit(3));
+        assert_eq!(u, 8);
+    }
+
+    #[test]
+    fn corrupt_bit_on_unflippable_payloads_reports_false() {
+        assert!(!().corrupt_bit(5));
+        let mut empty: Vec<u64> = Vec::new();
+        assert!(!empty.corrupt_bit(5));
+    }
+
+    #[test]
+    fn corrupt_bit_targets_one_tuple_field_or_vec_element() {
+        let mut t = (0u64, 0u64, 0u64);
+        assert!(t.corrupt_bit(64 + 3)); // field (1/1)%3 = 1, bit 3
+        assert_eq!(t, (0, 8, 0));
+
+        let mut v = vec![0u64; 4];
+        assert!(v.corrupt_bit(2 * 64 + 5)); // element 2, bit 5
+        assert_eq!(v, vec![0, 0, 32, 0]);
+    }
+
+    #[test]
+    fn frame_round_trips_and_rejects_malformed_shapes() {
+        let payload = vec![3u64, 1, 4, 1, 5];
+        let frame = encode_frame(&payload);
+        assert_eq!(frame.len(), payload.len() + 2);
+        assert_eq!(decode_frame(&frame), Ok(payload.clone()));
+        assert_eq!(decode_frame(&encode_frame(&[])), Ok(vec![]));
+
+        assert!(matches!(
+            decode_frame(&[]),
+            Err(WireError::Truncated { have: 0, need: 2 })
+        ));
+        assert!(matches!(
+            decode_frame(&frame[..4]),
+            Err(WireError::Truncated { .. })
+        ));
+        let mut long = frame.clone();
+        long.push(0);
+        assert!(matches!(
+            decode_frame(&long),
+            Err(WireError::TrailingWords { .. })
+        ));
+        assert!(matches!(
+            decode_frame(&[u64::MAX, 0]),
+            Err(WireError::LengthOverflow { .. })
+        ));
+        let mut bad = frame;
+        bad[1] ^= 1;
+        assert!(matches!(
+            decode_frame(&bad),
+            Err(WireError::ChecksumMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn wire_error_displays_are_informative() {
+        let cases = [
+            WireError::Truncated { have: 1, need: 5 },
+            WireError::TrailingWords { have: 9, need: 5 },
+            WireError::LengthOverflow { len: u64::MAX },
+            WireError::ChecksumMismatch {
+                expected: 1,
+                found: 2,
+            },
+        ];
+        for e in cases {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #[test]
+        fn frame_codec_round_trips(payload in proptest::collection::vec(any::<u64>(), 0..32)) {
+            let frame = encode_frame(&payload);
+            prop_assert_eq!(decode_frame(&frame), Ok(payload));
+        }
+
+        #[test]
+        fn any_single_bit_flip_is_detected_not_panicking(
+            payload in proptest::collection::vec(any::<u64>(), 0..32),
+            word_pick in any::<u64>(),
+            bit in 0u64..64,
+        ) {
+            let mut frame = encode_frame(&payload);
+            let idx = (word_pick % frame.len() as u64) as usize;
+            frame[idx] ^= 1u64 << bit;
+            prop_assert!(
+                decode_frame(&frame).is_err(),
+                "flip of bit {} in word {} went undetected",
+                bit,
+                idx
+            );
+        }
+
+        #[test]
+        fn corrupt_bit_changes_vec_payloads(
+            payload in proptest::collection::vec(any::<u64>(), 1..16),
+            bit in any::<u64>(),
+        ) {
+            let mut corrupted = payload.clone();
+            prop_assert!(corrupted.corrupt_bit(bit));
+            prop_assert_ne!(corrupted, payload);
+        }
     }
 }

@@ -95,6 +95,7 @@ fn route_inner(
         let w = wire_words(&p);
         if w > link_words {
             return Err(NetError::MessageTooLarge {
+                round: net.cost().rounds,
                 src: p.src,
                 dst: p.dst,
                 words: w,

@@ -7,6 +7,7 @@
 
 use crate::rng::node_round_rng;
 use cc_net::budget::{LinkUse, SendRules};
+use cc_net::fault::{FaultInjector, FaultRecord};
 use cc_net::{Cost, Counters, Envelope, NetConfig, NetError, Outbox, Wire};
 use cc_trace::SpanTiming;
 use rand_chacha::ChaCha8Rng;
@@ -132,6 +133,20 @@ pub struct RoundOutput<M> {
     /// model-event comparisons (the serial engine reports one span
     /// covering all nodes; the parallel engine one per worker).
     pub worker_spans: Vec<SpanTiming>,
+    /// Faults injected this round, in `(node, send-index)` order (empty
+    /// without an injector). The driver emits these as
+    /// [`cc_trace::Event::Fault`]s after the round's batches.
+    pub faults: Vec<FaultRecord>,
+    /// Fault-deferred envelopes: `(delivery_round, env)`, in `(node,
+    /// send-index)` order. The driver owns the cross-round schedule.
+    pub deferred: Vec<(u64, Envelope<M>)>,
+    /// Pre-fault `(src, dst) → (count, words)` batch aggregation, sorted
+    /// by key. `Some` only when an injector is active: `inboxes` are then
+    /// post-fault, so the driver cannot reconstruct the *sent* batches
+    /// (which is what [`cc_trace::Event::MessageBatch`] reports and what
+    /// [`cc_net::CliqueNet::step`] emits) from them.
+    #[allow(clippy::type_complexity)]
+    pub batches: Option<Vec<((u32, u32), (u32, u64))>>,
 }
 
 /// An engine that can execute one synchronous round.
@@ -148,11 +163,16 @@ pub trait Backend {
     ///
     /// `delivered[v]` is node `v`'s inbox for this round; `done[v]` is
     /// updated from [`Program::round`] return values. `round` is the
-    /// number of rounds completed before this one.
+    /// number of rounds completed before this one. With `fault` present,
+    /// crashed nodes are skipped (and marked done so the driver can
+    /// terminate), the round's link budget honors any squeeze, and every
+    /// staged message passes through [`cc_net::fault::apply_faults`]
+    /// after metering.
     ///
     /// # Errors
     ///
     /// The first send violation by the lowest-ID offending node.
+    #[allow(clippy::too_many_arguments)] // one seam for engine parity; bundling would obscure it
     fn execute<P: Program>(
         &mut self,
         cfg: &NetConfig,
@@ -161,7 +181,23 @@ pub trait Backend {
         programs: &mut [P],
         delivered: &[Vec<Envelope<P::Msg>>],
         done: &mut [bool],
+        fault: Option<&dyn FaultInjector>,
     ) -> Result<RoundOutput<P::Msg>, NetError>;
+}
+
+/// The effective send rules for one round: config-derived, round-stamped,
+/// and squeezed if the injector says so — shared by both backends and
+/// matching what [`cc_net::CliqueNet::step`] computes.
+pub(crate) fn round_rules(
+    cfg: &NetConfig,
+    round: u64,
+    fault: Option<&dyn FaultInjector>,
+) -> SendRules {
+    let mut rules = SendRules::from_config(cfg).for_round(round);
+    if let Some(cap) = fault.and_then(|inj| inj.link_words(round)) {
+        rules = rules.with_link_words_capped(cap);
+    }
+    rules
 }
 
 /// Runs one node's callback and stages its sends — the single code path
@@ -169,10 +205,12 @@ pub trait Backend {
 ///
 /// Returns the staged envelopes, the first latched violation, and whether
 /// the node reported termination.
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn run_node<P: Program>(
     program: &mut P,
     node: usize,
     cfg: &NetConfig,
+    rules: SendRules,
     links: &mut LinkUse,
     round: u64,
     phase: Phase,
@@ -183,7 +221,7 @@ pub(crate) fn run_node<P: Program>(
         n: cfg.n,
         round,
         seed: cfg.seed,
-        outbox: Outbox::assemble(node, SendRules::from_config(cfg), links),
+        outbox: Outbox::assemble(node, rules, links),
         rng: None,
     };
     let done = match phase {

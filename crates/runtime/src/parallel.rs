@@ -21,11 +21,13 @@
 //! because a node's behavior in a round cannot depend on higher-ID nodes'
 //! sends of the *same* round.
 
-use crate::backend::{meter, run_node, Backend, Phase, Program, RoundOutput};
+use crate::backend::{meter, round_rules, run_node, Backend, Phase, Program, RoundOutput};
 use crate::serial::SerialBackend;
 use cc_net::budget::LinkUse;
-use cc_net::{Cost, Counters, Envelope, NetConfig, NetError};
+use cc_net::fault::{apply_faults, FaultInjector, FaultRecord};
+use cc_net::{Cost, Counters, Envelope, NetConfig, NetError, Wire};
 use cc_trace::SpanTiming;
+use std::collections::BTreeMap;
 use std::time::Instant;
 
 /// Multi-threaded engine; observationally identical to
@@ -66,7 +68,9 @@ impl ParallelBackend {
 
 /// What one compute-phase worker hands back at the barrier.
 struct ComputeShard<M> {
-    /// Staged outbox per node of the chunk, in node order.
+    /// Staged outbox per node of the chunk, in node order. Post-fault
+    /// when an injector is active (the exchange phase distributes what
+    /// is actually delivered).
     staged: Vec<Vec<Envelope<M>>>,
     cost: Cost,
     transcript: Vec<(u64, u32, u32)>,
@@ -74,6 +78,12 @@ struct ComputeShard<M> {
     error: Option<(usize, NetError)>,
     /// Wall-clock span of this worker's compute phase.
     span: SpanTiming,
+    /// Faults injected in this chunk, in `(node, send-index)` order.
+    faults: Vec<FaultRecord>,
+    /// Fault-deferred envelopes from this chunk.
+    deferred: Vec<(u64, Envelope<M>)>,
+    /// Pre-fault batch aggregation for this chunk (`Some` iff injecting).
+    batches: Option<BTreeMap<(u32, u32), (u32, u64)>>,
 }
 
 impl Backend for ParallelBackend {
@@ -89,14 +99,16 @@ impl Backend for ParallelBackend {
         programs: &mut [P],
         delivered: &[Vec<Envelope<P::Msg>>],
         done: &mut [bool],
+        fault: Option<&dyn FaultInjector>,
     ) -> Result<RoundOutput<P::Msg>, NetError> {
         let n = cfg.n;
         let workers = self.threads.min(n);
         if workers <= 1 {
             // One worker is the serial engine; skip the fan-out cost.
-            return SerialBackend.execute(cfg, round, phase, programs, delivered, done);
+            return SerialBackend.execute(cfg, round, phase, programs, delivered, done, fault);
         }
         let chunk = n.div_ceil(workers);
+        let rules = round_rules(cfg, round, fault);
 
         // ---- Barrier 1: compute. ----
         let shards: Vec<ComputeShard<P::Msg>> = std::thread::scope(|s| {
@@ -115,12 +127,25 @@ impl Backend for ParallelBackend {
                         let mut staged_per_node = Vec::with_capacity(progs.len());
                         let chunk_len = progs.len();
                         let mut error = None;
+                        let mut faults = Vec::new();
+                        let mut deferred = Vec::new();
+                        let mut batches: Option<BTreeMap<(u32, u32), (u32, u64)>> =
+                            fault.map(|_| BTreeMap::new());
                         for (i, program) in progs.iter_mut().enumerate() {
                             let node = base + i;
+                            if let Some(inj) = fault {
+                                if inj.crashed(round, node) {
+                                    // Fail-stop (see SerialBackend): no
+                                    // compute, no sends, marked done.
+                                    done_chunk[i] = true;
+                                    continue;
+                                }
+                            }
                             let (staged, err, node_done) = run_node(
                                 program,
                                 node,
                                 cfg,
+                                rules,
                                 &mut links,
                                 round,
                                 phase,
@@ -134,7 +159,22 @@ impl Backend for ParallelBackend {
                                 done_chunk[i] = node_done;
                             }
                             meter(&staged, cfg, round, &mut counters, &mut transcript);
-                            staged_per_node.push(staged);
+                            if let Some(b) = batches.as_mut() {
+                                for env in &staged {
+                                    let slot =
+                                        b.entry((env.src as u32, env.dst as u32)).or_insert((0, 0));
+                                    slot.0 += 1;
+                                    slot.1 += env.msg.words().max(1);
+                                }
+                            }
+                            if let Some(inj) = fault {
+                                let outcome = apply_faults(inj, round, staged);
+                                staged_per_node.push(outcome.deliver);
+                                deferred.extend(outcome.deferred);
+                                faults.extend(outcome.records);
+                            } else {
+                                staged_per_node.push(staged);
+                            }
                         }
                         ComputeShard {
                             staged: staged_per_node,
@@ -147,6 +187,9 @@ impl Backend for ParallelBackend {
                                 node_hi: (base + chunk_len) as u32,
                                 nanos: t0.elapsed().as_nanos() as u64,
                             },
+                            faults,
+                            deferred,
+                            batches,
                         }
                     })
                 })
@@ -171,11 +214,25 @@ impl Backend for ParallelBackend {
         let mut transcript = Vec::new();
         let mut staged_all: Vec<Vec<Envelope<P::Msg>>> = Vec::with_capacity(n);
         let mut worker_spans = Vec::with_capacity(shards.len());
+        let mut faults = Vec::new();
+        let mut deferred = Vec::new();
+        let mut batches: Option<BTreeMap<(u32, u32), (u32, u64)>> = fault.map(|_| BTreeMap::new());
         for shard in shards {
             cost += shard.cost;
             transcript.extend(shard.transcript);
             staged_all.extend(shard.staged);
             worker_spans.push(shard.span);
+            faults.extend(shard.faults);
+            deferred.extend(shard.deferred);
+            if let (Some(acc), Some(part)) = (batches.as_mut(), shard.batches) {
+                // Shard key sets are disjoint (distinct senders), but a
+                // merge-add is the obviously correct fold either way.
+                for (key, (count, words)) in part {
+                    let slot = acc.entry(key).or_insert((0, 0));
+                    slot.0 += count;
+                    slot.1 += words;
+                }
+            }
         }
 
         // ---- Barrier 2: exchange. ----
@@ -214,6 +271,9 @@ impl Backend for ParallelBackend {
             cost,
             transcript,
             worker_spans,
+            faults,
+            deferred,
+            batches: batches.map(|b| b.into_iter().collect()),
         })
     }
 }

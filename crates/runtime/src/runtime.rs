@@ -8,8 +8,9 @@
 use crate::backend::{Backend, Phase, Program, RoundOutput};
 use crate::parallel::ParallelBackend;
 use crate::serial::SerialBackend;
+use cc_net::fault::FaultInjector;
 use cc_net::{Cost, Counters, Envelope, NetConfig, NetError, Wire};
-use cc_trace::{Event, NullTracer, Tracer};
+use cc_trace::{Event, FaultKind, NullTracer, Tracer};
 use std::collections::BTreeMap;
 use std::fmt;
 
@@ -27,6 +28,14 @@ pub struct Runtime<B: Backend> {
     /// forwarding (backends measure spans unconditionally — one clock read
     /// per worker per round, not per node).
     timing: bool,
+    /// Attached fault injector, if any (see `set_fault_injector`).
+    fault: Option<Box<dyn FaultInjector>>,
+    /// `fault.is_some()`, cached (the zero-overhead contract, as in
+    /// [`cc_net::CliqueNet`]).
+    faulty: bool,
+    /// Which nodes have been observed crashed (gates the one-time
+    /// [`Event::NodeCrash`] emission and `is_crashed`).
+    crashed_seen: Vec<bool>,
 }
 
 impl<B: Backend + fmt::Debug> fmt::Debug for Runtime<B> {
@@ -66,6 +75,7 @@ impl Runtime<ParallelBackend> {
 impl<B: Backend> Runtime<B> {
     /// A runtime over an arbitrary backend.
     pub fn new(cfg: NetConfig, backend: B) -> Self {
+        let n = cfg.n;
         Runtime {
             cfg,
             backend,
@@ -74,7 +84,33 @@ impl<B: Backend> Runtime<B> {
             tracer: Box::new(NullTracer),
             tracing: false,
             timing: false,
+            fault: None,
+            faulty: false,
+            crashed_seen: vec![false; n],
         }
+    }
+
+    /// Attaches a [`FaultInjector`]; subsequent rounds interpose on
+    /// message delivery, crashes, and bandwidth exactly like
+    /// [`cc_net::CliqueNet::set_fault_injector`] — the same plan replays
+    /// byte-identically on either engine.
+    pub fn set_fault_injector(&mut self, injector: Box<dyn FaultInjector>) {
+        self.fault = Some(injector);
+        self.faulty = true;
+        self.crashed_seen = vec![false; self.cfg.n];
+    }
+
+    /// Detaches and returns the current injector, restoring fault-free
+    /// execution.
+    pub fn take_fault_injector(&mut self) -> Option<Box<dyn FaultInjector>> {
+        self.faulty = false;
+        self.fault.take()
+    }
+
+    /// Whether `node` has fail-stop crashed in a round that has already
+    /// executed.
+    pub fn is_crashed(&self, node: usize) -> bool {
+        self.crashed_seen.get(node).copied().unwrap_or(false)
     }
 
     /// Attaches a [`Tracer`] sink; subsequent rounds and scopes emit
@@ -190,29 +226,53 @@ impl<B: Backend> Runtime<B> {
         assert_eq!(programs.len(), n, "one program per node");
         let mut done = vec![false; n];
         let empty: Vec<Vec<Envelope<P::Msg>>> = (0..n).map(|_| Vec::new()).collect();
-        let mut pending = self.execute(Phase::Start, &mut programs, &empty, &mut done)?;
+        // Fault-deferred messages: delivery round → envelopes. Owned here
+        // (not on `self`) because the message type is per-run.
+        let mut deferred: BTreeMap<u64, Vec<Envelope<P::Msg>>> = BTreeMap::new();
+        let (mut pending, late) = self.execute(Phase::Start, &mut programs, &empty, &mut done)?;
+        for (due, env) in late {
+            deferred.entry(due).or_default().push(env);
+        }
         let mut rounds = 1u64;
         loop {
             let all_done = done.iter().all(|&d| d);
-            if all_done && pending.iter().all(Vec::is_empty) {
+            if all_done && pending.iter().all(Vec::is_empty) && deferred.is_empty() {
                 return Ok(programs);
             }
             if rounds >= max_rounds {
                 return Err(NetError::RoundCapExceeded { cap: max_rounds });
             }
-            pending = self.execute(Phase::Round, &mut programs, &pending, &mut done)?;
+            // Deferred messages due this round join the regular
+            // deliveries; re-sorting keeps the per-sender inbox order
+            // stable (same normalization as CliqueNet::step).
+            if let Some(late) = deferred.remove(&self.counters.total().rounds) {
+                for env in late {
+                    pending[env.dst].push(env);
+                }
+                for q in &mut pending {
+                    q.sort_by_key(|e| e.src);
+                }
+            }
+            let (next, late) = self.execute(Phase::Round, &mut programs, &pending, &mut done)?;
+            for (due, env) in late {
+                deferred.entry(due).or_default().push(env);
+            }
+            pending = next;
             rounds += 1;
         }
     }
 
     /// Executes one round and folds its cost/transcript into the runtime.
+    /// Returns the next round's inboxes plus any newly fault-deferred
+    /// envelopes (the caller owns the cross-round defer schedule).
+    #[allow(clippy::type_complexity)]
     fn execute<P: Program>(
         &mut self,
         phase: Phase,
         programs: &mut [P],
         delivered: &[Vec<Envelope<P::Msg>>],
         done: &mut [bool],
-    ) -> Result<Vec<Vec<Envelope<P::Msg>>>, NetError> {
+    ) -> Result<(Vec<Vec<Envelope<P::Msg>>>, Vec<(u64, Envelope<P::Msg>)>), NetError> {
         if let Some(cap) = self.cfg.round_cap {
             if self.counters.total().rounds >= cap {
                 return Err(NetError::RoundCapExceeded { cap });
@@ -222,32 +282,78 @@ impl<B: Backend> Runtime<B> {
         if self.tracing {
             self.tracer.record(Event::RoundStart { round });
         }
+        // Fault pre-pass, mirroring CliqueNet::step's event order exactly:
+        // RoundStart → squeeze fault → newly crashed nodes in ID order.
+        if self.faulty {
+            let inj = self.fault.as_deref().expect("faulty implies injector");
+            if let Some(cap) = inj.link_words(round) {
+                if cap < self.cfg.link_words && self.tracing {
+                    self.tracer.record(Event::Fault {
+                        round,
+                        kind: FaultKind::Squeeze,
+                        src: 0,
+                        dst: 0,
+                        index: 0,
+                        info: self.cfg.link_words.min(cap.max(1)),
+                    });
+                }
+            }
+            for (v, seen) in self.crashed_seen.iter_mut().enumerate() {
+                if !*seen && inj.crashed(round, v) {
+                    *seen = true;
+                    if self.tracing {
+                        self.tracer.record(Event::NodeCrash {
+                            round,
+                            node: v as u32,
+                        });
+                    }
+                }
+            }
+        }
         let RoundOutput {
             inboxes,
             cost,
             transcript,
             worker_spans,
-        } = self
-            .backend
-            .execute(&self.cfg, round, phase, programs, delivered, done)?;
+            faults,
+            deferred,
+            batches,
+        } = self.backend.execute(
+            &self.cfg,
+            round,
+            phase,
+            programs,
+            delivered,
+            done,
+            self.fault.as_deref(),
+        )?;
         self.counters.merge(cost);
         self.counters.add_round();
         self.transcript.extend(transcript);
         if self.tracing {
             // (src, dst) → (count, words), aggregated over the round and
             // emitted in sorted order: a deterministic function of the
-            // delivered messages alone, so every backend produces the same
-            // batch stream (the same normalization CliqueNet::step applies).
-            let mut batches: BTreeMap<(u32, u32), (u32, u64)> = BTreeMap::new();
-            for inbox in &inboxes {
-                for env in inbox {
-                    let slot = batches
-                        .entry((env.src as u32, env.dst as u32))
-                        .or_insert((0, 0));
-                    slot.0 += 1;
-                    slot.1 += env.msg.words().max(1);
+            // *sends* alone, so every backend produces the same batch
+            // stream (the same normalization CliqueNet::step applies).
+            // Under faults the backend reports the pre-fault aggregation
+            // (inboxes are post-fault); without faults the inboxes are
+            // exactly the sends and we aggregate them here.
+            let batches: Vec<((u32, u32), (u32, u64))> = match batches {
+                Some(b) => b,
+                None => {
+                    let mut agg: BTreeMap<(u32, u32), (u32, u64)> = BTreeMap::new();
+                    for inbox in &inboxes {
+                        for env in inbox {
+                            let slot = agg
+                                .entry((env.src as u32, env.dst as u32))
+                                .or_insert((0, 0));
+                            slot.0 += 1;
+                            slot.1 += env.msg.words().max(1);
+                        }
+                    }
+                    agg.into_iter().collect()
                 }
-            }
+            };
             for ((src, dst), (count, words)) in batches {
                 self.tracer.record(Event::MessageBatch {
                     round,
@@ -256,6 +362,9 @@ impl<B: Backend> Runtime<B> {
                     count,
                     words,
                 });
+            }
+            for rec in &faults {
+                self.tracer.record(rec.to_event());
             }
             if self.timing {
                 for span in worker_spans {
@@ -274,6 +383,6 @@ impl<B: Backend> Runtime<B> {
                 words: cost.words,
             });
         }
-        Ok(inboxes)
+        Ok((inboxes, deferred))
     }
 }

@@ -2,15 +2,18 @@
 //!
 //! Executes nodes in ID order on the calling thread, exactly like
 //! [`cc_net::CliqueNet::step`]: same send validation, same
-//! abort-on-first-violation behavior, same inbox normalization. This is
-//! the semantic baseline the parallel backend is tested against — and the
-//! faster choice when `n · per-node-work` is small enough that thread
-//! fan-out costs more than it saves.
+//! abort-on-first-violation behavior, same inbox normalization, same
+//! fault interposition. This is the semantic baseline the parallel
+//! backend is tested against — and the faster choice when
+//! `n · per-node-work` is small enough that thread fan-out costs more
+//! than it saves.
 
-use crate::backend::{meter, run_node, Backend, Phase, Program, RoundOutput};
+use crate::backend::{meter, round_rules, run_node, Backend, Phase, Program, RoundOutput};
 use cc_net::budget::LinkUse;
-use cc_net::{Counters, Envelope, NetConfig, NetError};
+use cc_net::fault::{apply_faults, FaultInjector};
+use cc_net::{Counters, Envelope, NetConfig, NetError, Wire};
 use cc_trace::SpanTiming;
+use std::collections::BTreeMap;
 use std::time::Instant;
 
 /// Single-threaded engine; the reference implementation.
@@ -30,19 +33,36 @@ impl Backend for SerialBackend {
         programs: &mut [P],
         delivered: &[Vec<Envelope<P::Msg>>],
         done: &mut [bool],
+        fault: Option<&dyn FaultInjector>,
     ) -> Result<RoundOutput<P::Msg>, NetError> {
         let n = cfg.n;
+        let rules = round_rules(cfg, round, fault);
         let mut links = LinkUse::new(n);
         let mut counters = Counters::new();
         let mut transcript = Vec::new();
         let mut inboxes: Vec<Vec<Envelope<P::Msg>>> = (0..n).map(|_| Vec::new()).collect();
+        let mut faults = Vec::new();
+        let mut deferred = Vec::new();
+        // Pre-fault batches, tracked only under an injector (without one
+        // the driver reconstructs identical batches from the inboxes).
+        let mut batches: Option<BTreeMap<(u32, u32), (u32, u64)>> = fault.map(|_| BTreeMap::new());
 
         let t0 = Instant::now();
         for (node, program) in programs.iter_mut().enumerate() {
+            if let Some(inj) = fault {
+                if inj.crashed(round, node) {
+                    // Fail-stop: no compute, no sends, inbox discarded.
+                    // Marked done so the driver's termination check can
+                    // still converge.
+                    done[node] = true;
+                    continue;
+                }
+            }
             let (staged, error, node_done) = run_node(
                 program,
                 node,
                 cfg,
+                rules,
                 &mut links,
                 round,
                 phase,
@@ -55,10 +75,27 @@ impl Backend for SerialBackend {
                 done[node] = node_done;
             }
             meter(&staged, cfg, round, &mut counters, &mut transcript);
-            // Senders run in ID order and stage in send order, so pushing
-            // here yields (src, send-index)-sorted inboxes by construction.
-            for env in staged {
-                inboxes[env.dst].push(env);
+            if let Some(b) = batches.as_mut() {
+                for env in &staged {
+                    let slot = b.entry((env.src as u32, env.dst as u32)).or_insert((0, 0));
+                    slot.0 += 1;
+                    slot.1 += env.msg.words().max(1);
+                }
+            }
+            if let Some(inj) = fault {
+                let outcome = apply_faults(inj, round, staged);
+                for env in outcome.deliver {
+                    inboxes[env.dst].push(env);
+                }
+                deferred.extend(outcome.deferred);
+                faults.extend(outcome.records);
+            } else {
+                // Senders run in ID order and stage in send order, so
+                // pushing here yields (src, send-index)-sorted inboxes by
+                // construction.
+                for env in staged {
+                    inboxes[env.dst].push(env);
+                }
             }
         }
 
@@ -72,6 +109,9 @@ impl Backend for SerialBackend {
                 node_hi: n as u32,
                 nanos: t0.elapsed().as_nanos() as u64,
             }],
+            faults,
+            deferred,
+            batches: batches.map(|b| b.into_iter().collect()),
         })
     }
 }

@@ -17,7 +17,17 @@ use crate::metrics::MetricsSnapshot;
 
 /// Current artifact schema version. Bump on any incompatible change and
 /// document the migration in DESIGN.md §10.
-pub const SCHEMA_VERSION: u64 = 1;
+///
+/// v2 (chaos): adds the `robustness` and `whp_sweep` sections for the
+/// fault-injection harness (DESIGN.md §11).
+pub const SCHEMA_VERSION: u64 = 2;
+
+/// The canonical outcome labels of the robustness taxonomy (DESIGN.md
+/// §11): a faulted run is *correct*, a *detected failure* (an error was
+/// raised, a panic caught, or the output validator rejected), or a
+/// *silent wrong answer* (validation passed but the differential check
+/// against the sequential reference disagrees).
+pub const ROBUSTNESS_OUTCOMES: [&str; 3] = ["correct", "detected-failure", "silent-wrong-answer"];
 
 /// One experiment table (mirror of `cc_bench::Table`, kept stringly so
 /// the artifact layer needs no knowledge of individual experiments).
@@ -58,6 +68,48 @@ pub struct PhaseBreakdown {
     pub phases: Vec<(String, CostSnapshot)>,
 }
 
+/// One fault-schedule run of the robustness harness (schema v2).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct RobustnessRecord {
+    /// Algorithm under test (`gc`, `exact-mst`, `kt1-mst`, …).
+    pub algo: String,
+    /// Fault-schedule name (`drop-1pct`, `crash-1`, …).
+    pub schedule: String,
+    /// Clique size.
+    pub n: u64,
+    /// Fault-plan seed.
+    pub seed: u64,
+    /// One of [`ROBUSTNESS_OUTCOMES`].
+    pub outcome: String,
+    /// Faults injected during the run (fault + crash events).
+    pub faults: u64,
+    /// Error / mismatch detail; empty for correct runs.
+    pub detail: String,
+}
+
+/// One point of the whp failure-rate seed sweep (schema v2): sketch
+/// connectivity run across `trials` independent seeds at clique size `n`.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct WhpPoint {
+    /// Clique size.
+    pub n: u64,
+    /// Independent seeds tried.
+    pub trials: u64,
+    /// Runs that failed (sketch exhaustion or a wrong answer).
+    pub failures: u64,
+}
+
+impl WhpPoint {
+    /// Empirical failure rate.
+    pub fn rate(&self) -> f64 {
+        if self.trials == 0 {
+            0.0
+        } else {
+            self.failures as f64 / self.trials as f64
+        }
+    }
+}
+
 /// The versioned run artifact.
 #[derive(Clone, Debug, Default, PartialEq)]
 pub struct RunArtifact {
@@ -77,6 +129,10 @@ pub struct RunArtifact {
     pub breakdowns: Vec<PhaseBreakdown>,
     /// Named metrics snapshots (one per traced workload).
     pub metrics: Vec<(String, MetricsSnapshot)>,
+    /// Robustness-harness outcomes (empty when the harness did not run).
+    pub robustness: Vec<RobustnessRecord>,
+    /// whp failure-rate sweep (empty when the sweep did not run).
+    pub whp_sweep: Vec<WhpPoint>,
 }
 
 impl RunArtifact {
@@ -199,6 +255,41 @@ impl RunArtifact {
                         .collect(),
                 ),
             ),
+            (
+                "robustness",
+                Json::Arr(
+                    self.robustness
+                        .iter()
+                        .map(|r| {
+                            Json::obj(vec![
+                                ("algo", Json::Str(r.algo.clone())),
+                                ("schedule", Json::Str(r.schedule.clone())),
+                                ("n", Json::UInt(r.n)),
+                                ("seed", Json::UInt(r.seed)),
+                                ("outcome", Json::Str(r.outcome.clone())),
+                                ("faults", Json::UInt(r.faults)),
+                                ("detail", Json::Str(r.detail.clone())),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            (
+                "whp_sweep",
+                Json::Arr(
+                    self.whp_sweep
+                        .iter()
+                        .map(|p| {
+                            Json::obj(vec![
+                                ("n", Json::UInt(p.n)),
+                                ("trials", Json::UInt(p.trials)),
+                                ("failures", Json::UInt(p.failures)),
+                                ("rate", Json::Float(p.rate())),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
         ])
     }
 
@@ -286,6 +377,31 @@ impl RunArtifact {
                 .collect::<Result<Vec<_>, _>>()?,
             _ => return Err("artifact: missing `metrics` object".into()),
         };
+        let robustness = v
+            .get("robustness")
+            .and_then(Json::as_arr)
+            .ok_or("artifact: missing `robustness` array")?
+            .iter()
+            .map(parse_robustness)
+            .collect::<Result<Vec<_>, _>>()?;
+        let whp_sweep = v
+            .get("whp_sweep")
+            .and_then(Json::as_arr)
+            .ok_or("artifact: missing `whp_sweep` array")?
+            .iter()
+            .map(|p| {
+                let field = |name: &str| -> Result<u64, String> {
+                    p.get(name)
+                        .and_then(Json::as_u64)
+                        .ok_or_else(|| format!("whp point: missing u64 field `{name}`"))
+                };
+                Ok(WhpPoint {
+                    n: field("n")?,
+                    trials: field("trials")?,
+                    failures: field("failures")?,
+                })
+            })
+            .collect::<Result<Vec<_>, String>>()?;
         Ok(RunArtifact {
             schema_version,
             generator: str_field("generator")?,
@@ -298,6 +414,8 @@ impl RunArtifact {
             claims,
             breakdowns,
             metrics,
+            robustness,
+            whp_sweep,
         })
     }
 
@@ -366,12 +484,57 @@ impl RunArtifact {
                 }
             }
         }
+        for r in &self.robustness {
+            if r.algo.is_empty() || r.schedule.is_empty() {
+                problems.push("robustness record with empty algo/schedule".into());
+            }
+            if !ROBUSTNESS_OUTCOMES.contains(&r.outcome.as_str()) {
+                problems.push(format!(
+                    "robustness {}/{}: unknown outcome `{}`",
+                    r.algo, r.schedule, r.outcome
+                ));
+            }
+        }
+        for p in &self.whp_sweep {
+            if p.trials == 0 {
+                problems.push(format!("whp point n={}: zero trials", p.n));
+            }
+            if p.failures > p.trials {
+                problems.push(format!(
+                    "whp point n={}: {} failures out of {} trials",
+                    p.n, p.failures, p.trials
+                ));
+            }
+        }
         if problems.is_empty() {
             Ok(())
         } else {
             Err(problems)
         }
     }
+}
+
+fn parse_robustness(r: &Json) -> Result<RobustnessRecord, String> {
+    let s = |name: &str| -> Result<String, String> {
+        r.get(name)
+            .and_then(Json::as_str)
+            .map(str::to_string)
+            .ok_or_else(|| format!("robustness: missing string field `{name}`"))
+    };
+    let u = |name: &str| -> Result<u64, String> {
+        r.get(name)
+            .and_then(Json::as_u64)
+            .ok_or_else(|| format!("robustness: missing u64 field `{name}`"))
+    };
+    Ok(RobustnessRecord {
+        algo: s("algo")?,
+        schedule: s("schedule")?,
+        n: u("n")?,
+        seed: u("seed")?,
+        outcome: s("outcome")?,
+        faults: u("faults")?,
+        detail: s("detail")?,
+    })
 }
 
 fn parse_experiment(e: &Json) -> Result<ExperimentRecord, String> {
@@ -491,6 +654,20 @@ mod tests {
             "gc-n64".into(),
             crate::metrics::MetricsRegistry::new().snapshot(),
         ));
+        a.robustness.push(RobustnessRecord {
+            algo: "gc".into(),
+            schedule: "drop-1pct".into(),
+            n: 32,
+            seed: 7,
+            outcome: "correct".into(),
+            faults: 12,
+            detail: String::new(),
+        });
+        a.whp_sweep.push(WhpPoint {
+            n: 16,
+            trials: 40,
+            failures: 3,
+        });
         a
     }
 
@@ -529,6 +706,27 @@ mod tests {
         let mut a = sample();
         a.breakdowns[0].phases[0].1.messages = 10_000; // > 2x total
         assert!(a.validate().is_err());
+    }
+
+    #[test]
+    fn validate_checks_robustness_and_whp_invariants() {
+        let mut a = sample();
+        a.robustness[0].outcome = "mystery".into();
+        a.whp_sweep[0].failures = 99;
+        let problems = a.validate().unwrap_err();
+        assert!(problems.iter().any(|p| p.contains("unknown outcome")));
+        assert!(problems.iter().any(|p| p.contains("99 failures")));
+    }
+
+    #[test]
+    fn whp_rate_is_failures_over_trials() {
+        let p = WhpPoint {
+            n: 16,
+            trials: 40,
+            failures: 10,
+        };
+        assert!((p.rate() - 0.25).abs() < 1e-12);
+        assert_eq!(WhpPoint::default().rate(), 0.0);
     }
 
     #[test]

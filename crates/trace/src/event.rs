@@ -76,6 +76,39 @@ pub struct SpanTiming {
     pub nanos: u64,
 }
 
+/// The kind of an injected fault (see `cc-chaos`). Model-level: a fault
+/// decision is a pure function of the fault plan, its seed, and the
+/// `(round, src, dst, send-index)` coordinates, so fault events are part
+/// of the model-event stream every engine must reproduce identically.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FaultKind {
+    /// The message was discarded in flight.
+    Drop,
+    /// The message was delivered twice.
+    Duplicate,
+    /// One payload bit was flipped (the `info` field carries the raw bit
+    /// index before reduction modulo the payload size).
+    Corrupt,
+    /// Delivery was deferred by `info` extra rounds.
+    Defer,
+    /// The per-link word budget was squeezed to `info` words this round
+    /// (a per-round event; `src`/`dst`/`index` are 0).
+    Squeeze,
+}
+
+impl FaultKind {
+    /// Stable tag (the `kind` field of the JSONL form).
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            FaultKind::Drop => "drop",
+            FaultKind::Duplicate => "duplicate",
+            FaultKind::Corrupt => "corrupt",
+            FaultKind::Defer => "defer",
+            FaultKind::Squeeze => "squeeze",
+        }
+    }
+}
+
 /// One structured trace event.
 #[derive(Clone, Debug, PartialEq)]
 pub enum Event {
@@ -127,6 +160,31 @@ pub enum Event {
         /// Rounds skipped.
         rounds: u64,
     },
+    /// An injected fault fired (model event; see [`FaultKind`]).
+    Fault {
+        /// The 0-based round the fault applied in.
+        round: u64,
+        /// What happened.
+        kind: FaultKind,
+        /// Sender of the affected message (0 for [`FaultKind::Squeeze`]).
+        src: u32,
+        /// Receiver of the affected message (0 for [`FaultKind::Squeeze`]).
+        dst: u32,
+        /// The sender's 0-based send index within the round (0 for
+        /// [`FaultKind::Squeeze`]).
+        index: u32,
+        /// Kind-specific detail: deferred rounds, corrupt bit index,
+        /// squeezed word budget; 0 otherwise.
+        info: u64,
+    },
+    /// A node fail-stopped (model event): it executes nothing and reads no
+    /// inbox from this round on. Emitted once, in the first crashed round.
+    NodeCrash {
+        /// The first round the node is dead in.
+        round: u64,
+        /// The crashed node.
+        node: u32,
+    },
     /// Wall-clock time one node's callback took (timing event).
     NodeCompute {
         /// The 0-based round.
@@ -167,6 +225,8 @@ impl Event {
             Event::ScopeExit { .. } => "scope_exit",
             Event::MessageBatch { .. } => "message_batch",
             Event::FastForward { .. } => "fast_forward",
+            Event::Fault { .. } => "fault",
+            Event::NodeCrash { .. } => "node_crash",
             Event::NodeCompute { .. } => "node_compute",
             Event::WorkerSpan { .. } => "worker_span",
         }
@@ -215,6 +275,27 @@ impl Event {
                 tag,
                 ("from_round", Json::UInt(*from_round)),
                 ("rounds", Json::UInt(*rounds)),
+            ]),
+            Event::Fault {
+                round,
+                kind,
+                src,
+                dst,
+                index,
+                info,
+            } => Json::obj(vec![
+                tag,
+                ("round", Json::UInt(*round)),
+                ("kind", Json::Str(kind.as_str().into())),
+                ("src", Json::UInt(*src as u64)),
+                ("dst", Json::UInt(*dst as u64)),
+                ("index", Json::UInt(*index as u64)),
+                ("info", Json::UInt(*info)),
+            ]),
+            Event::NodeCrash { round, node } => Json::obj(vec![
+                tag,
+                ("round", Json::UInt(*round)),
+                ("node", Json::UInt(*node as u64)),
             ]),
             Event::NodeCompute { round, node, nanos } => Json::obj(vec![
                 tag,
@@ -286,6 +367,40 @@ mod tests {
         assert_eq!(j.get("ev").unwrap().as_str(), Some("scope_exit"));
         let delta = CostSnapshot::from_json(j.get("delta").unwrap()).unwrap();
         assert_eq!(delta.messages, 3);
+    }
+
+    #[test]
+    fn fault_events_are_model_events_with_stable_kinds() {
+        let fault = Event::Fault {
+            round: 3,
+            kind: FaultKind::Defer,
+            src: 1,
+            dst: 2,
+            index: 0,
+            info: 4,
+        };
+        assert!(fault.is_model(), "fault decisions are deterministic");
+        assert_eq!(fault.kind(), "fault");
+        let j = fault.to_json();
+        assert_eq!(j.get("kind").unwrap().as_str(), Some("defer"));
+        assert_eq!(j.get("info").unwrap().as_u64(), Some(4));
+
+        let crash = Event::NodeCrash { round: 5, node: 7 };
+        assert!(crash.is_model());
+        assert_eq!(crash.kind(), "node_crash");
+        assert_eq!(crash.to_json().get("node").unwrap().as_u64(), Some(7));
+
+        let kinds: Vec<&str> = [
+            FaultKind::Drop,
+            FaultKind::Duplicate,
+            FaultKind::Corrupt,
+            FaultKind::Defer,
+            FaultKind::Squeeze,
+        ]
+        .iter()
+        .map(FaultKind::as_str)
+        .collect();
+        assert_eq!(kinds, ["drop", "duplicate", "corrupt", "defer", "squeeze"]);
     }
 
     #[test]

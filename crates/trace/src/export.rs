@@ -117,6 +117,32 @@ pub fn to_chrome_trace(events: &[Event]) -> String {
                 ));
                 worker_clock.insert(tid, ts + dur);
             }
+            Event::Fault {
+                round,
+                kind,
+                src,
+                dst,
+                ..
+            } => {
+                out.push(entry(
+                    &format!("fault:{} {src}->{dst}", kind.as_str()),
+                    "i",
+                    0,
+                    0,
+                    round * ROUND_US,
+                    None,
+                ));
+            }
+            Event::NodeCrash { round, node } => {
+                out.push(entry(
+                    &format!("crash node {node}"),
+                    "i",
+                    0,
+                    0,
+                    round * ROUND_US,
+                    None,
+                ));
+            }
             Event::RoundStart { .. } | Event::RoundEnd { .. } | Event::MessageBatch { .. } => {}
         }
     }

@@ -39,8 +39,11 @@ pub mod json;
 pub mod metrics;
 pub mod tracer;
 
-pub use artifact::{ClaimRecord, ExperimentRecord, PhaseBreakdown, RunArtifact, SCHEMA_VERSION};
-pub use event::{CostSnapshot, Event, SpanTiming};
+pub use artifact::{
+    ClaimRecord, ExperimentRecord, PhaseBreakdown, RobustnessRecord, RunArtifact, WhpPoint,
+    ROBUSTNESS_OUTCOMES, SCHEMA_VERSION,
+};
+pub use event::{CostSnapshot, Event, FaultKind, SpanTiming};
 pub use json::Json;
 pub use metrics::{
     metrics_from_events, HistogramSnapshot, LogHistogram, MetricsRegistry, MetricsSnapshot,

@@ -321,6 +321,8 @@ pub fn metrics_from_events(events: &[Event]) -> MetricsRegistry {
                 reg.counter_add("fast_forward_rounds", *rounds);
             }
             Event::NodeCompute { nanos, .. } => reg.observe("node_compute_nanos", *nanos),
+            Event::Fault { .. } => reg.counter_add("faults_injected", 1),
+            Event::NodeCrash { .. } => reg.counter_add("node_crashes", 1),
             Event::ScopeEnter { .. } | Event::ScopeExit { .. } | Event::WorkerSpan { .. } => {}
         }
     }

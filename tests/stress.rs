@@ -1,9 +1,10 @@
-//! Large-scale stress tests — `#[ignore]`d by default because they take
-//! minutes in debug builds. Run with:
+//! Large-scale stress tests.
 //!
-//! ```text
-//! cargo test --release --test stress -- --ignored
-//! ```
+//! Triage note: these take minutes in a debug build but ~2.5 s *total*
+//! in release, so instead of a blanket `#[ignore]` they gate at runtime:
+//! they run in any release build (`cargo test --release --test stress`,
+//! which CI uses as a smoke check) and skip themselves in debug builds
+//! unless `CC_STRESS=1` forces them on.
 
 use congested_clique::core::{exact_mst, gc, kt1_mst, ExactMstConfig, GcConfig, Kt1MstConfig};
 use congested_clique::graph::{connectivity, generators, mst};
@@ -12,9 +13,19 @@ use congested_clique::route::Net;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 
+/// Skips the calling test in debug builds unless `CC_STRESS=1`.
+macro_rules! stress_gate {
+    () => {
+        if cfg!(debug_assertions) && std::env::var("CC_STRESS").map_or(true, |v| v != "1") {
+            eprintln!("skipping stress test in debug build (set CC_STRESS=1 or use --release)");
+            return;
+        }
+    };
+}
+
 #[test]
-#[ignore = "minutes-long; run with --release -- --ignored"]
 fn gc_at_n_1024() {
+    stress_gate!();
     let n = 1024;
     let mut rng = ChaCha8Rng::seed_from_u64(1);
     let g = generators::random_connected_graph(n, 3.0 / n as f64, &mut rng);
@@ -27,8 +38,8 @@ fn gc_at_n_1024() {
 }
 
 #[test]
-#[ignore = "minutes-long; run with --release -- --ignored"]
 fn pure_sketch_gc_at_n_512() {
+    stress_gate!();
     let n = 512;
     let g = generators::path(n);
     let cfg = GcConfig {
@@ -48,8 +59,8 @@ fn pure_sketch_gc_at_n_512() {
 }
 
 #[test]
-#[ignore = "minutes-long; run with --release -- --ignored"]
 fn exact_mst_at_n_256() {
+    stress_gate!();
     let n = 256;
     let mut rng = ChaCha8Rng::seed_from_u64(3);
     let g = generators::complete_wgraph(n, &mut rng);
@@ -59,8 +70,8 @@ fn exact_mst_at_n_256() {
 }
 
 #[test]
-#[ignore = "minutes-long; run with --release -- --ignored"]
 fn kt1_mst_at_n_256() {
+    stress_gate!();
     let n = 256;
     let mut rng = ChaCha8Rng::seed_from_u64(4);
     let g = generators::random_connected_wgraph(n, 3.0 / n as f64, 1 << 20, &mut rng);
@@ -73,8 +84,8 @@ fn kt1_mst_at_n_256() {
 }
 
 #[test]
-#[ignore = "minutes-long; run with --release -- --ignored"]
 fn forced_sq_mst_pipeline_at_n_64() {
+    stress_gate!();
     let n = 64;
     let mut rng = ChaCha8Rng::seed_from_u64(5);
     let g = generators::complete_wgraph(n, &mut rng);

@@ -1,0 +1,115 @@
+//! `bench perf`: runs the fixed perf suite, writes a dated
+//! `BENCH_<stamp>.json`, and gates against a committed baseline.
+//!
+//! ```text
+//! cargo run -p cc-bench --release --bin perf -- --quick
+//! cargo run -p cc-bench --release --bin perf -- --quick --warn-only
+//! cargo run -p cc-bench --release --bin perf -- --write-baseline BENCH_baseline.json
+//! cargo run -p cc-bench --release --bin perf -- --gate-only CUR.json --baseline BASE.json
+//! ```
+//!
+//! Flags:
+//!
+//! * `--quick` — the CI-sized suite (smaller `n`, 3 repetitions).
+//! * `--k N` — override the repetition count.
+//! * `--out PATH` — where to write the dated artifact (default
+//!   `BENCH_<stamp>.json` in the working directory; `-` skips writing).
+//! * `--baseline PATH` — baseline to gate against (default
+//!   `BENCH_baseline.json` when it exists; no baseline → no gate).
+//! * `--write-baseline PATH` — also write the fresh results to PATH
+//!   (refreshing the committed baseline).
+//! * `--warn-only` — report regressions but exit 0 (CI on shared
+//!   hardware).
+//! * `--gate-only CUR.json` — skip measuring; replay a saved suite
+//!   against the baseline. This is how the gate itself is tested.
+//!
+//! Exit codes: 0 ok (or `--warn-only`), 1 regression/model drift,
+//! 2 usage or I/O error.
+
+use cc_bench::perf::{default_k, run_suite, stamp_name};
+use cc_profile::{compare, render_comparison, PerfSuite, Tolerance};
+
+#[cfg(feature = "count-allocs")]
+#[global_allocator]
+static ALLOC: cc_profile::alloc::CountingAlloc = cc_profile::alloc::CountingAlloc;
+
+fn value_of(args: &[String], flag: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1).cloned())
+}
+
+fn fail(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    std::process::exit(2);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let warn_only = args.iter().any(|a| a == "--warn-only");
+    let k = value_of(&args, "--k")
+        .map(|v| {
+            v.parse::<usize>()
+                .unwrap_or_else(|_| fail("--k wants a number"))
+        })
+        .unwrap_or_else(|| default_k(quick));
+
+    let suite: PerfSuite = match value_of(&args, "--gate-only") {
+        Some(path) => {
+            let text = std::fs::read_to_string(&path)
+                .unwrap_or_else(|e| fail(&format!("cannot read {path}: {e}")));
+            PerfSuite::from_json_str(&text).unwrap_or_else(|e| fail(&format!("{path}: {e}")))
+        }
+        None => {
+            eprintln!(
+                "running perf suite ({} mode, k={k})...",
+                if quick { "quick" } else { "full" }
+            );
+            run_suite(quick, k)
+        }
+    };
+    if let Err(problems) = suite.validate() {
+        fail(&format!("suite failed validation: {problems:?}"));
+    }
+
+    let measuring = !args.iter().any(|a| a == "--gate-only");
+    if measuring {
+        let out = value_of(&args, "--out").unwrap_or_else(|| stamp_name(suite.created_unix));
+        if out != "-" {
+            std::fs::write(&out, suite.to_json_string())
+                .unwrap_or_else(|e| fail(&format!("cannot write {out}: {e}")));
+            eprintln!("wrote {out}");
+        }
+        if let Some(path) = value_of(&args, "--write-baseline") {
+            std::fs::write(&path, suite.to_json_string())
+                .unwrap_or_else(|e| fail(&format!("cannot write {path}: {e}")));
+            eprintln!("wrote baseline {path}");
+        }
+    }
+
+    let baseline_path = value_of(&args, "--baseline").or_else(|| {
+        std::path::Path::new("BENCH_baseline.json")
+            .exists()
+            .then(|| "BENCH_baseline.json".to_string())
+    });
+    let Some(baseline_path) = baseline_path else {
+        eprintln!("no baseline to gate against; done");
+        return;
+    };
+    let text = std::fs::read_to_string(&baseline_path)
+        .unwrap_or_else(|e| fail(&format!("cannot read {baseline_path}: {e}")));
+    let baseline =
+        PerfSuite::from_json_str(&text).unwrap_or_else(|e| fail(&format!("{baseline_path}: {e}")));
+
+    let tol = Tolerance::default();
+    let cmp = compare(&suite, &baseline, tol);
+    print!("{}", render_comparison(&cmp, tol));
+    if !cmp.passed() {
+        if warn_only {
+            eprintln!("regression detected (warn-only mode; not failing)");
+        } else {
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,26 +1,86 @@
 //! Renders a saved [`cc_trace::RunArtifact`] back into human-readable
 //! reports: a run summary, the claim checklist, and a per-phase cost table
-//! for every recorded algorithm breakdown.
+//! for every recorded algorithm breakdown — plus subcommands over raw
+//! JSONL event traces (as written by `JsonlTracer`).
 //!
 //! ```text
 //! cargo run -p cc-bench --release --bin verify_claims -- --emit-json run.json
 //! cargo run -p cc-bench --release --bin trace_report -- run.json
 //! cargo run -p cc-bench --release --bin trace_report -- run.json --render-docs docs
+//! cargo run -p cc-bench --release --bin trace_report -- diff a.jsonl b.jsonl
+//! cargo run -p cc-bench --release --bin trace_report -- top-links t.jsonl --k 20
+//! cargo run -p cc-bench --release --bin trace_report -- profile t.jsonl
 //! ```
 //!
 //! `--render-docs DIR` regenerates `experiment_tables.txt` and
 //! `claims_checklist.txt` in DIR from the artifact, so the committed docs
 //! are provably derived from a machine-readable run record.
 //!
+//! `diff` aligns two traces' model-event streams, reports the first
+//! divergence (round, event) and a per-phase cost/wall delta table, and
+//! exits 1 when the traces diverge. `top-links` prints the hottest
+//! directed links by words. `profile` folds a trace into the
+//! hierarchical phase-tree profile of `cc-profile`.
+//!
 //! Exits 2 on usage errors and 3 if the artifact fails schema validation.
 
 use cc_bench::artifact::{
     breakdown_table, render_checklist_txt, render_tables_txt, robustness_table, whp_table,
 };
-use cc_trace::RunArtifact;
+use cc_profile::{diff_events, profile_table, render_diff, top_links_table, Profile};
+use cc_trace::export::events_from_jsonl;
+use cc_trace::{Event, RunArtifact};
+
+fn read_events(path: &str) -> Vec<Event> {
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("error: cannot read {path}: {e}");
+        std::process::exit(2);
+    });
+    events_from_jsonl(&text).unwrap_or_else(|e| {
+        eprintln!("error: {path} is not a JSONL event trace: {e}");
+        std::process::exit(3);
+    })
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("diff") => {
+            let (Some(a), Some(b)) = (args.get(1), args.get(2)) else {
+                eprintln!("usage: trace_report diff A.jsonl B.jsonl");
+                std::process::exit(2);
+            };
+            let d = diff_events(&read_events(a), &read_events(b));
+            print!("{}", render_diff(&d, a, b));
+            std::process::exit(if d.model_identical() { 0 } else { 1 });
+        }
+        Some("top-links") => {
+            let Some(path) = args.get(1) else {
+                eprintln!("usage: trace_report top-links TRACE.jsonl [--k N]");
+                std::process::exit(2);
+            };
+            let k = args
+                .iter()
+                .position(|a| a == "--k")
+                .and_then(|i| args.get(i + 1))
+                .and_then(|v| v.parse::<usize>().ok())
+                .unwrap_or(10);
+            print!("{}", top_links_table(&read_events(path), k));
+            return;
+        }
+        Some("profile") => {
+            let Some(path) = args.get(1) else {
+                eprintln!("usage: trace_report profile TRACE.jsonl");
+                std::process::exit(2);
+            };
+            print!(
+                "{}",
+                profile_table(&Profile::from_events(&read_events(path)))
+            );
+            return;
+        }
+        _ => {}
+    }
     let render_docs: Option<String> = args
         .iter()
         .position(|a| a == "--render-docs")

@@ -26,13 +26,16 @@ pub mod experiments {
 }
 pub mod artifact;
 pub mod claims;
+pub mod perf;
 pub mod table;
 
 pub use table::Table;
 
+/// One registry row: `(id, generating function, quick-flag-passed)`.
+pub type ExperimentEntry = (&'static str, fn(bool) -> Table, bool);
+
 /// Every experiment, keyed by the ID used on the command line.
-pub fn all_experiments(quick: bool) -> Vec<(&'static str, fn(bool) -> Table, bool)> {
-    // (id, function, quick-flag-passed)
+pub fn all_experiments(quick: bool) -> Vec<ExperimentEntry> {
     let _ = quick;
     vec![
         (

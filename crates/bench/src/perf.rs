@@ -1,0 +1,278 @@
+//! The `bench perf` fixed suite: wall-clock + model-cost measurements of
+//! the reproduction's hot paths, emitted as a schema-versioned
+//! [`PerfSuite`] (`BENCH_<stamp>.json`) and gated against a committed
+//! `BENCH_baseline.json` (see DESIGN.md §12).
+//!
+//! Case selection mirrors the crates the north star cares about: the
+//! Theorem 4 sketch-GC pipeline on the direct simulator, Theorem 7's
+//! EXACT-MST, the Lenzen routing collective the algorithms lean on, and
+//! the runtime port of connectivity on *both* engine backends (so an
+//! accidental serialization in the parallel engine shows up as a timing
+//! regression even while model costs stay identical).
+//!
+//! Every case runs `k` times (median-of-k; the median is what the gate
+//! compares) with a fixed seed, so the model quantities — rounds,
+//! messages, words — must be bit-identical across repetitions; the suite
+//! panics if they are not, because that would mean nondeterminism, a far
+//! worse bug than any slowdown.
+
+use cc_core::{exact_mst, gc, run_connectivity, ExactMstConfig};
+use cc_graph::{generators, Graph};
+use cc_net::{Cost, NetConfig};
+use cc_profile::{PerfCase, PerfSuite};
+use cc_route::{all_to_all_share, Net};
+use cc_runtime::Runtime;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use std::time::Instant;
+
+/// Repetitions per case: 3 quick (CI), 5 full.
+pub fn default_k(quick: bool) -> usize {
+    if quick {
+        3
+    } else {
+        5
+    }
+}
+
+#[cfg(feature = "count-allocs")]
+fn alloc_counts() -> (u64, u64) {
+    cc_profile::alloc::CountingAlloc::counts()
+}
+#[cfg(not(feature = "count-allocs"))]
+fn alloc_counts() -> (u64, u64) {
+    (0, 0)
+}
+
+/// Runs `f` `k` times and folds the timings into a [`PerfCase`].
+///
+/// # Panics
+///
+/// Panics if the model cost differs between repetitions (the suite is
+/// seeded; a mismatch means nondeterminism).
+fn measure<F: FnMut() -> Cost>(id: &str, backend: &str, n: usize, k: usize, mut f: F) -> PerfCase {
+    assert!(k >= 1, "at least one repetition");
+    let mut nanos: Vec<u64> = Vec::with_capacity(k);
+    let mut model: Option<Cost> = None;
+    let mut allocs = 0u64;
+    let mut alloc_bytes = 0u64;
+    for rep in 0..k {
+        let (a0, b0) = alloc_counts();
+        let t0 = Instant::now();
+        let cost = f();
+        nanos.push(t0.elapsed().as_nanos() as u64);
+        let (a1, b1) = alloc_counts();
+        if rep == 0 {
+            allocs = a1 - a0;
+            alloc_bytes = b1 - b0;
+        }
+        match &model {
+            None => model = Some(cost),
+            Some(m) => assert_eq!(
+                *m, cost,
+                "case {id}/{backend}/n={n}: model cost drifted between repetitions"
+            ),
+        }
+    }
+    nanos.sort_unstable();
+    let model = model.expect("k >= 1");
+    let counting = cfg!(feature = "count-allocs");
+    PerfCase {
+        id: id.to_string(),
+        backend: backend.to_string(),
+        n: n as u64,
+        runs: k as u64,
+        nanos_median: nanos[nanos.len() / 2],
+        nanos_min: nanos[0],
+        nanos_max: *nanos.last().expect("non-empty"),
+        rounds: model.rounds,
+        messages: model.messages,
+        words: model.words,
+        allocs: counting.then_some(allocs),
+        alloc_bytes: counting.then_some(alloc_bytes),
+    }
+}
+
+fn adjacency(g: &Graph) -> Vec<Vec<usize>> {
+    let mut adj = vec![Vec::new(); g.n()];
+    for e in g.edges() {
+        adj[e.u as usize].push(e.v as usize);
+        adj[e.v as usize].push(e.u as usize);
+    }
+    adj
+}
+
+/// Runs the fixed suite and returns the dated artifact
+/// (`created_unix` is stamped from the system clock by
+/// [`PerfSuite::new`]).
+pub fn run_suite(quick: bool, k: usize) -> PerfSuite {
+    let mut cases = Vec::new();
+
+    // Theorem 4 sketch-GC, full pipeline on the direct simulator.
+    let gc_ns: &[usize] = if quick { &[32, 64] } else { &[32, 64, 128] };
+    for &n in gc_ns {
+        let mut rng = ChaCha8Rng::seed_from_u64(4000 + n as u64);
+        let g = generators::random_connected_graph(n, 3.0 / n as f64, &mut rng);
+        cases.push(measure("gc-sketch", "net", n, k, || {
+            let run = gc::run(&g, &NetConfig::kt1(n).with_seed(n as u64)).expect("gc run");
+            run.cost
+        }));
+    }
+
+    // Theorem 7 EXACT-MST on random weighted cliques.
+    let mst_ns: &[usize] = if quick { &[16, 32] } else { &[16, 32, 64] };
+    for &n in mst_ns {
+        let mut rng = ChaCha8Rng::seed_from_u64(1000 + n as u64);
+        let g = generators::complete_wgraph(n, &mut rng);
+        cases.push(measure("exact-mst", "net", n, k, || {
+            let mut net = Net::new(NetConfig::kt1(n).with_seed(n as u64));
+            let run = exact_mst(&mut net, &g, &ExactMstConfig::default()).expect("mst run");
+            run.cost
+        }));
+    }
+
+    // The all-to-all collective: 1 round, Θ(n²) messages — the routing
+    // pattern the O(log log log n) algorithms use freely.
+    let a2a_ns: &[usize] = if quick { &[32, 64] } else { &[32, 64, 128] };
+    for &n in a2a_ns {
+        let values: Vec<u64> = (0..n as u64).map(|i| i * i + 1).collect();
+        cases.push(measure("route-a2a", "net", n, k, || {
+            let mut net = Net::new(NetConfig::kt1(n).with_seed(7));
+            let before = net.cost();
+            // 8 collectives per repetition so the measured region is not
+            // dominated by Net construction.
+            for _ in 0..8 {
+                let shared = all_to_all_share(&mut net, &values).expect("collective");
+                assert_eq!(shared.len(), n);
+            }
+            net.cost().since(&before)
+        }));
+    }
+
+    // Runtime connectivity on both backends, same seeds: model costs
+    // must match across engines; only the timing column may differ.
+    let rt_ns: &[usize] = if quick { &[32, 64] } else { &[32, 64, 128] };
+    for &n in rt_ns {
+        let mut rng = ChaCha8Rng::seed_from_u64(9000 + n as u64);
+        let g = generators::random_connected_graph(n, 4.0 / n as f64, &mut rng);
+        let adj = adjacency(&g);
+        cases.push(measure("rt-conn", "serial", n, k, || {
+            let mut rt = Runtime::serial(NetConfig::kt1(n).with_seed(n as u64));
+            let out = run_connectivity(&mut rt, &adj, None, 200_000).expect("serial gc");
+            assert!(out.connected);
+            rt.cost()
+        }));
+        cases.push(measure("rt-conn", "parallel", n, k, || {
+            let mut rt = Runtime::parallel(NetConfig::kt1(n).with_seed(n as u64));
+            let out = run_connectivity(&mut rt, &adj, None, 200_000).expect("parallel gc");
+            assert!(out.connected);
+            rt.cost()
+        }));
+    }
+
+    let mut suite = PerfSuite::new("cc-bench perf")
+        .with_meta("mode", if quick { "quick" } else { "full" })
+        .with_meta("k", &k.to_string())
+        .with_meta("count_allocs", &cfg!(feature = "count-allocs").to_string());
+    suite.cases = cases;
+    suite
+}
+
+/// `(year, month, day)` in UTC for a unix timestamp — for naming
+/// `BENCH_<stamp>.json` without a date/time dependency. Howard Hinnant's
+/// `civil_from_days` algorithm.
+pub fn civil_from_unix(secs: u64) -> (u64, u64, u64) {
+    let days = secs / 86_400;
+    let z = days + 719_468;
+    let era = z / 146_097;
+    let doe = z - era * 146_097;
+    let yoe = (doe - doe / 1_460 + doe / 36_524 - doe / 146_096) / 365;
+    let y = yoe + era * 400;
+    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+    let mp = (5 * doy + 2) / 153;
+    let d = doy - (153 * mp + 2) / 5 + 1;
+    let m = if mp < 10 { mp + 3 } else { mp - 9 };
+    let y = if m <= 2 { y + 1 } else { y };
+    (y, m, d)
+}
+
+/// The dated artifact filename for a run: `BENCH_YYYYMMDD.json`.
+pub fn stamp_name(created_unix: u64) -> String {
+    let (y, m, d) = civil_from_unix(created_unix);
+    format!("BENCH_{y:04}{m:02}{d:02}.json")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cc_profile::{compare, Tolerance};
+
+    #[test]
+    fn civil_dates_are_correct() {
+        assert_eq!(civil_from_unix(0), (1970, 1, 1));
+        // 2026-08-06 00:00:00 UTC.
+        assert_eq!(civil_from_unix(1_785_974_400), (2026, 8, 6));
+        assert_eq!(stamp_name(0), "BENCH_19700101.json");
+    }
+
+    #[test]
+    fn measure_is_median_of_k_and_rejects_model_drift() {
+        let case = measure("toy", "net", 4, 5, || Cost {
+            rounds: 2,
+            messages: 10,
+            words: 20,
+            bits: 240,
+        });
+        assert_eq!(case.runs, 5);
+        assert!(case.nanos_min <= case.nanos_median && case.nanos_median <= case.nanos_max);
+        assert_eq!((case.rounds, case.messages, case.words), (2, 10, 20));
+    }
+
+    #[test]
+    #[should_panic(expected = "model cost drifted")]
+    fn nondeterministic_model_cost_panics() {
+        let mut r = 0u64;
+        let _ = measure("toy", "net", 4, 2, || {
+            r += 1;
+            Cost {
+                rounds: r,
+                messages: 0,
+                words: 0,
+                bits: 0,
+            }
+        });
+    }
+
+    #[test]
+    fn quick_suite_is_deterministic_and_self_consistent() {
+        let suite = run_suite(true, 1);
+        assert!(suite.validate().is_ok(), "{:?}", suite.validate());
+        assert_eq!(suite.cases.len(), 10, "2+2+2 net cases + 2×2 rt cases");
+        // A replay with the same seeds must carry identical model costs:
+        // the suite gates itself at zero model tolerance.
+        let again = run_suite(true, 1);
+        let cmp = compare(&again, &suite, Tolerance::default());
+        assert!(
+            cmp.deltas.iter().all(|d| d.model_drift.is_empty()),
+            "model quantities must be reproducible"
+        );
+        // Both rt backends exist and agree on model cost per n.
+        for &n in &[32u64, 64] {
+            let serial = suite
+                .cases
+                .iter()
+                .find(|c| c.id == "rt-conn" && c.backend == "serial" && c.n == n)
+                .expect("serial case");
+            let parallel = suite
+                .cases
+                .iter()
+                .find(|c| c.id == "rt-conn" && c.backend == "parallel" && c.n == n)
+                .expect("parallel case");
+            assert_eq!(
+                (serial.rounds, serial.messages, serial.words),
+                (parallel.rounds, parallel.messages, parallel.words),
+                "engines must agree on model cost at n={n}"
+            );
+        }
+    }
+}

@@ -138,7 +138,7 @@ mod tests {
     #[test]
     fn float_formatting() {
         assert_eq!(f(0.0), "0");
-        assert_eq!(f(2.71828), "2.72");
+        assert_eq!(f(2.7241), "2.72");
         assert_eq!(f(12345.6), "12346");
     }
 }

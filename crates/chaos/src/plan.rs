@@ -49,7 +49,7 @@ impl RoundRange {
 
     /// Whether `round` falls inside the window.
     pub fn contains(&self, round: u64) -> bool {
-        round >= self.from && self.to.map_or(true, |to| round <= to)
+        round >= self.from && self.to.is_none_or(|to| round <= to)
     }
 }
 

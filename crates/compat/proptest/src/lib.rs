@@ -16,17 +16,25 @@
 
 /// Test-runner types: configuration and case outcomes.
 pub mod test_runner {
-    /// Run configuration. Only `cases` is honored by the shim.
+    /// Run configuration. Only `cases` is honored by the shim;
+    /// `max_shrink_iters` exists so `..ProptestConfig::default()` struct
+    /// updates (the real-proptest idiom) stay meaningful.
     #[derive(Clone, Debug)]
     pub struct ProptestConfig {
         /// Number of generated cases per property.
         pub cases: u32,
+        /// Shrink-iteration cap (accepted, not honored: the shim replays
+        /// the failing input directly instead of shrinking).
+        pub max_shrink_iters: u32,
     }
 
     impl ProptestConfig {
         /// Config running `cases` cases.
         pub fn with_cases(cases: u32) -> Self {
-            ProptestConfig { cases }
+            ProptestConfig {
+                cases,
+                ..ProptestConfig::default()
+            }
         }
     }
 
@@ -35,7 +43,10 @@ pub mod test_runner {
             // Real proptest defaults to 256; the shim trims to keep the
             // full workspace suite fast on small CI machines while still
             // exploring a meaningful sample.
-            ProptestConfig { cases: 64 }
+            ProptestConfig {
+                cases: 64,
+                max_shrink_iters: 1024,
+            }
         }
     }
 

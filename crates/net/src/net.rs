@@ -412,6 +412,14 @@ impl<M: Wire + Clone> CliqueNet<M> {
         let n = self.cfg.n;
         let round = self.counters.total().rounds;
         let before = self.counters.total();
+        // Whole-round wall clock: the gap between this and the per-node
+        // compute spans is simulator overhead (routing, metering, fault
+        // injection) — see `cc_trace::Event::RoundWall`.
+        let round_t0 = if self.timing {
+            Some(Instant::now())
+        } else {
+            None
+        };
         if self.tracing {
             self.tracer.record(Event::RoundStart { round });
         }
@@ -543,6 +551,12 @@ impl<M: Wire + Clone> CliqueNet<M> {
             }
             for rec in &fault_records {
                 self.tracer.record(rec.to_event());
+            }
+            if let Some(t0) = round_t0 {
+                self.tracer.record(Event::RoundWall {
+                    round,
+                    nanos: t0.elapsed().as_nanos() as u64,
+                });
             }
             let after = self.counters.total();
             self.tracer.record(Event::RoundEnd {

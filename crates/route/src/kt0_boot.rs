@@ -78,8 +78,8 @@ mod tests {
         assert_eq!(net.cost().messages, (n * (n - 1)) as u64);
         assert_eq!(net.cost().rounds, 2);
         // Tables agree with the hidden permutation and cover all peers.
-        for u in 0..n {
-            let mut ids = tables[u].clone();
+        for (u, table) in tables.iter().enumerate() {
+            let mut ids = table.clone();
             ids.sort_unstable();
             let expect: Vec<u32> = (0..n as u32).filter(|&v| v as usize != u).collect();
             assert_eq!(ids, expect);

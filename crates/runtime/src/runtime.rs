@@ -279,6 +279,14 @@ impl<B: Backend> Runtime<B> {
             }
         }
         let round = self.counters.total().rounds;
+        // Whole-round wall clock (fault pre-pass + backend execution +
+        // event emission), mirroring `CliqueNet::step` — the gap between
+        // this and the worker spans is engine overhead.
+        let round_t0 = if self.timing {
+            Some(std::time::Instant::now())
+        } else {
+            None
+        };
         if self.tracing {
             self.tracer.record(Event::RoundStart { round });
         }
@@ -376,6 +384,12 @@ impl<B: Backend> Runtime<B> {
                         nanos: span.nanos,
                     });
                 }
+            }
+            if let Some(t0) = round_t0 {
+                self.tracer.record(Event::RoundWall {
+                    round,
+                    nanos: t0.elapsed().as_nanos() as u64,
+                });
             }
             self.tracer.record(Event::RoundEnd {
                 round,

@@ -85,7 +85,7 @@ mod tests {
     const UNIVERSE: u64 = 1000;
 
     fn z_for_test() -> u64 {
-        123_456_789_0123
+        1_234_567_890_123
     }
 
     fn insert(cell: &mut [u64], i: u64, sign: i64) {

@@ -107,6 +107,22 @@ impl FaultKind {
             FaultKind::Squeeze => "squeeze",
         }
     }
+
+    /// Inverse of [`FaultKind::as_str`].
+    ///
+    /// # Errors
+    ///
+    /// Names the unknown tag.
+    pub fn parse(tag: &str) -> Result<FaultKind, String> {
+        match tag {
+            "drop" => Ok(FaultKind::Drop),
+            "duplicate" => Ok(FaultKind::Duplicate),
+            "corrupt" => Ok(FaultKind::Corrupt),
+            "defer" => Ok(FaultKind::Defer),
+            "squeeze" => Ok(FaultKind::Squeeze),
+            other => Err(format!("fault: unknown kind `{other}`")),
+        }
+    }
 }
 
 /// One structured trace event.
@@ -207,13 +223,28 @@ pub enum Event {
         /// Wall-clock nanoseconds.
         nanos: u64,
     },
+    /// Wall-clock time one full executed round took, measured by the
+    /// engine driving the round (timing event). The gap between this and
+    /// the round's compute spans ([`Event::NodeCompute`] /
+    /// [`Event::WorkerSpan`]) is *simulator overhead* — routing,
+    /// metering, fault injection — which `cc-profile` attributes
+    /// separately from node-program time.
+    RoundWall {
+        /// The 0-based round.
+        round: u64,
+        /// Wall-clock nanoseconds of the whole round.
+        nanos: u64,
+    },
 }
 
 impl Event {
     /// Whether this event is deterministic given the protocol and seed
     /// (see the module docs). Timing events return `false`.
     pub fn is_model(&self) -> bool {
-        !matches!(self, Event::NodeCompute { .. } | Event::WorkerSpan { .. })
+        !matches!(
+            self,
+            Event::NodeCompute { .. } | Event::WorkerSpan { .. } | Event::RoundWall { .. }
+        )
     }
 
     /// Stable kind tag (the `"ev"` field of the JSONL form).
@@ -229,6 +260,7 @@ impl Event {
             Event::NodeCrash { .. } => "node_crash",
             Event::NodeCompute { .. } => "node_compute",
             Event::WorkerSpan { .. } => "worker_span",
+            Event::RoundWall { .. } => "round_wall",
         }
     }
 
@@ -317,6 +349,101 @@ impl Event {
                 ("node_hi", Json::UInt(*node_hi as u64)),
                 ("nanos", Json::UInt(*nanos)),
             ]),
+            Event::RoundWall { round, nanos } => Json::obj(vec![
+                tag,
+                ("round", Json::UInt(*round)),
+                ("nanos", Json::UInt(*nanos)),
+            ]),
+        }
+    }
+
+    /// Parses the object form emitted by [`Event::to_json`] (one JSONL
+    /// line) — the inverse used by `trace_report diff` and the profile
+    /// tooling to reload saved traces.
+    ///
+    /// # Errors
+    ///
+    /// Names the missing/ill-typed field or the unknown `ev` tag.
+    pub fn from_json(v: &Json) -> Result<Event, String> {
+        let kind = v
+            .get("ev")
+            .and_then(Json::as_str)
+            .ok_or("event: missing `ev` tag")?;
+        let u = |name: &str| -> Result<u64, String> {
+            v.get(name)
+                .and_then(Json::as_u64)
+                .ok_or_else(|| format!("event `{kind}`: missing u64 field `{name}`"))
+        };
+        let u32_of = |name: &str| -> Result<u32, String> {
+            u(name).and_then(|x| {
+                u32::try_from(x)
+                    .map_err(|_| format!("event `{kind}`: field `{name}` overflows u32"))
+            })
+        };
+        let s = |name: &str| -> Result<String, String> {
+            v.get(name)
+                .and_then(Json::as_str)
+                .map(str::to_string)
+                .ok_or_else(|| format!("event `{kind}`: missing string field `{name}`"))
+        };
+        match kind {
+            "round_start" => Ok(Event::RoundStart { round: u("round")? }),
+            "round_end" => Ok(Event::RoundEnd {
+                round: u("round")?,
+                messages: u("messages")?,
+                words: u("words")?,
+            }),
+            "scope_enter" => Ok(Event::ScopeEnter {
+                name: s("name")?,
+                round: u("round")?,
+            }),
+            "scope_exit" => Ok(Event::ScopeExit {
+                name: s("name")?,
+                delta: CostSnapshot::from_json(
+                    v.get("delta")
+                        .ok_or("event `scope_exit`: missing `delta`")?,
+                )?,
+            }),
+            "message_batch" => Ok(Event::MessageBatch {
+                round: u("round")?,
+                src: u32_of("src")?,
+                dst: u32_of("dst")?,
+                count: u32_of("count")?,
+                words: u("words")?,
+            }),
+            "fast_forward" => Ok(Event::FastForward {
+                from_round: u("from_round")?,
+                rounds: u("rounds")?,
+            }),
+            "fault" => Ok(Event::Fault {
+                round: u("round")?,
+                kind: FaultKind::parse(&s("kind")?)?,
+                src: u32_of("src")?,
+                dst: u32_of("dst")?,
+                index: u32_of("index")?,
+                info: u("info")?,
+            }),
+            "node_crash" => Ok(Event::NodeCrash {
+                round: u("round")?,
+                node: u32_of("node")?,
+            }),
+            "node_compute" => Ok(Event::NodeCompute {
+                round: u("round")?,
+                node: u32_of("node")?,
+                nanos: u("nanos")?,
+            }),
+            "worker_span" => Ok(Event::WorkerSpan {
+                round: u("round")?,
+                worker: u32_of("worker")?,
+                node_lo: u32_of("node_lo")?,
+                node_hi: u32_of("node_hi")?,
+                nanos: u("nanos")?,
+            }),
+            "round_wall" => Ok(Event::RoundWall {
+                round: u("round")?,
+                nanos: u("nanos")?,
+            }),
+            other => Err(format!("event: unknown kind `{other}`")),
         }
     }
 }
@@ -401,6 +528,80 @@ mod tests {
         .map(FaultKind::as_str)
         .collect();
         assert_eq!(kinds, ["drop", "duplicate", "corrupt", "defer", "squeeze"]);
+    }
+
+    #[test]
+    fn every_event_kind_round_trips_through_json() {
+        let all = vec![
+            Event::RoundStart { round: 0 },
+            Event::RoundEnd {
+                round: 0,
+                messages: 3,
+                words: 7,
+            },
+            Event::ScopeEnter {
+                name: "phase1".into(),
+                round: 1,
+            },
+            Event::ScopeExit {
+                name: "phase1".into(),
+                delta: CostSnapshot {
+                    rounds: 1,
+                    messages: 2,
+                    words: 3,
+                    bits: 18,
+                },
+            },
+            Event::MessageBatch {
+                round: 2,
+                src: 4,
+                dst: 5,
+                count: 6,
+                words: 7,
+            },
+            Event::FastForward {
+                from_round: 3,
+                rounds: 100,
+            },
+            Event::Fault {
+                round: 4,
+                kind: FaultKind::Corrupt,
+                src: 1,
+                dst: 2,
+                index: 3,
+                info: 11,
+            },
+            Event::NodeCrash { round: 5, node: 9 },
+            Event::NodeCompute {
+                round: 6,
+                node: 1,
+                nanos: 0,
+            },
+            Event::WorkerSpan {
+                round: 7,
+                worker: 0,
+                node_lo: 0,
+                node_hi: 8,
+                nanos: 12345,
+            },
+            Event::RoundWall {
+                round: 8,
+                nanos: 99,
+            },
+        ];
+        for ev in all {
+            let parsed = Event::from_json(&ev.to_json()).unwrap();
+            assert_eq!(parsed, ev);
+        }
+        assert!(Event::from_json(&Json::Null).is_err());
+        assert!(Event::from_json(&Json::obj(vec![("ev", Json::Str("mystery".into()))])).is_err());
+    }
+
+    #[test]
+    fn round_wall_is_a_timing_event() {
+        let ev = Event::RoundWall { round: 3, nanos: 5 };
+        assert!(!ev.is_model());
+        assert_eq!(ev.kind(), "round_wall");
     }
 
     #[test]

@@ -143,10 +143,34 @@ pub fn to_chrome_trace(events: &[Event]) -> String {
                     None,
                 ));
             }
-            Event::RoundStart { .. } | Event::RoundEnd { .. } | Event::MessageBatch { .. } => {}
+            // Round-wall spans would shadow the per-node tracks; the
+            // profile view (`cc-profile`) is where overhead attribution
+            // lives.
+            Event::RoundStart { .. }
+            | Event::RoundEnd { .. }
+            | Event::MessageBatch { .. }
+            | Event::RoundWall { .. } => {}
         }
     }
     Json::Arr(out).emit()
+}
+
+/// Parses a JSONL document back into typed [`Event`]s — the inverse of
+/// [`to_jsonl`], used to reload saved traces for diffing and profiling.
+///
+/// # Errors
+///
+/// Reports the first malformed line (1-based index).
+pub fn events_from_jsonl(text: &str) -> Result<Vec<Event>, String> {
+    text.lines()
+        .enumerate()
+        .filter(|(_, l)| !l.trim().is_empty())
+        .map(|(i, l)| {
+            Json::parse(l)
+                .and_then(|v| Event::from_json(&v))
+                .map_err(|e| format!("line {}: {e}", i + 1))
+        })
+        .collect()
 }
 
 /// Per-phase cost summary derived from scope events: same-named scopes
@@ -293,6 +317,15 @@ mod tests {
         assert_eq!(parsed.len(), sample().len());
         assert_eq!(parsed[1].get("ev").unwrap().as_str(), Some("round_start"));
         assert!(parse_jsonl("{bad").is_err());
+    }
+
+    #[test]
+    fn typed_events_round_trip_through_jsonl() {
+        let events = sample();
+        let text = to_jsonl(&events);
+        let parsed = events_from_jsonl(&text).unwrap();
+        assert_eq!(parsed, events);
+        assert!(events_from_jsonl("{\"ev\":\"mystery\"}").is_err());
     }
 
     #[test]

@@ -120,6 +120,35 @@ impl HistogramSnapshot {
         }
     }
 
+    /// Estimated `q`-quantile (`0.0 ..= 1.0`) from the log-scaled digest.
+    ///
+    /// Walks the cumulative bucket counts to the bucket containing the
+    /// quantile rank and interpolates linearly within the bucket's
+    /// `[lo, 2·lo)` range, clamped to the observed `min`/`max` — so the
+    /// estimate is within one power of two of the true value, which is
+    /// the resolution the digest retains by design. Returns 0 when empty.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        // Rank of the target observation, 1-based.
+        let rank = ((q * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for &(lo, c) in &self.buckets {
+            if seen + c >= rank {
+                // Interpolate within [lo, hi): hi is 2·lo (or lo+1 for
+                // the zero bucket), never past the recorded max.
+                let hi = if lo == 0 { 1 } else { lo.saturating_mul(2) };
+                let frac = (rank - seen) as f64 / c as f64;
+                let est = lo as f64 + frac * (hi.saturating_sub(lo)) as f64;
+                return (est as u64).clamp(self.min, self.max);
+            }
+            seen += c;
+        }
+        self.max
+    }
+
     /// JSON object form.
     pub fn to_json(&self) -> Json {
         Json::obj(vec![
@@ -292,6 +321,8 @@ impl MetricsSnapshot {
 /// * histogram `inbox_messages` — messages per `(round, dst)` inbox;
 /// * histogram `round_messages` — messages per executed round;
 /// * histogram `node_compute_nanos` — per-node wall-clock, when timing
+///   events are present;
+/// * histogram `round_wall_nanos` — whole-round wall-clock, when timing
 ///   events are present.
 pub fn metrics_from_events(events: &[Event]) -> MetricsRegistry {
     let mut reg = MetricsRegistry::new();
@@ -321,6 +352,7 @@ pub fn metrics_from_events(events: &[Event]) -> MetricsRegistry {
                 reg.counter_add("fast_forward_rounds", *rounds);
             }
             Event::NodeCompute { nanos, .. } => reg.observe("node_compute_nanos", *nanos),
+            Event::RoundWall { nanos, .. } => reg.observe("round_wall_nanos", *nanos),
             Event::Fault { .. } => reg.counter_add("faults_injected", 1),
             Event::NodeCrash { .. } => reg.counter_add("node_crashes", 1),
             Event::ScopeEnter { .. } | Event::ScopeExit { .. } | Event::WorkerSpan { .. } => {}
@@ -355,6 +387,41 @@ mod tests {
         assert_eq!(lows, vec![0, 1, 2, 4, 1024, 1 << 63]);
         let counts: Vec<u64> = s.buckets.iter().map(|&(_, c)| c).collect();
         assert_eq!(counts, vec![1, 1, 2, 1, 1, 1]);
+    }
+
+    #[test]
+    fn quantiles_track_the_log_digest_resolution() {
+        let mut h = LogHistogram::new();
+        // 100 observations at 100ns, 10 at ~10µs, 1 at ~1ms.
+        for _ in 0..100 {
+            h.observe(100);
+        }
+        for _ in 0..10 {
+            h.observe(10_000);
+        }
+        h.observe(1_000_000);
+        let s = h.snapshot();
+        let p50 = s.quantile(0.50);
+        assert!((64..256).contains(&p50), "p50 within one bucket: {p50}");
+        let p99 = s.quantile(0.99);
+        assert!(
+            (8_192..32_768).contains(&p99),
+            "p99 in the 10µs bucket: {p99}"
+        );
+        assert_eq!(s.quantile(1.0), s.max);
+        assert_eq!(s.quantile(0.0), s.min);
+        assert_eq!(HistogramSnapshot::default().quantile(0.5), 0);
+    }
+
+    #[test]
+    fn quantile_of_uniform_point_mass_is_that_point() {
+        let mut h = LogHistogram::new();
+        for _ in 0..7 {
+            h.observe(0);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.quantile(0.5), 0, "zero-duration spans aggregate as 0");
+        assert_eq!(s.quantile(0.99), 0);
     }
 
     #[test]

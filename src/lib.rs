@@ -22,6 +22,8 @@
 //!   adversary demonstrators.
 //! * [`trace`] — structured tracing, metrics, and the versioned
 //!   `RunArtifact` JSON format experiments emit.
+//! * [`profile`] — phase-tree profiles, perf baselines with regression
+//!   gating, and model-event trace diffing.
 //!
 //! # Quickstart
 //!
@@ -49,6 +51,7 @@ pub use cc_kkt as kkt;
 pub use cc_lb as lb;
 pub use cc_lotker as lotker;
 pub use cc_net as net;
+pub use cc_profile as profile;
 pub use cc_route as route;
 pub use cc_runtime as runtime;
 pub use cc_sketch as sketch;

@@ -4,7 +4,7 @@
 
 use cc_graph::{generators, mst, UnionFind};
 use cc_net::NetConfig;
-use cc_route::{distributed_sort, route, Net, RoutedPacket};
+use cc_route::{distributed_sort, route, Net, Packet, RoutedPacket};
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 use rand::Rng;
 use rand::SeedableRng;
@@ -54,7 +54,7 @@ fn bench_routing_contract(c: &mut Criterion) {
                         (0..n).map(move |dst| RoutedPacket {
                             src,
                             dst,
-                            payload: vec![(src * n + dst) as u64],
+                            payload: Packet::one((src * n + dst) as u64),
                         })
                     })
                     .collect();

@@ -11,6 +11,16 @@
 //! Flags:
 //!
 //! * `--quick` — the CI-sized suite (smaller `n`, 3 repetitions).
+//! * `--large` — also run the large-`n` scaling entries (`route-a2a` and
+//!   `gc-sketch` at `n ∈ {2048, 4096}`; seconds per repetition).
+//! * `--large-smoke` — also run just the `route-a2a` `n = 2048` entry
+//!   (the CI scaling smoke).
+//! * `--filter PATTERNS` — gate only cases whose `id/backend/n=N` key
+//!   contains one of the comma-separated patterns (applied to both the
+//!   fresh suite and the baseline; the written artifact is unfiltered).
+//! * `--ignore-missing` — don't fail the gate over baseline cases this
+//!   run did not execute (e.g. gating a `--quick` run against a baseline
+//!   that also carries the large entries).
 //! * `--k N` — override the repetition count.
 //! * `--out PATH` — where to write the dated artifact (default
 //!   `BENCH_<stamp>.json` in the working directory; `-` skips writing).
@@ -26,7 +36,7 @@
 //! Exit codes: 0 ok (or `--warn-only`), 1 regression/model drift,
 //! 2 usage or I/O error.
 
-use cc_bench::perf::{default_k, run_suite, stamp_name};
+use cc_bench::perf::{default_k, run_suite_with, stamp_name, Large};
 use cc_profile::{compare, render_comparison, PerfSuite, Tolerance};
 
 #[cfg(feature = "count-allocs")]
@@ -44,10 +54,28 @@ fn fail(msg: &str) -> ! {
     std::process::exit(2);
 }
 
+/// Keeps only cases whose `id/backend/n=N` key contains one of the
+/// comma-separated `patterns`.
+fn apply_filter(suite: &mut PerfSuite, patterns: &str) {
+    let pats: Vec<&str> = patterns.split(',').filter(|p| !p.is_empty()).collect();
+    suite.cases.retain(|c| {
+        let key = format!("{}/{}/n={}", c.id, c.backend, c.n);
+        pats.iter().any(|p| key.contains(p))
+    });
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
     let warn_only = args.iter().any(|a| a == "--warn-only");
+    let ignore_missing = args.iter().any(|a| a == "--ignore-missing");
+    let large = if args.iter().any(|a| a == "--large") {
+        Large::Full
+    } else if args.iter().any(|a| a == "--large-smoke") {
+        Large::Smoke
+    } else {
+        Large::Off
+    };
     let k = value_of(&args, "--k")
         .map(|v| {
             v.parse::<usize>()
@@ -63,10 +91,10 @@ fn main() {
         }
         None => {
             eprintln!(
-                "running perf suite ({} mode, k={k})...",
+                "running perf suite ({} mode, k={k}, large={large:?})...",
                 if quick { "quick" } else { "full" }
             );
-            run_suite(quick, k)
+            run_suite_with(quick, k, large)
         }
     };
     if let Err(problems) = suite.validate() {
@@ -99,13 +127,22 @@ fn main() {
     };
     let text = std::fs::read_to_string(&baseline_path)
         .unwrap_or_else(|e| fail(&format!("cannot read {baseline_path}: {e}")));
-    let baseline =
+    let mut baseline =
         PerfSuite::from_json_str(&text).unwrap_or_else(|e| fail(&format!("{baseline_path}: {e}")));
 
+    let mut gated = suite;
+    if let Some(patterns) = value_of(&args, "--filter") {
+        apply_filter(&mut gated, &patterns);
+        apply_filter(&mut baseline, &patterns);
+        if gated.cases.is_empty() {
+            fail(&format!("--filter {patterns} matched no cases"));
+        }
+    }
     let tol = Tolerance::default();
-    let cmp = compare(&suite, &baseline, tol);
+    let cmp = compare(&gated, &baseline, tol);
     print!("{}", render_comparison(&cmp, tol));
-    if !cmp.passed() {
+    let passed = cmp.regressions().is_empty() && (ignore_missing || cmp.missing.is_empty());
+    if !passed {
         if warn_only {
             eprintln!("regression detected (warn-only mode; not failing)");
         } else {

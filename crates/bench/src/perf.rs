@@ -35,6 +35,23 @@ pub fn default_k(quick: bool) -> usize {
     }
 }
 
+/// Which large-`n` scaling entries to append to the suite.
+///
+/// The large cases exist because the delivery loop's allocation behavior
+/// only dominates (and the paper's asymptotics only show their shape) at
+/// `n` in the thousands; they are opt-in because they cost seconds, not
+/// microseconds, per repetition.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Large {
+    /// No large cases (the PR-4 suite).
+    Off,
+    /// Only the `route-a2a` collective at `n = 2048` — the CI smoke entry.
+    Smoke,
+    /// `route-a2a` at `n ∈ {512, 2048, 4096}` and `gc-sketch` at
+    /// `n ∈ {2048, 4096}` (the E19 scaling table).
+    Full,
+}
+
 #[cfg(feature = "count-allocs")]
 fn alloc_counts() -> (u64, u64) {
     cc_profile::alloc::CountingAlloc::counts()
@@ -102,10 +119,59 @@ fn adjacency(g: &Graph) -> Vec<Vec<usize>> {
     adj
 }
 
+/// One large-`n` all-to-all case: 8 collectives per repetition on one
+/// `Net`, like the small-`n` entries — the multi-collective region is
+/// exactly what buffer pooling is supposed to make cheap, so a pooled
+/// engine shows up here and a per-round reallocating one does not.
+fn large_a2a_case(n: usize, k: usize) -> PerfCase {
+    let values: Vec<u64> = (0..n as u64).map(|i| i * i + 1).collect();
+    measure("route-a2a", "net", n, k, || {
+        let mut net = Net::new(NetConfig::kt1(n).with_seed(7));
+        let before = net.cost();
+        for _ in 0..8 {
+            let shared = all_to_all_share(&mut net, &values).expect("collective");
+            assert_eq!(shared.len(), n);
+        }
+        net.cost().since(&before)
+    })
+}
+
+/// One large-`n` GC-sketch case (full pipeline, direct simulator).
+fn large_gc_case(n: usize, k: usize) -> PerfCase {
+    let mut rng = ChaCha8Rng::seed_from_u64(4000 + n as u64);
+    let g = generators::random_connected_graph(n, 3.0 / n as f64, &mut rng);
+    measure("gc-sketch", "net", n, k, || {
+        let run = gc::run(&g, &NetConfig::kt1(n).with_seed(n as u64)).expect("gc run");
+        run.cost
+    })
+}
+
+/// Appends the [`Large`] scaling entries to `cases`.
+fn push_large_cases(cases: &mut Vec<PerfCase>, large: Large, k: usize) {
+    match large {
+        Large::Off => {}
+        Large::Smoke => cases.push(large_a2a_case(2048, k)),
+        Large::Full => {
+            for n in [512, 2048, 4096] {
+                cases.push(large_a2a_case(n, k));
+            }
+            for n in [2048, 4096] {
+                cases.push(large_gc_case(n, k));
+            }
+        }
+    }
+}
+
 /// Runs the fixed suite and returns the dated artifact
 /// (`created_unix` is stamped from the system clock by
-/// [`PerfSuite::new`]).
+/// [`PerfSuite::new`]). Shorthand for [`run_suite_with`] without large
+/// cases.
 pub fn run_suite(quick: bool, k: usize) -> PerfSuite {
+    run_suite_with(quick, k, Large::Off)
+}
+
+/// Runs the fixed suite plus the requested [`Large`] scaling entries.
+pub fn run_suite_with(quick: bool, k: usize, large: Large) -> PerfSuite {
     let mut cases = Vec::new();
 
     // Theorem 4 sketch-GC, full pipeline on the direct simulator.
@@ -170,8 +236,18 @@ pub fn run_suite(quick: bool, k: usize) -> PerfSuite {
         }));
     }
 
+    push_large_cases(&mut cases, large, k);
+
     let mut suite = PerfSuite::new("cc-bench perf")
         .with_meta("mode", if quick { "quick" } else { "full" })
+        .with_meta(
+            "large",
+            match large {
+                Large::Off => "off",
+                Large::Smoke => "smoke",
+                Large::Full => "full",
+            },
+        )
         .with_meta("k", &k.to_string())
         .with_meta("count_allocs", &cfg!(feature = "count-allocs").to_string());
     suite.cases = cases;

@@ -148,7 +148,12 @@ impl BenchmarkGroup<'_> {
         match (self.mode, result) {
             (Mode::TestOnce, _) => println!("test {}/{} ... ok (ran once)", self.name, id),
             (Mode::Measure, Some(t)) => {
-                println!("{}/{:<24} time: [{:>12.2} ns/iter]", self.name, id, t.as_nanos() as f64)
+                println!(
+                    "{}/{:<24} time: [{:>12.2} ns/iter]",
+                    self.name,
+                    id,
+                    t.as_nanos() as f64
+                )
             }
             (Mode::Measure, None) => println!("{}/{} ... no measurement", self.name, id),
         }

@@ -24,7 +24,7 @@
 use crate::error::CoreError;
 use cc_graph::{Graph, UnionFind};
 use cc_net::Cost;
-use cc_route::Net;
+use cc_route::{Net, Packet};
 
 /// A completed broadcast-model GC run.
 #[derive(Clone, Debug)]
@@ -76,7 +76,7 @@ pub fn broadcast_gc(net: &mut Net, g: &Graph) -> Result<BroadcastGcRun, CoreErro
             }
             if announce[node] {
                 announce[node] = false;
-                let _ = out.broadcast(vec![label[node] as u64]);
+                let _ = out.broadcast(Packet::one(label[node] as u64));
             }
         })?;
         // The driver sees whether the round carried any broadcast; nodes
@@ -90,7 +90,7 @@ pub fn broadcast_gc(net: &mut Net, g: &Graph) -> Result<BroadcastGcRun, CoreErro
     // connectivity; count components from the (replicated) label vector.
     let final_labels = label.clone();
     net.step(|node, _inbox, out| {
-        let _ = out.broadcast(vec![final_labels[node] as u64]);
+        let _ = out.broadcast(Packet::one(final_labels[node] as u64));
     })?;
     net.step(|_node, _inbox, _out| {})?;
 

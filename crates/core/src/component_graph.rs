@@ -14,7 +14,7 @@
 
 use cc_graph::{Graph, WEdge, WGraph};
 use cc_net::NetError;
-use cc_route::Net;
+use cc_route::{Net, Packet};
 use std::collections::{BTreeSet, HashMap};
 
 /// The component graph, as established knowledge at component leaders.
@@ -111,7 +111,7 @@ pub fn build_component_graph(
 
     net.step(|node, _inbox, out| {
         for (&leader, &(u, v)) in &per_node[node] {
-            let _ = out.send(leader, vec![u as u64, v as u64]);
+            let _ = out.send(leader, Packet::of(&[u as u64, v as u64]));
         }
     })?;
     net.step(|node, inbox, _out| {
@@ -193,7 +193,7 @@ pub fn build_weighted_component_graph(
     let mut received: Vec<Vec<WEdge>> = vec![Vec::new(); n];
     net.step(|node, _inbox, out| {
         for (&leader, e) in &per_node[node] {
-            let _ = out.send(leader, vec![e.w, e.u as u64, e.v as u64]);
+            let _ = out.send(leader, Packet::of(&[e.w, e.u as u64, e.v as u64]));
         }
     })?;
     net.step(|node, inbox, _out| {
@@ -250,7 +250,7 @@ pub fn build_weighted_component_graph(
     }
     net.step(|node, _inbox, out| {
         for (src, e) in &reduced[node] {
-            let _ = out.send(*src, vec![e.w, e.u as u64, e.v as u64]);
+            let _ = out.send(*src, Packet::of(&[e.w, e.u as u64, e.v as u64]));
         }
     })?;
     net.step(|_node, _inbox, _out| {})?;

@@ -16,7 +16,8 @@ use crate::reduce_components::{reduce_components, ReduceOutcome};
 use cc_graph::{Edge, Graph, UnionFind};
 use cc_net::{Cost, NetConfig};
 use cc_route::{
-    broadcast_large, fragment, gather_direct, reassemble, route, shared_seed, Net, RoutedPacket,
+    broadcast_large, fragment, gather_direct, reassemble, route, shared_seed, Net, Packet,
+    RoutedPacket,
 };
 use cc_sketch::{recommended_families, spanning_forest_via_sketches, GraphSketchSpace, Sketch};
 use std::collections::HashMap;
@@ -130,7 +131,7 @@ pub fn sketch_and_span(
     let delivered = route(net, packets)?;
 
     // Coordinator reassembles per sender and deserializes t sketches each.
-    let mut per_leader: HashMap<usize, Vec<Vec<u64>>> = HashMap::new();
+    let mut per_leader: HashMap<usize, Vec<Packet>> = HashMap::new();
     for (src, frag) in &delivered[coordinator] {
         per_leader.entry(*src).or_default().push(frag.clone());
     }
@@ -169,16 +170,16 @@ pub fn sketch_and_span(
     for &(a, b) in &t2 {
         t2_words.extend_from_slice(&[a as u64, b as u64]);
     }
-    broadcast_large(net, coordinator, t2_words)?;
+    broadcast_large(net, coordinator, t2_words.into())?;
 
-    let mut items: Vec<Vec<Vec<u64>>> = vec![Vec::new(); net.n()];
+    let mut items: Vec<Vec<Packet>> = vec![Vec::new(); net.n()];
     let mut witnesses: Vec<Edge> = Vec::new();
     for &(a, b) in &t2 {
         let w = g1.min_edge[&(a, b)];
         if a == coordinator {
             witnesses.push(w.edge()); // coordinator's own witnesses are local
         } else {
-            items[a].push(vec![w.u as u64, w.v as u64]);
+            items[a].push(Packet::of(&[w.u as u64, w.v as u64]));
         }
     }
     let collected = gather_direct(net, coordinator, items)?;
@@ -225,7 +226,7 @@ pub fn run_on(net: &mut Net, g: &Graph, cfg: &GcConfig) -> Result<GcOutput, Core
         words.extend_from_slice(&[e.u as u64, e.v as u64]);
     }
     net.begin_scope("output-broadcast");
-    broadcast_large(net, coordinator, words)?;
+    broadcast_large(net, coordinator, words.into())?;
     net.end_scope();
 
     let mut uf = UnionFind::new(n);

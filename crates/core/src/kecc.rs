@@ -98,7 +98,9 @@ pub fn k_edge_connectivity_sketch(
     net_cfg: &NetConfig,
     families: Option<usize>,
 ) -> Result<KeccRun, CoreError> {
-    use cc_route::{broadcast_large, fragment, reassemble, route, shared_seed, Net, RoutedPacket};
+    use cc_route::{
+        broadcast_large, fragment, reassemble, route, shared_seed, Net, Packet, RoutedPacket,
+    };
     use cc_sketch::{recommended_families, spanning_forest_via_sketches, GraphSketchSpace, Sketch};
     use std::collections::HashMap;
 
@@ -141,7 +143,7 @@ pub fn k_edge_connectivity_sketch(
     let delivered = route(&mut net, packets)?;
 
     // Coordinator: reassemble per node, then peel k forests locally.
-    let mut per_node: HashMap<usize, Vec<Vec<u64>>> = HashMap::new();
+    let mut per_node: HashMap<usize, Vec<Packet>> = HashMap::new();
     for (src, frag) in &delivered[coordinator] {
         per_node.entry(*src).or_default().push(frag.clone());
     }
@@ -189,7 +191,7 @@ pub fn k_edge_connectivity_sketch(
     for e in &certificate {
         words.extend_from_slice(&[e.u as u64, e.v as u64]);
     }
-    broadcast_large(&mut net, coordinator, words)?;
+    broadcast_large(&mut net, coordinator, words.into())?;
 
     let cert_graph = Graph::from_edges(g.n(), certificate.iter().copied());
     let lambda = connectivity::edge_connectivity(&cert_graph);

@@ -33,7 +33,7 @@
 use crate::error::CoreError;
 use cc_graph::{UnionFind, WEdge, WGraph, Weight};
 use cc_net::Cost;
-use cc_route::{broadcast_large, route, Net, RoutedPacket};
+use cc_route::{broadcast_large, route, Net, Packet, RoutedPacket};
 use cc_sketch::{EdgeSample, GraphSketchSpace, Sketch};
 use rand::Rng;
 use std::collections::{HashMap, HashSet};
@@ -145,7 +145,7 @@ pub fn kt1_mst(net: &mut Net, g: &WGraph, cfg: &Kt1MstConfig) -> Result<Kt1MstRu
                 if let Some(&seed) = seeds.get(&node) {
                     for &m in &members_of[&node] {
                         if m != node {
-                            let _ = out.send(m, vec![seed & 0xFFFF_FFFF, seed >> 32]);
+                            let _ = out.send(m, Packet::of(&[seed & 0xFFFF_FFFF, seed >> 32]));
                         }
                     }
                 }
@@ -158,7 +158,7 @@ pub fn kt1_mst(net: &mut Net, g: &WGraph, cfg: &Kt1MstConfig) -> Result<Kt1MstRu
                 .iter()
                 .map(|(&l, &s)| (l, GraphSketchSpace::new(n, s)))
                 .collect();
-            let mut queues: Vec<Vec<Vec<u64>>> = vec![Vec::new(); n]; // fragments to leader
+            let mut queues: Vec<Vec<Packet>> = vec![Vec::new(); n]; // fragments to leader
             let mut leader_sums: HashMap<usize, Sketch> = HashMap::new();
             for &l in &searching {
                 let sp = &spaces[&l];
@@ -185,7 +185,7 @@ pub fn kt1_mst(net: &mut Net, g: &WGraph, cfg: &Kt1MstConfig) -> Result<Kt1MstRu
                 }
             }
             // Pipelined member → leader transfer (one link each).
-            let mut arrived: HashMap<usize, HashMap<usize, Vec<Vec<u64>>>> = HashMap::new();
+            let mut arrived: HashMap<usize, HashMap<usize, Vec<Packet>>> = HashMap::new();
             while queues.iter().any(|q| !q.is_empty()) {
                 net.step(|node, _inbox, out| {
                     if queues[node].is_empty() {
@@ -274,13 +274,13 @@ pub fn kt1_mst(net: &mut Net, g: &WGraph, cfg: &Kt1MstConfig) -> Result<Kt1MstRu
                 newly_finished.insert(l);
             }
             // Query rounds: leader → member [x, y]; member → leader [w, x, y].
-            let mut request_queues: Vec<Vec<(usize, Vec<u64>)>> = vec![Vec::new(); n];
+            let mut request_queues: Vec<Vec<(usize, Packet)>> = vec![Vec::new(); n];
             for (member, qs) in queries {
                 for (l, x, y) in qs {
-                    request_queues[l].push((member, vec![x as u64, y as u64]));
+                    request_queues[l].push((member, Packet::of(&[x as u64, y as u64])));
                 }
             }
-            let mut answer_queues: Vec<Vec<(usize, Vec<u64>)>> = vec![Vec::new(); n];
+            let mut answer_queues: Vec<Vec<(usize, Packet)>> = vec![Vec::new(); n];
             loop {
                 let work = request_queues.iter().any(|q| !q.is_empty())
                     || answer_queues.iter().any(|q| !q.is_empty())
@@ -297,7 +297,7 @@ pub fn kt1_mst(net: &mut Net, g: &WGraph, cfg: &Kt1MstConfig) -> Result<Kt1MstRu
                                 let (x, y) = (env.msg[0] as usize, env.msg[1] as usize);
                                 if let Some(w) = g.weight_of(x, y) {
                                     answer_queues[node]
-                                        .push((env.src, vec![w, x as u64, y as u64]));
+                                        .push((env.src, Packet::of(&[w, x as u64, y as u64])));
                                 }
                             }
                             3 => {
@@ -349,7 +349,7 @@ pub fn kt1_mst(net: &mut Net, g: &WGraph, cfg: &Kt1MstConfig) -> Result<Kt1MstRu
                 if let Some(e) = new_thresh.get(&node) {
                     for &m in &members_of[&node] {
                         if m != node {
-                            let _ = out.send(m, vec![e.w, e.u as u64, e.v as u64]);
+                            let _ = out.send(m, Packet::of(&[e.w, e.u as u64, e.v as u64]));
                         }
                     }
                 }
@@ -365,17 +365,17 @@ pub fn kt1_mst(net: &mut Net, g: &WGraph, cfg: &Kt1MstConfig) -> Result<Kt1MstRu
 
         // (4) Report MWOEs / finished status to the coordinator and merge.
         net.begin_scope("kt1-mst:merge-report");
-        let mut reports: HashMap<usize, Vec<u64>> = HashMap::new();
+        let mut reports: HashMap<usize, Packet> = HashMap::new();
         for &l in &active {
             if newly_finished.contains(&l) {
-                reports.insert(l, vec![FINISHED]);
+                reports.insert(l, Packet::one(FINISHED));
             } else if let Some(e) = best.get(&l) {
-                reports.insert(l, vec![e.w, e.u as u64, e.v as u64]);
+                reports.insert(l, Packet::of(&[e.w, e.u as u64, e.v as u64]));
             }
             // A leader with neither (all decodes failed) stays silent and
             // retries next phase.
         }
-        let mut received: Vec<(usize, Vec<u64>)> = Vec::new();
+        let mut received: Vec<(usize, Packet)> = Vec::new();
         if let Some(own) = reports.get(&coordinator) {
             received.push((coordinator, own.clone()));
         }
@@ -421,7 +421,7 @@ pub fn kt1_mst(net: &mut Net, g: &WGraph, cfg: &Kt1MstConfig) -> Result<Kt1MstRu
             if node == coordinator {
                 for &l in &old_leaders {
                     if l != coordinator {
-                        let _ = out.send(l, vec![new_labels[l] as u64]);
+                        let _ = out.send(l, Packet::one(new_labels[l] as u64));
                     }
                 }
             }
@@ -431,7 +431,7 @@ pub fn kt1_mst(net: &mut Net, g: &WGraph, cfg: &Kt1MstConfig) -> Result<Kt1MstRu
             if members_of.contains_key(&node) {
                 for &m in &members_of[&node] {
                     if m != node {
-                        let _ = out.send(m, vec![new_labels[m] as u64]);
+                        let _ = out.send(m, Packet::one(new_labels[m] as u64));
                     }
                 }
             }
@@ -466,7 +466,7 @@ pub fn kt1_mst(net: &mut Net, g: &WGraph, cfg: &Kt1MstConfig) -> Result<Kt1MstRu
             packets.push(RoutedPacket {
                 src: coordinator,
                 dst,
-                payload: vec![e.w, e.u as u64, e.v as u64],
+                payload: Packet::of(&[e.w, e.u as u64, e.v as u64]),
             });
         }
     }
@@ -490,7 +490,7 @@ pub fn kt1_mst(net: &mut Net, g: &WGraph, cfg: &Kt1MstConfig) -> Result<Kt1MstRu
     for e in &chosen {
         words.extend_from_slice(&[e.w, e.u as u64, e.v as u64]);
     }
-    broadcast_large(net, coordinator, words)?;
+    broadcast_large(net, coordinator, words.into())?;
     net.end_scope();
 
     Ok(Kt1MstRun {

@@ -26,7 +26,8 @@
 use crate::error::CoreError;
 use cc_graph::{UnionFind, WEdge};
 use cc_route::{
-    broadcast_large, distributed_sort, fragment, reassemble, route, shared_seed, Net, RoutedPacket,
+    broadcast_large, distributed_sort, fragment, reassemble, route, shared_seed, Net, Packet,
+    RoutedPacket,
 };
 use cc_sketch::{recommended_families, spanning_forest_via_sketches, GraphSketchSpace, Sketch};
 use std::collections::{HashMap, HashSet};
@@ -107,7 +108,7 @@ pub fn sq_mst(
                 rank_packets.push(RoutedPacket {
                     src: holder,
                     dst,
-                    payload: vec![k[0], k[1], k[2], r],
+                    payload: Packet::of(&[k[0], k[1], k[2], r]),
                 });
             }
         }
@@ -134,7 +135,7 @@ pub fn sq_mst(
             group_packets.push(RoutedPacket {
                 src: holder,
                 dst: guardian,
-                payload: vec![k[0], k[1], k[2], r],
+                payload: Packet::of(&[k[0], k[1], k[2], r]),
             });
         }
     }
@@ -206,7 +207,7 @@ pub fn sq_mst(
         if i > 0 {
             let spaces = all_spaces[i].as_ref().unwrap();
             let sketch_words = spaces[0].sketch_words();
-            let mut per_vertex: HashMap<usize, Vec<Vec<u64>>> = HashMap::new();
+            let mut per_vertex: HashMap<usize, Vec<Packet>> = HashMap::new();
             for (src, frag) in &sketch_deliveries[i] {
                 per_vertex.entry(*src).or_default().push(frag.clone());
             }
@@ -262,7 +263,7 @@ pub fn sq_mst(
             mst_packets.push(RoutedPacket {
                 src: *g,
                 dst: coordinator,
-                payload: vec![e.w, e.u as u64, e.v as u64],
+                payload: Packet::of(&[e.w, e.u as u64, e.v as u64]),
             });
         }
     }
@@ -277,7 +278,7 @@ pub fn sq_mst(
     for e in &mst {
         words.extend_from_slice(&[e.w, e.u as u64, e.v as u64]);
     }
-    broadcast_large(net, coordinator, words)?;
+    broadcast_large(net, coordinator, words.into())?;
     net.end_scope();
 
     Ok(mst)

@@ -19,7 +19,7 @@
 use crate::error::CoreError;
 use cc_graph::{connectivity, Graph};
 use cc_net::Cost;
-use cc_route::Net;
+use cc_route::{Net, Packet};
 
 /// A completed time-encoding GC run.
 #[derive(Clone, Debug)]
@@ -65,7 +65,7 @@ pub fn time_encoding_gc(net: &mut Net, g: &Graph) -> Result<TimeEncodingRun, Cor
         net.fast_forward(gap)?;
         net.step(|node, _inbox, out| {
             if node == u {
-                let _ = out.send(leader, vec![1]);
+                let _ = out.send(leader, Packet::one(1));
             }
         })?;
         net.step(|node, inbox, _out| {
@@ -95,7 +95,7 @@ pub fn time_encoding_gc(net: &mut Net, g: &Graph) -> Result<TimeEncodingRun, Cor
     net.step(|node, _inbox, out| {
         if node == leader {
             for dst in 1..n {
-                let _ = out.send(dst, vec![u64::from(connected)]);
+                let _ = out.send(dst, Packet::one(u64::from(connected)));
             }
         }
     })?;

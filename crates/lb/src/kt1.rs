@@ -16,7 +16,7 @@
 
 use cc_graph::{connectivity, Graph};
 use cc_net::{NetConfig, NetError};
-use cc_route::Net;
+use cc_route::{Net, Packet};
 use std::collections::HashSet;
 
 /// Node index of `u_k` in the `G_{i,·}` layout.
@@ -113,16 +113,16 @@ pub fn run_report_protocol(g: &Graph, seed: u64) -> Result<Gc2Run, NetError> {
 
     // Each node queues its neighbor list (one word per neighbor; nodes
     // with no neighbors send an explicit empty marker so u₀ can terminate).
-    let mut queues: Vec<Vec<Vec<u64>>> = (0..n)
+    let mut queues: Vec<Vec<Packet>> = (0..n)
         .map(|x| {
             if x == u0 {
                 return Vec::new();
             }
             let neigh = g.neighbors(x);
             if neigh.is_empty() {
-                vec![vec![u64::MAX]]
+                vec![Packet::one(u64::MAX)]
             } else {
-                neigh.iter().map(|&y| vec![y as u64]).collect()
+                neigh.iter().map(|&y| Packet::one(y as u64)).collect()
             }
         })
         .collect();
@@ -160,7 +160,7 @@ pub fn run_report_protocol(g: &Graph, seed: u64) -> Result<Gc2Run, NetError> {
     // Final round: u₀ → v₀ with the answer (the GC(x, y) requirement).
     net.step(|node, _inbox, out| {
         if node == u0 {
-            let _ = out.send(v0, vec![u64::from(connected)]);
+            let _ = out.send(v0, Packet::one(u64::from(connected)));
         }
     })?;
     net.step(|_node, _inbox, _out| {})?;

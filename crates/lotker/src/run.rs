@@ -29,7 +29,7 @@
 use crate::merge::{controlled_boruvka, Candidate};
 use cc_graph::{WEdge, WGraph};
 use cc_net::NetError;
-use cc_route::{all_to_all_share, broadcast_large, route, Net, RoutedPacket};
+use cc_route::{all_to_all_share, broadcast_large, route, Net, Packet, RoutedPacket};
 use std::collections::HashMap;
 
 /// Result of running CC-MST for some number of phases.
@@ -154,7 +154,7 @@ pub fn cc_mst(net: &mut Net, g: &WGraph, phases: Option<usize>) -> Result<CcMstR
         let mut inbound: Vec<Vec<WEdge>> = vec![Vec::new(); n];
         net.step(|node, _inbox, out| {
             for (&leader, e) in &per_node_cands[node] {
-                let _ = out.send(leader, vec![e.w, e.u as u64, e.v as u64]);
+                let _ = out.send(leader, Packet::of(&[e.w, e.u as u64, e.v as u64]));
             }
         })?;
         net.step(|node, inbox, _out| {
@@ -198,7 +198,7 @@ pub fn cc_mst(net: &mut Net, g: &WGraph, phases: Option<usize>) -> Result<CcMstR
         let mut rows: Vec<Vec<WEdge>> = vec![Vec::new(); n]; // candidate row per leader
         net.step(|node, _inbox, out| {
             for (dst, e) in &to_send[node] {
-                let _ = out.send(*dst, vec![e.w, e.u as u64, e.v as u64]);
+                let _ = out.send(*dst, Packet::of(&[e.w, e.u as u64, e.v as u64]));
             }
         })?;
         net.step(|node, inbox, _out| {
@@ -220,7 +220,7 @@ pub fn cc_mst(net: &mut Net, g: &WGraph, phases: Option<usize>) -> Result<CcMstR
                 packets.push(RoutedPacket {
                     src: l,
                     dst: coordinator,
-                    payload: vec![e.w, e.u as u64, e.v as u64],
+                    payload: Packet::of(&[e.w, e.u as u64, e.v as u64]),
                 });
             }
         }
@@ -257,7 +257,7 @@ pub fn cc_mst(net: &mut Net, g: &WGraph, phases: Option<usize>) -> Result<CcMstR
         for e in &outcome.chosen {
             words.extend_from_slice(&[e.w, e.u as u64, e.v as u64]);
         }
-        broadcast_large(net, coordinator, words)?;
+        broadcast_large(net, coordinator, words.into())?;
 
         let merged_any = !outcome.chosen.is_empty();
         for f in frag_of.iter_mut() {

@@ -21,22 +21,26 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod batch;
 pub mod budget;
 pub mod config;
 pub mod counters;
 pub mod error;
 pub mod fault;
 pub mod net;
+pub mod packet;
 pub mod ports;
 pub mod program;
 pub mod wire;
 
+pub use batch::{BatchEntry, RoundBatches};
 pub use budget::{LinkUse, SendRules};
 pub use config::{Knowledge, NetConfig, DEFAULT_LINK_WORDS};
 pub use counters::{Cost, Counters};
 pub use error::NetError;
 pub use fault::{apply_faults, FaultDecision, FaultInjector, FaultOutcome, FaultRecord, NoFaults};
 pub use net::{CliqueNet, Envelope, Outbox};
+pub use packet::{WordVec, INLINE_WORDS};
 pub use ports::PortMap;
 pub use program::{run_program, NodeProgram};
 pub use wire::{decode_frame, encode_frame, Wire, WireError};

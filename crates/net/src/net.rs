@@ -37,6 +37,7 @@
 //! shape makes non-local reads glaring in review, which is the discipline
 //! this simulator relies on (it does not memory-protect states).
 
+use crate::batch::RoundBatches;
 use crate::budget::{LinkUse, SendRules};
 use crate::config::{Knowledge, NetConfig};
 use crate::counters::{Cost, Counters};
@@ -83,11 +84,25 @@ impl<'a, M: Wire> Outbox<'a, M> {
     /// with [`Outbox::finish`] and [`LinkUse::reset`] the ledger for the
     /// next sender.
     pub fn assemble(node: usize, rules: SendRules, links: &'a mut LinkUse) -> Self {
+        Self::assemble_in(node, rules, links, Vec::new())
+    }
+
+    /// [`assemble`](Outbox::assemble) with a caller-supplied staging
+    /// buffer (must be empty). Pooled drivers pass the drained buffer of
+    /// the previous node back in, so steady-state staging allocates
+    /// nothing; [`Outbox::finish`] returns the same buffer.
+    pub fn assemble_in(
+        node: usize,
+        rules: SendRules,
+        links: &'a mut LinkUse,
+        staged: Vec<Envelope<M>>,
+    ) -> Self {
+        debug_assert!(staged.is_empty(), "staging buffer must start empty");
         Outbox {
             node,
             rules,
             links,
-            staged: Vec::new(),
+            staged,
             error: None,
         }
     }
@@ -151,20 +166,44 @@ impl<M: Wire + Clone> Outbox<'_, M> {
     /// broadcast variant of the model permits (footnote 1 of the paper);
     /// also valid (and counted as `n − 1` messages) in the unicast model.
     ///
+    /// The payload itself is moved, not cloned, onto the final link, so a
+    /// broadcast costs `n − 2` clones; wrap large payloads in
+    /// [`std::sync::Arc`] (which implements [`Wire`] with copy-on-write
+    /// corruption) to make every clone a reference-count bump.
+    ///
     /// # Errors
     ///
     /// [`NetError::MessageTooLarge`] / [`NetError::LinkBusy`] as for
-    /// point-to-point sends.
+    /// point-to-point sends. First-error semantics: destinations are
+    /// attempted in ascending ID order and the sweep stops at the first
+    /// violation, so the reported link is always the lowest-ID failing
+    /// destination. Messages already staged toward earlier destinations
+    /// stay staged and charged, but the error is latched like any other
+    /// send violation — the enclosing round aborts, so a partial
+    /// broadcast is never delivered.
     pub fn broadcast(&mut self, msg: M) -> Result<(), NetError> {
         let was_broadcast_only = self.rules.broadcast_only;
         self.rules.broadcast_only = false;
         let mut result = Ok(());
+        let last = (0..self.rules.n).rev().find(|&d| d != self.node);
+        let mut payload = Some(msg);
         for dst in 0..self.rules.n {
-            if dst != self.node {
-                if let Err(e) = self.send(dst, msg.clone()) {
-                    result = Err(e);
-                    break;
-                }
+            if dst == self.node {
+                continue;
+            }
+            let m = if Some(dst) == last {
+                payload
+                    .take()
+                    .expect("the last destination is visited once")
+            } else {
+                payload
+                    .as_ref()
+                    .expect("payload lives until the last destination")
+                    .clone()
+            };
+            if let Err(e) = self.send(dst, m) {
+                result = Err(e);
+                break;
             }
         }
         self.rules.broadcast_only = was_broadcast_only;
@@ -197,6 +236,15 @@ pub struct CliqueNet<M> {
     /// Which nodes have been observed crashed (set when their crash
     /// round executes; also gates the one-time `NodeCrash` event).
     crashed_seen: Vec<bool>,
+    /// Recycled inbox buffers: last round's delivered inboxes, emptied
+    /// (capacity retained) at the end of each step. Steady-state rounds
+    /// therefore build the next inboxes without allocating.
+    pool: Vec<Vec<Envelope<M>>>,
+    /// Recycled per-node staging buffer (the fault-free path drains it
+    /// into the inboxes and hands it to the next node's outbox).
+    staged_pool: Vec<Envelope<M>>,
+    /// Pooled flat per-link batch accumulator (tracing only).
+    batches: RoundBatches,
 }
 
 impl<M: Wire> CliqueNet<M> {
@@ -232,6 +280,9 @@ impl<M: Wire> CliqueNet<M> {
             faulty: false,
             deferred: BTreeMap::new(),
             crashed_seen: vec![false; n],
+            pool: (0..n).map(|_| Vec::new()).collect(),
+            staged_pool: Vec::new(),
+            batches: RoundBatches::new(),
         }
     }
 
@@ -456,8 +507,12 @@ impl<M: Wire + Clone> CliqueNet<M> {
                 }
             }
         }
-        let mut delivered =
-            std::mem::replace(&mut self.inboxes, (0..n).map(|_| Vec::new()).collect());
+        // Pooled delivery buffers: last round's inboxes become this
+        // round's delivered set, and the buffers recycled (emptied,
+        // capacity retained) at the end of the previous step become the
+        // next inboxes — steady-state rounds allocate nothing here.
+        std::mem::swap(&mut self.inboxes, &mut self.pool);
+        let mut delivered = std::mem::take(&mut self.pool);
         // Fault-deferred messages due this round join the regular
         // deliveries; re-sorting keeps the per-sender inbox order stable.
         if self.faulty {
@@ -470,13 +525,14 @@ impl<M: Wire + Clone> CliqueNet<M> {
                 }
             }
         }
-        let mut next: Vec<Vec<Envelope<M>>> = (0..n).map(|_| Vec::new()).collect();
         let mut links = LinkUse::new(n);
-        // (src, dst) → (count, words), aggregated across the whole round
-        // so the batch stream is a deterministic function of the sends
-        // alone (same normalization the runtime driver applies). Batches
-        // are pre-fault: the send happened and was charged.
-        let mut batches: BTreeMap<(u32, u32), (u32, u64)> = BTreeMap::new();
+        // Per-link batches are aggregated flat and pre-fault: the stream
+        // is a deterministic function of the sends alone (the same
+        // normalization the runtime driver applies), and the send
+        // happened and was charged whatever a fault does to it later.
+        if self.tracing {
+            self.batches.begin_round(n);
+        }
         let mut fault_records: Vec<FaultRecord> = Vec::new();
         for (node, inbox) in delivered.iter().enumerate() {
             if self.faulty && crashed_now[node] {
@@ -484,7 +540,8 @@ impl<M: Wire + Clone> CliqueNet<M> {
                 // messages addressed to it die in its discarded inbox.
                 continue;
             }
-            let mut outbox = Outbox::assemble(node, rules, &mut links);
+            let buf = std::mem::take(&mut self.staged_pool);
+            let mut outbox = Outbox::assemble_in(node, rules, &mut links, buf);
             let t0 = if self.timing {
                 Some(Instant::now())
             } else {
@@ -498,7 +555,7 @@ impl<M: Wire + Clone> CliqueNet<M> {
                     nanos: t0.elapsed().as_nanos() as u64,
                 });
             }
-            let (staged, error) = outbox.finish();
+            let (mut staged, error) = outbox.finish();
             if let Some(e) = error {
                 return Err(e);
             }
@@ -507,40 +564,44 @@ impl<M: Wire + Clone> CliqueNet<M> {
                 let words = env.msg.words().max(1);
                 self.counters.add_message(words, self.word_bits);
                 if self.tracing {
-                    let slot = batches
-                        .entry((env.src as u32, env.dst as u32))
-                        .or_insert((0, 0));
-                    slot.0 += 1;
-                    slot.1 += words;
+                    self.batches.add(env.dst as u32, words);
                 }
                 if self.cfg.record_transcript {
                     self.transcript
                         .push((round, env.src as u32, env.dst as u32));
                 }
             }
+            if self.tracing {
+                self.batches.flush_sender(node as u32);
+            }
             if self.faulty {
                 let inj = self.fault.as_deref().expect("faulty implies injector");
                 let outcome = apply_faults(inj, round, staged);
                 for env in outcome.deliver {
-                    next[env.dst].push(env);
+                    self.inboxes[env.dst].push(env);
                 }
                 for (due, env) in outcome.deferred {
                     self.deferred.entry(due).or_default().push(env);
                 }
                 fault_records.extend(outcome.records);
             } else {
-                for env in staged {
-                    next[env.dst].push(env);
+                // Senders run in ID order and stage in send order, so
+                // these pushes arrive (src, send-index)-sorted by
+                // construction — no per-round normalization sort needed.
+                for env in staged.drain(..) {
+                    self.inboxes[env.dst].push(env);
                 }
+                self.staged_pool = staged;
             }
         }
-        for q in &mut next {
-            q.sort_by_key(|e| e.src);
+        // Recycle the delivered buffers for the round after next.
+        for q in &mut delivered {
+            q.clear();
         }
-        self.inboxes = next;
+        self.pool = delivered;
         self.counters.add_round();
         if self.tracing {
-            for ((src, dst), (count, words)) in batches {
+            for &(src, dst, count, words) in self.batches.entries() {
                 self.tracer.record(Event::MessageBatch {
                     round,
                     src,
@@ -1305,5 +1366,138 @@ mod broadcast_model_tests {
         })
         .unwrap();
         assert_eq!(nt.cost().messages, 3);
+    }
+
+    /// First-error semantics: destinations are swept in ascending ID
+    /// order, so the reported link is always the *lowest-ID* failing
+    /// destination — even when a higher-ID link was exhausted first.
+    #[test]
+    fn broadcast_error_reports_lowest_failing_link() {
+        let mut nt: CliqueNet<u64> = CliqueNet::new(NetConfig::kt1(5).with_link_words(1));
+        let err = nt
+            .step(|node, _, out| {
+                if node == 0 {
+                    // Exhaust links toward 3 first, then 1.
+                    out.send(3, 7).unwrap();
+                    out.send(1, 7).unwrap();
+                    let _ = out.broadcast(9);
+                }
+            })
+            .unwrap_err();
+        assert!(
+            matches!(err, NetError::LinkBusy { src: 0, dst: 1, .. }),
+            "lowest failing destination must be reported, got {err:?}"
+        );
+    }
+
+    /// A failed broadcast aborts the round: the messages it staged toward
+    /// earlier destinations are charged but never delivered, so there is
+    /// no partial-broadcast ambiguity.
+    #[test]
+    fn failed_broadcast_is_never_partially_delivered() {
+        let mut nt: CliqueNet<u64> = CliqueNet::new(NetConfig::kt1(4).with_link_words(1));
+        let err = nt.step(|node, _, out| {
+            if node == 0 {
+                out.send(2, 5).unwrap(); // exhausts 0→2
+                let _ = out.broadcast(6); // stages to 1, fails at 2
+            }
+        });
+        assert!(matches!(
+            err,
+            Err(NetError::LinkBusy { src: 0, dst: 2, .. })
+        ));
+    }
+
+    /// The broadcast-only flag is restored even when the sweep aborts on
+    /// an error, so later sends in the same round are still validated
+    /// under the model's rules.
+    #[test]
+    fn broadcast_only_flag_survives_a_failed_broadcast() {
+        let mut nt: CliqueNet<u64> =
+            CliqueNet::new(NetConfig::kt1(4).broadcast_only().with_link_words(1));
+        let err = nt
+            .step(|node, _, out| {
+                if node == 0 {
+                    out.broadcast(1).unwrap();
+                    let _ = out.broadcast(2); // budget gone: fails at dst 1
+                    let _ = out.send(2, 3); // must still be model-checked
+                }
+            })
+            .unwrap_err();
+        // The *first* latched error wins (the LinkBusy), but the unicast
+        // attempt must have been rejected, not silently staged.
+        assert!(matches!(err, NetError::LinkBusy { src: 0, dst: 1, .. }));
+    }
+
+    /// Broadcast moves the payload onto the final link: exactly `n − 2`
+    /// clones for `n − 1` destinations.
+    #[test]
+    fn broadcast_clones_all_but_the_last_link() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        use std::sync::Arc;
+
+        #[derive(Debug)]
+        struct Counting(Arc<AtomicUsize>);
+        impl Clone for Counting {
+            fn clone(&self) -> Self {
+                self.0.fetch_add(1, Ordering::SeqCst);
+                Counting(Arc::clone(&self.0))
+            }
+        }
+        impl Wire for Counting {
+            fn words(&self) -> u64 {
+                1
+            }
+        }
+
+        let clones = Arc::new(AtomicUsize::new(0));
+        let n = 6;
+        let mut nt: CliqueNet<Counting> = CliqueNet::new(NetConfig::kt1(n));
+        let payload = Counting(Arc::clone(&clones));
+        let mut sent = Some(payload);
+        nt.step(|node, _, out| {
+            if node == 2 {
+                out.broadcast(sent.take().expect("one sender")).unwrap();
+            }
+        })
+        .unwrap();
+        assert_eq!(
+            clones.load(Ordering::SeqCst),
+            n - 2,
+            "n − 1 destinations, last one takes the payload by move"
+        );
+    }
+
+    /// `Arc` payloads make broadcast allocation-free: every recipient's
+    /// envelope shares the sender's single allocation.
+    #[test]
+    fn broadcast_arc_payload_shares_one_allocation() {
+        use std::sync::Arc;
+        let n = 5;
+        let mut nt: CliqueNet<Arc<Vec<u64>>> = CliqueNet::new(NetConfig::kt1(n));
+        let payload = Arc::new(vec![1u64, 2, 3]);
+        let origin = Arc::clone(&payload);
+        let mut sent = Some(payload);
+        nt.step(|node, _, out| {
+            if node == 0 {
+                out.broadcast(sent.take().expect("one sender")).unwrap();
+            }
+        })
+        .unwrap();
+        let mut seen = 0;
+        nt.step(|node, inbox, _| {
+            if node != 0 {
+                assert_eq!(inbox.len(), 1);
+                assert!(
+                    Arc::ptr_eq(&inbox[0].msg, &origin),
+                    "recipient {node} must share the broadcast allocation"
+                );
+                seen += 1;
+            }
+        })
+        .unwrap();
+        assert_eq!(seen, n - 1);
+        // Words are charged per copy regardless of sharing.
+        assert_eq!(nt.cost().words, 3 * (n as u64 - 1));
     }
 }

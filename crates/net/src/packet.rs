@@ -1,0 +1,462 @@
+//! [`WordVec`]: a word buffer with inline storage for small payloads.
+//!
+//! Almost every message the paper's algorithms send is tiny — one value
+//! word in an all-to-all share, a `[dst, src, payload]` routed frame, a
+//! three-word sketch fragment. Carrying those in a `Vec<u64>` costs one
+//! heap allocation **per message**, and at `n = 4096` a single all-to-all
+//! is 16.7 million messages: the allocator, not the simulator, dominates
+//! wall time. `WordVec` stores up to [`INLINE_WORDS`] words inline and
+//! only spills to a heap `Vec` beyond that, so the hot collectives send
+//! without touching the allocator at all.
+//!
+//! The type is deliberately a drop-in for `Vec<u64>` where payloads are
+//! concerned: it derefs to `[u64]`, compares against `Vec<u64>` and
+//! slices, and its [`Wire`] accounting is **bit-identical** to
+//! `Vec<u64>`'s (`words = len.max(1)`, same corruption index math), so
+//! swapping it in cannot move any model cost.
+
+use crate::wire::Wire;
+
+/// Words stored inline before spilling to the heap.
+///
+/// Three words cover the common frames: one-word collective payloads,
+/// `(key, aux)` pairs, and `[final_dst, orig_src, word]` routed packets.
+pub const INLINE_WORDS: usize = 3;
+
+#[derive(Clone, Debug)]
+enum Repr {
+    /// `len ≤ INLINE_WORDS` words stored in place; no heap involvement.
+    Inline { len: u8, buf: [u64; INLINE_WORDS] },
+    /// Spilled representation for larger payloads.
+    Heap(Vec<u64>),
+}
+
+/// A vector of `⌈log₂ n⌉`-bit words with small-buffer optimization.
+///
+/// See the [module docs](self) for why this exists. Construct with
+/// [`WordVec::one`] / [`WordVec::of`] on hot paths (no allocation for
+/// `len ≤ INLINE_WORDS`), or via `From<Vec<u64>>` / `collect()` where
+/// convenience matters more.
+#[derive(Clone, Debug)]
+pub struct WordVec {
+    repr: Repr,
+}
+
+impl WordVec {
+    /// An empty buffer (inline, allocation-free).
+    #[must_use]
+    pub const fn new() -> Self {
+        WordVec {
+            repr: Repr::Inline {
+                len: 0,
+                buf: [0; INLINE_WORDS],
+            },
+        }
+    }
+
+    /// A single-word buffer (inline, allocation-free) — the shape of
+    /// most collective payloads.
+    #[must_use]
+    pub const fn one(w: u64) -> Self {
+        let mut buf = [0; INLINE_WORDS];
+        buf[0] = w;
+        WordVec {
+            repr: Repr::Inline { len: 1, buf },
+        }
+    }
+
+    /// Copies `words` into a new buffer; inline when it fits.
+    #[must_use]
+    pub fn of(words: &[u64]) -> Self {
+        if words.len() <= INLINE_WORDS {
+            let mut buf = [0; INLINE_WORDS];
+            buf[..words.len()].copy_from_slice(words);
+            WordVec {
+                repr: Repr::Inline {
+                    len: words.len() as u8,
+                    buf,
+                },
+            }
+        } else {
+            WordVec {
+                repr: Repr::Heap(words.to_vec()),
+            }
+        }
+    }
+
+    /// An empty buffer that can hold `cap` words before reallocating;
+    /// stays inline when `cap ≤ INLINE_WORDS`.
+    #[must_use]
+    pub fn with_capacity(cap: usize) -> Self {
+        if cap <= INLINE_WORDS {
+            WordVec::new()
+        } else {
+            WordVec {
+                repr: Repr::Heap(Vec::with_capacity(cap)),
+            }
+        }
+    }
+
+    /// Number of words held.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        match &self.repr {
+            Repr::Inline { len, .. } => *len as usize,
+            Repr::Heap(v) => v.len(),
+        }
+    }
+
+    /// `true` when no words are held.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The words as a slice.
+    #[must_use]
+    pub fn as_slice(&self) -> &[u64] {
+        match &self.repr {
+            Repr::Inline { len, buf } => &buf[..*len as usize],
+            Repr::Heap(v) => v,
+        }
+    }
+
+    /// The words as a mutable slice.
+    pub fn as_mut_slice(&mut self) -> &mut [u64] {
+        match &mut self.repr {
+            Repr::Inline { len, buf } => &mut buf[..*len as usize],
+            Repr::Heap(v) => v,
+        }
+    }
+
+    /// Appends one word, spilling to the heap past [`INLINE_WORDS`].
+    pub fn push(&mut self, w: u64) {
+        match &mut self.repr {
+            Repr::Inline { len, buf } => {
+                if (*len as usize) < INLINE_WORDS {
+                    buf[*len as usize] = w;
+                    *len += 1;
+                } else {
+                    let mut v = Vec::with_capacity(INLINE_WORDS * 2);
+                    v.extend_from_slice(buf);
+                    v.push(w);
+                    self.repr = Repr::Heap(v);
+                }
+            }
+            Repr::Heap(v) => v.push(w),
+        }
+    }
+
+    /// Appends all of `words`, spilling once if the result outgrows the
+    /// inline buffer.
+    pub fn extend_from_slice(&mut self, words: &[u64]) {
+        match &mut self.repr {
+            Repr::Inline { len, buf } => {
+                let cur = *len as usize;
+                if cur + words.len() <= INLINE_WORDS {
+                    buf[cur..cur + words.len()].copy_from_slice(words);
+                    *len = (cur + words.len()) as u8;
+                } else {
+                    let mut v = Vec::with_capacity(cur + words.len());
+                    v.extend_from_slice(&buf[..cur]);
+                    v.extend_from_slice(words);
+                    self.repr = Repr::Heap(v);
+                }
+            }
+            Repr::Heap(v) => v.extend_from_slice(words),
+        }
+    }
+
+    /// Drops all words. A spilled buffer keeps its heap capacity, same
+    /// as `Vec::clear`.
+    pub fn clear(&mut self) {
+        match &mut self.repr {
+            Repr::Inline { len, .. } => *len = 0,
+            Repr::Heap(v) => v.clear(),
+        }
+    }
+
+    /// Converts into a plain `Vec<u64>` (allocates when inline).
+    #[must_use]
+    pub fn into_vec(self) -> Vec<u64> {
+        match self.repr {
+            Repr::Inline { len, buf } => buf[..len as usize].to_vec(),
+            Repr::Heap(v) => v,
+        }
+    }
+}
+
+impl Default for WordVec {
+    fn default() -> Self {
+        WordVec::new()
+    }
+}
+
+impl std::ops::Deref for WordVec {
+    type Target = [u64];
+    fn deref(&self) -> &[u64] {
+        self.as_slice()
+    }
+}
+
+impl std::ops::DerefMut for WordVec {
+    fn deref_mut(&mut self) -> &mut [u64] {
+        self.as_mut_slice()
+    }
+}
+
+impl PartialEq for WordVec {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl Eq for WordVec {}
+
+impl PartialOrd for WordVec {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for WordVec {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.as_slice().cmp(other.as_slice())
+    }
+}
+
+impl std::hash::Hash for WordVec {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.as_slice().hash(state);
+    }
+}
+
+impl PartialEq<Vec<u64>> for WordVec {
+    fn eq(&self, other: &Vec<u64>) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl PartialEq<WordVec> for Vec<u64> {
+    fn eq(&self, other: &WordVec) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl PartialEq<[u64]> for WordVec {
+    fn eq(&self, other: &[u64]) -> bool {
+        self.as_slice() == other
+    }
+}
+
+impl<const N: usize> PartialEq<[u64; N]> for WordVec {
+    fn eq(&self, other: &[u64; N]) -> bool {
+        self.as_slice() == other
+    }
+}
+
+impl From<Vec<u64>> for WordVec {
+    /// Takes ownership without copying: an already-heap-allocated vector
+    /// stays heap (re-inlining would trade a move for a copy + free).
+    fn from(v: Vec<u64>) -> Self {
+        WordVec {
+            repr: Repr::Heap(v),
+        }
+    }
+}
+
+impl From<&[u64]> for WordVec {
+    fn from(words: &[u64]) -> Self {
+        WordVec::of(words)
+    }
+}
+
+impl<const N: usize> From<[u64; N]> for WordVec {
+    fn from(words: [u64; N]) -> Self {
+        WordVec::of(&words)
+    }
+}
+
+impl From<WordVec> for Vec<u64> {
+    fn from(wv: WordVec) -> Self {
+        wv.into_vec()
+    }
+}
+
+impl FromIterator<u64> for WordVec {
+    fn from_iter<I: IntoIterator<Item = u64>>(iter: I) -> Self {
+        let mut wv = WordVec::new();
+        wv.extend(iter);
+        wv
+    }
+}
+
+impl Extend<u64> for WordVec {
+    fn extend<I: IntoIterator<Item = u64>>(&mut self, iter: I) {
+        for w in iter {
+            self.push(w);
+        }
+    }
+}
+
+/// Owning iterator over a [`WordVec`]'s words.
+pub struct WordVecIntoIter {
+    repr: IterRepr,
+}
+
+enum IterRepr {
+    Inline {
+        buf: [u64; INLINE_WORDS],
+        pos: u8,
+        len: u8,
+    },
+    Heap(std::vec::IntoIter<u64>),
+}
+
+impl Iterator for WordVecIntoIter {
+    type Item = u64;
+
+    fn next(&mut self) -> Option<u64> {
+        match &mut self.repr {
+            IterRepr::Inline { buf, pos, len } => {
+                if pos < len {
+                    let w = buf[*pos as usize];
+                    *pos += 1;
+                    Some(w)
+                } else {
+                    None
+                }
+            }
+            IterRepr::Heap(it) => it.next(),
+        }
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let n = match &self.repr {
+            IterRepr::Inline { pos, len, .. } => (*len - *pos) as usize,
+            IterRepr::Heap(it) => it.len(),
+        };
+        (n, Some(n))
+    }
+}
+
+impl ExactSizeIterator for WordVecIntoIter {}
+
+impl IntoIterator for WordVec {
+    type Item = u64;
+    type IntoIter = WordVecIntoIter;
+
+    fn into_iter(self) -> WordVecIntoIter {
+        WordVecIntoIter {
+            repr: match self.repr {
+                Repr::Inline { len, buf } => IterRepr::Inline { buf, pos: 0, len },
+                Repr::Heap(v) => IterRepr::Heap(v.into_iter()),
+            },
+        }
+    }
+}
+
+impl<'a> IntoIterator for &'a WordVec {
+    type Item = &'a u64;
+    type IntoIter = std::slice::Iter<'a, u64>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.as_slice().iter()
+    }
+}
+
+/// Bit-identical to `Vec<u64>`'s accounting: an empty payload still
+/// occupies one word on the wire, and corruption picks the same word
+/// index (`(bit >> 6) % len`) and flips the same bit. The simulator's
+/// metered costs therefore cannot differ between the two payload types.
+impl Wire for WordVec {
+    fn words(&self) -> u64 {
+        (self.len() as u64).max(1)
+    }
+
+    fn corrupt_bit(&mut self, bit: u64) -> bool {
+        if self.is_empty() {
+            return false;
+        }
+        let idx = ((bit >> 6) % self.len() as u64) as usize;
+        self.as_mut_slice()[idx].corrupt_bit(bit)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inline_until_capacity_then_spills() {
+        let mut wv = WordVec::new();
+        assert!(wv.is_empty());
+        for w in 0..INLINE_WORDS as u64 {
+            wv.push(w);
+            assert!(matches!(wv.repr, Repr::Inline { .. }), "len {} inline", w);
+        }
+        wv.push(99);
+        assert!(matches!(wv.repr, Repr::Heap(_)), "spills past INLINE_WORDS");
+        assert_eq!(wv, vec![0, 1, 2, 99]);
+    }
+
+    #[test]
+    fn constructors_match_vec_semantics() {
+        assert_eq!(WordVec::one(7), vec![7]);
+        assert_eq!(WordVec::of(&[1, 2]), vec![1, 2]);
+        assert_eq!(WordVec::of(&[1, 2, 3, 4, 5]), vec![1, 2, 3, 4, 5]);
+        assert_eq!(WordVec::from(vec![9, 8]), vec![9, 8]);
+        let collected: WordVec = (0..6).collect();
+        assert_eq!(collected, (0..6).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn extend_from_slice_crosses_the_inline_boundary() {
+        let mut wv = WordVec::of(&[1, 2]);
+        wv.extend_from_slice(&[3, 4, 5]);
+        assert_eq!(wv, vec![1, 2, 3, 4, 5]);
+        let mut stays = WordVec::of(&[1]);
+        stays.extend_from_slice(&[2, 3]);
+        assert!(matches!(stays.repr, Repr::Inline { .. }));
+        assert_eq!(stays, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn wire_accounting_is_bit_identical_to_vec() {
+        for len in 0..6usize {
+            let data: Vec<u64> = (0..len as u64).map(|i| i.wrapping_mul(0x9E37)).collect();
+            let wv = WordVec::of(&data);
+            assert_eq!(wv.words(), data.words(), "words at len {}", len);
+            for bit in [0u64, 1, 63, 64, 65, 129, 1000] {
+                let mut a = wv.clone();
+                let mut b = data.clone();
+                assert_eq!(a.corrupt_bit(bit), b.corrupt_bit(bit), "flip {}", bit);
+                assert_eq!(a, b, "post-corruption contents, bit {}", bit);
+            }
+        }
+    }
+
+    #[test]
+    fn ordering_and_iteration_follow_slice_semantics() {
+        let a = WordVec::of(&[1, 2]);
+        let b = WordVec::of(&[1, 3]);
+        assert!(a < b);
+        assert_eq!(a.iter().copied().collect::<Vec<_>>(), vec![1, 2]);
+        assert_eq!(b.clone().into_iter().collect::<Vec<_>>(), vec![1, 3]);
+        let big: WordVec = (0..10).collect();
+        assert_eq!(big.into_iter().sum::<u64>(), 45);
+        assert_eq!(&a[..], &[1, 2]);
+        assert_eq!(a[1], 2);
+    }
+
+    #[test]
+    fn clear_resets_contents() {
+        let mut wv = WordVec::of(&[1, 2, 3, 4]);
+        wv.clear();
+        assert!(wv.is_empty());
+        assert_eq!(wv.words(), 1, "empty payload still costs one word");
+        let mut inline = WordVec::one(5);
+        inline.clear();
+        assert!(inline.is_empty());
+    }
+}

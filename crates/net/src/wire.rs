@@ -123,6 +123,26 @@ impl<T: Wire + ?Sized> Wire for &T {
     }
 }
 
+/// Shared payloads: cloning an `Arc<T>` message is a reference-count
+/// bump, which is what makes [`Outbox::broadcast`](crate::Outbox)
+/// genuinely clone-free for large payloads — all `n − 1` envelopes share
+/// one allocation.
+///
+/// Corruption is copy-on-write: a fault flipping a bit of one in-flight
+/// envelope must not rewrite the payload under the sender or the other
+/// `n − 2` recipients, so the flip detaches a private copy first (via
+/// [`std::sync::Arc::make_mut`]; a uniquely-owned payload is flipped in
+/// place).
+impl<T: Wire + Clone> Wire for std::sync::Arc<T> {
+    fn words(&self) -> u64 {
+        (**self).words()
+    }
+
+    fn corrupt_bit(&mut self, bit: u64) -> bool {
+        std::sync::Arc::make_mut(self).corrupt_bit(bit)
+    }
+}
+
 /// A malformed or corrupted frame, reported by [`decode_frame`].
 ///
 /// Decoding untrusted words must never panic: every corruption a single
@@ -369,6 +389,111 @@ mod tests {
             decode_frame(&bad),
             Err(WireError::ChecksumMismatch { .. })
         ));
+    }
+
+    /// Length headers at and around the `MAX_FRAME_WORDS` boundary: one
+    /// below the cap is structurally valid (merely truncated here), the
+    /// cap itself and everything above it must be rejected as overflow
+    /// *before* any `len + 2` arithmetic can wrap.
+    #[test]
+    fn length_header_boundary_cases() {
+        assert_eq!(
+            decode_frame(&[MAX_FRAME_WORDS, 0]),
+            Err(WireError::LengthOverflow {
+                len: MAX_FRAME_WORDS
+            })
+        );
+        assert_eq!(
+            decode_frame(&[MAX_FRAME_WORDS - 1, 0]),
+            Err(WireError::Truncated {
+                have: 2,
+                need: MAX_FRAME_WORDS + 1,
+            }),
+            "one under the cap is a valid header, just unsatisfied"
+        );
+        // u64::MAX would wrap `len + 2`; the overflow check must fire
+        // first, for any frame length.
+        assert_eq!(
+            decode_frame(&[u64::MAX, 0, 1, 2, 3]),
+            Err(WireError::LengthOverflow { len: u64::MAX })
+        );
+    }
+
+    /// Zero-length payloads: a frame of exactly two words (header only)
+    /// round-trips, one word is truncated, and the empty payload still
+    /// bills one word through `Wire::words`.
+    #[test]
+    fn zero_length_payload_edges() {
+        let frame = encode_frame(&[]);
+        assert_eq!(frame.len(), 2, "empty payload is a bare header");
+        assert_eq!(decode_frame(&frame), Ok(vec![]));
+        assert_eq!(
+            decode_frame(&frame[..1]),
+            Err(WireError::Truncated { have: 1, need: 2 })
+        );
+        // Model accounting: even an empty message occupies one word slot.
+        assert_eq!(Vec::<u64>::new().words(), 1);
+        assert_eq!(encode_frame(&[]).words(), 2, "header words are real words");
+    }
+
+    /// Messages exactly at word boundaries: `words()` sums element sizes
+    /// with no rounding, so mixed-width payloads bill exactly.
+    #[test]
+    fn word_boundary_accounting_is_exact() {
+        assert_eq!(vec![(1u64, 2u64); 3].words(), 6);
+        let nested: Vec<Vec<u64>> = vec![vec![], vec![1], vec![1, 2]];
+        assert_eq!(
+            nested.words(),
+            1 + 1 + 2,
+            "empty inner vec floors at 1, others bill exactly"
+        );
+        // A single-bit flip in a one-word frame's payload is caught.
+        let mut frame = encode_frame(&[0]);
+        frame[2] ^= 1 << 63;
+        assert!(matches!(
+            decode_frame(&frame),
+            Err(WireError::ChecksumMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn arc_wire_delegates_words() {
+        use std::sync::Arc;
+        assert_eq!(Arc::new(vec![1u64, 2, 3]).words(), 3);
+        assert_eq!(Arc::new(()).words(), 1);
+        assert_eq!(Arc::new(7u64).words(), 1);
+    }
+
+    /// Copy-on-write corruption: flipping a bit of one shared handle must
+    /// detach a private copy, leaving the other handle untouched.
+    #[test]
+    fn arc_corrupt_bit_is_copy_on_write() {
+        use std::sync::Arc;
+        let original = Arc::new(vec![0u64, 0]);
+        let mut flipped = Arc::clone(&original);
+        assert!(flipped.corrupt_bit(3));
+        assert_eq!(*original, vec![0, 0], "shared peer must not see the flip");
+        assert_eq!(*flipped, vec![8, 0]);
+        assert!(
+            !Arc::ptr_eq(&original, &flipped),
+            "the flip detaches a private copy"
+        );
+
+        // Uniquely owned: flipped in place, no detach possible or needed.
+        let mut unique = Arc::new(1u64);
+        assert!(unique.corrupt_bit(0));
+        assert_eq!(*unique, 0);
+    }
+
+    /// Unflippable payloads stay unflippable through an `Arc`: the chaos
+    /// layer's degrade-to-drop contract must survive the wrapper.
+    #[test]
+    fn arc_of_unflippable_payload_reports_false() {
+        use std::sync::Arc;
+        let mut a = Arc::new(());
+        assert!(!a.corrupt_bit(9));
+        let mut b: Arc<Vec<u64>> = Arc::new(Vec::new());
+        assert!(!b.corrupt_bit(9));
     }
 
     #[test]

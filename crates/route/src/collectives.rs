@@ -60,7 +60,7 @@ pub fn broadcast_large(net: &mut Net, src: usize, data: Packet) -> Result<Packet
         .chunks(chunk)
         .enumerate()
         .map(|(i, c)| {
-            let mut p = Vec::with_capacity(c.len() + 1);
+            let mut p = Packet::with_capacity(c.len() + 1);
             p.push(i as u64);
             p.extend_from_slice(c);
             p
@@ -139,9 +139,11 @@ pub fn all_to_all_share(net: &mut Net, values: &[u64]) -> Result<Vec<u64>, NetEr
     let vals = values.to_vec();
     net.begin_scope("route:all-to-all");
     net.step(|node, _inbox, out| {
+        // `Packet::one` keeps the n(n−1) payloads inline: this loop is
+        // the perf suite's hottest path and must not touch the allocator.
         for dst in 0..n {
             if dst != node {
-                let _ = out.send(dst, vec![vals[node]]);
+                let _ = out.send(dst, Packet::one(vals[node]));
             }
         }
     })?;
@@ -223,7 +225,7 @@ mod tests {
     #[test]
     fn small_broadcast_costs_one_send_round() {
         let mut nt = net(8);
-        let data = broadcast_small(&mut nt, 3, vec![1, 2, 3]).unwrap();
+        let data = broadcast_small(&mut nt, 3, Packet::of(&[1, 2, 3])).unwrap();
         assert_eq!(data, vec![1, 2, 3]);
         let c = nt.cost();
         assert_eq!(c.messages, 7);
@@ -233,7 +235,7 @@ mod tests {
     #[test]
     fn small_broadcast_rejects_oversize() {
         let mut nt = Net::new(NetConfig::kt1(4).with_link_words(2));
-        let err = broadcast_small(&mut nt, 0, vec![0; 3]).unwrap_err();
+        let err = broadcast_small(&mut nt, 0, Packet::of(&[0; 3])).unwrap_err();
         assert!(matches!(err, NetError::MessageTooLarge { .. }));
     }
 
@@ -272,21 +274,21 @@ mod tests {
     fn gather_direct_collects_everything_in_order() {
         let mut nt = net(5);
         let mut items: Vec<Vec<Packet>> = vec![Vec::new(); 5];
-        items[1] = vec![vec![10], vec![11]];
-        items[3] = vec![vec![30]];
-        items[4] = vec![vec![40], vec![41], vec![42]];
+        items[1] = vec![Packet::one(10), Packet::one(11)];
+        items[3] = vec![Packet::one(30)];
+        items[4] = vec![Packet::one(40), Packet::one(41), Packet::one(42)];
         let got = gather_direct(&mut nt, 0, items).unwrap();
         let mut sorted = got.clone();
         sorted.sort();
         assert_eq!(
             sorted,
             vec![
-                (1, vec![10]),
-                (1, vec![11]),
-                (3, vec![30]),
-                (4, vec![40]),
-                (4, vec![41]),
-                (4, vec![42]),
+                (1, Packet::one(10)),
+                (1, Packet::one(11)),
+                (3, Packet::one(30)),
+                (4, Packet::one(40)),
+                (4, Packet::one(41)),
+                (4, Packet::one(42)),
             ]
         );
     }
@@ -297,7 +299,11 @@ mod tests {
         let mut nt = Net::new(NetConfig::kt1(3).with_link_words(2));
         let items = vec![
             Vec::new(),
-            vec![vec![1, 1], vec![2, 2], vec![3, 3]],
+            vec![
+                Packet::of(&[1, 1]),
+                Packet::of(&[2, 2]),
+                Packet::of(&[3, 3]),
+            ],
             Vec::new(),
         ];
         let got = gather_direct(&mut nt, 0, items).unwrap();
@@ -309,7 +315,7 @@ mod tests {
     #[should_panic(expected = "does not send")]
     fn gather_rejects_items_at_destination() {
         let mut nt = net(3);
-        let items = vec![vec![vec![1u64]], Vec::new(), Vec::new()];
+        let items = vec![vec![Packet::one(1)], Vec::new(), Vec::new()];
         let _ = gather_direct(&mut nt, 0, items);
     }
 }
@@ -343,7 +349,7 @@ pub fn all_to_all_personalized(
     net.step(|node, _inbox, out| {
         for (dst, &val) in values[node].iter().enumerate() {
             if dst != node {
-                let _ = out.send(dst, vec![val]);
+                let _ = out.send(dst, Packet::one(val));
             }
         }
     })?;

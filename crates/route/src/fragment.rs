@@ -16,12 +16,12 @@ use crate::Packet;
 pub fn fragment(data: &[u64], chunk_payload: usize) -> Vec<Packet> {
     assert!(chunk_payload >= 1, "chunks must carry payload");
     if data.is_empty() {
-        return vec![vec![0]];
+        return vec![Packet::one(0)];
     }
     data.chunks(chunk_payload)
         .enumerate()
         .map(|(i, c)| {
-            let mut p = Vec::with_capacity(c.len() + 1);
+            let mut p = Packet::with_capacity(c.len() + 1);
             p.push(i as u64);
             p.extend_from_slice(c);
             p

@@ -10,7 +10,7 @@
 //! every port. The returned tables give, per node and per port, the ID
 //! now known to sit behind that port.
 
-use crate::Net;
+use crate::{Net, Packet};
 use cc_net::{Knowledge, NetError};
 
 /// Runs the ID broadcast if the network is KT0; a no-op (zero cost) under
@@ -36,7 +36,7 @@ pub fn kt0_bootstrap(net: &mut Net) -> Result<Vec<Vec<u32>>, NetError> {
             net.step(|node, _inbox, out| {
                 for dst in 0..n {
                     if dst != node {
-                        let _ = out.send(dst, vec![node as u64]);
+                        let _ = out.send(dst, Packet::one(node as u64));
                     }
                 }
             })?;

@@ -117,7 +117,9 @@ mod tests {
                 if u == 2 {
                     Vec::new()
                 } else {
-                    (0..per_node).map(|i| vec![u as u64, i as u64]).collect()
+                    (0..per_node)
+                        .map(|i| Packet::of(&[u as u64, i as u64]))
+                        .collect()
                 }
             })
             .collect()
@@ -135,7 +137,7 @@ mod tests {
         for u in 0..n {
             if u != 2 {
                 for i in 0..5u64 {
-                    want.push((u, vec![u as u64, i]));
+                    want.push((u, Packet::of(&[u as u64, i])));
                 }
             }
         }

@@ -149,7 +149,7 @@ fn route_inner(
             for env in inbox {
                 let dst = env.msg[0] as usize;
                 let src = env.msg[1] as usize;
-                let payload: Packet = env.msg[2..].to_vec();
+                let payload = Packet::of(&env.msg[2..]);
                 if dst == node {
                     results[node].push((src, payload));
                 } else {
@@ -168,7 +168,7 @@ fn route_inner(
                 if let Some((src, payload)) = queue.front() {
                     let w = 2 + payload.len() as u64;
                     if out.budget_left(dst) >= w {
-                        let mut wire = Vec::with_capacity(payload.len() + 2);
+                        let mut wire = Packet::with_capacity(payload.len() + 2);
                         wire.push(dst as u64);
                         wire.push(*src as u64);
                         wire.extend_from_slice(payload);
@@ -204,7 +204,7 @@ fn route_inner(
                 }
                 let p = spread_q[node].pop_front().unwrap();
                 rr[node] += 1;
-                let mut wire = Vec::with_capacity(p.payload.len() + 2);
+                let mut wire = Packet::with_capacity(p.payload.len() + 2);
                 wire.push(p.dst as u64);
                 wire.push(p.src as u64);
                 wire.extend_from_slice(&p.payload);
@@ -261,7 +261,7 @@ mod tests {
             vec![RoutedPacket {
                 src: 1,
                 dst: 3,
-                payload: vec![42, 43],
+                payload: Packet::of(&[42, 43]),
             }],
             &mut nt,
         );
@@ -275,7 +275,7 @@ mod tests {
             vec![RoutedPacket {
                 src: 2,
                 dst: 2,
-                payload: vec![7],
+                payload: Packet::one(7),
             }],
             &mut nt,
         );
@@ -290,7 +290,7 @@ mod tests {
             vec![RoutedPacket {
                 src: 0,
                 dst: 1,
-                payload: vec![0; 3],
+                payload: Packet::of(&[0; 3]),
             }],
         )
         .unwrap_err();
@@ -311,7 +311,7 @@ mod tests {
                 packets.push(RoutedPacket {
                     src,
                     dst,
-                    payload: vec![(src * n + dst) as u64],
+                    payload: Packet::one((src * n + dst) as u64),
                 });
             }
         }
@@ -332,7 +332,7 @@ mod tests {
                 packets.push(RoutedPacket {
                     src,
                     dst: 0,
-                    payload: vec![(src * 100 + j) as u64],
+                    payload: Packet::one((src * 100 + j) as u64),
                 });
             }
         }
@@ -356,7 +356,7 @@ mod tests {
                 packets.push(RoutedPacket {
                     src,
                     dst,
-                    payload: vec![i as u64, rng.gen()],
+                    payload: Packet::of(&[i as u64, rng.gen()]),
                 });
             }
             check_delivery(n, packets, &mut nt);
@@ -400,7 +400,7 @@ mod deterministic_tests {
                 (0..n).map(move |dst| RoutedPacket {
                     src,
                     dst,
-                    payload: vec![(src * n + dst) as u64],
+                    payload: Packet::one((src * n + dst) as u64),
                 })
             })
             .collect();
@@ -419,12 +419,12 @@ mod deterministic_tests {
                 RoutedPacket {
                     src: 1,
                     dst: 5,
-                    payload: vec![7],
+                    payload: Packet::one(7),
                 },
                 RoutedPacket {
                     src: 2,
                     dst: 5,
-                    payload: vec![8],
+                    payload: Packet::one(8),
                 },
             ];
             let out = route_deterministic(&mut nt, packets).unwrap();
@@ -461,7 +461,7 @@ mod property_tests {
                 .map(|&(s, d, w)| RoutedPacket {
                     src: s % n,
                     dst: d % n,
-                    payload: vec![w, s as u64, d as u64],
+                    payload: Packet::of(&[w, s as u64, d as u64]),
                 })
                 .collect();
             let mut expect: Vec<Vec<(usize, Packet)>> = vec![Vec::new(); n];
@@ -488,7 +488,7 @@ mod property_tests {
                 .map(|(i, &(s, d))| RoutedPacket {
                     src: s % n,
                     dst: d % n,
-                    payload: vec![i as u64],
+                    payload: Packet::one(i as u64),
                 })
                 .collect();
             let mut expect: Vec<Vec<(usize, Packet)>> = vec![Vec::new(); n];

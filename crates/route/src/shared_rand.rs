@@ -10,7 +10,7 @@
 //! shared bits into hash-function coefficients with the same deterministic
 //! PRG — all nodes derive identical sketch spaces from identical inputs.
 
-use crate::Net;
+use crate::{Net, Packet};
 use cc_net::NetError;
 
 /// Number of designated generator nodes for an `n`-clique: `⌈log₂ n⌉ + 1`
@@ -43,7 +43,7 @@ pub fn shared_seed(net: &mut Net) -> Result<u64, NetError> {
         if node < d {
             for dst in 0..n {
                 if dst != node {
-                    let _ = out.send(dst, vec![payload[node]]);
+                    let _ = out.send(dst, Packet::one(payload[node]));
                 }
             }
         }

@@ -20,7 +20,7 @@
 
 use crate::collectives::{all_to_all_share, broadcast_large, gather_direct};
 use crate::routing::{route, RoutedPacket};
-use crate::Net;
+use crate::{Net, Packet};
 use cc_net::NetError;
 
 /// A sortable key: compared lexicographically.
@@ -49,7 +49,7 @@ pub fn distributed_sort(
     for items in &mut local {
         items.sort_unstable();
     }
-    let mut sample_msgs: Vec<Vec<Vec<u64>>> = vec![Vec::new(); n];
+    let mut sample_msgs: Vec<Vec<Packet>> = vec![Vec::new(); n];
     for (u, items) in local.iter().enumerate() {
         if u == coordinator || items.is_empty() {
             continue;
@@ -58,7 +58,7 @@ pub fn distributed_sort(
         for j in 0..s {
             let idx = j * items.len() / s;
             let k = items[idx];
-            sample_msgs[u].push(vec![k[0], k[1], k[2]]);
+            sample_msgs[u].push(Packet::of(&k[..]));
         }
     }
     let gathered = gather_direct(net, coordinator, sample_msgs)?;
@@ -87,7 +87,7 @@ pub fn distributed_sort(
     for s in &splitters {
         splitter_words.extend_from_slice(s);
     }
-    broadcast_large(net, coordinator, splitter_words)?;
+    broadcast_large(net, coordinator, splitter_words.into())?;
 
     // 3. Route each item to its bucket owner, tagged with the holder-local
     //    index so ranks can be routed back.
@@ -101,7 +101,7 @@ pub fn distributed_sort(
             packets.push(RoutedPacket {
                 src: u,
                 dst: bucket_of(k),
-                payload: vec![k[0], k[1], k[2], idx as u64],
+                payload: Packet::of(&[k[0], k[1], k[2], idx as u64]),
             });
         }
     }
@@ -127,7 +127,7 @@ pub fn distributed_sort(
             rank_packets.push(RoutedPacket {
                 src: owner,
                 dst: holder,
-                payload: vec![idx, base[owner] + offset as u64],
+                payload: Packet::of(&[idx, base[owner] + offset as u64]),
             });
         }
     }

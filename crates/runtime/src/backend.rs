@@ -115,12 +115,10 @@ impl<'a, M: Wire + Clone> Ctx<'a, M> {
     }
 }
 
-/// What one executed round hands back to the driver.
+/// What one executed round hands back to the driver (the next round's
+/// inboxes are written into the caller-owned pooled buffer instead).
 #[derive(Debug)]
 pub struct RoundOutput<M> {
-    /// Per-destination inboxes for the next round, each in
-    /// `(src, send-index)` order.
-    pub inboxes: Vec<Vec<Envelope<M>>>,
     /// Message/word/bit cost of this round (`rounds` stays 0; the driver
     /// counts rounds).
     pub cost: Cost,
@@ -146,7 +144,7 @@ pub struct RoundOutput<M> {
     /// (which is what [`cc_trace::Event::MessageBatch`] reports and what
     /// [`cc_net::CliqueNet::step`] emits) from them.
     #[allow(clippy::type_complexity)]
-    pub batches: Option<Vec<((u32, u32), (u32, u64))>>,
+    pub batches: Option<Vec<cc_net::BatchEntry>>,
 }
 
 /// An engine that can execute one synchronous round.
@@ -163,15 +161,20 @@ pub trait Backend {
     ///
     /// `delivered[v]` is node `v`'s inbox for this round; `done[v]` is
     /// updated from [`Program::round`] return values. `round` is the
-    /// number of rounds completed before this one. With `fault` present,
-    /// crashed nodes are skipped (and marked done so the driver can
-    /// terminate), the round's link budget honors any squeeze, and every
-    /// staged message passes through [`cc_net::fault::apply_faults`]
-    /// after metering.
+    /// number of rounds completed before this one. `inboxes` is the
+    /// caller's pooled delivery buffer — `n` empty vectors whose retained
+    /// capacity is the whole point; the backend fills `inboxes[v]` with
+    /// node `v`'s next-round inbox in `(src, send-index)` order. With
+    /// `fault` present, crashed nodes are skipped (and marked done so the
+    /// driver can terminate), the round's link budget honors any squeeze,
+    /// and every staged message passes through
+    /// [`cc_net::fault::apply_faults`] after metering.
     ///
     /// # Errors
     ///
-    /// The first send violation by the lowest-ID offending node.
+    /// The first send violation by the lowest-ID offending node (the
+    /// contents of `inboxes` are unspecified after an error; the driver
+    /// recycles them regardless).
     #[allow(clippy::too_many_arguments)] // one seam for engine parity; bundling would obscure it
     fn execute<P: Program>(
         &mut self,
@@ -180,6 +183,7 @@ pub trait Backend {
         phase: Phase,
         programs: &mut [P],
         delivered: &[Vec<Envelope<P::Msg>>],
+        inboxes: &mut [Vec<Envelope<P::Msg>>],
         done: &mut [bool],
         fault: Option<&dyn FaultInjector>,
     ) -> Result<RoundOutput<P::Msg>, NetError>;
@@ -203,6 +207,9 @@ pub(crate) fn round_rules(
 /// Runs one node's callback and stages its sends — the single code path
 /// both backends share, so their per-node semantics cannot diverge.
 ///
+/// `buf` is the (empty) staging buffer the node's outbox fills; a pooled
+/// caller passes the drained buffer of the previous node back in.
+///
 /// Returns the staged envelopes, the first latched violation, and whether
 /// the node reported termination.
 #[allow(clippy::too_many_arguments)]
@@ -215,13 +222,14 @@ pub(crate) fn run_node<P: Program>(
     round: u64,
     phase: Phase,
     inbox: &[Envelope<P::Msg>],
+    buf: Vec<Envelope<P::Msg>>,
 ) -> (Vec<Envelope<P::Msg>>, Option<NetError>, bool) {
     let mut ctx = Ctx {
         node,
         n: cfg.n,
         round,
         seed: cfg.seed,
-        outbox: Outbox::assemble(node, rules, links),
+        outbox: Outbox::assemble_in(node, rules, links, buf),
         rng: None,
     };
     let done = match phase {

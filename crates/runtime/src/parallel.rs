@@ -9,11 +9,12 @@
 //!    needed), stages outgoing envelopes per node, and meters into a
 //!    *private* [`Counters`] shard. No lock is taken anywhere.
 //! 2. **Exchange** — workers are re-assigned contiguous *destination*
-//!    ranges. Each scans the staged outboxes of all senders in ID order
-//!    and copies out the envelopes addressed to its range, so every inbox
-//!    comes out in `(src, send-index)` order by construction — thread
-//!    arrival order never matters. Counter shards and transcript chunks
-//!    fold in worker (= ID) order at the barrier.
+//!    ranges — disjoint slices of the driver's pooled inbox buffer. Each
+//!    scans the staged outboxes of all senders in ID order and copies out
+//!    the envelopes addressed to its range, so every inbox comes out in
+//!    `(src, send-index)` order by construction — thread arrival order
+//!    never matters. Counter shards and transcript chunks fold in worker
+//!    (= ID) order at the barrier.
 //!
 //! Violations abort a worker's chunk at the first offending node (the
 //! serial engine's behavior within a chunk), and the lowest-ID offender's
@@ -25,9 +26,8 @@ use crate::backend::{meter, round_rules, run_node, Backend, Phase, Program, Roun
 use crate::serial::SerialBackend;
 use cc_net::budget::LinkUse;
 use cc_net::fault::{apply_faults, FaultInjector, FaultRecord};
-use cc_net::{Cost, Counters, Envelope, NetConfig, NetError, Wire};
+use cc_net::{Cost, Counters, Envelope, NetConfig, NetError, RoundBatches, Wire};
 use cc_trace::SpanTiming;
-use std::collections::BTreeMap;
 use std::time::Instant;
 
 /// Multi-threaded engine; observationally identical to
@@ -82,8 +82,10 @@ struct ComputeShard<M> {
     faults: Vec<FaultRecord>,
     /// Fault-deferred envelopes from this chunk.
     deferred: Vec<(u64, Envelope<M>)>,
-    /// Pre-fault batch aggregation for this chunk (`Some` iff injecting).
-    batches: Option<BTreeMap<(u32, u32), (u32, u64)>>,
+    /// Pre-fault batch entries for this chunk, `(src, dst)`-sorted
+    /// (`Some` iff injecting). Senders of a chunk are contiguous, so
+    /// concatenating shard entries in worker order is globally sorted.
+    batches: Option<Vec<cc_net::BatchEntry>>,
 }
 
 impl Backend for ParallelBackend {
@@ -98,6 +100,7 @@ impl Backend for ParallelBackend {
         phase: Phase,
         programs: &mut [P],
         delivered: &[Vec<Envelope<P::Msg>>],
+        inboxes: &mut [Vec<Envelope<P::Msg>>],
         done: &mut [bool],
         fault: Option<&dyn FaultInjector>,
     ) -> Result<RoundOutput<P::Msg>, NetError> {
@@ -105,8 +108,10 @@ impl Backend for ParallelBackend {
         let workers = self.threads.min(n);
         if workers <= 1 {
             // One worker is the serial engine; skip the fan-out cost.
-            return SerialBackend.execute(cfg, round, phase, programs, delivered, done, fault);
+            return SerialBackend
+                .execute(cfg, round, phase, programs, delivered, inboxes, done, fault);
         }
+        debug_assert_eq!(inboxes.len(), n, "driver provides one buffer per node");
         let chunk = n.div_ceil(workers);
         let rules = round_rules(cfg, round, fault);
 
@@ -129,8 +134,11 @@ impl Backend for ParallelBackend {
                         let mut error = None;
                         let mut faults = Vec::new();
                         let mut deferred = Vec::new();
-                        let mut batches: Option<BTreeMap<(u32, u32), (u32, u64)>> =
-                            fault.map(|_| BTreeMap::new());
+                        let mut batches: Option<RoundBatches> = fault.map(|_| {
+                            let mut b = RoundBatches::new();
+                            b.begin_round(n);
+                            b
+                        });
                         for (i, program) in progs.iter_mut().enumerate() {
                             let node = base + i;
                             if let Some(inj) = fault {
@@ -150,6 +158,7 @@ impl Backend for ParallelBackend {
                                 round,
                                 phase,
                                 &del_chunk[i],
+                                Vec::new(),
                             );
                             if let Some(e) = err {
                                 error = Some((node, e));
@@ -161,11 +170,9 @@ impl Backend for ParallelBackend {
                             meter(&staged, cfg, round, &mut counters, &mut transcript);
                             if let Some(b) = batches.as_mut() {
                                 for env in &staged {
-                                    let slot =
-                                        b.entry((env.src as u32, env.dst as u32)).or_insert((0, 0));
-                                    slot.0 += 1;
-                                    slot.1 += env.msg.words().max(1);
+                                    b.add(env.dst as u32, env.msg.words().max(1));
                                 }
+                                b.flush_sender(node as u32);
                             }
                             if let Some(inj) = fault {
                                 let outcome = apply_faults(inj, round, staged);
@@ -189,7 +196,7 @@ impl Backend for ParallelBackend {
                             },
                             faults,
                             deferred,
-                            batches,
+                            batches: batches.map(|mut b| b.take_entries()),
                         }
                     })
                 })
@@ -202,7 +209,9 @@ impl Backend for ParallelBackend {
 
         // Fold shards in worker (= node) order: lowest offender wins, cost
         // addition is commutative so totals are exact, transcript chunks
-        // concatenate into sender-ID order.
+        // concatenate into sender-ID order, and (src, dst)-sorted batch
+        // chunks concatenate into globally sorted order (disjoint,
+        // ascending sender ranges).
         if let Some((_, e)) = shards
             .iter()
             .filter_map(|sh| sh.error.as_ref())
@@ -216,7 +225,7 @@ impl Backend for ParallelBackend {
         let mut worker_spans = Vec::with_capacity(shards.len());
         let mut faults = Vec::new();
         let mut deferred = Vec::new();
-        let mut batches: Option<BTreeMap<(u32, u32), (u32, u64)>> = fault.map(|_| BTreeMap::new());
+        let mut batches: Option<Vec<cc_net::BatchEntry>> = fault.map(|_| Vec::new());
         for shard in shards {
             cost += shard.cost;
             transcript.extend(shard.transcript);
@@ -225,55 +234,45 @@ impl Backend for ParallelBackend {
             faults.extend(shard.faults);
             deferred.extend(shard.deferred);
             if let (Some(acc), Some(part)) = (batches.as_mut(), shard.batches) {
-                // Shard key sets are disjoint (distinct senders), but a
-                // merge-add is the obviously correct fold either way.
-                for (key, (count, words)) in part {
-                    let slot = acc.entry(key).or_insert((0, 0));
-                    slot.0 += count;
-                    slot.1 += words;
-                }
+                acc.extend(part);
             }
         }
 
         // ---- Barrier 2: exchange. ----
-        // Workers own disjoint destination ranges and pull from the shared
-        // staged outboxes — no queue, no lock, and the (src, send-index)
+        // Workers own disjoint destination ranges — disjoint `chunks_mut`
+        // slices of the pooled inbox buffer — and pull from the shared
+        // staged outboxes: no queue, no lock, and the (src, send-index)
         // scan order *is* the normalized inbox order.
         let staged_ref = &staged_all;
-        let inboxes: Vec<Vec<Envelope<P::Msg>>> = std::thread::scope(|s| {
-            let handles: Vec<_> = (0..workers)
-                .map(|w| {
-                    let lo = (w * chunk).min(n);
-                    let hi = ((w + 1) * chunk).min(n);
+        std::thread::scope(|s| {
+            let handles: Vec<_> = inboxes
+                .chunks_mut(chunk)
+                .enumerate()
+                .map(|(w, part)| {
+                    let lo = w * chunk;
                     s.spawn(move || {
-                        let mut part: Vec<Vec<Envelope<P::Msg>>> =
-                            (lo..hi).map(|_| Vec::new()).collect();
                         for src_staged in staged_ref {
                             for env in src_staged {
-                                if (lo..hi).contains(&env.dst) {
+                                if (lo..lo + part.len()).contains(&env.dst) {
                                     part[env.dst - lo].push(env.clone());
                                 }
                             }
                         }
-                        part
                     })
                 })
                 .collect();
-            handles
-                .into_iter()
-                .flat_map(|h| h.join().unwrap_or_else(|e| std::panic::resume_unwind(e)))
-                .collect()
+            for h in handles {
+                h.join().unwrap_or_else(|e| std::panic::resume_unwind(e));
+            }
         });
-        debug_assert_eq!(inboxes.len(), n);
 
         Ok(RoundOutput {
-            inboxes,
             cost,
             transcript,
             worker_spans,
             faults,
             deferred,
-            batches: batches.map(|b| b.into_iter().collect()),
+            batches,
         })
     }
 }

@@ -225,18 +225,24 @@ impl<B: Backend> Runtime<B> {
         let n = self.cfg.n;
         assert_eq!(programs.len(), n, "one program per node");
         let mut done = vec![false; n];
-        let empty: Vec<Vec<Envelope<P::Msg>>> = (0..n).map(|_| Vec::new()).collect();
+        // Two pooled inbox buffers, swapped each round: `cur` is this
+        // round's deliveries, `next` is the (drained) buffer the backend
+        // fills. After the first few rounds every queue has warmed up to
+        // the protocol's working set and rounds stop allocating.
+        let mut cur: Vec<Vec<Envelope<P::Msg>>> = (0..n).map(|_| Vec::new()).collect();
+        let mut next: Vec<Vec<Envelope<P::Msg>>> = (0..n).map(|_| Vec::new()).collect();
         // Fault-deferred messages: delivery round → envelopes. Owned here
         // (not on `self`) because the message type is per-run.
         let mut deferred: BTreeMap<u64, Vec<Envelope<P::Msg>>> = BTreeMap::new();
-        let (mut pending, late) = self.execute(Phase::Start, &mut programs, &empty, &mut done)?;
+        let late = self.execute(Phase::Start, &mut programs, &cur, &mut next, &mut done)?;
         for (due, env) in late {
             deferred.entry(due).or_default().push(env);
         }
+        std::mem::swap(&mut cur, &mut next);
         let mut rounds = 1u64;
         loop {
             let all_done = done.iter().all(|&d| d);
-            if all_done && pending.iter().all(Vec::is_empty) && deferred.is_empty() {
+            if all_done && cur.iter().all(Vec::is_empty) && deferred.is_empty() {
                 return Ok(programs);
             }
             if rounds >= max_rounds {
@@ -247,32 +253,40 @@ impl<B: Backend> Runtime<B> {
             // stable (same normalization as CliqueNet::step).
             if let Some(late) = deferred.remove(&self.counters.total().rounds) {
                 for env in late {
-                    pending[env.dst].push(env);
+                    cur[env.dst].push(env);
                 }
-                for q in &mut pending {
+                for q in &mut cur {
                     q.sort_by_key(|e| e.src);
                 }
             }
-            let (next, late) = self.execute(Phase::Round, &mut programs, &pending, &mut done)?;
+            let late = self.execute(Phase::Round, &mut programs, &cur, &mut next, &mut done)?;
             for (due, env) in late {
                 deferred.entry(due).or_default().push(env);
             }
-            pending = next;
+            // Recycle the consumed buffer (clear keeps capacity) and swap
+            // it in as the next round's fill target.
+            for q in &mut cur {
+                q.clear();
+            }
+            std::mem::swap(&mut cur, &mut next);
             rounds += 1;
         }
     }
 
     /// Executes one round and folds its cost/transcript into the runtime.
-    /// Returns the next round's inboxes plus any newly fault-deferred
-    /// envelopes (the caller owns the cross-round defer schedule).
+    /// The backend writes the next round's inboxes into `inboxes` (the
+    /// caller's pooled buffer); the return value is any newly
+    /// fault-deferred envelopes (the caller owns the cross-round defer
+    /// schedule).
     #[allow(clippy::type_complexity)]
     fn execute<P: Program>(
         &mut self,
         phase: Phase,
         programs: &mut [P],
         delivered: &[Vec<Envelope<P::Msg>>],
+        inboxes: &mut [Vec<Envelope<P::Msg>>],
         done: &mut [bool],
-    ) -> Result<(Vec<Vec<Envelope<P::Msg>>>, Vec<(u64, Envelope<P::Msg>)>), NetError> {
+    ) -> Result<Vec<(u64, Envelope<P::Msg>)>, NetError> {
         if let Some(cap) = self.cfg.round_cap {
             if self.counters.total().rounds >= cap {
                 return Err(NetError::RoundCapExceeded { cap });
@@ -319,7 +333,6 @@ impl<B: Backend> Runtime<B> {
             }
         }
         let RoundOutput {
-            inboxes,
             cost,
             transcript,
             worker_spans,
@@ -332,6 +345,7 @@ impl<B: Backend> Runtime<B> {
             phase,
             programs,
             delivered,
+            inboxes,
             done,
             self.fault.as_deref(),
         )?;
@@ -349,17 +363,36 @@ impl<B: Backend> Runtime<B> {
             let batches: Vec<((u32, u32), (u32, u64))> = match batches {
                 Some(b) => b,
                 None => {
-                    let mut agg: BTreeMap<(u32, u32), (u32, u64)> = BTreeMap::new();
-                    for inbox in &inboxes {
+                    // Without faults the filled inboxes are exactly the
+                    // sends. Each inbox holds one destination in src-sorted
+                    // order, so same-src envelopes form contiguous runs —
+                    // fold each run to one entry, then one global sort
+                    // (replacing a per-message BTreeMap insert).
+                    let mut agg: Vec<((u32, u32), (u32, u64))> = Vec::new();
+                    for inbox in inboxes.iter() {
+                        let mut run: Option<((u32, u32), (u32, u64))> = None;
                         for env in inbox {
-                            let slot = agg
-                                .entry((env.src as u32, env.dst as u32))
-                                .or_insert((0, 0));
-                            slot.0 += 1;
-                            slot.1 += env.msg.words().max(1);
+                            let key = (env.src as u32, env.dst as u32);
+                            let words = env.msg.words().max(1);
+                            match run.as_mut() {
+                                Some((k, slot)) if *k == key => {
+                                    slot.0 += 1;
+                                    slot.1 += words;
+                                }
+                                _ => {
+                                    if let Some(done_run) = run.take() {
+                                        agg.push(done_run);
+                                    }
+                                    run = Some((key, (1, words)));
+                                }
+                            }
+                        }
+                        if let Some(done_run) = run {
+                            agg.push(done_run);
                         }
                     }
-                    agg.into_iter().collect()
+                    agg.sort_unstable_by_key(|&(k, _)| k);
+                    agg
                 }
             };
             for ((src, dst), (count, words)) in batches {
@@ -397,6 +430,6 @@ impl<B: Backend> Runtime<B> {
                 words: cost.words,
             });
         }
-        Ok((inboxes, deferred))
+        Ok(deferred)
     }
 }

@@ -7,13 +7,17 @@
 //! backend is tested against — and the faster choice when
 //! `n · per-node-work` is small enough that thread fan-out costs more
 //! than it saves.
+//!
+//! Like the direct simulator, the fault-free path is allocation-free in
+//! steady state: the next-round inboxes land in the driver's pooled
+//! buffer, and one staging buffer is drained and reused across all `n`
+//! nodes of a round.
 
 use crate::backend::{meter, round_rules, run_node, Backend, Phase, Program, RoundOutput};
 use cc_net::budget::LinkUse;
 use cc_net::fault::{apply_faults, FaultInjector};
-use cc_net::{Counters, Envelope, NetConfig, NetError, Wire};
+use cc_net::{Counters, Envelope, NetConfig, NetError, RoundBatches, Wire};
 use cc_trace::SpanTiming;
-use std::collections::BTreeMap;
 use std::time::Instant;
 
 /// Single-threaded engine; the reference implementation.
@@ -32,20 +36,31 @@ impl Backend for SerialBackend {
         phase: Phase,
         programs: &mut [P],
         delivered: &[Vec<Envelope<P::Msg>>],
+        inboxes: &mut [Vec<Envelope<P::Msg>>],
         done: &mut [bool],
         fault: Option<&dyn FaultInjector>,
     ) -> Result<RoundOutput<P::Msg>, NetError> {
         let n = cfg.n;
+        debug_assert_eq!(inboxes.len(), n, "driver provides one buffer per node");
+        debug_assert!(inboxes.iter().all(Vec::is_empty), "buffers arrive drained");
         let rules = round_rules(cfg, round, fault);
         let mut links = LinkUse::new(n);
         let mut counters = Counters::new();
         let mut transcript = Vec::new();
-        let mut inboxes: Vec<Vec<Envelope<P::Msg>>> = (0..n).map(|_| Vec::new()).collect();
         let mut faults = Vec::new();
         let mut deferred = Vec::new();
+        // Reused staging buffer for the fault-free path (the fault path
+        // hands each node's staged sends to `apply_faults` by value, so
+        // it re-allocates; chaos runs are correctness harnesses, not the
+        // hot path).
+        let mut staged_buf: Vec<Envelope<P::Msg>> = Vec::new();
         // Pre-fault batches, tracked only under an injector (without one
         // the driver reconstructs identical batches from the inboxes).
-        let mut batches: Option<BTreeMap<(u32, u32), (u32, u64)>> = fault.map(|_| BTreeMap::new());
+        let mut batches: Option<RoundBatches> = fault.map(|_| {
+            let mut b = RoundBatches::new();
+            b.begin_round(n);
+            b
+        });
 
         let t0 = Instant::now();
         for (node, program) in programs.iter_mut().enumerate() {
@@ -58,7 +73,7 @@ impl Backend for SerialBackend {
                     continue;
                 }
             }
-            let (staged, error, node_done) = run_node(
+            let (mut staged, error, node_done) = run_node(
                 program,
                 node,
                 cfg,
@@ -67,6 +82,7 @@ impl Backend for SerialBackend {
                 round,
                 phase,
                 &delivered[node],
+                std::mem::take(&mut staged_buf),
             );
             if let Some(e) = error {
                 return Err(e);
@@ -77,10 +93,9 @@ impl Backend for SerialBackend {
             meter(&staged, cfg, round, &mut counters, &mut transcript);
             if let Some(b) = batches.as_mut() {
                 for env in &staged {
-                    let slot = b.entry((env.src as u32, env.dst as u32)).or_insert((0, 0));
-                    slot.0 += 1;
-                    slot.1 += env.msg.words().max(1);
+                    b.add(env.dst as u32, env.msg.words().max(1));
                 }
+                b.flush_sender(node as u32);
             }
             if let Some(inj) = fault {
                 let outcome = apply_faults(inj, round, staged);
@@ -93,14 +108,14 @@ impl Backend for SerialBackend {
                 // Senders run in ID order and stage in send order, so
                 // pushing here yields (src, send-index)-sorted inboxes by
                 // construction.
-                for env in staged {
+                for env in staged.drain(..) {
                     inboxes[env.dst].push(env);
                 }
+                staged_buf = staged;
             }
         }
 
         Ok(RoundOutput {
-            inboxes,
             cost: counters.total(),
             transcript,
             worker_spans: vec![SpanTiming {
@@ -111,7 +126,7 @@ impl Backend for SerialBackend {
             }],
             faults,
             deferred,
-            batches: batches.map(|b| b.into_iter().collect()),
+            batches: batches.map(|mut b| b.take_entries()),
         })
     }
 }

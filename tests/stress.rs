@@ -13,14 +13,43 @@ use congested_clique::route::Net;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 
+/// Whether a stress test should skip itself: debug builds skip unless
+/// `CC_STRESS` is set to `1` (surrounding whitespace tolerated); release
+/// builds always run.
+///
+/// Pure so the gate itself is unit-testable in any build — the one place
+/// this logic lives, used by every `stress_gate!` expansion.
+fn skip_stress(debug_build: bool, cc_stress: Option<&str>) -> bool {
+    debug_build && cc_stress.is_none_or(|v| v.trim() != "1")
+}
+
 /// Skips the calling test in debug builds unless `CC_STRESS=1`.
 macro_rules! stress_gate {
     () => {
-        if cfg!(debug_assertions) && std::env::var("CC_STRESS").map_or(true, |v| v != "1") {
+        let var = std::env::var("CC_STRESS").ok();
+        if skip_stress(cfg!(debug_assertions), var.as_deref()) {
             eprintln!("skipping stress test in debug build (set CC_STRESS=1 or use --release)");
             return;
         }
     };
+}
+
+/// Ungated: the gate predicate itself must behave identically in every
+/// build, so these run even where the stress bodies skip.
+#[test]
+fn stress_gate_honors_cc_stress_in_debug() {
+    // Release builds always run, whatever the env says.
+    assert!(!skip_stress(false, None));
+    assert!(!skip_stress(false, Some("0")));
+    // Debug builds skip by default and on any non-"1" value…
+    assert!(skip_stress(true, None));
+    assert!(skip_stress(true, Some("0")));
+    assert!(skip_stress(true, Some("true")));
+    assert!(skip_stress(true, Some("")));
+    // …and run when CC_STRESS=1, tolerating stray whitespace.
+    assert!(!skip_stress(true, Some("1")));
+    assert!(!skip_stress(true, Some(" 1 ")));
+    assert!(!skip_stress(true, Some("1\n")));
 }
 
 #[test]

@@ -36,7 +36,7 @@
 //! Exit codes: 0 ok (or `--warn-only`), 1 regression/model drift,
 //! 2 usage or I/O error.
 
-use cc_bench::perf::{default_k, run_suite_with, stamp_name, Large};
+use cc_bench::perf::{default_k, filter_cases, run_suite_with, stamp_name, Large};
 use cc_profile::{compare, render_comparison, PerfSuite, Tolerance};
 
 #[cfg(feature = "count-allocs")]
@@ -52,16 +52,6 @@ fn value_of(args: &[String], flag: &str) -> Option<String> {
 fn fail(msg: &str) -> ! {
     eprintln!("error: {msg}");
     std::process::exit(2);
-}
-
-/// Keeps only cases whose `id/backend/n=N` key contains one of the
-/// comma-separated `patterns`.
-fn apply_filter(suite: &mut PerfSuite, patterns: &str) {
-    let pats: Vec<&str> = patterns.split(',').filter(|p| !p.is_empty()).collect();
-    suite.cases.retain(|c| {
-        let key = format!("{}/{}/n={}", c.id, c.backend, c.n);
-        pats.iter().any(|p| key.contains(p))
-    });
 }
 
 fn main() {
@@ -132,11 +122,11 @@ fn main() {
 
     let mut gated = suite;
     if let Some(patterns) = value_of(&args, "--filter") {
-        apply_filter(&mut gated, &patterns);
-        apply_filter(&mut baseline, &patterns);
-        if gated.cases.is_empty() {
-            fail(&format!("--filter {patterns} matched no cases"));
-        }
+        // Zero matches on the fresh suite is a usage error and lists the
+        // valid keys; an empty *baseline* selection only means the
+        // baseline predates these cases, which `compare` reports.
+        filter_cases(&mut gated, &patterns).unwrap_or_else(|e| fail(&e));
+        let _ = filter_cases(&mut baseline, &patterns);
     }
     let tol = Tolerance::default();
     let cmp = compare(&gated, &baseline, tol);

@@ -254,6 +254,32 @@ pub fn run_suite_with(quick: bool, k: usize, large: Large) -> PerfSuite {
     suite
 }
 
+/// The `id/backend/n=N` display key `--filter` patterns match against.
+pub fn case_key(c: &PerfCase) -> String {
+    format!("{}/{}/n={}", c.id, c.backend, c.n)
+}
+
+/// Keeps only cases whose [`case_key`] contains one of the
+/// comma-separated `patterns`.
+///
+/// Errors when no case survives, listing every valid key — a typo'd
+/// filter should name what it *could* have matched instead of silently
+/// gating nothing.
+pub fn filter_cases(suite: &mut PerfSuite, patterns: &str) -> Result<(), String> {
+    let pats: Vec<&str> = patterns.split(',').filter(|p| !p.is_empty()).collect();
+    let available: Vec<String> = suite.cases.iter().map(case_key).collect();
+    suite
+        .cases
+        .retain(|c| pats.iter().any(|p| case_key(c).contains(p)));
+    if suite.cases.is_empty() {
+        return Err(format!(
+            "--filter {patterns:?} matched no cases; valid case keys:\n  {}",
+            available.join("\n  ")
+        ));
+    }
+    Ok(())
+}
+
 /// `(year, month, day)` in UTC for a unix timestamp — for naming
 /// `BENCH_<stamp>.json` without a date/time dependency. Howard Hinnant's
 /// `civil_from_days` algorithm.
@@ -282,6 +308,53 @@ pub fn stamp_name(created_unix: u64) -> String {
 mod tests {
     use super::*;
     use cc_profile::{compare, Tolerance};
+
+    #[test]
+    fn filter_zero_match_errors_with_valid_names() {
+        let mut suite = PerfSuite::new("test");
+        suite.cases = vec![
+            PerfCase {
+                id: "gc-sketch".into(),
+                backend: "net".into(),
+                n: 32,
+                runs: 1,
+                nanos_median: 1,
+                nanos_min: 1,
+                nanos_max: 1,
+                rounds: 1,
+                messages: 1,
+                words: 1,
+                allocs: None,
+                alloc_bytes: None,
+            },
+            PerfCase {
+                id: "rt-conn".into(),
+                backend: "serial".into(),
+                n: 64,
+                runs: 1,
+                nanos_median: 1,
+                nanos_min: 1,
+                nanos_max: 1,
+                rounds: 1,
+                messages: 1,
+                words: 1,
+                allocs: None,
+                alloc_bytes: None,
+            },
+        ];
+        // A matching filter keeps the matching case and succeeds.
+        let mut ok = suite.clone();
+        filter_cases(&mut ok, "rt-conn").expect("matching filter");
+        assert_eq!(ok.cases.len(), 1);
+        assert_eq!(ok.cases[0].id, "rt-conn");
+
+        // A zero-match filter errors and names every valid key.
+        let mut none = suite.clone();
+        let err = filter_cases(&mut none, "rt-con/net,bogus").unwrap_err();
+        assert!(err.contains("matched no cases"), "{err}");
+        assert!(err.contains("gc-sketch/net/n=32"), "{err}");
+        assert!(err.contains("rt-conn/serial/n=64"), "{err}");
+    }
 
     #[test]
     fn civil_dates_are_correct() {

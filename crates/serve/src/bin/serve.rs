@@ -1,0 +1,127 @@
+//! The `serve` daemon: line-delimited JSON over stdin/stdout (default)
+//! or a localhost TCP listener.
+//!
+//! ```text
+//! serve [--workers N] [--queue N] [--cache N] [--tcp ADDR]
+//! ```
+//!
+//! In stdio mode the session is the server's lifetime: EOF (or a
+//! `shutdown` op) stops admissions, drains in-flight jobs, flushes every
+//! response, and exits. In TCP mode each connection is a session over
+//! the shared server; a `shutdown` op from any connection stops the
+//! daemon after draining.
+
+use cc_serve::pool::{ServeConfig, Server};
+use cc_serve::server::run_session;
+use std::io::{BufReader, Write};
+use std::net::TcpListener;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+struct Options {
+    cfg: ServeConfig,
+    tcp: Option<String>,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: serve [--workers N] [--queue N] [--cache N] [--tcp ADDR]\n\
+         \n\
+         Speaks line-delimited JSON: {{\"op\":\"submit\",\"id\":...,\"job\":...}},\n\
+         {{\"op\":\"stats\"}}, {{\"op\":\"shutdown\"}}. Default transport is stdin/stdout;\n\
+         --tcp 127.0.0.1:PORT serves connections instead."
+    );
+    std::process::exit(2);
+}
+
+fn parse_args() -> Options {
+    let mut cfg = ServeConfig::default();
+    let mut tcp = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut num = |name: &str| -> usize {
+            args.next()
+                .and_then(|v| v.parse().ok())
+                .filter(|&v: &usize| v > 0)
+                .unwrap_or_else(|| {
+                    eprintln!("{name} needs a positive integer");
+                    usage()
+                })
+        };
+        match arg.as_str() {
+            "--workers" => cfg.workers = num("--workers"),
+            "--queue" => cfg.queue_capacity = num("--queue"),
+            "--cache" => cfg.cache_capacity = num("--cache"),
+            "--tcp" => tcp = Some(args.next().unwrap_or_else(|| usage())),
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("unknown argument {other:?}");
+                usage()
+            }
+        }
+    }
+    Options { cfg, tcp }
+}
+
+fn serve_stdio(server: &Server) -> std::io::Result<()> {
+    let stdin = std::io::stdin().lock();
+    let stdout = std::io::stdout();
+    run_session(server, stdin, stdout, true)?;
+    Ok(())
+}
+
+fn serve_tcp(server: Arc<Server>, addr: &str) -> std::io::Result<()> {
+    let listener = TcpListener::bind(addr)?;
+    let local = listener.local_addr()?;
+    eprintln!("serve: listening on {local}");
+    let closing = Arc::new(AtomicBool::new(false));
+    let mut sessions = Vec::new();
+    for stream in listener.incoming() {
+        if closing.load(Ordering::SeqCst) {
+            break;
+        }
+        let stream = stream?;
+        let server = Arc::clone(&server);
+        let closing = Arc::clone(&closing);
+        sessions.push(std::thread::spawn(move || {
+            let reader = BufReader::new(stream.try_clone().expect("clone tcp stream"));
+            let _ = run_session(&server, reader, stream, false);
+            if !server.stats().accepting {
+                // A shutdown op arrived on this session: wake the accept
+                // loop with a no-op connection so the daemon can exit.
+                closing.store(true, Ordering::SeqCst);
+                if let Ok(mut s) = std::net::TcpStream::connect(local) {
+                    let _ = s.write_all(b"\n");
+                }
+            }
+        }));
+    }
+    for s in sessions {
+        let _ = s.join();
+    }
+    Ok(())
+}
+
+fn main() {
+    let opts = parse_args();
+    let server = Server::start(opts.cfg);
+    let result = match &opts.tcp {
+        None => {
+            let r = serve_stdio(&server);
+            server.join();
+            r
+        }
+        Some(addr) => {
+            let server = Arc::new(server);
+            let r = serve_tcp(Arc::clone(&server), addr);
+            if let Ok(s) = Arc::try_unwrap(server) {
+                s.join();
+            }
+            r
+        }
+    };
+    if let Err(e) = result {
+        eprintln!("serve: {e}");
+        std::process::exit(1);
+    }
+}

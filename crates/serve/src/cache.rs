@@ -1,0 +1,222 @@
+//! The bounded LRU result cache.
+//!
+//! Values are the sealed artifact documents jobs produce, stored as
+//! `Arc<str>` so a hit clones a pointer, never the bytes — which is also
+//! what makes the serving guarantee cheap to keep: a cache hit returns
+//! the *byte-identical* document the cold run produced.
+//!
+//! The implementation is a `HashMap` keyed by [`Digest`] plus a
+//! `BTreeMap` recency index over a logical clock: `get` re-stamps the
+//! entry, `insert` evicts the least-recently-used entry when full. Both
+//! are `O(log capacity)` and fully deterministic — no wall clock, no
+//! hasher randomness in the eviction order.
+
+use crate::hash::Digest;
+use std::collections::{BTreeMap, HashMap};
+use std::sync::Arc;
+
+/// Monotonic counters describing cache traffic.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// `get` calls that found the key.
+    pub hits: u64,
+    /// `get` calls that did not.
+    pub misses: u64,
+    /// Entries inserted.
+    pub insertions: u64,
+    /// Entries evicted to make room.
+    pub evictions: u64,
+    /// Bytes of artifact text currently resident.
+    pub resident_bytes: u64,
+}
+
+impl CacheStats {
+    /// Hit rate over all lookups (0 when none).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+struct Entry {
+    value: Arc<str>,
+    stamp: u64,
+}
+
+/// A bounded least-recently-used map from job digests to sealed artifact
+/// documents.
+pub struct ResultCache {
+    capacity: usize,
+    entries: HashMap<Digest, Entry>,
+    recency: BTreeMap<u64, Digest>,
+    clock: u64,
+    stats: CacheStats,
+}
+
+impl ResultCache {
+    /// A cache holding at most `capacity` entries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity == 0` — a cacheless server should skip the
+    /// cache, not thrash an empty one.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "cache capacity must be positive");
+        ResultCache {
+            capacity,
+            entries: HashMap::new(),
+            recency: BTreeMap::new(),
+            clock: 0,
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// Number of resident entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Traffic counters so far.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// Looks up `key`, counting a hit or miss and re-stamping recency.
+    pub fn get(&mut self, key: &Digest) -> Option<Arc<str>> {
+        self.clock += 1;
+        match self.entries.get_mut(key) {
+            Some(entry) => {
+                self.recency.remove(&entry.stamp);
+                entry.stamp = self.clock;
+                self.recency.insert(entry.stamp, *key);
+                self.stats.hits += 1;
+                Some(Arc::clone(&entry.value))
+            }
+            None => {
+                self.stats.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Inserts (or refreshes) `key`, evicting the least-recently-used
+    /// entry if the cache is full.
+    pub fn insert(&mut self, key: Digest, value: Arc<str>) {
+        self.clock += 1;
+        if let Some(old) = self.entries.remove(&key) {
+            self.recency.remove(&old.stamp);
+            self.stats.resident_bytes -= old.value.len() as u64;
+        } else if self.entries.len() >= self.capacity {
+            // Evict the smallest stamp = least recently touched.
+            let (&stamp, &victim) = self.recency.iter().next().expect("full cache has entries");
+            self.recency.remove(&stamp);
+            let gone = self.entries.remove(&victim).expect("recency in sync");
+            self.stats.resident_bytes -= gone.value.len() as u64;
+            self.stats.evictions += 1;
+        }
+        self.stats.resident_bytes += value.len() as u64;
+        self.stats.insertions += 1;
+        self.recency.insert(self.clock, key);
+        self.entries.insert(
+            key,
+            Entry {
+                value,
+                stamp: self.clock,
+            },
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(i: u128) -> Digest {
+        Digest(i)
+    }
+
+    fn val(s: &str) -> Arc<str> {
+        Arc::from(s)
+    }
+
+    #[test]
+    fn hits_return_the_inserted_pointer() {
+        let mut c = ResultCache::new(4);
+        assert!(c.get(&key(1)).is_none());
+        c.insert(key(1), val("artifact-1"));
+        let got = c.get(&key(1)).unwrap();
+        assert_eq!(&*got, "artifact-1");
+        assert_eq!(c.stats().hits, 1);
+        assert_eq!(c.stats().misses, 1);
+        assert_eq!(c.stats().resident_bytes, 10);
+    }
+
+    #[test]
+    fn evicts_least_recently_used_first() {
+        let mut c = ResultCache::new(2);
+        c.insert(key(1), val("a"));
+        c.insert(key(2), val("b"));
+        // Touch 1 so 2 is the LRU victim.
+        assert!(c.get(&key(1)).is_some());
+        c.insert(key(3), val("c"));
+        assert_eq!(c.stats().evictions, 1);
+        assert!(c.get(&key(2)).is_none(), "2 was evicted");
+        assert!(c.get(&key(1)).is_some());
+        assert!(c.get(&key(3)).is_some());
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn reinsert_refreshes_without_evicting() {
+        let mut c = ResultCache::new(2);
+        c.insert(key(1), val("a"));
+        c.insert(key(2), val("bb"));
+        c.insert(key(1), val("aaa"));
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.stats().evictions, 0);
+        assert_eq!(&*c.get(&key(1)).unwrap(), "aaa");
+        assert_eq!(c.stats().resident_bytes, 5);
+    }
+
+    #[test]
+    fn stays_bounded_under_churn() {
+        let mut c = ResultCache::new(8);
+        for i in 0..1000u128 {
+            c.insert(key(i), val("x"));
+            assert!(c.len() <= 8);
+        }
+        assert_eq!(c.stats().evictions, 1000 - 8);
+        assert_eq!(c.stats().resident_bytes, 8);
+        // The 8 most recent survive.
+        for i in 992..1000u128 {
+            assert!(c.get(&key(i)).is_some(), "recent key {i} resident");
+        }
+    }
+
+    #[test]
+    fn hit_rate_tracks_traffic() {
+        let mut c = ResultCache::new(2);
+        c.insert(key(1), val("a"));
+        for _ in 0..9 {
+            c.get(&key(1));
+        }
+        c.get(&key(2));
+        assert!((c.stats().hit_rate() - 0.9).abs() < 1e-12);
+        assert_eq!(CacheStats::default().hit_rate(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity")]
+    fn zero_capacity_is_rejected() {
+        let _ = ResultCache::new(0);
+    }
+}

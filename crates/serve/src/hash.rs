@@ -1,0 +1,185 @@
+//! Canonical graph hashing and cache-key digests.
+//!
+//! A serve cache is only as good as its key: two requests for the *same*
+//! graph must collide, and requests for different graphs must (almost
+//! surely) not. Graphs arrive as edge lists in whatever order a client
+//! produced them, possibly with repeats, so the hash canonicalizes first
+//! — orient every edge small-endpoint-first, sort, drop exact duplicates
+//! — and only then folds the list. The result is invariant under edge
+//! permutation and duplication by construction (property-tested in
+//! `tests/serve.rs`).
+//!
+//! Digests are 128 bits: two independent 64-bit folds over the same
+//! canonical stream, each seeded differently. With ~2⁻¹²⁸ collision odds
+//! the cache can treat digest equality as graph equality.
+
+/// `splitmix64` finalizer: the cheap, well-mixed 64-bit permutation used
+/// as the building block of every fold here.
+pub fn mix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// One 64-bit fold over `words` starting from `seed`.
+fn fold(seed: u64, words: impl Iterator<Item = u64>) -> u64 {
+    let mut h = mix64(seed);
+    for w in words {
+        h = mix64(h ^ mix64(w));
+    }
+    h
+}
+
+/// A 128-bit content digest (the cache-key type).
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Digest(pub u128);
+
+impl Digest {
+    /// Two independent folds over the same word stream.
+    fn of(words: &[u64]) -> Digest {
+        let lo = fold(0x6363_2d73_6572_7665, words.iter().copied()); // "cc-serve"
+        let hi = fold(0x6772_6170_682d_6b65, words.iter().copied()); // "graph-ke"
+        Digest(((hi as u128) << 64) | lo as u128)
+    }
+
+    /// Short hex form (for logs and response metadata).
+    pub fn hex(&self) -> String {
+        format!("{:032x}", self.0)
+    }
+}
+
+/// Canonical digest of an unweighted graph given as an edge list.
+///
+/// Invariant under edge order and duplicate edges: edges are oriented
+/// `(min, max)`, sorted, and deduplicated before hashing. Self-loops are
+/// canonicalized like any other pair; callers that consider them invalid
+/// should reject them before hashing.
+pub fn graph_digest(n: usize, edges: &[(u32, u32)]) -> Digest {
+    let mut canon: Vec<(u32, u32)> = edges
+        .iter()
+        .map(|&(a, b)| if a <= b { (a, b) } else { (b, a) })
+        .collect();
+    canon.sort_unstable();
+    canon.dedup();
+    let mut words = Vec::with_capacity(canon.len() + 2);
+    words.push(0x756e_7765_6967_6874); // domain tag: "unweight"
+    words.push(n as u64);
+    words.extend(canon.iter().map(|&(u, v)| ((u as u64) << 32) | v as u64));
+    Digest::of(&words)
+}
+
+/// Canonical digest of a weighted graph given as a `(u, v, w)` edge list.
+///
+/// Orientation, sorting, and exact-triple deduplication as in
+/// [`graph_digest`]; the weight participates in the hash, so parallel
+/// edges with different weights stay distinct.
+pub fn wgraph_digest(n: usize, edges: &[(u32, u32, u64)]) -> Digest {
+    let mut canon: Vec<(u32, u32, u64)> = edges
+        .iter()
+        .map(|&(a, b, w)| if a <= b { (a, b, w) } else { (b, a, w) })
+        .collect();
+    canon.sort_unstable();
+    canon.dedup();
+    let mut words = Vec::with_capacity(2 * canon.len() + 2);
+    words.push(0x7765_6967_6874_6564); // domain tag: "weighted"
+    words.push(n as u64);
+    for &(u, v, w) in &canon {
+        words.push(((u as u64) << 32) | v as u64);
+        words.push(w);
+    }
+    Digest::of(&words)
+}
+
+/// Digest of a generator-defined graph: the `(tag, n, params…)` tuple
+/// *is* the graph (generators are seed-deterministic), so hashing the
+/// tuple is canonical by construction.
+pub fn generated_digest(tag: &str, n: usize, params: &[u64]) -> Digest {
+    let mut words = Vec::with_capacity(params.len() + 2 + tag.len() / 8 + 1);
+    words.push(0x6765_6e65_7261_7465); // domain tag: "generate"
+    for chunk in tag.as_bytes().chunks(8) {
+        let mut w = [0u8; 8];
+        w[..chunk.len()].copy_from_slice(chunk);
+        words.push(u64::from_le_bytes(w));
+    }
+    words.push(n as u64);
+    words.extend_from_slice(params);
+    Digest::of(&words)
+}
+
+/// The full cache key of a job: graph digest ⊕ algorithm ⊕ engine ⊕
+/// run parameters, folded into one digest.
+pub fn job_digest(graph: Digest, algorithm: &str, engine: &str, seed: u64) -> Digest {
+    let mut words = vec![
+        0x006a_6f62_2d6b_6579, // domain tag: "job-key"
+        graph.0 as u64,
+        (graph.0 >> 64) as u64,
+        seed,
+    ];
+    for part in [algorithm, engine] {
+        for chunk in part.as_bytes().chunks(8) {
+            let mut w = [0u8; 8];
+            w[..chunk.len()].copy_from_slice(chunk);
+            words.push(u64::from_le_bytes(w));
+        }
+        words.push(0x1f); // separator so ("ab","c") ≠ ("a","bc")
+    }
+    Digest::of(&words)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn digest_ignores_edge_order_and_duplicates() {
+        let a = graph_digest(4, &[(0, 1), (1, 2), (2, 3)]);
+        let b = graph_digest(4, &[(2, 3), (0, 1), (1, 2)]);
+        let c = graph_digest(4, &[(1, 0), (1, 2), (2, 3), (1, 2), (3, 2)]);
+        assert_eq!(a, b);
+        assert_eq!(a, c);
+    }
+
+    #[test]
+    fn digest_separates_different_graphs() {
+        let base = graph_digest(4, &[(0, 1), (1, 2), (2, 3)]);
+        assert_ne!(base, graph_digest(4, &[(0, 1), (1, 2)]));
+        assert_ne!(base, graph_digest(5, &[(0, 1), (1, 2), (2, 3)]));
+        assert_ne!(base, graph_digest(4, &[(0, 1), (1, 3), (2, 3)]));
+    }
+
+    #[test]
+    fn weighted_digest_tracks_weights() {
+        let a = wgraph_digest(3, &[(0, 1, 5), (1, 2, 7)]);
+        let b = wgraph_digest(3, &[(1, 2, 7), (1, 0, 5), (2, 1, 7)]);
+        assert_eq!(a, b);
+        assert_ne!(a, wgraph_digest(3, &[(0, 1, 5), (1, 2, 8)]));
+        // An unweighted graph and its all-equal-weight cousin differ: the
+        // domain tags keep the two universes apart.
+        assert_ne!(
+            graph_digest(3, &[(0, 1), (1, 2)]),
+            wgraph_digest(3, &[(0, 1, 0), (1, 2, 0)])
+        );
+    }
+
+    #[test]
+    fn generated_and_job_digests_separate_parameters() {
+        let g1 = generated_digest("random-connected", 64, &[3000, 7]);
+        assert_eq!(g1, generated_digest("random-connected", 64, &[3000, 7]));
+        assert_ne!(g1, generated_digest("random-connected", 64, &[3000, 8]));
+        assert_ne!(g1, generated_digest("random-connected", 128, &[3000, 7]));
+        assert_ne!(g1, generated_digest("complete-weighted", 64, &[3000, 7]));
+
+        let j = job_digest(g1, "gc-sketch", "net", 1);
+        assert_eq!(j, job_digest(g1, "gc-sketch", "net", 1));
+        assert_ne!(j, job_digest(g1, "gc-sketch", "net", 2));
+        assert_ne!(j, job_digest(g1, "exact-mst", "net", 1));
+        assert_ne!(j, job_digest(g1, "gc-sketch", "serial", 1));
+        // The separator keeps (algorithm, engine) splits apart.
+        assert_ne!(
+            job_digest(g1, "ab", "c", 1),
+            job_digest(g1, "a", "bc", 1),
+            "field boundaries must be part of the key"
+        );
+    }
+}

@@ -1,0 +1,42 @@
+//! cc-serve: an async job service over the congested-clique engines.
+//!
+//! The simulator crates answer one question per process: build a graph,
+//! run an algorithm, print the cost. This crate turns that into a
+//! *service* — a long-running daemon that schedules many simulations
+//! concurrently over the existing pooled engines and answers each request
+//! with a streamed, versioned [`cc_trace::RunArtifact`].
+//!
+//! The pieces, bottom-up:
+//!
+//! - [`hash`] — canonical graph digests (edge-order- and
+//!   duplicate-invariant) and the job cache key derived from them;
+//! - [`cache`] — a bounded, deterministic LRU from cache keys to sealed
+//!   artifact documents;
+//! - [`job`] — the typed request: graph spec (explicit edges or a seeded
+//!   generator), algorithm (`gc-sketch`, `exact-mst`, `rt-conn`), engine
+//!   backend, run seed — plus the executor that runs it on the existing
+//!   engines under a streaming tracer;
+//! - [`pool`] — the bounded job queue and worker pool with backpressure,
+//!   in-flight coalescing, and graceful drain-on-close;
+//! - [`server`] — the line-delimited JSON protocol (stdin/stdout or TCP)
+//!   that the `serve` binary speaks and `cc-bench loadgen` drives.
+//!
+//! The load-bearing guarantee, end to end: submitting the same job twice
+//! costs one execution, and every answer for a given job is
+//! **byte-identical** — the artifact text is built once, cached as
+//! `Arc<str>`, and spliced verbatim into every response line.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod hash;
+pub mod job;
+pub mod pool;
+pub mod server;
+
+pub use cache::{CacheStats, ResultCache};
+pub use hash::{graph_digest, job_digest, wgraph_digest, Digest};
+pub use job::{execute, Algorithm, Engine, ExecOutcome, GraphSpec, JobSpec};
+pub use pool::{Response, ServeConfig, ServeStats, Server, SubmitOutcome};
+pub use server::{parse_request, run_session, Request};

@@ -1,0 +1,933 @@
+//! The bounded job queue, worker pool, and response streaming.
+//!
+//! A [`Server`] owns `workers` OS threads executing jobs popped from a
+//! bounded FIFO. Admission control happens in [`Server::submit`], under
+//! one lock, in strict order:
+//!
+//! 1. **cache** — a finished identical job answers immediately from the
+//!    LRU, byte-identical to the cold run;
+//! 2. **coalesce** — an identical job already queued or running adopts
+//!    the caller as a waiter: one execution, many answers, no queue slot;
+//! 3. **backpressure** — a full queue (or a closing server) rejects the
+//!    job with a `rejected` response rather than growing without bound;
+//! 4. **enqueue** — otherwise the job enters the queue and its lifecycle
+//!    streams back: `queued` → `running` → `progress`… → `result`.
+//!
+//! Because cache lookup, pending lookup, and enqueue are atomic (and a
+//! finishing worker inserts into the cache and retires its pending entry
+//! under the same lock), a duplicate of any submitted job *never*
+//! recomputes: the number of cold executions equals the number of
+//! distinct cache keys, deterministically — the property the load bench
+//! gates as the duplicate hit rate.
+//!
+//! Shutdown ([`Server::close`]) stops admissions but drains the queue:
+//! every accepted job still runs to completion and delivers exactly one
+//! terminal response to its submitter and every coalesced waiter
+//! (stress-tested in `tests/serve.rs`).
+
+use crate::cache::{CacheStats, ResultCache};
+use crate::hash::Digest;
+use crate::job::{execute, JobSpec};
+use cc_trace::{
+    metrics_from_events, Event, ExperimentRecord, Json, MetricsRegistry, RecordingTracer,
+    RunArtifact, Tracer,
+};
+use std::collections::{HashMap, VecDeque};
+use std::sync::mpsc::Sender;
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Instant, SystemTime, UNIX_EPOCH};
+
+/// Pool sizing knobs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ServeConfig {
+    /// Worker threads executing jobs.
+    pub workers: usize,
+    /// Queue slots; submissions beyond this are rejected (backpressure).
+    pub queue_capacity: usize,
+    /// Result-cache entries.
+    pub cache_capacity: usize,
+}
+
+impl Default for ServeConfig {
+    /// 2 workers, 128 queue slots (double the 64 concurrent in-flight
+    /// jobs the serving layer is specified for), 256 cached results.
+    fn default() -> Self {
+        ServeConfig {
+            workers: 2,
+            queue_capacity: 128,
+            cache_capacity: 256,
+        }
+    }
+}
+
+/// One streamed server-to-client message.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Response {
+    /// The job was admitted to the queue (or adopted by an identical
+    /// in-flight job when `coalesced`).
+    Queued {
+        /// Client-chosen job id.
+        id: String,
+        /// Queue depth right after admission.
+        queue_depth: u64,
+        /// Whether the job rides an identical in-flight execution.
+        coalesced: bool,
+    },
+    /// The job was not admitted; no further responses will follow.
+    Rejected {
+        /// Client-chosen job id.
+        id: String,
+        /// Why (queue full, closing, or an invalid spec).
+        reason: String,
+    },
+    /// A worker started executing the job.
+    Running {
+        /// Client-chosen job id.
+        id: String,
+        /// Nanoseconds the job waited in the queue.
+        queue_nanos: u64,
+    },
+    /// The run entered a named algorithm phase (from cc-trace scope
+    /// events) or crossed a round milestone.
+    Progress {
+        /// Client-chosen job id.
+        id: String,
+        /// Phase name (`phase1`, `exact-mst:lotker`, `round`, …).
+        phase: String,
+        /// Rounds completed when the phase opened.
+        round: u64,
+    },
+    /// Terminal: the sealed v3 [`RunArtifact`] document (compact JSON).
+    Result {
+        /// Client-chosen job id.
+        id: String,
+        /// Whether the document came from the cache (or a coalesced
+        /// execution) rather than a cold run owned by this submission.
+        cached: bool,
+        /// The artifact text — byte-identical across cache hits.
+        artifact: Arc<str>,
+    },
+    /// Terminal: the job failed (validation passed but execution did
+    /// not — simulator violation, round cap, sketch exhaustion).
+    Error {
+        /// Client-chosen job id.
+        id: String,
+        /// One-line description.
+        error: String,
+    },
+    /// Snapshot answer to a `stats` request.
+    Stats(Box<ServeStats>),
+    /// Acknowledgement of a `shutdown` request.
+    Closing,
+}
+
+impl Response {
+    /// The job id this response belongs to (empty for server-level
+    /// responses).
+    pub fn id(&self) -> &str {
+        match self {
+            Response::Queued { id, .. }
+            | Response::Rejected { id, .. }
+            | Response::Running { id, .. }
+            | Response::Progress { id, .. }
+            | Response::Result { id, .. }
+            | Response::Error { id, .. } => id,
+            Response::Stats(_) | Response::Closing => "",
+        }
+    }
+
+    /// Whether this is the last response a submission will see.
+    pub fn terminal(&self) -> bool {
+        matches!(
+            self,
+            Response::Rejected { .. } | Response::Result { .. } | Response::Error { .. }
+        )
+    }
+
+    /// One line of the wire protocol (no trailing newline).
+    ///
+    /// The artifact inside a `result` is spliced in verbatim, so the
+    /// bytes a client receives for a cache hit are exactly the bytes of
+    /// the cold run's document.
+    pub fn to_line(&self) -> String {
+        let s = |text: &str| Json::Str(text.to_string()).emit();
+        match self {
+            Response::Queued {
+                id,
+                queue_depth,
+                coalesced,
+            } => format!(
+                "{{\"kind\":\"queued\",\"id\":{},\"queue_depth\":{queue_depth},\"coalesced\":{coalesced}}}",
+                s(id)
+            ),
+            Response::Rejected { id, reason } => format!(
+                "{{\"kind\":\"rejected\",\"id\":{},\"reason\":{}}}",
+                s(id),
+                s(reason)
+            ),
+            Response::Running { id, queue_nanos } => format!(
+                "{{\"kind\":\"running\",\"id\":{},\"queue_nanos\":{queue_nanos}}}",
+                s(id)
+            ),
+            Response::Progress { id, phase, round } => format!(
+                "{{\"kind\":\"progress\",\"id\":{},\"phase\":{},\"round\":{round}}}",
+                s(id),
+                s(phase)
+            ),
+            Response::Result {
+                id,
+                cached,
+                artifact,
+            } => format!(
+                "{{\"kind\":\"result\",\"id\":{},\"cached\":{cached},\"artifact\":{artifact}}}",
+                s(id)
+            ),
+            Response::Error { id, error } => format!(
+                "{{\"kind\":\"error\",\"id\":{},\"error\":{}}}",
+                s(id),
+                s(error)
+            ),
+            Response::Stats(stats) => {
+                let mut obj = vec![("kind".to_string(), Json::Str("stats".into()))];
+                if let Json::Obj(fields) = stats.to_json() {
+                    obj.extend(fields);
+                }
+                Json::Obj(obj).emit()
+            }
+            Response::Closing => "{\"kind\":\"closing\"}".into(),
+        }
+    }
+}
+
+/// How [`Server::submit`] disposed of a submission.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum SubmitOutcome {
+    /// Answered immediately from the result cache.
+    CacheHit,
+    /// Adopted by an identical queued/running job.
+    Coalesced,
+    /// Entered the queue for execution.
+    Enqueued,
+    /// Turned away (full queue, closing server, or invalid spec).
+    Rejected,
+}
+
+/// A point-in-time server statistics snapshot.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct ServeStats {
+    /// Jobs waiting in the queue.
+    pub queue_depth: u64,
+    /// Jobs currently executing.
+    pub running: u64,
+    /// Whether submissions are still admitted.
+    pub accepting: bool,
+    /// Total submissions seen (any outcome).
+    pub submitted: u64,
+    /// Jobs completed successfully (cold executions).
+    pub completed: u64,
+    /// Jobs that failed in execution.
+    pub failed: u64,
+    /// Submissions rejected (backpressure, closing, invalid).
+    pub rejected: u64,
+    /// Submissions answered by an in-flight coalesce.
+    pub coalesced: u64,
+    /// Result-cache traffic.
+    pub cache: CacheStats,
+    /// The serve metrics registry (queue depth, per-job wall time,
+    /// hit/miss counters) as a snapshot.
+    pub metrics: cc_trace::MetricsSnapshot,
+}
+
+impl ServeStats {
+    /// Duplicate hit rate: submissions that skipped execution (cache
+    /// hits + coalesced) over all submissions that consulted the cache.
+    ///
+    /// Every valid submission does exactly one cache lookup, so the
+    /// denominator is `cache.hits + cache.misses`; coalesced submissions
+    /// counted a miss there but still skipped execution, so they move to
+    /// the numerator.
+    pub fn duplicate_hit_rate(&self) -> f64 {
+        let looked_up = self.cache.hits + self.cache.misses;
+        if looked_up == 0 {
+            0.0
+        } else {
+            (self.cache.hits + self.coalesced) as f64 / looked_up as f64
+        }
+    }
+
+    /// JSON object form.
+    pub fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("queue_depth", Json::UInt(self.queue_depth)),
+            ("running", Json::UInt(self.running)),
+            ("accepting", Json::Bool(self.accepting)),
+            ("submitted", Json::UInt(self.submitted)),
+            ("completed", Json::UInt(self.completed)),
+            ("failed", Json::UInt(self.failed)),
+            ("rejected", Json::UInt(self.rejected)),
+            ("coalesced", Json::UInt(self.coalesced)),
+            (
+                "cache",
+                Json::obj(vec![
+                    ("hits", Json::UInt(self.cache.hits)),
+                    ("misses", Json::UInt(self.cache.misses)),
+                    ("insertions", Json::UInt(self.cache.insertions)),
+                    ("evictions", Json::UInt(self.cache.evictions)),
+                    ("resident_bytes", Json::UInt(self.cache.resident_bytes)),
+                    ("hit_rate", Json::Float(self.cache.hit_rate())),
+                ]),
+            ),
+            ("metrics", self.metrics.to_json()),
+        ])
+    }
+}
+
+struct Waiter {
+    id: String,
+    reply: Sender<Response>,
+}
+
+struct QueuedJob {
+    id: String,
+    spec: JobSpec,
+    key: Digest,
+    queued_instant: Instant,
+    queued_unix_nanos: u64,
+    reply: Sender<Response>,
+}
+
+struct State {
+    queue: VecDeque<QueuedJob>,
+    /// Cache key → waiters of the identical queued/running job.
+    pending: HashMap<Digest, Vec<Waiter>>,
+    accepting: bool,
+    running: u64,
+    submitted: u64,
+    completed: u64,
+    failed: u64,
+    rejected: u64,
+    coalesced: u64,
+    cache: ResultCache,
+    metrics: MetricsRegistry,
+}
+
+struct Shared {
+    cfg: ServeConfig,
+    state: Mutex<State>,
+    /// Signals workers: queue non-empty or closing.
+    jobs_cv: Condvar,
+    /// Signals drainers: a job finished.
+    idle_cv: Condvar,
+}
+
+/// The job service: bounded queue + worker pool + result cache.
+pub struct Server {
+    shared: Arc<Shared>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+fn unix_nanos() -> u64 {
+    SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .map(|d| d.as_nanos() as u64)
+        .unwrap_or(0)
+}
+
+/// The tracer workers attach: records model events for the artifact's
+/// metrics section and forwards phase boundaries (plus coarse round
+/// milestones) as streamed `progress` responses.
+struct StreamTracer {
+    rec: RecordingTracer,
+    reply: Sender<Response>,
+    id: String,
+}
+
+/// Emit a `progress` line every this many rounds for long scope-free
+/// stretches (rt-conn runs thousands of rounds inside one scope).
+const PROGRESS_ROUND_STRIDE: u64 = 512;
+
+impl Tracer for StreamTracer {
+    fn wants_timing(&self) -> bool {
+        // Keep the recorded stream model-only: the artifact's metrics are
+        // then deterministic per spec, and the clock reads are skipped.
+        false
+    }
+
+    fn record(&mut self, event: Event) {
+        match &event {
+            Event::ScopeEnter { name, round } => {
+                let _ = self.reply.send(Response::Progress {
+                    id: self.id.clone(),
+                    phase: name.clone(),
+                    round: *round,
+                });
+            }
+            Event::RoundStart { round } if *round > 0 && round % PROGRESS_ROUND_STRIDE == 0 => {
+                let _ = self.reply.send(Response::Progress {
+                    id: self.id.clone(),
+                    phase: "round".into(),
+                    round: *round,
+                });
+            }
+            _ => {}
+        }
+        self.rec.record(event);
+    }
+}
+
+impl Server {
+    /// Starts the worker pool.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cfg.workers == 0` or `cfg.queue_capacity == 0`.
+    pub fn start(cfg: ServeConfig) -> Server {
+        assert!(cfg.workers > 0, "a pool needs at least one worker");
+        assert!(cfg.queue_capacity > 0, "queue capacity must be positive");
+        let shared = Arc::new(Shared {
+            cfg,
+            state: Mutex::new(State {
+                queue: VecDeque::new(),
+                pending: HashMap::new(),
+                accepting: true,
+                running: 0,
+                submitted: 0,
+                completed: 0,
+                failed: 0,
+                rejected: 0,
+                coalesced: 0,
+                cache: ResultCache::new(cfg.cache_capacity),
+                metrics: MetricsRegistry::new(),
+            }),
+            jobs_cv: Condvar::new(),
+            idle_cv: Condvar::new(),
+        });
+        let workers = (0..cfg.workers)
+            .map(|_| {
+                let shared = Arc::clone(&shared);
+                std::thread::spawn(move || worker_loop(&shared))
+            })
+            .collect();
+        Server { shared, workers }
+    }
+
+    /// Submits a job. Every submission receives at least one response on
+    /// `reply`, and exactly one terminal response ([`Response::terminal`]).
+    pub fn submit(&self, id: &str, spec: JobSpec, reply: &Sender<Response>) -> SubmitOutcome {
+        let send = |r: Response| {
+            let _ = reply.send(r);
+        };
+        let mut st = self.shared.state.lock().expect("serve state poisoned");
+        st.submitted += 1;
+        if let Err(problem) = spec.validate() {
+            st.rejected += 1;
+            st.metrics.counter_add("serve.jobs_rejected", 1);
+            send(Response::Rejected {
+                id: id.into(),
+                reason: format!("invalid job: {problem}"),
+            });
+            return SubmitOutcome::Rejected;
+        }
+        let key = spec.cache_key();
+        if let Some(artifact) = st.cache.get(&key) {
+            st.metrics.counter_add("serve.cache_hits", 1);
+            send(Response::Result {
+                id: id.into(),
+                cached: true,
+                artifact,
+            });
+            return SubmitOutcome::CacheHit;
+        }
+        // A miss that coalesces below is not a cold execution; the cache
+        // miss counter tracks cold runs, so undo the `get` accounting via
+        // the pending check *before* counting.
+        if let Some(waiters) = st.pending.get_mut(&key) {
+            waiters.push(Waiter {
+                id: id.into(),
+                reply: reply.clone(),
+            });
+            st.coalesced += 1;
+            st.metrics.counter_add("serve.coalesced_hits", 1);
+            let depth = st.queue.len() as u64;
+            send(Response::Queued {
+                id: id.into(),
+                queue_depth: depth,
+                coalesced: true,
+            });
+            return SubmitOutcome::Coalesced;
+        }
+        if !st.accepting {
+            st.rejected += 1;
+            st.metrics.counter_add("serve.jobs_rejected", 1);
+            send(Response::Rejected {
+                id: id.into(),
+                reason: "server is shutting down".into(),
+            });
+            return SubmitOutcome::Rejected;
+        }
+        if st.queue.len() >= self.shared.cfg.queue_capacity {
+            st.rejected += 1;
+            st.metrics.counter_add("serve.jobs_rejected", 1);
+            send(Response::Rejected {
+                id: id.into(),
+                reason: format!(
+                    "queue full ({} jobs); retry later",
+                    self.shared.cfg.queue_capacity
+                ),
+            });
+            return SubmitOutcome::Rejected;
+        }
+        st.metrics.counter_add("serve.cache_misses", 1);
+        st.pending.insert(key, Vec::new());
+        st.queue.push_back(QueuedJob {
+            id: id.into(),
+            spec,
+            key,
+            queued_instant: Instant::now(),
+            queued_unix_nanos: unix_nanos(),
+            reply: reply.clone(),
+        });
+        let depth = st.queue.len() as u64;
+        st.metrics.observe("serve.queue_depth", depth);
+        send(Response::Queued {
+            id: id.into(),
+            queue_depth: depth,
+            coalesced: false,
+        });
+        drop(st);
+        self.shared.jobs_cv.notify_one();
+        SubmitOutcome::Enqueued
+    }
+
+    /// Stops admitting jobs. Queued and running jobs still complete and
+    /// deliver their responses; call [`Server::drain`] or
+    /// [`Server::join`] to wait for them.
+    pub fn close(&self) {
+        let mut st = self.shared.state.lock().expect("serve state poisoned");
+        st.accepting = false;
+        drop(st);
+        self.shared.jobs_cv.notify_all();
+    }
+
+    /// Blocks until the queue is empty and no job is running.
+    pub fn drain(&self) {
+        let mut st = self.shared.state.lock().expect("serve state poisoned");
+        while !st.queue.is_empty() || st.running > 0 {
+            st = self.shared.idle_cv.wait(st).expect("serve state poisoned");
+        }
+    }
+
+    /// Closes, drains, and joins the workers.
+    pub fn join(mut self) {
+        self.close();
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+
+    /// A statistics snapshot.
+    pub fn stats(&self) -> ServeStats {
+        let st = self.shared.state.lock().expect("serve state poisoned");
+        ServeStats {
+            queue_depth: st.queue.len() as u64,
+            running: st.running,
+            accepting: st.accepting,
+            submitted: st.submitted,
+            completed: st.completed,
+            failed: st.failed,
+            rejected: st.rejected,
+            coalesced: st.coalesced,
+            cache: st.cache.stats(),
+            metrics: st.metrics.snapshot(),
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.close();
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+fn worker_loop(shared: &Shared) {
+    loop {
+        let job = {
+            let mut st = shared.state.lock().expect("serve state poisoned");
+            loop {
+                if let Some(job) = st.queue.pop_front() {
+                    st.running += 1;
+                    break job;
+                }
+                if !st.accepting {
+                    return;
+                }
+                st = shared.jobs_cv.wait(st).expect("serve state poisoned");
+            }
+        };
+        run_job(shared, job);
+        shared.idle_cv.notify_all();
+    }
+}
+
+fn run_job(shared: &Shared, job: QueuedJob) {
+    let started_instant = Instant::now();
+    let queue_nanos = started_instant
+        .duration_since(job.queued_instant)
+        .as_nanos() as u64;
+    // Clamp so queued ≤ started ≤ finished even if the wall clock steps.
+    let started_unix = unix_nanos().max(job.queued_unix_nanos);
+    let _ = job.reply.send(Response::Running {
+        id: job.id.clone(),
+        queue_nanos,
+    });
+    let rec = RecordingTracer::new();
+    let tracer = StreamTracer {
+        rec: rec.clone(),
+        reply: job.reply.clone(),
+        id: job.id.clone(),
+    };
+    let outcome = execute(&job.spec, Box::new(tracer));
+    let finished_unix = unix_nanos().max(started_unix);
+    let compute_nanos = started_instant.elapsed().as_nanos() as u64;
+
+    match outcome {
+        Ok(exec) => {
+            let mut artifact = RunArtifact::new("cc-serve")
+                .with_meta("algorithm", job.spec.algorithm.tag())
+                .with_meta("engine", job.spec.engine.tag())
+                .with_meta("n", &job.spec.graph.n().to_string())
+                .with_meta("seed", &job.spec.seed.to_string())
+                .with_meta("cache_key", &job.key.hex())
+                .with_job_timestamps(job.queued_unix_nanos, started_unix, finished_unix);
+            artifact.experiments.push(ExperimentRecord {
+                id: "job-summary".into(),
+                caption: format!("{} on {}", job.spec.algorithm.tag(), job.spec.engine.tag()),
+                headers: vec!["metric".into(), "value".into()],
+                rows: exec
+                    .summary
+                    .iter()
+                    .map(|(k, v)| vec![k.clone(), v.clone()])
+                    .collect(),
+            });
+            artifact
+                .metrics
+                .push(("job".into(), metrics_from_events(&rec.events()).snapshot()));
+            debug_assert!(artifact.validate().is_ok(), "{:?}", artifact.validate());
+            let text: Arc<str> = Arc::from(artifact.to_json().emit());
+
+            let waiters = {
+                let mut st = shared.state.lock().expect("serve state poisoned");
+                st.cache.insert(job.key, Arc::clone(&text));
+                st.running -= 1;
+                st.completed += 1;
+                st.metrics.counter_add("serve.jobs_completed", 1);
+                st.metrics.observe("serve.queue_nanos", queue_nanos);
+                st.metrics.observe("serve.compute_nanos", compute_nanos);
+                st.metrics
+                    .observe("serve.job_wall_nanos", queue_nanos + compute_nanos);
+                st.pending.remove(&job.key).unwrap_or_default()
+            };
+            let _ = job.reply.send(Response::Result {
+                id: job.id,
+                cached: false,
+                artifact: Arc::clone(&text),
+            });
+            for w in waiters {
+                let _ = w.reply.send(Response::Result {
+                    id: w.id,
+                    cached: true,
+                    artifact: Arc::clone(&text),
+                });
+            }
+        }
+        Err(error) => {
+            let waiters = {
+                let mut st = shared.state.lock().expect("serve state poisoned");
+                st.running -= 1;
+                st.failed += 1;
+                st.metrics.counter_add("serve.jobs_failed", 1);
+                st.pending.remove(&job.key).unwrap_or_default()
+            };
+            let _ = job.reply.send(Response::Error {
+                id: job.id,
+                error: error.clone(),
+            });
+            for w in waiters {
+                let _ = w.reply.send(Response::Error {
+                    id: w.id,
+                    error: error.clone(),
+                });
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::job::{Algorithm, Engine, GraphSpec};
+    use std::sync::mpsc::channel;
+
+    fn spec(seed: u64) -> JobSpec {
+        JobSpec {
+            graph: GraphSpec::RandomConnected {
+                n: 16,
+                degree_milli: 3000,
+                seed: 1,
+            },
+            algorithm: Algorithm::GcSketch,
+            engine: Engine::Net,
+            seed,
+        }
+    }
+
+    fn drain_terminal(rx: &std::sync::mpsc::Receiver<Response>) -> Response {
+        loop {
+            let r = rx.recv().expect("a terminal response must arrive");
+            if r.terminal() {
+                return r;
+            }
+        }
+    }
+
+    #[test]
+    fn cold_then_hit_serves_identical_bytes() {
+        let server = Server::start(ServeConfig {
+            workers: 1,
+            ..ServeConfig::default()
+        });
+        let (tx, rx) = channel();
+        assert_eq!(server.submit("a", spec(1), &tx), SubmitOutcome::Enqueued);
+        let cold = match drain_terminal(&rx) {
+            Response::Result {
+                cached, artifact, ..
+            } => {
+                assert!(!cached);
+                artifact
+            }
+            other => panic!("expected result, got {other:?}"),
+        };
+        // Identical job → pure cache hit with the same bytes.
+        assert_eq!(server.submit("b", spec(1), &tx), SubmitOutcome::CacheHit);
+        match drain_terminal(&rx) {
+            Response::Result {
+                cached, artifact, ..
+            } => {
+                assert!(cached);
+                assert_eq!(artifact, cold, "hit must be byte-identical");
+            }
+            other => panic!("expected result, got {other:?}"),
+        }
+        let stats = server.stats();
+        assert_eq!(stats.cache.hits, 1);
+        assert_eq!(stats.completed, 1);
+        server.join();
+    }
+
+    #[test]
+    fn invalid_spec_is_rejected_with_reason() {
+        let server = Server::start(ServeConfig::default());
+        let (tx, rx) = channel();
+        let bad = JobSpec {
+            engine: Engine::Serial,
+            ..spec(1)
+        };
+        assert_eq!(server.submit("x", bad, &tx), SubmitOutcome::Rejected);
+        match drain_terminal(&rx) {
+            Response::Rejected { reason, .. } => assert!(reason.contains("invalid job")),
+            other => panic!("expected rejected, got {other:?}"),
+        }
+        server.join();
+    }
+
+    #[test]
+    fn full_queue_applies_backpressure() {
+        // No workers consuming: hold the single worker on a job by
+        // filling the queue before it can drain. Use queue capacity 2 and
+        // distinct seeds so nothing coalesces.
+        let server = Server::start(ServeConfig {
+            workers: 1,
+            queue_capacity: 2,
+            cache_capacity: 8,
+        });
+        let (tx, rx) = channel();
+        let mut outcomes = Vec::new();
+        for i in 0..20 {
+            outcomes.push(server.submit(&format!("j{i}"), spec(i as u64), &tx));
+        }
+        assert!(
+            outcomes.contains(&SubmitOutcome::Rejected),
+            "20 instant submissions into a 2-slot queue must trip backpressure"
+        );
+        server.join();
+        // Every submission got exactly one terminal response.
+        let mut terminals = 0;
+        while let Ok(r) = rx.try_recv() {
+            if r.terminal() {
+                terminals += 1;
+            }
+        }
+        assert_eq!(terminals, 20);
+    }
+
+    #[test]
+    fn duplicates_in_flight_coalesce_to_one_execution() {
+        let server = Server::start(ServeConfig {
+            workers: 1,
+            ..ServeConfig::default()
+        });
+        let (tx, rx) = channel();
+        for i in 0..8 {
+            server.submit(&format!("dup{i}"), spec(42), &tx);
+        }
+        server.close();
+        server.drain();
+        let stats = server.stats();
+        assert_eq!(stats.completed, 1, "one cold execution");
+        assert_eq!(
+            stats.coalesced + stats.cache.hits,
+            7,
+            "the other 7 answered without recomputing"
+        );
+        let mut results = Vec::new();
+        while let Ok(r) = rx.try_recv() {
+            if let Response::Result { artifact, .. } = r {
+                results.push(artifact);
+            }
+        }
+        assert_eq!(results.len(), 8);
+        assert!(
+            results.windows(2).all(|w| w[0] == w[1]),
+            "all 8 answers byte-identical"
+        );
+    }
+
+    #[test]
+    fn close_rejects_new_jobs_but_keeps_draining() {
+        let server = Server::start(ServeConfig {
+            workers: 1,
+            ..ServeConfig::default()
+        });
+        let (tx, rx) = channel();
+        server.submit("before", spec(1), &tx);
+        server.close();
+        assert_eq!(
+            server.submit("after", spec(2), &tx),
+            SubmitOutcome::Rejected
+        );
+        server.drain();
+        let mut kinds = Vec::new();
+        while let Ok(r) = rx.try_recv() {
+            if r.terminal() {
+                kinds.push((r.id().to_string(), r.clone()));
+            }
+        }
+        assert!(matches!(
+            kinds.iter().find(|(id, _)| id == "before"),
+            Some((_, Response::Result { .. }))
+        ));
+        assert!(matches!(
+            kinds.iter().find(|(id, _)| id == "after"),
+            Some((_, Response::Rejected { .. }))
+        ));
+    }
+
+    #[test]
+    fn responses_stream_in_lifecycle_order() {
+        let server = Server::start(ServeConfig {
+            workers: 1,
+            ..ServeConfig::default()
+        });
+        let (tx, rx) = channel();
+        server.submit("life", spec(9), &tx);
+        let mut kinds = Vec::new();
+        loop {
+            let r = rx.recv().unwrap();
+            let terminal = r.terminal();
+            kinds.push(match r {
+                Response::Queued { .. } => "queued",
+                Response::Running { .. } => "running",
+                Response::Progress { .. } => "progress",
+                Response::Result { .. } => "result",
+                other => panic!("unexpected {other:?}"),
+            });
+            if terminal {
+                break;
+            }
+        }
+        assert_eq!(kinds.first(), Some(&"queued"));
+        assert_eq!(kinds[1], "running");
+        assert_eq!(kinds.last(), Some(&"result"));
+        assert!(
+            kinds.contains(&"progress"),
+            "gc phases must stream as progress: {kinds:?}"
+        );
+        server.join();
+    }
+
+    #[test]
+    fn stats_lines_and_artifact_parse() {
+        let server = Server::start(ServeConfig {
+            workers: 1,
+            ..ServeConfig::default()
+        });
+        let (tx, rx) = channel();
+        server.submit("p", spec(3), &tx);
+        let artifact = match drain_terminal(&rx) {
+            Response::Result { artifact, .. } => artifact,
+            other => panic!("expected result, got {other:?}"),
+        };
+        let parsed = RunArtifact::from_json_str(&artifact).unwrap();
+        parsed.validate().unwrap();
+        assert!(parsed.queued_unix_nanos <= parsed.started_unix_nanos);
+        assert!(parsed.started_unix_nanos <= parsed.finished_unix_nanos);
+        assert!(parsed.meta.iter().any(|(k, _)| k == "cache_key"));
+
+        let stats = server.stats();
+        let line = Response::Stats(Box::new(stats)).to_line();
+        let v = Json::parse(&line).unwrap();
+        assert_eq!(v.get("kind").and_then(Json::as_str), Some("stats"));
+        assert!(v.get("cache").is_some());
+
+        // Every response kind emits one parseable line.
+        for r in [
+            Response::Queued {
+                id: "q\"uote".into(),
+                queue_depth: 3,
+                coalesced: true,
+            },
+            Response::Rejected {
+                id: "x".into(),
+                reason: "queue full".into(),
+            },
+            Response::Running {
+                id: "x".into(),
+                queue_nanos: 12,
+            },
+            Response::Progress {
+                id: "x".into(),
+                phase: "phase1".into(),
+                round: 7,
+            },
+            Response::Result {
+                id: "x".into(),
+                cached: true,
+                artifact: Arc::clone(&artifact),
+            },
+            Response::Error {
+                id: "x".into(),
+                error: "boom".into(),
+            },
+            Response::Closing,
+        ] {
+            let line = r.to_line();
+            assert!(!line.contains('\n'));
+            Json::parse(&line).unwrap_or_else(|e| panic!("line {line} unparseable: {e}"));
+        }
+        server.join();
+    }
+}

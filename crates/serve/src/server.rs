@@ -1,0 +1,304 @@
+//! The wire protocol: line-delimited JSON requests in, line-delimited
+//! JSON responses out.
+//!
+//! One request per line. Three operations:
+//!
+//! ```json
+//! {"op":"submit","id":"job-1","job":{"graph":{"kind":"random-connected","n":64,"degree_milli":3000,"seed":7},"algorithm":"gc-sketch","engine":"net","seed":1}}
+//! {"op":"stats"}
+//! {"op":"shutdown"}
+//! ```
+//!
+//! Responses are the [`Response`](crate::pool::Response) lines documented
+//! in [`crate::pool`]: a submission streams `queued` → `running` →
+//! `progress`… → `result` (or terminates early with `rejected` /
+//! `error`); `stats` answers with one `stats` line; `shutdown` answers
+//! `closing`, stops admissions, and drains in-flight jobs before the
+//! session ends. Responses from concurrent jobs interleave; the `id`
+//! field ties each line to its submission.
+//!
+//! [`run_session`] multiplexes one reader over a shared [`Server`]: all
+//! responses funnel through a single writer thread so concurrent jobs
+//! never tear each other's lines.
+
+use crate::job::JobSpec;
+use crate::pool::{Response, Server};
+use cc_trace::Json;
+use std::io::{BufRead, Write};
+use std::sync::mpsc::{channel, Sender};
+
+/// A parsed request line.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Request {
+    /// Submit a job under a client-chosen id.
+    Submit {
+        /// Client-chosen id echoed in every response for this job.
+        id: String,
+        /// The job to run.
+        job: JobSpec,
+    },
+    /// Ask for a statistics snapshot.
+    Stats,
+    /// Stop admissions and drain.
+    Shutdown,
+}
+
+/// Parses one request line.
+pub fn parse_request(line: &str) -> Result<Request, String> {
+    let v = Json::parse(line).map_err(|e| format!("bad JSON: {e}"))?;
+    let op = v
+        .get("op")
+        .and_then(Json::as_str)
+        .ok_or("missing string field `op`")?;
+    match op {
+        "submit" => {
+            let id = v
+                .get("id")
+                .and_then(Json::as_str)
+                .ok_or("submit needs a string `id`")?
+                .to_string();
+            if id.is_empty() {
+                return Err("submit `id` must be non-empty".into());
+            }
+            let job = v.get("job").ok_or("submit needs a `job` object")?;
+            let job = JobSpec::from_json(job)?;
+            Ok(Request::Submit { id, job })
+        }
+        "stats" => Ok(Request::Stats),
+        "shutdown" => Ok(Request::Shutdown),
+        other => Err(format!(
+            "unknown op {other:?} (expected submit, stats, or shutdown)"
+        )),
+    }
+}
+
+/// Runs one protocol session: reads request lines from `reader` until EOF
+/// (or a `shutdown` op), writes every response as one line on `writer`.
+///
+/// When `close_on_end` is set, reaching EOF closes the server and drains
+/// outstanding jobs before the session returns — the semantics of the
+/// stdio daemon, where the session *is* the server's lifetime. A TCP
+/// handler shares the server across sessions and passes `false`.
+///
+/// Returns the writer (all responses flushed) so in-process callers can
+/// inspect the bytes.
+pub fn run_session<R: BufRead, W: Write + Send + 'static>(
+    server: &Server,
+    reader: R,
+    writer: W,
+    close_on_end: bool,
+) -> std::io::Result<W> {
+    let (tx, rx) = channel::<Response>();
+    let writer_thread = std::thread::spawn(move || -> std::io::Result<W> {
+        let mut w = writer;
+        for response in rx {
+            writeln!(w, "{}", response.to_line())?;
+            w.flush()?;
+        }
+        Ok(w)
+    });
+
+    let mut saw_shutdown = false;
+    for line in reader.lines() {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        match parse_request(&line) {
+            Ok(Request::Submit { id, job }) => {
+                server.submit(&id, job, &tx);
+            }
+            Ok(Request::Stats) => {
+                let _ = tx.send(Response::Stats(Box::new(server.stats())));
+            }
+            Ok(Request::Shutdown) => {
+                server.close();
+                let _ = tx.send(Response::Closing);
+                saw_shutdown = true;
+                break;
+            }
+            Err(error) => {
+                let _ = tx.send(Response::Error {
+                    id: request_id_of(&line),
+                    error,
+                });
+            }
+        }
+    }
+    if close_on_end || saw_shutdown {
+        server.close();
+        server.drain();
+    } else {
+        // Jobs submitted on this session must still answer on it.
+        server.drain();
+    }
+    // All job-held senders are gone after drain; dropping ours ends the
+    // writer thread once the last queued response is flushed.
+    drop(tx);
+    writer_thread
+        .join()
+        .map_err(|_| std::io::Error::other("response writer panicked"))?
+}
+
+/// Best-effort id extraction for error responses to unparseable or
+/// invalid request lines.
+fn request_id_of(line: &str) -> String {
+    Json::parse(line)
+        .ok()
+        .and_then(|v| v.get("id").and_then(Json::as_str).map(str::to_string))
+        .unwrap_or_default()
+}
+
+/// Convenience for in-process clients (tests, loadgen): a sender wrapper
+/// that tags submissions with sequential ids.
+#[derive(Clone)]
+pub struct Client {
+    tx: Sender<Response>,
+}
+
+impl Client {
+    /// A client delivering responses to `tx`.
+    pub fn new(tx: Sender<Response>) -> Client {
+        Client { tx }
+    }
+
+    /// Submits `job` as `id`, streaming responses to this client's channel.
+    pub fn submit(&self, server: &Server, id: &str, job: JobSpec) -> crate::pool::SubmitOutcome {
+        server.submit(id, job, &self.tx)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::job::{Algorithm, Engine, GraphSpec};
+    use crate::pool::ServeConfig;
+    use std::io::Cursor;
+
+    fn submit_line(id: &str, seed: u64) -> String {
+        let job = JobSpec {
+            graph: GraphSpec::RandomConnected {
+                n: 16,
+                degree_milli: 3000,
+                seed: 5,
+            },
+            algorithm: Algorithm::GcSketch,
+            engine: Engine::Net,
+            seed,
+        };
+        format!(
+            "{{\"op\":\"submit\",\"id\":{},\"job\":{}}}",
+            Json::Str(id.into()).emit(),
+            job.to_json().emit()
+        )
+    }
+
+    fn run_lines(lines: &[String]) -> Vec<Json> {
+        let server = Server::start(ServeConfig {
+            workers: 1,
+            ..ServeConfig::default()
+        });
+        let input = lines.join("\n");
+        let out = run_session(&server, Cursor::new(input), Vec::new(), true).unwrap();
+        server.join();
+        String::from_utf8(out)
+            .unwrap()
+            .lines()
+            .map(|l| Json::parse(l).unwrap_or_else(|e| panic!("bad response line {l}: {e}")))
+            .collect()
+    }
+
+    fn kinds_for<'a>(responses: &'a [Json], id: &str) -> Vec<&'a str> {
+        responses
+            .iter()
+            .filter(|r| r.get("id").and_then(Json::as_str) == Some(id))
+            .map(|r| r.get("kind").and_then(Json::as_str).unwrap())
+            .collect()
+    }
+
+    #[test]
+    fn parse_request_covers_all_ops() {
+        assert_eq!(parse_request("{\"op\":\"stats\"}"), Ok(Request::Stats));
+        assert_eq!(
+            parse_request("{\"op\":\"shutdown\"}"),
+            Ok(Request::Shutdown)
+        );
+        assert!(matches!(
+            parse_request(&submit_line("a", 1)),
+            Ok(Request::Submit { .. })
+        ));
+        assert!(parse_request("{\"op\":\"dance\"}").is_err());
+        assert!(parse_request("not json").is_err());
+        assert!(parse_request("{\"op\":\"submit\",\"id\":\"\"}").is_err());
+    }
+
+    #[test]
+    fn session_streams_lifecycle_and_result() {
+        let responses = run_lines(&[submit_line("one", 1)]);
+        let kinds = kinds_for(&responses, "one");
+        assert_eq!(kinds.first(), Some(&"queued"));
+        assert_eq!(kinds.last(), Some(&"result"));
+        let result = responses
+            .iter()
+            .find(|r| r.get("kind").and_then(Json::as_str) == Some("result"))
+            .unwrap();
+        let artifact = result.get("artifact").unwrap();
+        assert_eq!(
+            artifact.get("schema_version").and_then(Json::as_u64),
+            Some(cc_trace::SCHEMA_VERSION)
+        );
+    }
+
+    #[test]
+    fn duplicate_submissions_answer_identically() {
+        let responses = run_lines(&[
+            submit_line("a", 7),
+            submit_line("b", 7),
+            submit_line("c", 7),
+        ]);
+        let artifacts: Vec<String> = responses
+            .iter()
+            .filter(|r| r.get("kind").and_then(Json::as_str) == Some("result"))
+            .map(|r| r.get("artifact").unwrap().emit())
+            .collect();
+        assert_eq!(artifacts.len(), 3);
+        assert!(artifacts.windows(2).all(|w| w[0] == w[1]));
+        let cached: Vec<bool> = responses
+            .iter()
+            .filter(|r| r.get("kind").and_then(Json::as_str) == Some("result"))
+            .map(|r| r.get("cached").and_then(Json::as_bool).unwrap())
+            .collect();
+        assert_eq!(cached.iter().filter(|&&c| c).count(), 2, "two duplicates");
+    }
+
+    #[test]
+    fn bad_lines_answer_error_with_request_id() {
+        let responses = run_lines(&[
+            "{\"op\":\"submit\",\"id\":\"oops\"}".to_string(),
+            "garbage".to_string(),
+        ]);
+        assert_eq!(kinds_for(&responses, "oops"), vec!["error"]);
+        assert_eq!(kinds_for(&responses, ""), vec!["error"]);
+    }
+
+    #[test]
+    fn stats_and_shutdown_answer_inline() {
+        let responses = run_lines(&[
+            submit_line("s", 2),
+            "{\"op\":\"stats\"}".to_string(),
+            "{\"op\":\"shutdown\"}".to_string(),
+            // After shutdown the session stops reading; this line is
+            // never processed and must not panic anything.
+            submit_line("late", 3),
+        ]);
+        let kinds: Vec<&str> = responses
+            .iter()
+            .map(|r| r.get("kind").and_then(Json::as_str).unwrap())
+            .collect();
+        assert!(kinds.contains(&"stats"));
+        assert!(kinds.contains(&"closing"));
+        assert!(kinds_for(&responses, "late").is_empty());
+        // The pre-shutdown job still completed during drain.
+        assert_eq!(kinds_for(&responses, "s").last(), Some(&"result"));
+    }
+}

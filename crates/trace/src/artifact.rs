@@ -20,7 +20,17 @@ use crate::metrics::MetricsSnapshot;
 ///
 /// v2 (chaos): adds the `robustness` and `whp_sweep` sections for the
 /// fault-injection harness (DESIGN.md §11).
-pub const SCHEMA_VERSION: u64 = 2;
+///
+/// v3 (serve): adds the per-job `queued_unix_nanos` / `started_unix_nanos`
+/// / `finished_unix_nanos` wall-clock fields so a served job's latency is
+/// attributable to queueing vs compute (DESIGN.md §14). v2 documents still
+/// parse ([`MIN_SCHEMA_VERSION`]); the three fields read as 0.
+pub const SCHEMA_VERSION: u64 = 3;
+
+/// Oldest schema version [`RunArtifact::from_json_str`] still reads. The
+/// v2 → v3 change is purely additive, so v2 documents load with the job
+/// timestamps zeroed.
+pub const MIN_SCHEMA_VERSION: u64 = 2;
 
 /// The canonical outcome labels of the robustness taxonomy (DESIGN.md
 /// §11): a faulted run is *correct*, a *detected failure* (an error was
@@ -119,6 +129,16 @@ pub struct RunArtifact {
     pub generator: String,
     /// Unix timestamp (seconds) of the run; 0 when unavailable.
     pub created_unix: u64,
+    /// When the producing job was admitted to a serve queue (unix
+    /// nanoseconds; 0 when the artifact was not produced by a job, or
+    /// when read from a v2 document).
+    pub queued_unix_nanos: u64,
+    /// When a worker started executing the job (unix nanoseconds; 0 as
+    /// above).
+    pub started_unix_nanos: u64,
+    /// When the job finished and the artifact was sealed (unix
+    /// nanoseconds; 0 as above).
+    pub finished_unix_nanos: u64,
     /// Free-form metadata: git commit, sweep mode, host, seeds…
     pub meta: Vec<(String, String)>,
     /// Experiment tables.
@@ -156,12 +176,38 @@ impl RunArtifact {
         self
     }
 
+    /// Stamps the per-job lifecycle timestamps (unix nanoseconds).
+    pub fn with_job_timestamps(mut self, queued: u64, started: u64, finished: u64) -> Self {
+        self.queued_unix_nanos = queued;
+        self.started_unix_nanos = started;
+        self.finished_unix_nanos = finished;
+        self
+    }
+
+    /// Nanoseconds the producing job spent waiting in the queue
+    /// (`started - queued`, saturating; 0 when the timestamps are absent).
+    pub fn queue_nanos(&self) -> u64 {
+        self.started_unix_nanos
+            .saturating_sub(self.queued_unix_nanos)
+    }
+
+    /// Nanoseconds the producing job spent computing
+    /// (`finished - started`, saturating; 0 when the timestamps are
+    /// absent).
+    pub fn compute_nanos(&self) -> u64 {
+        self.finished_unix_nanos
+            .saturating_sub(self.started_unix_nanos)
+    }
+
     /// JSON form.
     pub fn to_json(&self) -> Json {
         Json::obj(vec![
             ("schema_version", Json::UInt(self.schema_version)),
             ("generator", Json::Str(self.generator.clone())),
             ("created_unix", Json::UInt(self.created_unix)),
+            ("queued_unix_nanos", Json::UInt(self.queued_unix_nanos)),
+            ("started_unix_nanos", Json::UInt(self.started_unix_nanos)),
+            ("finished_unix_nanos", Json::UInt(self.finished_unix_nanos)),
             (
                 "meta",
                 Json::Obj(
@@ -310,11 +356,14 @@ impl RunArtifact {
             .get("schema_version")
             .and_then(Json::as_u64)
             .ok_or("artifact: missing `schema_version`")?;
-        if schema_version != SCHEMA_VERSION {
+        if !(MIN_SCHEMA_VERSION..=SCHEMA_VERSION).contains(&schema_version) {
             return Err(format!(
-                "artifact: schema_version {schema_version} not supported (expected {SCHEMA_VERSION})"
+                "artifact: schema_version {schema_version} not supported \
+                 (expected {MIN_SCHEMA_VERSION}..={SCHEMA_VERSION})"
             ));
         }
+        // v3 additive fields: absent in v2 documents, read as 0.
+        let u_or_zero = |name: &str| v.get(name).and_then(Json::as_u64).unwrap_or(0);
         let str_field = |name: &str| -> Result<String, String> {
             v.get(name)
                 .and_then(Json::as_str)
@@ -409,6 +458,9 @@ impl RunArtifact {
                 .get("created_unix")
                 .and_then(Json::as_u64)
                 .ok_or("artifact: missing `created_unix`")?,
+            queued_unix_nanos: u_or_zero("queued_unix_nanos"),
+            started_unix_nanos: u_or_zero("started_unix_nanos"),
+            finished_unix_nanos: u_or_zero("finished_unix_nanos"),
             meta,
             experiments,
             claims,
@@ -427,10 +479,20 @@ impl RunArtifact {
     /// Every violation found, one message each.
     pub fn validate(&self) -> Result<(), Vec<String>> {
         let mut problems = Vec::new();
-        if self.schema_version != SCHEMA_VERSION {
+        if !(MIN_SCHEMA_VERSION..=SCHEMA_VERSION).contains(&self.schema_version) {
             problems.push(format!(
-                "schema_version {} != supported {SCHEMA_VERSION}",
+                "schema_version {} outside supported {MIN_SCHEMA_VERSION}..={SCHEMA_VERSION}",
                 self.schema_version
+            ));
+        }
+        if self.queued_unix_nanos > self.started_unix_nanos
+            || self.started_unix_nanos > self.finished_unix_nanos
+        {
+            // A job is queued, then started, then finished; all three are
+            // 0 for non-job artifacts, which trivially satisfies this.
+            problems.push(format!(
+                "job timestamps out of order: queued {} / started {} / finished {}",
+                self.queued_unix_nanos, self.started_unix_nanos, self.finished_unix_nanos
             ));
         }
         if self.generator.is_empty() {
@@ -668,7 +730,7 @@ mod tests {
             trials: 40,
             failures: 3,
         });
-        a
+        a.with_job_timestamps(100, 250, 900)
     }
 
     #[test]
@@ -733,5 +795,50 @@ mod tests {
     fn rejects_garbage_documents() {
         assert!(RunArtifact::from_json_str("{}").is_err());
         assert!(RunArtifact::from_json_str("not json").is_err());
+    }
+
+    #[test]
+    fn job_timestamps_split_queue_and_compute() {
+        let a = sample();
+        assert_eq!(a.queue_nanos(), 150);
+        assert_eq!(a.compute_nanos(), 650);
+        assert_eq!(RunArtifact::default().queue_nanos(), 0);
+    }
+
+    #[test]
+    fn validate_rejects_out_of_order_job_timestamps() {
+        let a = sample().with_job_timestamps(900, 250, 100);
+        let problems = a.validate().unwrap_err();
+        assert!(problems.iter().any(|p| p.contains("timestamps")));
+    }
+
+    /// A v2 document — the pre-serve on-disk form, with no job timestamp
+    /// fields — must still parse, with the v3 fields reading as zero.
+    #[test]
+    fn reads_v2_documents_without_job_timestamps() {
+        let mut v2 = sample().with_job_timestamps(0, 0, 0);
+        v2.schema_version = 2;
+        // Emit, then strip the v3 fields entirely so the text is exactly
+        // what a v2 writer produced.
+        let text: String = v2
+            .to_json_string()
+            .lines()
+            .filter(|l| !l.contains("_unix_nanos"))
+            .collect::<Vec<_>>()
+            .join("\n");
+        assert!(!text.contains("queued_unix_nanos"));
+        let parsed = RunArtifact::from_json_str(&text).unwrap();
+        assert_eq!(parsed.schema_version, 2);
+        assert_eq!(
+            (
+                parsed.queued_unix_nanos,
+                parsed.started_unix_nanos,
+                parsed.finished_unix_nanos
+            ),
+            (0, 0, 0)
+        );
+        assert_eq!(parsed.experiments, v2.experiments);
+        assert_eq!(parsed.robustness, v2.robustness);
+        parsed.validate().unwrap();
     }
 }

@@ -24,6 +24,8 @@
 //!   `RunArtifact` JSON format experiments emit.
 //! * [`profile`] — phase-tree profiles, perf baselines with regression
 //!   gating, and model-event trace diffing.
+//! * [`serve`] — the async job service: bounded queue, worker pool,
+//!   result caching, streamed artifacts (`serve` binary, DESIGN.md §14).
 //!
 //! # Quickstart
 //!
@@ -54,5 +56,6 @@ pub use cc_net as net;
 pub use cc_profile as profile;
 pub use cc_route as route;
 pub use cc_runtime as runtime;
+pub use cc_serve as serve;
 pub use cc_sketch as sketch;
 pub use cc_trace as trace;

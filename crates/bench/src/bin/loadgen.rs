@@ -14,6 +14,9 @@
 //!   distinct keys, 2 workers, n = 20).
 //! * `--out PATH` — write the `serve-*` suite as JSON (`-` or absent
 //!   skips writing).
+//! * `--log PATH` — write every response the clients received as
+//!   protocol lines (one JSON object per line), summarizable with
+//!   `cc-top --once PATH`.
 //! * `--baseline PATH` — baseline to gate the serve section against
 //!   (default `BENCH_baseline.json` when it exists; a baseline without
 //!   `serve-*` cases skips the gate with a note).
@@ -25,7 +28,7 @@
 //! broken serving invariant, 2 usage or I/O error.
 
 use cc_bench::loadgen::{
-    merge_serve_section, run, serve_section, suite_from_report, LoadgenConfig,
+    merge_serve_section, run_with_responses, serve_section, suite_from_report, LoadgenConfig,
 };
 use cc_profile::{compare, render_comparison, PerfSuite, Tolerance};
 
@@ -76,10 +79,16 @@ fn main() {
         "loadgen: {} clients × {} jobs over {} distinct keys, {} workers, n = {}",
         cfg.clients, cfg.jobs_per_client, cfg.distinct, cfg.serve.workers, cfg.n
     );
-    let report = run(&cfg).unwrap_or_else(|e| {
+    let (report, lines) = run_with_responses(&cfg).unwrap_or_else(|e| {
         eprintln!("loadgen failed: {e}");
         std::process::exit(1);
     });
+    if let Some(path) = value_of(&args, "--log") {
+        let mut text = lines.join("\n");
+        text.push('\n');
+        std::fs::write(&path, text).unwrap_or_else(|e| fail(&format!("cannot write {path}: {e}")));
+        eprintln!("logged {} response lines to {path}", lines.len());
+    }
     println!(
         "jobs            {:>10}   ({} cold, {} duplicate answers)",
         report.total_jobs, report.cold_runs, report.dup_answers

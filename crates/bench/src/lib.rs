@@ -29,6 +29,7 @@ pub mod claims;
 pub mod loadgen;
 pub mod perf;
 pub mod table;
+pub mod top;
 
 pub use table::Table;
 

@@ -149,11 +149,14 @@ pub fn job_for_key(key: u64, n: usize) -> JobSpec {
     }
 }
 
-/// One client's outcome: per-job latencies and the artifacts received,
-/// keyed by mix key.
+/// One client's outcome: per-job latencies, the artifacts received
+/// (keyed by mix key), and every response rendered as a protocol line —
+/// the same text a stdio session would have written, so `cc-top` can
+/// summarize a load run from exactly the bytes the clients saw.
 struct ClientRun {
     latencies: Vec<u64>,
     artifacts: Vec<(u64, String)>,
+    lines: Vec<String>,
 }
 
 fn run_client(server: &Server, client: usize, cfg: &LoadgenConfig) -> Result<ClientRun, String> {
@@ -161,6 +164,7 @@ fn run_client(server: &Server, client: usize, cfg: &LoadgenConfig) -> Result<Cli
     let (tx, rx) = channel();
     let mut latencies = Vec::with_capacity(cfg.jobs_per_client);
     let mut artifacts = Vec::with_capacity(cfg.jobs_per_client);
+    let mut lines = Vec::new();
     for j in 0..cfg.jobs_per_client {
         let key = rng.gen_range(0..cfg.distinct);
         let id = format!("c{client}-j{j}");
@@ -170,6 +174,7 @@ fn run_client(server: &Server, client: usize, cfg: &LoadgenConfig) -> Result<Cli
             let r = rx
                 .recv()
                 .map_err(|_| format!("{id}: server dropped the response channel"))?;
+            lines.push(r.to_line());
             match r {
                 Response::Result { artifact, .. } => {
                     latencies.push(t0.elapsed().as_nanos() as u64);
@@ -187,6 +192,7 @@ fn run_client(server: &Server, client: usize, cfg: &LoadgenConfig) -> Result<Cli
     Ok(ClientRun {
         latencies,
         artifacts,
+        lines,
     })
 }
 
@@ -216,6 +222,14 @@ fn model_of_artifact(text: &str) -> Result<(u64, u64, u64), String> {
 /// concurrent clients, verifies the duplicate-answer byte-identity
 /// invariant, and folds latencies into percentile estimates.
 pub fn run(cfg: &LoadgenConfig) -> Result<LoadgenReport, String> {
+    run_with_responses(cfg).map(|(report, _)| report)
+}
+
+/// Like [`run`], but also returns every response the clients received as
+/// protocol lines (concatenated in client index order). This is the
+/// stream `loadgen --log` writes and `cc-top --once` summarizes; a test
+/// below pins that the summary counts match the report exactly.
+pub fn run_with_responses(cfg: &LoadgenConfig) -> Result<(LoadgenReport, Vec<String>), String> {
     if cfg.clients == 0 || cfg.jobs_per_client == 0 || cfg.distinct == 0 {
         return Err("clients, jobs-per-client, and distinct must be positive".into());
     }
@@ -242,8 +256,9 @@ pub fn run(cfg: &LoadgenConfig) -> Result<LoadgenReport, String> {
     let mut hist = LogHistogram::new();
     let mut by_key: HashMap<u64, Vec<String>> = HashMap::new();
     let mut total_jobs = 0u64;
+    let mut lines = Vec::new();
     for run in runs {
-        let run = run?;
+        let mut run = run?;
         total_jobs += run.latencies.len() as u64;
         for l in run.latencies {
             hist.observe(l);
@@ -251,6 +266,7 @@ pub fn run(cfg: &LoadgenConfig) -> Result<LoadgenReport, String> {
         for (key, artifact) in run.artifacts {
             by_key.entry(key).or_default().push(artifact);
         }
+        lines.append(&mut run.lines);
     }
 
     // The serving guarantee, re-checked on every load run: all answers
@@ -277,16 +293,12 @@ pub fn run(cfg: &LoadgenConfig) -> Result<LoadgenReport, String> {
     let dup_answers = stats.cache.hits + stats.coalesced;
     let looked_up = stats.cache.hits + stats.cache.misses;
     let snap = hist.snapshot();
-    Ok(LoadgenReport {
+    let report = LoadgenReport {
         cfg: *cfg,
         total_jobs,
         cold_runs,
         dup_answers,
-        hit_milli: if looked_up == 0 {
-            0
-        } else {
-            dup_answers * 1000 / looked_up
-        },
+        hit_milli: (dup_answers * 1000).checked_div(looked_up).unwrap_or(0),
         rejected: stats.rejected,
         evictions: stats.cache.evictions,
         wall_nanos,
@@ -300,7 +312,8 @@ pub fn run(cfg: &LoadgenConfig) -> Result<LoadgenReport, String> {
         p99_nanos: snap.quantile(0.99),
         mean_nanos: snap.mean() as u64,
         cold_model,
-    })
+    };
+    Ok((report, lines))
 }
 
 /// Folds a report into the `serve-*` [`PerfSuite`] section the gate

@@ -1,0 +1,165 @@
+//! Prometheus-style text exposition for a [`MetricsSnapshot`].
+//!
+//! The renderer is a pure function of the snapshot: counters become
+//! `<name>_total`, histograms become the conventional
+//! `_bucket{le="…"}` / `_sum` / `_count` family plus exact `_min` /
+//! `_max` gauges (the log digest records extremes exactly, so exposing
+//! them costs nothing and anchors quantile sanity checks). Metric names
+//! are sanitized to the `[a-zA-Z_][a-zA-Z0-9_]*` charset — the dotted
+//! `serve.jobs_completed` style used internally renders as
+//! `serve_jobs_completed_total`. Output is deterministic: snapshots
+//! store series sorted by name, and bucket boundaries ascend.
+
+use cc_trace::{HistogramSnapshot, MetricsSnapshot};
+use std::fmt::Write as _;
+
+/// Rewrites a dotted internal metric name into the Prometheus charset.
+pub fn sanitize_name(name: &str) -> String {
+    let mut out: String = name
+        .chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || c == '_' {
+                c
+            } else {
+                '_'
+            }
+        })
+        .collect();
+    if out.chars().next().is_some_and(|c| c.is_ascii_digit()) {
+        out.insert(0, '_');
+    }
+    if out.is_empty() {
+        out.push('_');
+    }
+    out
+}
+
+/// Renders `snapshot` in the Prometheus text exposition format.
+pub fn render_prometheus(snapshot: &MetricsSnapshot) -> String {
+    let mut out = String::new();
+    for (name, v) in &snapshot.counters {
+        let p = sanitize_name(name);
+        let _ = writeln!(out, "# TYPE {p}_total counter");
+        let _ = writeln!(out, "{p}_total {v}");
+    }
+    for (name, h) in &snapshot.histograms {
+        render_histogram(&mut out, &sanitize_name(name), h);
+    }
+    out
+}
+
+fn render_histogram(out: &mut String, p: &str, h: &HistogramSnapshot) {
+    let _ = writeln!(out, "# TYPE {p} histogram");
+    // The digest stores (lower bound, count) per bucket; Prometheus
+    // wants cumulative counts at upper bounds. A bucket [lo, 2·lo)
+    // closes at le = 2·lo − 1 in integer terms (the zero bucket at 0).
+    let mut cumulative = 0u64;
+    for &(lo, c) in &h.buckets {
+        cumulative += c;
+        let le = if lo == 0 { 0 } else { lo.saturating_mul(2) - 1 };
+        let _ = writeln!(out, "{p}_bucket{{le=\"{le}\"}} {cumulative}");
+    }
+    let _ = writeln!(out, "{p}_bucket{{le=\"+Inf\"}} {}", h.count);
+    let _ = writeln!(out, "{p}_sum {}", h.sum);
+    let _ = writeln!(out, "{p}_count {}", h.count);
+    let _ = writeln!(out, "{p}_min {}", h.min);
+    let _ = writeln!(out, "{p}_max {}", h.max);
+}
+
+/// A minimal structural check that `text` is well-formed exposition:
+/// every non-comment line is `name[{labels}] value`, every `# TYPE`
+/// family has at least one sample, and histogram `_count` equals the
+/// `+Inf` bucket. Returns the number of samples.
+///
+/// # Errors
+///
+/// Reports the first malformed line or inconsistent family.
+pub fn check_exposition(text: &str) -> Result<usize, String> {
+    let mut samples = 0usize;
+    let mut inf_bucket: Option<(String, u64)> = None;
+    for (i, line) in text.lines().enumerate() {
+        let n = i + 1;
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let (series, value) = line
+            .rsplit_once(' ')
+            .ok_or_else(|| format!("line {n}: no sample value: {line:?}"))?;
+        let name = series.split('{').next().unwrap_or(series);
+        if name.is_empty()
+            || name.chars().next().is_some_and(|c| c.is_ascii_digit())
+            || !name.chars().all(|c| c.is_ascii_alphanumeric() || c == '_')
+        {
+            return Err(format!("line {n}: bad metric name {name:?}"));
+        }
+        let v: u64 = value
+            .parse()
+            .map_err(|_| format!("line {n}: non-integer sample {value:?}"))?;
+        if series.contains("le=\"+Inf\"") {
+            inf_bucket = Some((name.trim_end_matches("_bucket").to_string(), v));
+        } else if let Some((family, inf)) = &inf_bucket {
+            if name == format!("{family}_count") && v != *inf {
+                return Err(format!("line {n}: {name} = {v} but +Inf bucket = {inf}"));
+            }
+        }
+        samples += 1;
+    }
+    Ok(samples)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cc_trace::MetricsRegistry;
+
+    #[test]
+    fn sanitizes_dotted_and_awkward_names() {
+        assert_eq!(
+            sanitize_name("serve.jobs_completed"),
+            "serve_jobs_completed"
+        );
+        assert_eq!(sanitize_name("a-b c"), "a_b_c");
+        assert_eq!(sanitize_name("9lives"), "_9lives");
+        assert_eq!(sanitize_name(""), "_");
+    }
+
+    #[test]
+    fn renders_counters_and_histograms() {
+        let mut reg = MetricsRegistry::new();
+        reg.counter_add("serve.jobs_completed", 7);
+        reg.observe("serve.job_wall_nanos", 3);
+        reg.observe("serve.job_wall_nanos", 900);
+        let text = render_prometheus(&reg.snapshot());
+        assert!(text.contains("serve_jobs_completed_total 7\n"));
+        assert!(text.contains("# TYPE serve_job_wall_nanos histogram"));
+        assert!(text.contains("serve_job_wall_nanos_bucket{le=\"+Inf\"} 2\n"));
+        assert!(text.contains("serve_job_wall_nanos_sum 903\n"));
+        assert!(text.contains("serve_job_wall_nanos_count 2\n"));
+        assert!(text.contains("serve_job_wall_nanos_min 3\n"));
+        assert!(text.contains("serve_job_wall_nanos_max 900\n"));
+        // Bucket counts are cumulative and close below the next power
+        // of two: 3 lives in [2,4) → le="3".
+        assert!(text.contains("serve_job_wall_nanos_bucket{le=\"3\"} 1\n"));
+        assert_eq!(check_exposition(&text).unwrap(), 8);
+    }
+
+    #[test]
+    fn checker_rejects_malformed_text() {
+        assert!(check_exposition("no_value_here\n").is_err());
+        assert!(check_exposition("9bad_name 3\n").is_err());
+        assert!(check_exposition("x 1.5.2\n").is_err());
+        let drifted = "h_bucket{le=\"+Inf\"} 4\nh_sum 9\nh_count 5\n";
+        assert!(
+            check_exposition(drifted).is_err(),
+            "+Inf ≠ _count must fail"
+        );
+        assert_eq!(check_exposition("").unwrap(), 0);
+    }
+
+    #[test]
+    fn empty_snapshot_renders_empty_and_checks_clean() {
+        let text = render_prometheus(&MetricsRegistry::new().snapshot());
+        assert!(text.is_empty());
+        assert_eq!(check_exposition(&text).unwrap(), 0);
+    }
+}

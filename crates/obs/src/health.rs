@@ -1,0 +1,167 @@
+//! The serving layer's health report.
+//!
+//! A [`HealthReport`] is the answer to `{"op":"health"}`: a snapshot of
+//! the admission-control scalars (queue depth vs bound, in-flight
+//! count), worker liveness, cache occupancy, and the currently firing
+//! SLO alerts. `ok` is derived, never stored independently, so a report
+//! can't claim health its own numbers contradict.
+
+use cc_trace::Json;
+
+/// A point-in-time health snapshot of a serving pool.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct HealthReport {
+    /// Whether the pool is still accepting submissions.
+    pub accepting: bool,
+    /// Jobs waiting in the queue.
+    pub queue_depth: usize,
+    /// The admission queue bound.
+    pub queue_capacity: usize,
+    /// Jobs currently executing on workers.
+    pub in_flight: usize,
+    /// Configured worker count.
+    pub workers: usize,
+    /// Workers whose threads are still running.
+    pub workers_alive: usize,
+    /// Entries resident in the artifact cache.
+    pub cache_entries: usize,
+    /// The cache's entry capacity.
+    pub cache_capacity: usize,
+    /// Bytes resident in the artifact cache.
+    pub cache_resident_bytes: usize,
+    /// Nanoseconds since the pool started.
+    pub uptime_nanos: u64,
+    /// Names of SLO alert rules currently firing, sorted.
+    pub firing: Vec<String>,
+}
+
+impl HealthReport {
+    /// Healthy iff accepting, the queue has headroom, and no worker
+    /// thread has died. Firing alerts degrade reporting (they appear in
+    /// the payload) but do not flip `ok` — an SLO burn is a paging
+    /// decision, not a liveness fact.
+    pub fn ok(&self) -> bool {
+        self.accepting
+            && self.queue_depth < self.queue_capacity
+            && self.workers_alive == self.workers
+    }
+
+    /// JSON object form (includes the derived `ok`).
+    pub fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("ok", Json::Bool(self.ok())),
+            ("accepting", Json::Bool(self.accepting)),
+            ("queue_depth", Json::UInt(self.queue_depth as u64)),
+            ("queue_capacity", Json::UInt(self.queue_capacity as u64)),
+            ("in_flight", Json::UInt(self.in_flight as u64)),
+            ("workers", Json::UInt(self.workers as u64)),
+            ("workers_alive", Json::UInt(self.workers_alive as u64)),
+            ("cache_entries", Json::UInt(self.cache_entries as u64)),
+            ("cache_capacity", Json::UInt(self.cache_capacity as u64)),
+            (
+                "cache_resident_bytes",
+                Json::UInt(self.cache_resident_bytes as u64),
+            ),
+            ("uptime_nanos", Json::UInt(self.uptime_nanos)),
+            (
+                "firing",
+                Json::Arr(self.firing.iter().map(|s| Json::Str(s.clone())).collect()),
+            ),
+        ])
+    }
+
+    /// Parses the object form (the stored `ok` is ignored; it is
+    /// re-derived).
+    ///
+    /// # Errors
+    ///
+    /// Names the missing or ill-typed field.
+    pub fn from_json(v: &Json) -> Result<HealthReport, String> {
+        let u = |name: &str| {
+            v.get(name)
+                .and_then(Json::as_u64)
+                .ok_or_else(|| format!("health: missing u64 field `{name}`"))
+        };
+        let firing = v
+            .get("firing")
+            .and_then(Json::as_arr)
+            .ok_or("health: missing `firing` array")?
+            .iter()
+            .map(|s| {
+                s.as_str()
+                    .map(str::to_string)
+                    .ok_or_else(|| "health: non-string alert name".to_string())
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(HealthReport {
+            accepting: v
+                .get("accepting")
+                .and_then(Json::as_bool)
+                .ok_or("health: missing bool field `accepting`")?,
+            queue_depth: u("queue_depth")? as usize,
+            queue_capacity: u("queue_capacity")? as usize,
+            in_flight: u("in_flight")? as usize,
+            workers: u("workers")? as usize,
+            workers_alive: u("workers_alive")? as usize,
+            cache_entries: u("cache_entries")? as usize,
+            cache_capacity: u("cache_capacity")? as usize,
+            cache_resident_bytes: u("cache_resident_bytes")? as usize,
+            uptime_nanos: u("uptime_nanos")?,
+            firing,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn healthy() -> HealthReport {
+        HealthReport {
+            accepting: true,
+            queue_depth: 3,
+            queue_capacity: 16,
+            in_flight: 2,
+            workers: 4,
+            workers_alive: 4,
+            cache_entries: 10,
+            cache_capacity: 64,
+            cache_resident_bytes: 4096,
+            uptime_nanos: 9_000_000_000,
+            firing: vec![],
+        }
+    }
+
+    #[test]
+    fn ok_is_derived_from_the_numbers() {
+        assert!(healthy().ok());
+        let mut saturated = healthy();
+        saturated.queue_depth = saturated.queue_capacity;
+        assert!(!saturated.ok(), "full queue is unhealthy");
+        let mut dead_worker = healthy();
+        dead_worker.workers_alive = 3;
+        assert!(!dead_worker.ok(), "a dead worker is unhealthy");
+        let mut draining = healthy();
+        draining.accepting = false;
+        assert!(!draining.ok(), "a draining pool is unhealthy");
+        let mut burning = healthy();
+        burning.firing = vec!["latency-burn".into()];
+        assert!(burning.ok(), "alerts report, they don't flip liveness");
+    }
+
+    #[test]
+    fn round_trips_through_json_and_rederives_ok() {
+        let mut report = healthy();
+        report.firing = vec!["queue-saturation".into()];
+        let j = report.to_json();
+        assert_eq!(j.get("ok").and_then(Json::as_bool), Some(true));
+        let parsed = HealthReport::from_json(&j).unwrap();
+        assert_eq!(parsed, report);
+        // A tampered stored `ok` is ignored: parsing re-derives it.
+        let mut lying = healthy();
+        lying.workers_alive = 0;
+        let parsed = HealthReport::from_json(&lying.to_json()).unwrap();
+        assert!(!parsed.ok());
+        assert!(HealthReport::from_json(&Json::Null).is_err());
+    }
+}

@@ -1,0 +1,50 @@
+//! `cc-obs`: live operational telemetry for the serving layer.
+//!
+//! PR 2 and PR 4 made runs auditable *after the fact* (RunArtifacts,
+//! phase trees, trace diffs); this crate makes the `cc-serve` pool
+//! observable *while* a load mix is in flight. Everything is built on
+//! two disciplines:
+//!
+//! 1. **Injectable time.** No module reads `SystemTime::now()`; every
+//!    reading flows in as a `now_nanos` argument or through a
+//!    [`SharedClock`]. Tests script a [`ManualClock`], so windowed
+//!    quantiles and alert transitions are deterministic.
+//! 2. **One event stream, two resolutions.** The [`WindowedRegistry`]
+//!    feeds a cumulative [`cc_trace::MetricsRegistry`] from the same
+//!    calls that fill its ring slots, and ring slots merge with the
+//!    exact [`cc_trace::LogHistogram::merge`] — so a window spanning
+//!    the whole run reproduces the full-run snapshot bit for bit, and
+//!    the live view can never drift from the artifact view.
+//!
+//! * [`window`] — sliding-window counters and ring-buffered histogram
+//!   digests (1 s / 10 s / 60 s by default).
+//! * [`span`] — per-job admission → queue → compute → stream timelines,
+//!   queryable live and embeddable in artifacts.
+//! * [`expose`] — Prometheus-style text exposition of any
+//!   [`cc_trace::MetricsSnapshot`], plus a structural checker for tests
+//!   and CI.
+//! * [`health`] — the `{"op":"health"}` payload: queue depth vs bound,
+//!   in-flight count, worker liveness, cache occupancy, firing alerts.
+//! * [`alerts`] — SLO rules (latency burn, queue saturation, hit-rate
+//!   floor) evaluated over windows, emitting transition events only.
+//!
+//! See DESIGN.md §15 for the architecture.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod alerts;
+pub mod clock;
+pub mod expose;
+pub mod health;
+pub mod span;
+pub mod window;
+
+pub use alerts::{AlertEngine, AlertEvent, AlertState, SloKind, SloRule};
+pub use clock::{Clock, ManualClock, SharedClock, WallClock};
+pub use expose::{check_exposition, render_prometheus, sanitize_name};
+pub use health::HealthReport;
+pub use span::{JobSpan, PhaseMark, SpanBook, SpanOutcome};
+pub use window::{
+    CounterWindow, HistogramWindow, WindowSnapshot, WindowSpec, WindowedRegistry, WindowedSnapshot,
+};

@@ -1,0 +1,380 @@
+//! Job spans: the per-job timeline the serving layer exposes live.
+//!
+//! A [`JobSpan`] correlates one job id's admission → queue → compute →
+//! stream phases. The serving pool drives the span through the same
+//! state machine its responses already walk (queued / running /
+//! progress / terminal), so a span is never an extra source of truth —
+//! it is the existing event stream folded into a queryable shape. The
+//! [`SpanBook`] keeps every live (unfinished) span plus a bounded ring
+//! of recently finished ones for `{"op":"spans"}` queries and artifact
+//! embedding.
+
+use cc_trace::Json;
+use std::collections::BTreeMap;
+use std::collections::VecDeque;
+
+/// How a span ended.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SpanOutcome {
+    /// Still queued or computing.
+    Live,
+    /// Finished with a result computed by a worker.
+    Completed,
+    /// Finished by cache hit or coalesced onto another job's run.
+    Served,
+    /// The job's engine run failed.
+    Failed,
+    /// Rejected at admission (backpressure).
+    Rejected,
+}
+
+impl SpanOutcome {
+    /// Stable lowercase tag.
+    pub fn tag(&self) -> &'static str {
+        match self {
+            SpanOutcome::Live => "live",
+            SpanOutcome::Completed => "completed",
+            SpanOutcome::Served => "served",
+            SpanOutcome::Failed => "failed",
+            SpanOutcome::Rejected => "rejected",
+        }
+    }
+
+    fn parse(tag: &str) -> Result<SpanOutcome, String> {
+        match tag {
+            "live" => Ok(SpanOutcome::Live),
+            "completed" => Ok(SpanOutcome::Completed),
+            "served" => Ok(SpanOutcome::Served),
+            "failed" => Ok(SpanOutcome::Failed),
+            "rejected" => Ok(SpanOutcome::Rejected),
+            other => Err(format!("span: unknown outcome {other:?}")),
+        }
+    }
+}
+
+/// A named phase boundary inside a span's compute section, in simulated
+/// round time (deterministic — the same job replays the same marks).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PhaseMark {
+    /// Phase label (`"sparsify"`, `"contract"`, …).
+    pub phase: String,
+    /// Simulated round the phase began at.
+    pub round: u64,
+}
+
+/// One job's timeline.
+#[derive(Clone, Debug, PartialEq)]
+pub struct JobSpan {
+    /// The job id the serving protocol uses.
+    pub id: String,
+    /// The job's cache key (engine/algorithm/graph digest).
+    pub key: String,
+    /// Clock reading at admission.
+    pub queued_nanos: u64,
+    /// Clock reading when a worker picked the job up (0 until then).
+    pub started_nanos: u64,
+    /// Clock reading at the terminal transition (0 while live).
+    pub finished_nanos: u64,
+    /// Compute-phase boundaries, in admission order.
+    pub phases: Vec<PhaseMark>,
+    /// How (whether) the span ended.
+    pub outcome: SpanOutcome,
+}
+
+impl JobSpan {
+    /// A fresh span admitted at `queued_nanos`.
+    pub fn admitted(id: &str, key: &str, queued_nanos: u64) -> JobSpan {
+        JobSpan {
+            id: id.to_string(),
+            key: key.to_string(),
+            queued_nanos,
+            started_nanos: 0,
+            finished_nanos: 0,
+            phases: Vec::new(),
+            outcome: SpanOutcome::Live,
+        }
+    }
+
+    /// Time spent queued: admission to pickup, or to `now` while still
+    /// waiting.
+    pub fn queue_nanos(&self, now_nanos: u64) -> u64 {
+        let until = if self.started_nanos > 0 {
+            self.started_nanos
+        } else if self.finished_nanos > 0 {
+            self.finished_nanos
+        } else {
+            now_nanos
+        };
+        until.saturating_sub(self.queued_nanos)
+    }
+
+    /// Time spent computing: pickup to finish, or to `now` while live
+    /// (0 if never picked up).
+    pub fn compute_nanos(&self, now_nanos: u64) -> u64 {
+        if self.started_nanos == 0 {
+            return 0;
+        }
+        let until = if self.finished_nanos > 0 {
+            self.finished_nanos
+        } else {
+            now_nanos
+        };
+        until.saturating_sub(self.started_nanos)
+    }
+
+    /// Admission-to-terminal wall time (admission-to-`now` while live).
+    pub fn wall_nanos(&self, now_nanos: u64) -> u64 {
+        let until = if self.finished_nanos > 0 {
+            self.finished_nanos
+        } else {
+            now_nanos
+        };
+        until.saturating_sub(self.queued_nanos)
+    }
+
+    /// JSON object form (phase marks as `{phase, round}` objects).
+    pub fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("id", Json::Str(self.id.clone())),
+            ("key", Json::Str(self.key.clone())),
+            ("queued_nanos", Json::UInt(self.queued_nanos)),
+            ("started_nanos", Json::UInt(self.started_nanos)),
+            ("finished_nanos", Json::UInt(self.finished_nanos)),
+            ("outcome", Json::Str(self.outcome.tag().to_string())),
+            (
+                "phases",
+                Json::Arr(
+                    self.phases
+                        .iter()
+                        .map(|p| {
+                            Json::obj(vec![
+                                ("phase", Json::Str(p.phase.clone())),
+                                ("round", Json::UInt(p.round)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+
+    /// Parses the object form.
+    ///
+    /// # Errors
+    ///
+    /// Names the missing or ill-typed field.
+    pub fn from_json(v: &Json) -> Result<JobSpan, String> {
+        let u = |name: &str| {
+            v.get(name)
+                .and_then(Json::as_u64)
+                .ok_or_else(|| format!("span: missing u64 field `{name}`"))
+        };
+        let s = |name: &str| {
+            v.get(name)
+                .and_then(Json::as_str)
+                .map(str::to_string)
+                .ok_or_else(|| format!("span: missing string field `{name}`"))
+        };
+        let phases = v
+            .get("phases")
+            .and_then(Json::as_arr)
+            .ok_or("span: missing `phases` array")?
+            .iter()
+            .map(|p| {
+                Ok(PhaseMark {
+                    phase: p
+                        .get("phase")
+                        .and_then(Json::as_str)
+                        .ok_or("span: phase mark missing `phase`")?
+                        .to_string(),
+                    round: p
+                        .get("round")
+                        .and_then(Json::as_u64)
+                        .ok_or("span: phase mark missing `round`")?,
+                })
+            })
+            .collect::<Result<Vec<_>, String>>()?;
+        Ok(JobSpan {
+            id: s("id")?,
+            key: s("key")?,
+            queued_nanos: u("queued_nanos")?,
+            started_nanos: u("started_nanos")?,
+            finished_nanos: u("finished_nanos")?,
+            phases,
+            outcome: SpanOutcome::parse(&s("outcome")?)?,
+        })
+    }
+}
+
+/// The span store: live spans by id plus a bounded ring of finished
+/// ones, newest last.
+pub struct SpanBook {
+    live: BTreeMap<String, JobSpan>,
+    recent: VecDeque<JobSpan>,
+    capacity: usize,
+}
+
+impl SpanBook {
+    /// A book retaining at most `capacity` finished spans.
+    pub fn new(capacity: usize) -> SpanBook {
+        SpanBook {
+            live: BTreeMap::new(),
+            recent: VecDeque::new(),
+            capacity,
+        }
+    }
+
+    /// Opens a live span at admission.
+    pub fn admitted(&mut self, id: &str, key: &str, now_nanos: u64) {
+        self.live
+            .insert(id.to_string(), JobSpan::admitted(id, key, now_nanos));
+    }
+
+    /// Marks the span's compute start (worker pickup).
+    pub fn started(&mut self, id: &str, now_nanos: u64) {
+        if let Some(span) = self.live.get_mut(id) {
+            span.started_nanos = now_nanos;
+        }
+    }
+
+    /// Appends a compute-phase boundary.
+    pub fn phase(&mut self, id: &str, phase: &str, round: u64) {
+        if let Some(span) = self.live.get_mut(id) {
+            span.phases.push(PhaseMark {
+                phase: phase.to_string(),
+                round,
+            });
+        }
+    }
+
+    /// Closes the span with `outcome`, moving it into the recent ring.
+    /// Unknown ids close as a zero-length span so rejected jobs (never
+    /// admitted to the live map) still leave a record.
+    pub fn finished(&mut self, id: &str, key: &str, now_nanos: u64, outcome: SpanOutcome) {
+        let mut span = self
+            .live
+            .remove(id)
+            .unwrap_or_else(|| JobSpan::admitted(id, key, now_nanos));
+        span.finished_nanos = now_nanos;
+        span.outcome = outcome;
+        if self.recent.len() == self.capacity {
+            self.recent.pop_front();
+        }
+        self.recent.push_back(span);
+    }
+
+    /// Number of live (unfinished) spans.
+    pub fn live_len(&self) -> usize {
+        self.live.len()
+    }
+
+    /// Live spans, by id.
+    pub fn live(&self) -> impl Iterator<Item = &JobSpan> {
+        self.live.values()
+    }
+
+    /// Finished spans, oldest first.
+    pub fn recent(&self) -> impl Iterator<Item = &JobSpan> {
+        self.recent.iter()
+    }
+
+    /// A finished span by id (newest match), for artifact embedding.
+    pub fn finished_span(&self, id: &str) -> Option<&JobSpan> {
+        self.recent.iter().rev().find(|s| s.id == id)
+    }
+
+    /// Everything as one JSON object: `{"live": [...], "recent": [...]}`.
+    pub fn to_json(&self) -> Json {
+        Json::obj(vec![
+            (
+                "live",
+                Json::Arr(self.live().map(JobSpan::to_json).collect()),
+            ),
+            (
+                "recent",
+                Json::Arr(self.recent().map(JobSpan::to_json).collect()),
+            ),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn span_walks_the_job_lifecycle() {
+        let mut book = SpanBook::new(4);
+        book.admitted("job-1", "mst/k3", 100);
+        book.started("job-1", 250);
+        book.phase("job-1", "sparsify", 0);
+        book.phase("job-1", "contract", 12);
+        book.finished("job-1", "mst/k3", 900, SpanOutcome::Completed);
+
+        assert_eq!(book.live_len(), 0);
+        let span = book.finished_span("job-1").unwrap();
+        assert_eq!(span.queue_nanos(0), 150);
+        assert_eq!(span.compute_nanos(0), 650);
+        assert_eq!(span.wall_nanos(0), 800);
+        assert_eq!(span.outcome, SpanOutcome::Completed);
+        assert_eq!(
+            span.phases,
+            vec![
+                PhaseMark {
+                    phase: "sparsify".into(),
+                    round: 0
+                },
+                PhaseMark {
+                    phase: "contract".into(),
+                    round: 12
+                },
+            ]
+        );
+    }
+
+    #[test]
+    fn live_spans_measure_against_now() {
+        let mut book = SpanBook::new(4);
+        book.admitted("job-2", "conn/gnp", 1_000);
+        let span = book.live().next().unwrap();
+        assert_eq!(span.queue_nanos(1_400), 400);
+        assert_eq!(span.compute_nanos(1_400), 0, "never picked up");
+        book.started("job-2", 1_500);
+        let span = book.live().next().unwrap();
+        assert_eq!(span.queue_nanos(9_999), 500, "queue time froze at pickup");
+        assert_eq!(span.compute_nanos(2_000), 500);
+    }
+
+    #[test]
+    fn recent_ring_is_bounded_and_rejections_leave_records() {
+        let mut book = SpanBook::new(2);
+        for i in 0..3 {
+            let id = format!("job-{i}");
+            book.admitted(&id, "k", i * 10);
+            book.finished(&id, "k", i * 10 + 5, SpanOutcome::Served);
+        }
+        assert_eq!(book.recent().count(), 2, "oldest span evicted");
+        assert!(book.finished_span("job-0").is_none());
+        // A rejection never enters the live map but still records.
+        book.finished("job-9", "k", 77, SpanOutcome::Rejected);
+        let span = book.finished_span("job-9").unwrap();
+        assert_eq!(span.outcome, SpanOutcome::Rejected);
+        assert_eq!(span.wall_nanos(0), 0);
+    }
+
+    #[test]
+    fn span_round_trips_through_json() {
+        let mut span = JobSpan::admitted("job-3", "mst/torus", 42);
+        span.started_nanos = 50;
+        span.finished_nanos = 99;
+        span.outcome = SpanOutcome::Failed;
+        span.phases.push(PhaseMark {
+            phase: "boruvka".into(),
+            round: 7,
+        });
+        let parsed = JobSpan::from_json(&span.to_json()).unwrap();
+        assert_eq!(parsed, span);
+        assert!(JobSpan::from_json(&Json::Null).is_err());
+        assert!(SpanOutcome::parse("bogus").is_err());
+    }
+}

@@ -13,6 +13,7 @@
 
 use cc_serve::pool::{ServeConfig, Server};
 use cc_serve::server::run_session;
+use cc_trace::Json;
 use std::io::{BufReader, Write};
 use std::net::TcpListener;
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -28,7 +29,8 @@ fn usage() -> ! {
         "usage: serve [--workers N] [--queue N] [--cache N] [--tcp ADDR]\n\
          \n\
          Speaks line-delimited JSON: {{\"op\":\"submit\",\"id\":...,\"job\":...}},\n\
-         {{\"op\":\"stats\"}}, {{\"op\":\"shutdown\"}}. Default transport is stdin/stdout;\n\
+         {{\"op\":\"stats\"}}, {{\"op\":\"metrics\"}}, {{\"op\":\"health\"}}, {{\"op\":\"spans\"}},\n\
+         {{\"op\":\"shutdown\"}}. Default transport is stdin/stdout;\n\
          --tcp 127.0.0.1:PORT serves connections instead."
     );
     std::process::exit(2);
@@ -102,24 +104,57 @@ fn serve_tcp(server: Arc<Server>, addr: &str) -> std::io::Result<()> {
     Ok(())
 }
 
+/// One structured log line on stderr (stdout is the protocol stream).
+fn log_line(kind: &str, mut fields: Vec<(&str, Json)>) {
+    let mut obj = vec![("kind", Json::Str(kind.to_string()))];
+    obj.append(&mut fields);
+    eprintln!("{}", Json::obj(obj).emit());
+}
+
 fn main() {
     let opts = parse_args();
+    let listen = opts
+        .tcp
+        .as_ref()
+        .map_or("stdio".to_string(), |addr| format!("tcp:{addr}"));
+    log_line(
+        "serve-start",
+        vec![
+            ("version", Json::Str(env!("CARGO_PKG_VERSION").to_string())),
+            ("workers", Json::UInt(opts.cfg.workers as u64)),
+            ("queue_capacity", Json::UInt(opts.cfg.queue_capacity as u64)),
+            ("cache_capacity", Json::UInt(opts.cfg.cache_capacity as u64)),
+            ("listen", Json::Str(listen.clone())),
+        ],
+    );
     let server = Server::start(opts.cfg);
-    let result = match &opts.tcp {
+    let (result, stats) = match &opts.tcp {
         None => {
             let r = serve_stdio(&server);
+            let stats = server.stats();
             server.join();
-            r
+            (r, stats)
         }
         Some(addr) => {
             let server = Arc::new(server);
             let r = serve_tcp(Arc::clone(&server), addr);
+            let stats = server.stats();
             if let Ok(s) = Arc::try_unwrap(server) {
                 s.join();
             }
-            r
+            (r, stats)
         }
     };
+    log_line(
+        "serve-stop",
+        vec![
+            ("listen", Json::Str(listen)),
+            ("submitted", Json::UInt(stats.submitted)),
+            ("completed", Json::UInt(stats.completed)),
+            ("failed", Json::UInt(stats.failed)),
+            ("rejected", Json::UInt(stats.rejected)),
+        ],
+    );
     if let Err(e) = result {
         eprintln!("serve: {e}");
         std::process::exit(1);

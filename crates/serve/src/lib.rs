@@ -38,5 +38,5 @@ pub mod server;
 pub use cache::{CacheStats, ResultCache};
 pub use hash::{graph_digest, job_digest, wgraph_digest, Digest};
 pub use job::{execute, Algorithm, Engine, ExecOutcome, GraphSpec, JobSpec};
-pub use pool::{Response, ServeConfig, ServeStats, Server, SubmitOutcome};
-pub use server::{parse_request, run_session, Request};
+pub use pool::{default_slo_rules, Response, ServeConfig, ServeStats, Server, SubmitOutcome};
+pub use server::{parse_request, run_session, Request, VALID_OPS};

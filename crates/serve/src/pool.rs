@@ -28,15 +28,17 @@
 use crate::cache::{CacheStats, ResultCache};
 use crate::hash::Digest;
 use crate::job::{execute, JobSpec};
+use cc_obs::{
+    render_prometheus, AlertEngine, AlertEvent, HealthReport, SharedClock, SloKind, SloRule,
+    SpanBook, SpanOutcome, WallClock, WindowSpec, WindowedRegistry, WindowedSnapshot,
+};
 use cc_trace::{
-    metrics_from_events, Event, ExperimentRecord, Json, MetricsRegistry, RecordingTracer,
-    RunArtifact, Tracer,
+    metrics_from_events, Event, ExperimentRecord, Json, RecordingTracer, RunArtifact, Tracer,
 };
 use std::collections::{HashMap, VecDeque};
 use std::sync::mpsc::Sender;
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
-use std::time::{Instant, SystemTime, UNIX_EPOCH};
 
 /// Pool sizing knobs.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -118,6 +120,18 @@ pub enum Response {
     },
     /// Snapshot answer to a `stats` request.
     Stats(Box<ServeStats>),
+    /// Answer to a `metrics` request: the Prometheus-style exposition of
+    /// the cumulative registry plus the windowed snapshot as JSON.
+    Metrics {
+        /// The exposition text (multi-line; JSON-escaped on the wire).
+        exposition: String,
+        /// [`WindowedSnapshot`] object form.
+        windows: Json,
+    },
+    /// Answer to a `health` request.
+    Health(Box<HealthReport>),
+    /// Answer to a `spans` request: `{"live": [...], "recent": [...]}`.
+    Spans(Json),
     /// Acknowledgement of a `shutdown` request.
     Closing,
 }
@@ -133,7 +147,11 @@ impl Response {
             | Response::Progress { id, .. }
             | Response::Result { id, .. }
             | Response::Error { id, .. } => id,
-            Response::Stats(_) | Response::Closing => "",
+            Response::Stats(_)
+            | Response::Metrics { .. }
+            | Response::Health(_)
+            | Response::Spans(_)
+            | Response::Closing => "",
         }
     }
 
@@ -191,6 +209,29 @@ impl Response {
             Response::Stats(stats) => {
                 let mut obj = vec![("kind".to_string(), Json::Str("stats".into()))];
                 if let Json::Obj(fields) = stats.to_json() {
+                    obj.extend(fields);
+                }
+                Json::Obj(obj).emit()
+            }
+            Response::Metrics {
+                exposition,
+                windows,
+            } => Json::obj(vec![
+                ("kind", Json::Str("metrics".into())),
+                ("exposition", Json::Str(exposition.clone())),
+                ("windows", windows.clone()),
+            ])
+            .emit(),
+            Response::Health(report) => {
+                let mut obj = vec![("kind".to_string(), Json::Str("health".into()))];
+                if let Json::Obj(fields) = report.to_json() {
+                    obj.extend(fields);
+                }
+                Json::Obj(obj).emit()
+            }
+            Response::Spans(spans) => {
+                let mut obj = vec![("kind".to_string(), Json::Str("spans".into()))];
+                if let Json::Obj(fields) = spans.clone() {
                     obj.extend(fields);
                 }
                 Json::Obj(obj).emit()
@@ -292,10 +333,12 @@ struct QueuedJob {
     id: String,
     spec: JobSpec,
     key: Digest,
-    queued_instant: Instant,
     queued_unix_nanos: u64,
     reply: Sender<Response>,
 }
+
+/// Finished spans retained for `{"op":"spans"}` queries.
+const RECENT_SPANS: usize = 512;
 
 struct State {
     queue: VecDeque<QueuedJob>,
@@ -309,7 +352,27 @@ struct State {
     rejected: u64,
     coalesced: u64,
     cache: ResultCache,
-    metrics: MetricsRegistry,
+    /// Windowed metrics wrapping the cumulative registry: both views are
+    /// fed by the same calls, so live windows cannot drift from the
+    /// full-run snapshot `stats` and artifacts report.
+    metrics: WindowedRegistry,
+    /// Per-job timelines.
+    spans: SpanBook,
+    /// SLO rules plus the currently firing set.
+    alerts: AlertEngine,
+    /// Alert transitions not yet collected by the session layer.
+    alert_log: Vec<AlertEvent>,
+}
+
+impl State {
+    /// Re-evaluates the SLO rules at `now` and queues any transitions.
+    fn evaluate_alerts(&mut self, now_nanos: u64, queue_capacity: usize) {
+        let snap = self.metrics.snapshot(now_nanos);
+        let events = self
+            .alerts
+            .evaluate(now_nanos, &snap, self.queue.len(), queue_capacity);
+        self.alert_log.extend(events);
+    }
 }
 
 struct Shared {
@@ -319,6 +382,10 @@ struct Shared {
     jobs_cv: Condvar,
     /// Signals drainers: a job finished.
     idle_cv: Condvar,
+    /// The time source every reading flows through (wall in production,
+    /// manual in tests — see cc-obs).
+    clock: SharedClock,
+    started_nanos: u64,
 }
 
 /// The job service: bounded queue + worker pool + result cache.
@@ -327,11 +394,40 @@ pub struct Server {
     workers: Vec<JoinHandle<()>>,
 }
 
-fn unix_nanos() -> u64 {
-    SystemTime::now()
-        .duration_since(UNIX_EPOCH)
-        .map(|d| d.as_nanos() as u64)
-        .unwrap_or(0)
+/// The default SLO rules the pool watches: p95 job wall time over 1 ms
+/// on the 10 s window, queue at ≥ 80 % of capacity, and a duplicate hit
+/// rate under 25 % on the 60 s window once 16 lookups accrued. The
+/// latency threshold is generous for the small graphs CI serves; real
+/// deployments build their own rule set and pass it nowhere — rules are
+/// fixed at start, by design (alert churn should come from traffic, not
+/// reconfiguration races).
+pub fn default_slo_rules() -> Vec<SloRule> {
+    vec![
+        SloRule {
+            name: "latency-burn-p95".into(),
+            window: "10s".into(),
+            kind: SloKind::LatencyBurn {
+                histogram: "serve.job_wall_nanos".into(),
+                q_milli: 950,
+                threshold_nanos: 1_000_000_000,
+            },
+        },
+        SloRule {
+            name: "queue-saturation".into(),
+            window: "1s".into(),
+            kind: SloKind::QueueSaturation { frac_milli: 800 },
+        },
+        SloRule {
+            name: "hit-rate-floor".into(),
+            window: "60s".into(),
+            kind: SloKind::HitRateFloor {
+                hits: vec!["serve.cache_hits".into(), "serve.coalesced_hits".into()],
+                misses: "serve.cache_misses".into(),
+                min_milli: 250,
+                min_samples: 16,
+            },
+        },
+    ]
 }
 
 /// The tracer workers attach: records model events for the artifact's
@@ -383,8 +479,21 @@ impl Server {
     ///
     /// Panics if `cfg.workers == 0` or `cfg.queue_capacity == 0`.
     pub fn start(cfg: ServeConfig) -> Server {
+        Server::start_with_clock(cfg, WallClock::shared())
+    }
+
+    /// Starts the worker pool on an explicit time source. Tests pass a
+    /// `cc_obs::ManualClock` so windowed metrics, spans, and alert
+    /// transitions are deterministic; [`Server::start`] passes the
+    /// unix-anchored wall clock.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cfg.workers == 0` or `cfg.queue_capacity == 0`.
+    pub fn start_with_clock(cfg: ServeConfig, clock: SharedClock) -> Server {
         assert!(cfg.workers > 0, "a pool needs at least one worker");
         assert!(cfg.queue_capacity > 0, "queue capacity must be positive");
+        let started_nanos = clock.now_nanos();
         let shared = Arc::new(Shared {
             cfg,
             state: Mutex::new(State {
@@ -398,10 +507,15 @@ impl Server {
                 rejected: 0,
                 coalesced: 0,
                 cache: ResultCache::new(cfg.cache_capacity),
-                metrics: MetricsRegistry::new(),
+                metrics: WindowedRegistry::new(WindowSpec::standard()),
+                spans: SpanBook::new(RECENT_SPANS),
+                alerts: AlertEngine::new(default_slo_rules()),
+                alert_log: Vec::new(),
             }),
             jobs_cv: Condvar::new(),
             idle_cv: Condvar::new(),
+            clock,
+            started_nanos,
         });
         let workers = (0..cfg.workers)
             .map(|_| {
@@ -418,11 +532,13 @@ impl Server {
         let send = |r: Response| {
             let _ = reply.send(r);
         };
+        let now = self.shared.clock.now_nanos();
         let mut st = self.shared.state.lock().expect("serve state poisoned");
         st.submitted += 1;
         if let Err(problem) = spec.validate() {
             st.rejected += 1;
-            st.metrics.counter_add("serve.jobs_rejected", 1);
+            st.metrics.counter_add("serve.jobs_rejected", now, 1);
+            st.spans.finished(id, "", now, SpanOutcome::Rejected);
             send(Response::Rejected {
                 id: id.into(),
                 reason: format!("invalid job: {problem}"),
@@ -431,7 +547,8 @@ impl Server {
         }
         let key = spec.cache_key();
         if let Some(artifact) = st.cache.get(&key) {
-            st.metrics.counter_add("serve.cache_hits", 1);
+            st.metrics.counter_add("serve.cache_hits", now, 1);
+            st.spans.finished(id, &key.hex(), now, SpanOutcome::Served);
             send(Response::Result {
                 id: id.into(),
                 cached: true,
@@ -448,7 +565,8 @@ impl Server {
                 reply: reply.clone(),
             });
             st.coalesced += 1;
-            st.metrics.counter_add("serve.coalesced_hits", 1);
+            st.metrics.counter_add("serve.coalesced_hits", now, 1);
+            st.spans.admitted(id, &key.hex(), now);
             let depth = st.queue.len() as u64;
             send(Response::Queued {
                 id: id.into(),
@@ -459,7 +577,9 @@ impl Server {
         }
         if !st.accepting {
             st.rejected += 1;
-            st.metrics.counter_add("serve.jobs_rejected", 1);
+            st.metrics.counter_add("serve.jobs_rejected", now, 1);
+            st.spans
+                .finished(id, &key.hex(), now, SpanOutcome::Rejected);
             send(Response::Rejected {
                 id: id.into(),
                 reason: "server is shutting down".into(),
@@ -468,7 +588,10 @@ impl Server {
         }
         if st.queue.len() >= self.shared.cfg.queue_capacity {
             st.rejected += 1;
-            st.metrics.counter_add("serve.jobs_rejected", 1);
+            st.metrics.counter_add("serve.jobs_rejected", now, 1);
+            st.spans
+                .finished(id, &key.hex(), now, SpanOutcome::Rejected);
+            st.evaluate_alerts(now, self.shared.cfg.queue_capacity);
             send(Response::Rejected {
                 id: id.into(),
                 reason: format!(
@@ -478,18 +601,18 @@ impl Server {
             });
             return SubmitOutcome::Rejected;
         }
-        st.metrics.counter_add("serve.cache_misses", 1);
+        st.metrics.counter_add("serve.cache_misses", now, 1);
         st.pending.insert(key, Vec::new());
         st.queue.push_back(QueuedJob {
             id: id.into(),
             spec,
             key,
-            queued_instant: Instant::now(),
-            queued_unix_nanos: unix_nanos(),
+            queued_unix_nanos: now,
             reply: reply.clone(),
         });
+        st.spans.admitted(id, &key.hex(), now);
         let depth = st.queue.len() as u64;
-        st.metrics.observe("serve.queue_depth", depth);
+        st.metrics.observe("serve.queue_depth", now, depth);
         send(Response::Queued {
             id: id.into(),
             queue_depth: depth,
@@ -539,8 +662,56 @@ impl Server {
             rejected: st.rejected,
             coalesced: st.coalesced,
             cache: st.cache.stats(),
-            metrics: st.metrics.snapshot(),
+            metrics: st.metrics.cumulative_snapshot(),
         }
+    }
+
+    /// The Prometheus-style exposition of the cumulative registry plus
+    /// the live windowed snapshot, taken atomically.
+    pub fn metrics_exposition(&self) -> (String, WindowedSnapshot) {
+        let now = self.shared.clock.now_nanos();
+        let st = self.shared.state.lock().expect("serve state poisoned");
+        (
+            render_prometheus(&st.metrics.cumulative_snapshot()),
+            st.metrics.snapshot(now),
+        )
+    }
+
+    /// A health report: admission scalars, worker liveness, cache
+    /// occupancy, and the firing SLO alerts (rules are re-evaluated as
+    /// part of answering, so a health poll is also an alert tick).
+    pub fn health(&self) -> HealthReport {
+        let now = self.shared.clock.now_nanos();
+        let workers_alive = self.workers.iter().filter(|w| !w.is_finished()).count();
+        let mut st = self.shared.state.lock().expect("serve state poisoned");
+        st.evaluate_alerts(now, self.shared.cfg.queue_capacity);
+        let cache_stats = st.cache.stats();
+        HealthReport {
+            accepting: st.accepting,
+            queue_depth: st.queue.len(),
+            queue_capacity: self.shared.cfg.queue_capacity,
+            in_flight: st.running as usize,
+            workers: self.shared.cfg.workers,
+            workers_alive,
+            cache_entries: st.cache.len(),
+            cache_capacity: self.shared.cfg.cache_capacity,
+            cache_resident_bytes: cache_stats.resident_bytes as usize,
+            uptime_nanos: now.saturating_sub(self.shared.started_nanos),
+            firing: st.alerts.firing(),
+        }
+    }
+
+    /// Live and recently finished job spans as JSON.
+    pub fn spans_json(&self) -> Json {
+        let st = self.shared.state.lock().expect("serve state poisoned");
+        st.spans.to_json()
+    }
+
+    /// Drains the alert transitions accrued since the last call. The
+    /// session layer forwards them as structured log lines.
+    pub fn take_alert_events(&self) -> Vec<AlertEvent> {
+        let mut st = self.shared.state.lock().expect("serve state poisoned");
+        std::mem::take(&mut st.alert_log)
     }
 }
 
@@ -573,13 +744,29 @@ fn worker_loop(shared: &Shared) {
     }
 }
 
+/// Compute-phase boundaries of a recorded run: every scope the tracer
+/// saw, in order, with the round it opened at. Model events only, so the
+/// marks are deterministic per spec — the artifact record built from
+/// them keeps cache hits byte-identical.
+fn phase_marks(events: &[Event]) -> Vec<(String, u64)> {
+    events
+        .iter()
+        .filter_map(|e| match e {
+            Event::ScopeEnter { name, round } => Some((name.clone(), *round)),
+            _ => None,
+        })
+        .collect()
+}
+
 fn run_job(shared: &Shared, job: QueuedJob) {
-    let started_instant = Instant::now();
-    let queue_nanos = started_instant
-        .duration_since(job.queued_instant)
-        .as_nanos() as u64;
-    // Clamp so queued ≤ started ≤ finished even if the wall clock steps.
-    let started_unix = unix_nanos().max(job.queued_unix_nanos);
+    // Clamp so queued ≤ started ≤ finished even if the clock is shared
+    // with a test that never advances it.
+    let started_unix = shared.clock.now_nanos().max(job.queued_unix_nanos);
+    let queue_nanos = started_unix - job.queued_unix_nanos;
+    {
+        let mut st = shared.state.lock().expect("serve state poisoned");
+        st.spans.started(&job.id, started_unix);
+    }
     let _ = job.reply.send(Response::Running {
         id: job.id.clone(),
         queue_nanos,
@@ -591,11 +778,13 @@ fn run_job(shared: &Shared, job: QueuedJob) {
         id: job.id.clone(),
     };
     let outcome = execute(&job.spec, Box::new(tracer));
-    let finished_unix = unix_nanos().max(started_unix);
-    let compute_nanos = started_instant.elapsed().as_nanos() as u64;
+    let finished_unix = shared.clock.now_nanos().max(started_unix);
+    let compute_nanos = finished_unix - started_unix;
 
     match outcome {
         Ok(exec) => {
+            let events = rec.events();
+            let phases = phase_marks(&events);
             let mut artifact = RunArtifact::new("cc-serve")
                 .with_meta("algorithm", job.spec.algorithm.tag())
                 .with_meta("engine", job.spec.engine.tag())
@@ -613,9 +802,18 @@ fn run_job(shared: &Shared, job: QueuedJob) {
                     .map(|(k, v)| vec![k.clone(), v.clone()])
                     .collect(),
             });
+            artifact.experiments.push(ExperimentRecord {
+                id: "job-span".into(),
+                caption: "compute phases by simulated round".into(),
+                headers: vec!["phase".into(), "round".into()],
+                rows: phases
+                    .iter()
+                    .map(|(name, round)| vec![name.clone(), round.to_string()])
+                    .collect(),
+            });
             artifact
                 .metrics
-                .push(("job".into(), metrics_from_events(&rec.events()).snapshot()));
+                .push(("job".into(), metrics_from_events(&events).snapshot()));
             debug_assert!(artifact.validate().is_ok(), "{:?}", artifact.validate());
             let text: Arc<str> = Arc::from(artifact.to_json().emit());
 
@@ -624,12 +822,30 @@ fn run_job(shared: &Shared, job: QueuedJob) {
                 st.cache.insert(job.key, Arc::clone(&text));
                 st.running -= 1;
                 st.completed += 1;
-                st.metrics.counter_add("serve.jobs_completed", 1);
-                st.metrics.observe("serve.queue_nanos", queue_nanos);
-                st.metrics.observe("serve.compute_nanos", compute_nanos);
                 st.metrics
-                    .observe("serve.job_wall_nanos", queue_nanos + compute_nanos);
-                st.pending.remove(&job.key).unwrap_or_default()
+                    .counter_add("serve.jobs_completed", finished_unix, 1);
+                st.metrics
+                    .observe("serve.queue_nanos", finished_unix, queue_nanos);
+                st.metrics
+                    .observe("serve.compute_nanos", finished_unix, compute_nanos);
+                st.metrics.observe(
+                    "serve.job_wall_nanos",
+                    finished_unix,
+                    queue_nanos + compute_nanos,
+                );
+                for (name, round) in &phases {
+                    st.spans.phase(&job.id, name, *round);
+                }
+                let key_hex = job.key.hex();
+                st.spans
+                    .finished(&job.id, &key_hex, finished_unix, SpanOutcome::Completed);
+                let waiters = st.pending.remove(&job.key).unwrap_or_default();
+                for w in &waiters {
+                    st.spans
+                        .finished(&w.id, &key_hex, finished_unix, SpanOutcome::Served);
+                }
+                st.evaluate_alerts(finished_unix, shared.cfg.queue_capacity);
+                waiters
             };
             let _ = job.reply.send(Response::Result {
                 id: job.id,
@@ -649,8 +865,18 @@ fn run_job(shared: &Shared, job: QueuedJob) {
                 let mut st = shared.state.lock().expect("serve state poisoned");
                 st.running -= 1;
                 st.failed += 1;
-                st.metrics.counter_add("serve.jobs_failed", 1);
-                st.pending.remove(&job.key).unwrap_or_default()
+                st.metrics
+                    .counter_add("serve.jobs_failed", finished_unix, 1);
+                let key_hex = job.key.hex();
+                st.spans
+                    .finished(&job.id, &key_hex, finished_unix, SpanOutcome::Failed);
+                let waiters = st.pending.remove(&job.key).unwrap_or_default();
+                for w in &waiters {
+                    st.spans
+                        .finished(&w.id, &key_hex, finished_unix, SpanOutcome::Failed);
+                }
+                st.evaluate_alerts(finished_unix, shared.cfg.queue_capacity);
+                waiters
             };
             let _ = job.reply.send(Response::Error {
                 id: job.id,
@@ -870,6 +1096,149 @@ mod tests {
     }
 
     #[test]
+    fn windowed_metrics_stay_consistent_with_cumulative_under_manual_clock() {
+        let clock = cc_obs::ManualClock::new(1_000_000_000);
+        let server = Server::start_with_clock(
+            ServeConfig {
+                workers: 1,
+                ..ServeConfig::default()
+            },
+            clock.shared(),
+        );
+        let (tx, rx) = channel();
+        // A mixed load: 3 distinct jobs, each duplicated once.
+        for i in 0..6u64 {
+            server.submit(&format!("j{i}"), spec(i % 3), &tx);
+        }
+        server.close();
+        server.drain();
+        for _ in 0..6 {
+            drain_terminal(&rx);
+        }
+        let (exposition, windows) = server.metrics_exposition();
+        let stats = server.stats();
+        // The 60 s window has seen the entire run (the manual clock never
+        // advanced), so every windowed sum must equal its cumulative
+        // counter and every windowed digest the cumulative digest —
+        // exactly, not approximately.
+        let w = windows.window("60s").expect("standard 60 s window");
+        for (name, value) in &stats.metrics.counters {
+            assert_eq!(
+                w.counter(name),
+                *value,
+                "windowed {name} drifted from cumulative"
+            );
+        }
+        for (name, cumulative) in &stats.metrics.histograms {
+            assert_eq!(
+                w.histogram(name).expect("windowed twin"),
+                cumulative,
+                "windowed digest {name} drifted from cumulative"
+            );
+        }
+        assert_eq!(w.counter("serve.jobs_completed"), 3);
+        assert_eq!(
+            w.counter("serve.cache_hits") + w.counter("serve.coalesced_hits"),
+            3
+        );
+        // Determinism: every reading happened at the scripted instant, so
+        // a second snapshot answers identically.
+        let (_, again) = server.metrics_exposition();
+        assert_eq!(again, windows);
+        // The exposition renders the same counters.
+        assert!(exposition.contains("serve_jobs_completed_total 3\n"));
+        cc_obs::check_exposition(&exposition).expect("exposition must be well-formed");
+        server.join();
+    }
+
+    #[test]
+    fn spans_track_lifecycle_and_embed_in_artifacts() {
+        let clock = cc_obs::ManualClock::new(500);
+        let server = Server::start_with_clock(
+            ServeConfig {
+                workers: 1,
+                ..ServeConfig::default()
+            },
+            clock.shared(),
+        );
+        let (tx, rx) = channel();
+        server.submit("cold", spec(11), &tx);
+        let artifact = match drain_terminal(&rx) {
+            Response::Result { artifact, .. } => artifact,
+            other => panic!("expected result, got {other:?}"),
+        };
+        server.submit("warm", spec(11), &tx);
+        drain_terminal(&rx);
+        // The artifact embeds the phase marks as a v3 experiment record.
+        let parsed = RunArtifact::from_json_str(&artifact).unwrap();
+        let span_record = parsed
+            .experiments
+            .iter()
+            .find(|e| e.id == "job-span")
+            .expect("job-span record embedded");
+        assert_eq!(span_record.headers, vec!["phase", "round"]);
+        assert!(
+            !span_record.rows.is_empty(),
+            "gc-sketch runs named phases: {span_record:?}"
+        );
+        // The span book recorded both submissions with their outcomes.
+        let spans = server.spans_json();
+        let recent = spans.get("recent").and_then(Json::as_arr).unwrap();
+        let outcome_of = |id: &str| {
+            recent
+                .iter()
+                .find(|s| s.get("id").and_then(Json::as_str) == Some(id))
+                .and_then(|s| s.get("outcome").and_then(Json::as_str).map(str::to_string))
+        };
+        assert_eq!(outcome_of("cold").as_deref(), Some("completed"));
+        assert_eq!(outcome_of("warm").as_deref(), Some("served"));
+        // The completed span carries the same phase marks as the record.
+        let cold = recent
+            .iter()
+            .find(|s| s.get("id").and_then(Json::as_str) == Some("cold"))
+            .unwrap();
+        assert_eq!(
+            cold.get("phases").and_then(Json::as_arr).unwrap().len(),
+            span_record.rows.len()
+        );
+        server.join();
+    }
+
+    #[test]
+    fn health_reports_the_pool_shape() {
+        let server = Server::start(ServeConfig {
+            workers: 2,
+            queue_capacity: 8,
+            cache_capacity: 16,
+        });
+        let (tx, rx) = channel();
+        server.submit("h", spec(21), &tx);
+        drain_terminal(&rx);
+        let health = server.health();
+        assert!(health.ok(), "idle pool with live workers is healthy");
+        assert_eq!(health.workers, 2);
+        assert_eq!(health.workers_alive, 2);
+        assert_eq!(health.queue_capacity, 8);
+        assert_eq!(health.cache_capacity, 16);
+        assert_eq!(health.cache_entries, 1, "the finished job is cached");
+        assert!(health.cache_resident_bytes > 0);
+        // Closing flips `accepting`, and drained workers exit: the report
+        // stops claiming health.
+        server.close();
+        server.drain();
+        for _ in 0..200 {
+            if server.health().workers_alive == 0 {
+                break;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(5));
+        }
+        let closed = server.health();
+        assert!(!closed.accepting);
+        assert!(!closed.ok());
+        server.join();
+    }
+
+    #[test]
     fn stats_lines_and_artifact_parse() {
         let server = Server::start(ServeConfig {
             workers: 1,
@@ -922,6 +1291,12 @@ mod tests {
                 id: "x".into(),
                 error: "boom".into(),
             },
+            Response::Metrics {
+                exposition: "serve_jobs_completed_total 1\n".into(),
+                windows: server.metrics_exposition().1.to_json(),
+            },
+            Response::Health(Box::new(server.health())),
+            Response::Spans(server.spans_json()),
             Response::Closing,
         ] {
             let line = r.to_line();

@@ -1,11 +1,14 @@
 //! The wire protocol: line-delimited JSON requests in, line-delimited
 //! JSON responses out.
 //!
-//! One request per line. Three operations:
+//! One request per line. Six operations:
 //!
 //! ```json
 //! {"op":"submit","id":"job-1","job":{"graph":{"kind":"random-connected","n":64,"degree_milli":3000,"seed":7},"algorithm":"gc-sketch","engine":"net","seed":1}}
 //! {"op":"stats"}
+//! {"op":"metrics"}
+//! {"op":"health"}
+//! {"op":"spans"}
 //! {"op":"shutdown"}
 //! ```
 //!
@@ -39,9 +42,18 @@ pub enum Request {
     },
     /// Ask for a statistics snapshot.
     Stats,
+    /// Ask for the Prometheus-style exposition plus windowed metrics.
+    Metrics,
+    /// Ask for a health report.
+    Health,
+    /// Ask for live and recent job spans.
+    Spans,
     /// Stop admissions and drain.
     Shutdown,
 }
+
+/// Every op the protocol accepts, for error messages and docs.
+pub const VALID_OPS: &[&str] = &["submit", "stats", "metrics", "health", "spans", "shutdown"];
 
 /// Parses one request line.
 pub fn parse_request(line: &str) -> Result<Request, String> {
@@ -65,9 +77,13 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
             Ok(Request::Submit { id, job })
         }
         "stats" => Ok(Request::Stats),
+        "metrics" => Ok(Request::Metrics),
+        "health" => Ok(Request::Health),
+        "spans" => Ok(Request::Spans),
         "shutdown" => Ok(Request::Shutdown),
         other => Err(format!(
-            "unknown op {other:?} (expected submit, stats, or shutdown)"
+            "unknown op {other:?} (valid ops: {})",
+            VALID_OPS.join(", ")
         )),
     }
 }
@@ -111,6 +127,19 @@ pub fn run_session<R: BufRead, W: Write + Send + 'static>(
             Ok(Request::Stats) => {
                 let _ = tx.send(Response::Stats(Box::new(server.stats())));
             }
+            Ok(Request::Metrics) => {
+                let (exposition, windows) = server.metrics_exposition();
+                let _ = tx.send(Response::Metrics {
+                    exposition,
+                    windows: windows.to_json(),
+                });
+            }
+            Ok(Request::Health) => {
+                let _ = tx.send(Response::Health(Box::new(server.health())));
+            }
+            Ok(Request::Spans) => {
+                let _ = tx.send(Response::Spans(server.spans_json()));
+            }
             Ok(Request::Shutdown) => {
                 server.close();
                 let _ = tx.send(Response::Closing);
@@ -124,6 +153,12 @@ pub fn run_session<R: BufRead, W: Write + Send + 'static>(
                 });
             }
         }
+        // Alert transitions go to stderr as structured log lines, never
+        // into the protocol stream: clients keep a fixed response
+        // grammar, operators still see every firing/resolution.
+        for event in server.take_alert_events() {
+            eprintln!("{}", event.to_json().emit());
+        }
     }
     if close_on_end || saw_shutdown {
         server.close();
@@ -134,6 +169,9 @@ pub fn run_session<R: BufRead, W: Write + Send + 'static>(
     }
     // All job-held senders are gone after drain; dropping ours ends the
     // writer thread once the last queued response is flushed.
+    for event in server.take_alert_events() {
+        eprintln!("{}", event.to_json().emit());
+    }
     drop(tx);
     writer_thread
         .join()
@@ -227,9 +265,71 @@ mod tests {
             parse_request(&submit_line("a", 1)),
             Ok(Request::Submit { .. })
         ));
+        assert_eq!(parse_request("{\"op\":\"metrics\"}"), Ok(Request::Metrics));
+        assert_eq!(parse_request("{\"op\":\"health\"}"), Ok(Request::Health));
+        assert_eq!(parse_request("{\"op\":\"spans\"}"), Ok(Request::Spans));
         assert!(parse_request("{\"op\":\"dance\"}").is_err());
         assert!(parse_request("not json").is_err());
         assert!(parse_request("{\"op\":\"submit\",\"id\":\"\"}").is_err());
+    }
+
+    #[test]
+    fn unknown_op_error_lists_the_valid_ops() {
+        let err = parse_request("{\"op\":\"dance\"}").unwrap_err();
+        assert!(err.contains("\"dance\""), "names the offender: {err}");
+        for op in VALID_OPS {
+            assert!(err.contains(op), "error must list {op}: {err}");
+        }
+    }
+
+    #[test]
+    fn metrics_health_and_spans_answer_inline() {
+        let responses = run_lines(&[
+            submit_line("m", 4),
+            "{\"op\":\"metrics\"}".to_string(),
+            "{\"op\":\"health\"}".to_string(),
+            "{\"op\":\"spans\"}".to_string(),
+        ]);
+        let by_kind = |kind: &str| {
+            responses
+                .iter()
+                .find(|r| r.get("kind").and_then(Json::as_str) == Some(kind))
+                .unwrap_or_else(|| panic!("no {kind} response"))
+        };
+        // The exposition inside the metrics answer is well-formed and
+        // carries serve.* series (requests are handled in order, so the
+        // submitted job has already been counted at least as a miss).
+        let metrics = by_kind("metrics");
+        let exposition = metrics
+            .get("exposition")
+            .and_then(Json::as_str)
+            .expect("metrics carries exposition text");
+        cc_obs::check_exposition(exposition).expect("well-formed exposition");
+        assert!(exposition.contains("serve_cache_misses_total"));
+        let windows = metrics.get("windows").expect("windowed snapshot");
+        let parsed = cc_obs::WindowedSnapshot::from_json(windows).unwrap();
+        assert_eq!(parsed.windows.len(), 3, "1s/10s/60s standard windows");
+        // Health round-trips and reports a healthy single-session pool.
+        let health = by_kind("health");
+        assert_eq!(health.get("ok").and_then(Json::as_bool), Some(true));
+        let report = cc_obs::HealthReport::from_json(health).unwrap();
+        assert!(report.ok());
+        assert_eq!(report.workers, 1);
+        // The spans answer lists the submitted job (live or finished,
+        // depending on worker timing).
+        let spans = by_kind("spans");
+        let all: Vec<&Json> = spans
+            .get("live")
+            .and_then(Json::as_arr)
+            .unwrap()
+            .iter()
+            .chain(spans.get("recent").and_then(Json::as_arr).unwrap())
+            .collect();
+        assert!(
+            all.iter()
+                .any(|s| s.get("id").and_then(Json::as_str) == Some("m")),
+            "span for job m present: {spans:?}"
+        );
     }
 
     #[test]

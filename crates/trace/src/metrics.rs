@@ -75,6 +75,37 @@ impl LogHistogram {
         self.count
     }
 
+    /// Whether nothing has been observed.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Folds `other` into this histogram, exactly: bucket counts and the
+    /// observation count add, the sum saturates (as in
+    /// [`LogHistogram::observe`]), and min/max combine. Merging a ring of
+    /// per-slot histograms therefore reproduces, bit for bit, the
+    /// histogram that observing the same values into one instance would
+    /// have built — the property the windowed-rollup consistency tests in
+    /// `cc-obs` pin.
+    pub fn merge(&mut self, other: &LogHistogram) {
+        if other.count == 0 {
+            return;
+        }
+        for (b, ob) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *b += ob;
+        }
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Resets to the empty histogram without touching the (fixed-size)
+    /// bucket storage — the cheap way to recycle a ring slot.
+    pub fn reset(&mut self) {
+        *self = LogHistogram::default();
+    }
+
     /// An immutable snapshot.
     pub fn snapshot(&self) -> HistogramSnapshot {
         HistogramSnapshot {
@@ -132,6 +163,14 @@ impl HistogramSnapshot {
             return 0;
         }
         let q = q.clamp(0.0, 1.0);
+        // The extremes are recorded exactly; don't let within-bucket
+        // interpolation blur them.
+        if q == 0.0 {
+            return self.min;
+        }
+        if q == 1.0 {
+            return self.max;
+        }
         // Rank of the target observation, 1-based.
         let rank = ((q * self.count as f64).ceil() as u64).max(1);
         let mut seen = 0u64;
@@ -422,6 +461,70 @@ mod tests {
         let s = h.snapshot();
         assert_eq!(s.quantile(0.5), 0, "zero-duration spans aggregate as 0");
         assert_eq!(s.quantile(0.99), 0);
+    }
+
+    /// The quantile estimator's boundary behaviour, pinned case by case:
+    /// an empty digest answers 0 for every `q`, `q = 0` is the recorded
+    /// minimum, `q = 1` the recorded maximum, out-of-range `q` clamps,
+    /// and a single observation answers itself at every rank.
+    #[test]
+    fn quantile_edge_cases() {
+        let empty = LogHistogram::new().snapshot();
+        for q in [0.0, 0.5, 1.0, -3.0, 7.0] {
+            assert_eq!(empty.quantile(q), 0, "empty digest answers 0 at q={q}");
+        }
+
+        let mut h = LogHistogram::new();
+        for v in [3, 90, 700] {
+            h.observe(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.quantile(0.0), 3, "q=0 is the recorded min");
+        assert_eq!(s.quantile(1.0), 700, "q=1 is the recorded max");
+        assert_eq!(s.quantile(-0.5), s.quantile(0.0), "q clamps below 0");
+        assert_eq!(s.quantile(2.0), s.quantile(1.0), "q clamps above 1");
+
+        let mut single = LogHistogram::new();
+        single.observe(41);
+        let s = single.snapshot();
+        for q in [0.0, 0.25, 0.5, 0.99, 1.0] {
+            assert_eq!(s.quantile(q), 41, "a lone observation is every quantile");
+        }
+    }
+
+    #[test]
+    fn empty_snapshot_json_round_trip() {
+        let empty = LogHistogram::new().snapshot();
+        let parsed = HistogramSnapshot::from_json(&empty.to_json()).unwrap();
+        assert_eq!(parsed, empty);
+        assert_eq!(parsed.count, 0);
+        assert!(parsed.buckets.is_empty());
+        assert_eq!(parsed.quantile(0.5), 0);
+    }
+
+    #[test]
+    fn merge_equals_observing_the_union() {
+        let values_a = [0u64, 1, 7, 129, 1 << 40];
+        let values_b = [2u64, 7, u64::MAX, 0];
+        let mut direct = LogHistogram::new();
+        for v in values_a.iter().chain(values_b.iter()) {
+            direct.observe(*v);
+        }
+        let (mut a, mut b) = (LogHistogram::new(), LogHistogram::new());
+        values_a.iter().for_each(|&v| a.observe(v));
+        values_b.iter().for_each(|&v| b.observe(v));
+        a.merge(&b);
+        assert_eq!(a.snapshot(), direct.snapshot(), "merge must be exact");
+        // Merging an empty histogram is the identity, both ways.
+        a.merge(&LogHistogram::new());
+        assert_eq!(a.snapshot(), direct.snapshot());
+        let mut empty = LogHistogram::new();
+        empty.merge(&direct);
+        assert_eq!(empty.snapshot(), direct.snapshot());
+        assert!(!empty.is_empty());
+        empty.reset();
+        assert!(empty.is_empty());
+        assert_eq!(empty.snapshot(), LogHistogram::new().snapshot());
     }
 
     #[test]

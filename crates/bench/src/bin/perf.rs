@@ -18,6 +18,8 @@
 //! * `--filter PATTERNS` — gate only cases whose `id/backend/n=N` key
 //!   contains one of the comma-separated patterns (applied to both the
 //!   fresh suite and the baseline; the written artifact is unfiltered).
+//! * `--list` — print the case keys this invocation would run (honoring
+//!   `--quick`/`--large`/`--large-smoke`) without running anything.
 //! * `--ignore-missing` — don't fail the gate over baseline cases this
 //!   run did not execute (e.g. gating a `--quick` run against a baseline
 //!   that also carries the large entries).
@@ -36,7 +38,7 @@
 //! Exit codes: 0 ok (or `--warn-only`), 1 regression/model drift,
 //! 2 usage or I/O error.
 
-use cc_bench::perf::{default_k, filter_cases, run_suite_with, stamp_name, Large};
+use cc_bench::perf::{case_keys, default_k, filter_cases, run_suite_with, stamp_name, Large};
 use cc_profile::{compare, render_comparison, PerfSuite, Tolerance};
 
 #[cfg(feature = "count-allocs")]
@@ -72,6 +74,15 @@ fn main() {
                 .unwrap_or_else(|_| fail("--k wants a number"))
         })
         .unwrap_or_else(|| default_k(quick));
+
+    if args.iter().any(|a| a == "--list") {
+        // Print the case keys this invocation *would* run (so `--filter`
+        // patterns can be written against the real keys) and exit.
+        for key in case_keys(quick, large) {
+            println!("{key}");
+        }
+        return;
+    }
 
     let suite: PerfSuite = match value_of(&args, "--gate-only") {
         Some(path) => {

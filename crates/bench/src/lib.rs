@@ -26,6 +26,7 @@ pub mod experiments {
 }
 pub mod artifact;
 pub mod claims;
+pub mod grid;
 pub mod loadgen;
 pub mod perf;
 pub mod table;

@@ -259,6 +259,45 @@ pub fn case_key(c: &PerfCase) -> String {
     format!("{}/{}/n={}", c.id, c.backend, c.n)
 }
 
+/// The case keys [`run_suite_with`] would produce, in suite order,
+/// *without* running anything — `perf --list` prints these so `--filter`
+/// patterns can be written against the real keys. A unit test pins this
+/// enumeration to an actual quick run.
+pub fn case_keys(quick: bool, large: Large) -> Vec<String> {
+    let mut keys = Vec::new();
+    let key = |id: &str, backend: &str, n: usize| format!("{id}/{backend}/n={n}");
+    let gc_ns: &[usize] = if quick { &[32, 64] } else { &[32, 64, 128] };
+    for &n in gc_ns {
+        keys.push(key("gc-sketch", "net", n));
+    }
+    let mst_ns: &[usize] = if quick { &[16, 32] } else { &[16, 32, 64] };
+    for &n in mst_ns {
+        keys.push(key("exact-mst", "net", n));
+    }
+    let a2a_ns: &[usize] = if quick { &[32, 64] } else { &[32, 64, 128] };
+    for &n in a2a_ns {
+        keys.push(key("route-a2a", "net", n));
+    }
+    let rt_ns: &[usize] = if quick { &[32, 64] } else { &[32, 64, 128] };
+    for &n in rt_ns {
+        keys.push(key("rt-conn", "serial", n));
+        keys.push(key("rt-conn", "parallel", n));
+    }
+    match large {
+        Large::Off => {}
+        Large::Smoke => keys.push(key("route-a2a", "net", 2048)),
+        Large::Full => {
+            for n in [512, 2048, 4096] {
+                keys.push(key("route-a2a", "net", n));
+            }
+            for n in [2048, 4096] {
+                keys.push(key("gc-sketch", "net", n));
+            }
+        }
+    }
+    keys
+}
+
 /// Keeps only cases whose [`case_key`] contains one of the
 /// comma-separated `patterns`.
 ///
@@ -423,5 +462,29 @@ mod tests {
                 "engines must agree on model cost at n={n}"
             );
         }
+    }
+
+    #[test]
+    fn case_keys_enumerates_exactly_what_the_suite_runs() {
+        // The static enumeration behind `perf --list` must match the keys
+        // an actual run produces, in order.
+        let suite = run_suite(true, 1);
+        let real: Vec<String> = suite.cases.iter().map(case_key).collect();
+        assert_eq!(case_keys(true, Large::Off), real);
+        // The other shapes are pinned structurally (running them takes
+        // seconds per repetition): the full suite extends the sizes, the
+        // large tiers only append.
+        let full = case_keys(false, Large::Off);
+        assert_eq!(full.len(), 15, "3+3+3 net cases + 2×3 rt cases");
+        for k in case_keys(true, Large::Off) {
+            assert!(full.contains(&k), "quick key {k} missing from full");
+        }
+        let smoke = case_keys(false, Large::Smoke);
+        assert_eq!(&smoke[..full.len()], &full[..]);
+        assert_eq!(
+            smoke.last().map(String::as_str),
+            Some("route-a2a/net/n=2048")
+        );
+        assert_eq!(case_keys(false, Large::Full).len(), full.len() + 5);
     }
 }

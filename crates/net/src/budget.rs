@@ -5,28 +5,29 @@
 //! private to [`CliqueNet::step`](crate::CliqueNet::step). They live here
 //! as standalone pieces so alternative drivers (notably the parallel
 //! execution engine in `cc-runtime`) enforce *exactly* the same contract:
-//! [`SendRules`] is the immutable rule set derived from a
-//! [`NetConfig`](crate::NetConfig), and [`LinkUse`] is the per-sender
-//! scratch ledger of words already charged toward each destination this
-//! round.
+//! [`SendRules`] binds a [`cc_model::ModelSpec`] to a clique size and a
+//! round, and [`LinkUse`] is the per-sender scratch ledger of words
+//! already charged toward each destination this round.
 //!
 //! [`LinkUse`] is deliberately not thread-safe: every sender's budget is
 //! independent, so a parallel driver gives each worker its own ledger and
 //! resets it between nodes — budget enforcement needs no locks.
 
+use cc_model::{LinkMode, ModelSpec};
+
 use crate::config::NetConfig;
 use crate::error::NetError;
 
-/// The immutable per-round send rules of one network.
+/// The immutable per-round send rules of one network: a model spec bound
+/// to a clique size and stamped with the round it is enforcing.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct SendRules {
     /// Clique size.
     pub n: usize,
-    /// Whether only [`broadcast`](crate::Outbox::broadcast) is permitted
-    /// (the paper's footnote-1 model variant).
-    pub broadcast_only: bool,
-    /// Words each ordered link may carry per round.
-    pub link_words: u64,
+    /// The model spec admission is checked against (bandwidth and link
+    /// mode; the mapping rides along untouched — it never changes what a
+    /// *logical* send is allowed to do).
+    pub model: ModelSpec,
     /// The 0-based round these rules are enforcing (attached to budget
     /// errors so a violation names the round it happened in).
     pub round: u64,
@@ -39,10 +40,20 @@ impl SendRules {
     pub fn from_config(cfg: &NetConfig) -> Self {
         SendRules {
             n: cfg.n,
-            broadcast_only: cfg.broadcast_only,
-            link_words: cfg.link_words,
+            model: cfg.model(),
             round: 0,
         }
+    }
+
+    /// Whether only [`broadcast`](crate::Outbox::broadcast) is permitted
+    /// (the paper's footnote-1 model variant).
+    pub fn broadcast_only(&self) -> bool {
+        self.model.link_mode == LinkMode::BroadcastOnly
+    }
+
+    /// Words each ordered link may carry per round.
+    pub fn link_words(&self) -> u64 {
+        self.model.bandwidth_words_per_link
     }
 
     /// The same rules stamped with the round they are enforcing.
@@ -53,11 +64,11 @@ impl SendRules {
     }
 
     /// The same rules with the per-link budget lowered to
-    /// `cap.min(self.link_words)` (a fault-injection bandwidth squeeze
+    /// `cap.min(self.link_words())` (a fault-injection bandwidth squeeze
     /// can only shrink the budget, never grow it).
     #[must_use]
     pub fn with_link_words_capped(mut self, cap: u64) -> Self {
-        self.link_words = self.link_words.min(cap.max(1));
+        self.model.bandwidth_words_per_link = self.model.bandwidth_words_per_link.min(cap.max(1));
         self
     }
 
@@ -74,8 +85,12 @@ impl SendRules {
     /// [`NetError::BadDestination`], [`NetError::SelfMessage`],
     /// [`NetError::MessageTooLarge`], [`NetError::LinkBusy`].
     pub fn validate(&self, src: usize, dst: usize, words: u64, used: u64) -> Result<u64, NetError> {
-        if self.broadcast_only {
-            return Err(NetError::UnicastInBroadcastModel { node: src });
+        if self.broadcast_only() {
+            return Err(NetError::UnicastInBroadcastModel {
+                round: self.round,
+                src,
+                dst,
+            });
         }
         if dst >= self.n {
             return Err(NetError::BadDestination {
@@ -88,23 +103,24 @@ impl SendRules {
             return Err(NetError::SelfMessage { node: src });
         }
         let words = words.max(1);
-        if words > self.link_words {
+        let budget = self.link_words();
+        if words > budget {
             return Err(NetError::MessageTooLarge {
                 round: self.round,
                 src,
                 dst,
                 words,
-                budget: self.link_words,
+                budget,
             });
         }
-        if used + words > self.link_words {
+        if used + words > budget {
             return Err(NetError::LinkBusy {
                 round: self.round,
                 src,
                 dst,
                 used,
                 requested: words,
-                budget: self.link_words,
+                budget,
             });
         }
         Ok(words)
@@ -159,8 +175,7 @@ mod tests {
     fn rules(n: usize, link_words: u64) -> SendRules {
         SendRules {
             n,
-            broadcast_only: false,
-            link_words,
+            model: ModelSpec::clique().with_bandwidth(link_words),
             round: 0,
         }
     }
@@ -208,17 +223,20 @@ mod tests {
     }
 
     #[test]
-    fn broadcast_only_rejects_unicast() {
+    fn broadcast_only_rejects_unicast_with_the_full_link() {
         let r = SendRules {
             n: 4,
-            broadcast_only: true,
-            link_words: 8,
-            round: 0,
+            model: ModelSpec::clique().broadcast_only(),
+            round: 9,
         };
-        assert!(matches!(
+        assert_eq!(
             r.validate(1, 2, 1, 0),
-            Err(NetError::UnicastInBroadcastModel { node: 1 })
-        ));
+            Err(NetError::UnicastInBroadcastModel {
+                round: 9,
+                src: 1,
+                dst: 2
+            })
+        );
     }
 
     #[test]
@@ -245,9 +263,19 @@ mod tests {
     #[test]
     fn squeeze_cap_only_shrinks_and_floors_at_one() {
         let r = rules(4, 8);
-        assert_eq!(r.with_link_words_capped(3).link_words, 3);
-        assert_eq!(r.with_link_words_capped(99).link_words, 8);
-        assert_eq!(r.with_link_words_capped(0).link_words, 1);
+        assert_eq!(r.with_link_words_capped(3).link_words(), 3);
+        assert_eq!(r.with_link_words_capped(99).link_words(), 8);
+        assert_eq!(r.with_link_words_capped(0).link_words(), 1);
+    }
+
+    #[test]
+    fn rules_carry_the_configs_model() {
+        let cfg = NetConfig::kt1(8).with_link_words(5);
+        let r = SendRules::from_config(&cfg);
+        assert_eq!(r.model, cfg.model());
+        assert_eq!(r.link_words(), 5);
+        assert!(!r.broadcast_only());
+        assert!(SendRules::from_config(&NetConfig::kt1(8).broadcast_only()).broadcast_only());
     }
 
     #[test]

@@ -1,4 +1,13 @@
 //! Simulator configuration: model size, bandwidth, initial knowledge.
+//!
+//! The bandwidth / link-mode / mapping axes are owned by
+//! [`cc_model::ModelSpec`]; a [`NetConfig`] binds a spec to a concrete
+//! clique size (plus simulator-local concerns: knowledge, seed,
+//! transcripts, watchdogs). [`NetConfig::from_model`] is the validated
+//! entry point, and [`NetConfig::model`] recovers the spec that send
+//! admission ([`crate::SendRules`]) is enforced against.
+
+use cc_model::{LinkMode, Mapping, ModelError, ModelSpec};
 
 /// Initial-knowledge variant of the Congested Clique (Section 1.2).
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
@@ -13,8 +22,8 @@ pub enum Knowledge {
 /// Default per-link budget: how many `⌈log₂ n⌉`-bit words one link may carry
 /// per round. The model allows "a message of `O(log n)` bits"; this is the
 /// explicit constant (messages carrying an edge + weight need 3 words, plus
-/// slack for tags).
-pub const DEFAULT_LINK_WORDS: u64 = 8;
+/// slack for tags). Mirrors [`cc_model::DEFAULT_BANDWIDTH_WORDS`].
+pub const DEFAULT_LINK_WORDS: u64 = cc_model::DEFAULT_BANDWIDTH_WORDS;
 
 /// Configuration of a [`CliqueNet`](crate::CliqueNet).
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -42,6 +51,13 @@ pub struct NetConfig {
     /// links in a round, or nothing. Point-to-point sends are rejected;
     /// use [`Outbox::broadcast`](crate::Outbox::broadcast).
     pub broadcast_only: bool,
+    /// Node-to-machine mapping of the model ([`Mapping::OneToOne`] is
+    /// the clique proper). `CliqueNet` itself always executes the
+    /// *logical* model — the mapping changes no inbox, cost, or fault
+    /// decision — but it travels with the config so execution engines
+    /// (the `cc-runtime` k-machine backend) and harnesses can account
+    /// machine rounds for the very spec the run was admitted under.
+    pub mapping: Mapping,
 }
 
 impl NetConfig {
@@ -60,7 +76,20 @@ impl NetConfig {
             record_transcript: false,
             round_cap: None,
             broadcast_only: false,
+            mapping: Mapping::OneToOne,
         }
+    }
+
+    /// A KT1 config implementing `spec` on an `n`-clique — the validated
+    /// entry point of the model grid.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`ModelSpec::validate_for`] (clique too small, zero
+    /// bandwidth, more machines than nodes).
+    pub fn from_model(n: usize, spec: &ModelSpec) -> Result<Self, ModelError> {
+        spec.validate_for(n)?;
+        Ok(Self::kt1(n).with_model(spec))
     }
 
     /// KT0 config with default bandwidth.
@@ -115,6 +144,36 @@ impl NetConfig {
         self
     }
 
+    /// Replaces the bandwidth, link mode, and mapping with `spec`'s
+    /// (the panicking builder twin of [`NetConfig::from_model`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `spec` is invalid for this clique size.
+    #[must_use]
+    pub fn with_model(mut self, spec: &ModelSpec) -> Self {
+        spec.validate_for(self.n)
+            .unwrap_or_else(|e| panic!("model spec invalid for n={}: {e}", self.n));
+        self.link_words = spec.bandwidth_words_per_link;
+        self.broadcast_only = spec.link_mode == LinkMode::BroadcastOnly;
+        self.mapping = spec.mapping;
+        self
+    }
+
+    /// The [`ModelSpec`] this config implements — what send admission
+    /// and machine accounting are checked against.
+    pub fn model(&self) -> ModelSpec {
+        ModelSpec {
+            bandwidth_words_per_link: self.link_words,
+            link_mode: if self.broadcast_only {
+                LinkMode::BroadcastOnly
+            } else {
+                LinkMode::Unicast
+            },
+            mapping: self.mapping,
+        }
+    }
+
     /// Bits per word: `⌈log₂ n⌉` (at least 1) — the `O(log n)` unit of the
     /// model in which message sizes are expressed.
     pub fn word_bits(&self) -> u64 {
@@ -156,6 +215,40 @@ mod tests {
     fn polylog_bandwidth_grows() {
         assert_eq!(NetConfig::polylog_bandwidth(1024), 10u64.pow(4));
         assert!(NetConfig::polylog_bandwidth(1 << 16) > NetConfig::polylog_bandwidth(1 << 8));
+    }
+
+    #[test]
+    fn model_round_trips_through_the_config() {
+        let spec = ModelSpec::clique()
+            .with_bandwidth(3)
+            .broadcast_only()
+            .kmachine(4);
+        let cfg = NetConfig::from_model(16, &spec).expect("valid spec");
+        assert_eq!(cfg.link_words, 3);
+        assert!(cfg.broadcast_only);
+        assert_eq!(cfg.mapping, Mapping::KMachine(4));
+        assert_eq!(cfg.model(), spec);
+        // The default config is exactly the paper's model.
+        assert_eq!(NetConfig::kt1(16).model(), ModelSpec::clique());
+    }
+
+    #[test]
+    fn from_model_rejects_incompatible_specs() {
+        let spec = ModelSpec::clique().kmachine(8);
+        assert_eq!(
+            NetConfig::from_model(4, &spec),
+            Err(ModelError::MoreMachinesThanNodes { k: 8, n: 4 })
+        );
+        assert_eq!(
+            NetConfig::from_model(1, &ModelSpec::clique()),
+            Err(ModelError::CliqueTooSmall { n: 1 })
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "model spec invalid")]
+    fn with_model_panics_on_invalid_spec() {
+        let _ = NetConfig::kt1(4).with_model(&ModelSpec::clique().kmachine(9));
     }
 
     #[test]

@@ -65,11 +65,33 @@ pub enum NetError {
         cap: u64,
     },
     /// A point-to-point send was attempted in the broadcast-only variant
-    /// of the model.
+    /// of the model. Carries the round and link like the budget
+    /// violations, so a grid run can name exactly where an algorithm
+    /// first stepped outside the model.
     UnicastInBroadcastModel {
+        /// The 0-based round of the offending send.
+        round: u64,
         /// The offending node.
-        node: usize,
+        src: usize,
+        /// The addressed destination.
+        dst: usize,
     },
+}
+
+impl NetError {
+    /// A stable machine-readable kind tag (used by grid artifacts to
+    /// classify *where* an algorithm breaks as the model tightens).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            NetError::MessageTooLarge { .. } => "message-too-large",
+            NetError::LinkBusy { .. } => "link-busy",
+            NetError::BadDestination { .. } => "bad-destination",
+            NetError::SelfMessage { .. } => "self-message",
+            NetError::PendingMessages { .. } => "pending-messages",
+            NetError::RoundCapExceeded { .. } => "round-cap",
+            NetError::UnicastInBroadcastModel { .. } => "unicast-in-broadcast",
+        }
+    }
 }
 
 impl fmt::Display for NetError {
@@ -108,10 +130,10 @@ impl fmt::Display for NetError {
             NetError::RoundCapExceeded { cap } => {
                 write!(f, "round watchdog fired: more than {cap} rounds executed")
             }
-            NetError::UnicastInBroadcastModel { node } => {
+            NetError::UnicastInBroadcastModel { round, src, dst } => {
                 write!(
                     f,
-                    "node {node} attempted a point-to-point send in the broadcast-only model"
+                    "round {round}: node {src} attempted a point-to-point send to {dst} in the broadcast-only model"
                 )
             }
         }
@@ -150,7 +172,11 @@ mod tests {
             NetError::SelfMessage { node: 3 },
             NetError::PendingMessages { pending: 4 },
             NetError::RoundCapExceeded { cap: 100 },
-            NetError::UnicastInBroadcastModel { node: 2 },
+            NetError::UnicastInBroadcastModel {
+                round: 4,
+                src: 2,
+                dst: 3,
+            },
         ];
         for e in cases {
             assert!(!e.to_string().is_empty());

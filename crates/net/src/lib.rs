@@ -15,6 +15,9 @@
 //!   can attribute cost to algorithm phases.
 //! * [`Wire`] — message-size declaration every payload type provides.
 //! * [`PortMap`] — the hidden port permutation of the KT0 variant.
+//! * [`ModelSpec`] (re-exported from `cc-model`) — the bandwidth /
+//!   link-mode / mapping axes as data; [`NetConfig::from_model`] binds a
+//!   spec to a clique size and [`SendRules`] enforces it at send time.
 //!
 //! See [`net`] for the execution model and a worked example.
 
@@ -35,6 +38,7 @@ pub mod wire;
 
 pub use batch::{BatchEntry, RoundBatches};
 pub use budget::{LinkUse, SendRules};
+pub use cc_model::{LinkMode, Mapping, ModelError, ModelSpec};
 pub use config::{Knowledge, NetConfig, DEFAULT_LINK_WORDS};
 pub use counters::{Cost, Counters};
 pub use error::NetError;

@@ -45,6 +45,7 @@ use crate::error::NetError;
 use crate::fault::{apply_faults, FaultInjector, FaultRecord};
 use crate::ports::PortMap;
 use crate::wire::Wire;
+use cc_model::LinkMode;
 use cc_trace::{Event, FaultKind, NullTracer, Tracer};
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
@@ -157,7 +158,7 @@ impl<M: Wire> Outbox<'_, M> {
 
     /// Remaining word budget toward `dst` this round.
     pub fn budget_left(&self, dst: usize) -> u64 {
-        self.rules.link_words.saturating_sub(self.links.used(dst))
+        self.rules.link_words().saturating_sub(self.links.used(dst))
     }
 }
 
@@ -182,8 +183,8 @@ impl<M: Wire + Clone> Outbox<'_, M> {
     /// send violation — the enclosing round aborts, so a partial
     /// broadcast is never delivered.
     pub fn broadcast(&mut self, msg: M) -> Result<(), NetError> {
-        let was_broadcast_only = self.rules.broadcast_only;
-        self.rules.broadcast_only = false;
+        let was_link_mode = self.rules.model.link_mode;
+        self.rules.model.link_mode = LinkMode::Unicast;
         let mut result = Ok(());
         let last = (0..self.rules.n).rev().find(|&d| d != self.node);
         let mut payload = Some(msg);
@@ -206,7 +207,7 @@ impl<M: Wire + Clone> Outbox<'_, M> {
                 break;
             }
         }
-        self.rules.broadcast_only = was_broadcast_only;
+        self.rules.model.link_mode = was_link_mode;
         result
     }
 }
@@ -489,7 +490,7 @@ impl<M: Wire + Clone> CliqueNet<M> {
                             src: 0,
                             dst: 0,
                             index: 0,
-                            info: rules.link_words,
+                            info: rules.link_words(),
                         });
                     }
                 }
@@ -1334,7 +1335,14 @@ mod broadcast_model_tests {
                 }
             })
             .unwrap_err();
-        assert_eq!(err, NetError::UnicastInBroadcastModel { node: 0 });
+        assert_eq!(
+            err,
+            NetError::UnicastInBroadcastModel {
+                round: 0,
+                src: 0,
+                dst: 1
+            }
+        );
     }
 
     #[test]

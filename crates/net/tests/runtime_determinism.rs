@@ -1,6 +1,7 @@
-//! Property test: for *arbitrary* node programs, the `cc-runtime` serial
-//! and parallel engines deliver bit-identical inboxes and meter identical
-//! cost — and both agree with the reference `CliqueNet` driver.
+//! Property test: for *arbitrary* node programs, the `cc-runtime` serial,
+//! parallel, and k-machine engines deliver bit-identical inboxes and
+//! meter identical cost — and all agree with the reference `CliqueNet`
+//! driver.
 //!
 //! The generated program is adversarial on purpose: every node sends a
 //! pseudo-random (but budget-respecting) pattern of variable-width
@@ -100,6 +101,7 @@ proptest! {
         rounds in 1u64..6,
         attempts in 0u64..12,
         instance in 0u64..u64::MAX,
+        k_seed in 0u64..u64::MAX,
     ) {
         let cfg = NetConfig::kt1(n);
         let fresh = || -> Vec<Chatter> {
@@ -112,7 +114,7 @@ proptest! {
         let mut serial = Runtime::serial(cfg.clone());
         let s = serial.run(adapt_all(fresh()), 1000).unwrap();
 
-        let mut parallel = Runtime::parallel_with_threads(cfg, 3);
+        let mut parallel = Runtime::parallel_with_threads(cfg.clone(), 3);
         let p = parallel.run(adapt_all(fresh()), 1000).unwrap();
 
         let ref_logs: Vec<_> = reference.iter().map(|c| c.log.clone()).collect();
@@ -122,5 +124,32 @@ proptest! {
         prop_assert_eq!(&p_logs, &ref_logs);
         prop_assert_eq!(serial.cost(), net.cost());
         prop_assert_eq!(parallel.cost(), net.cost());
+
+        // The k-machine engine at the extreme mappings (k = n recovers
+        // the clique, k = 1 co-locates everything) and one random k in
+        // between: the mapping must change no log and no logical cost,
+        // only the machine-level accounting.
+        let k_mid = 1 + (k_seed % n as u64) as usize;
+        for k in [n, 1, k_mid] {
+            let mut km = Runtime::kmachine(cfg.clone(), k);
+            let out = km.run(adapt_all(fresh()), 1000).unwrap();
+            let km_logs: Vec<_> = out.iter().map(|a| a.0.log.clone()).collect();
+            prop_assert_eq!(&km_logs, &ref_logs, "k={} logs drifted", k);
+            prop_assert_eq!(km.cost(), net.cost(), "k={} cost drifted", k);
+            let stats = km.backend().stats();
+            prop_assert_eq!(stats.logical_rounds, km.cost().rounds);
+            prop_assert!(stats.machine_rounds >= stats.logical_rounds);
+            if k == n {
+                // Every logical link is its own machine pair, and send
+                // admission already caps each link at the bandwidth: the
+                // clique's round count is recovered exactly.
+                prop_assert_eq!(stats.machine_rounds, stats.logical_rounds);
+                prop_assert_eq!(stats.local_words, 0);
+            }
+            if k == 1 {
+                prop_assert_eq!(stats.machine_rounds, stats.logical_rounds);
+                prop_assert_eq!(stats.remote_words, 0);
+            }
+        }
     }
 }

@@ -1,0 +1,200 @@
+//! The k-machine backend: `n` logical nodes multiplexed onto `k` machines.
+//!
+//! The k-machine model (Klauck et al., and the mapping-based simulations
+//! of the k-machine literature) runs an `n`-node clique protocol on `k ≤
+//! n` physical machines: each machine hosts a contiguous block of logical
+//! nodes, messages between co-located nodes are free, and each ordered
+//! machine pair carries at most the per-link bandwidth per *machine
+//! round*, fragmenting word-granularly across machine rounds when a
+//! logical round's traffic exceeds it.
+//!
+//! The crucial design decision: the *logical* execution is delegated,
+//! unchanged, to the [`SerialBackend`] — the mapping changes no inbox, no
+//! cost counter, no RNG draw, and no fault decision, because all of those
+//! are keyed by logical `(seed, node, round)`. That makes
+//! `KMachine(k)` observationally identical to the serial engine for every
+//! `k` *by construction* (property-tested in `runtime_determinism` and
+//! the chaos equivalence suite), exactly as the simulation theorems
+//! require. What the mapping *does* change is the machine-level price:
+//! this backend folds every logical send through a
+//! [`cc_model::MachineLedger`] and exposes the resulting
+//! [`MachineStats`] — machine rounds, local vs remote words, worst
+//! pair load — via [`KMachineBackend::stats`].
+
+use crate::backend::{Backend, Phase, Program, RoundOutput};
+use crate::serial::SerialBackend;
+use cc_model::{MachineLedger, MachineStats, ModelSpec};
+use cc_net::fault::FaultInjector;
+use cc_net::{Envelope, NetConfig, NetError, Wire};
+
+/// Serial execution of the logical protocol plus per-machine-pair
+/// bandwidth accounting under a [`cc_model::Mapping`].
+#[derive(Clone, Debug)]
+pub struct KMachineBackend {
+    inner: SerialBackend,
+    ledger: MachineLedger,
+}
+
+impl KMachineBackend {
+    /// A backend for an `n`-node protocol under `spec` (whose mapping
+    /// determines the machine count; `Mapping::OneToOne` prices like
+    /// `KMachine(n)`).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`ModelSpec::validate_for`].
+    pub fn new(n: usize, spec: &ModelSpec) -> Result<Self, cc_model::ModelError> {
+        Ok(KMachineBackend {
+            inner: SerialBackend,
+            ledger: MachineLedger::new(n, spec)?,
+        })
+    }
+
+    /// Number of machines the logical nodes are multiplexed onto.
+    pub fn machines(&self) -> usize {
+        self.ledger.machines()
+    }
+
+    /// Cumulative machine-level accounting (machine rounds, local/remote
+    /// words, worst pair load) across all rounds executed so far.
+    pub fn stats(&self) -> MachineStats {
+        self.ledger.stats()
+    }
+}
+
+impl Backend for KMachineBackend {
+    fn name(&self) -> &'static str {
+        "kmachine"
+    }
+
+    fn execute<P: Program>(
+        &mut self,
+        cfg: &NetConfig,
+        round: u64,
+        phase: Phase,
+        programs: &mut [P],
+        delivered: &[Vec<Envelope<P::Msg>>],
+        inboxes: &mut [Vec<Envelope<P::Msg>>],
+        done: &mut [bool],
+        fault: Option<&dyn FaultInjector>,
+    ) -> Result<RoundOutput<P::Msg>, NetError> {
+        let out = self
+            .inner
+            .execute(cfg, round, phase, programs, delivered, inboxes, done, fault)?;
+        // Machine accounting charges the *sends* of the logical round.
+        // Under faults the pre-fault batch aggregation is exactly that
+        // (inboxes are post-fault); without faults the filled inboxes are
+        // the sends themselves. A round that errored above is not
+        // accounted — the run is aborting.
+        match &out.batches {
+            Some(batches) => {
+                for &((src, dst), (_count, words)) in batches {
+                    self.ledger.record(src as usize, dst as usize, words);
+                }
+            }
+            None => {
+                for inbox in inboxes.iter() {
+                    for env in inbox {
+                        self.ledger.record(env.src, env.dst, env.msg.words().max(1));
+                    }
+                }
+            }
+        }
+        self.ledger.end_round();
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::adapter::adapt_all;
+    use crate::runtime::Runtime;
+    use cc_model::{Mapping, ModelSpec};
+    use cc_net::program::examples::FloodEcho;
+    use cc_net::NetConfig;
+
+    /// Path graph 0-1-…-(n−1), flood/echo from node 0.
+    fn path_programs(n: usize) -> Vec<FloodEcho> {
+        (0..n)
+            .map(|v| {
+                let mut nb = Vec::new();
+                if v > 0 {
+                    nb.push(v - 1);
+                }
+                if v + 1 < n {
+                    nb.push(v + 1);
+                }
+                FloodEcho::new(nb, v == 0)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn logical_execution_matches_serial_for_every_k() {
+        let n = 8;
+        let mut serial = Runtime::serial(NetConfig::kt1(n).with_seed(3));
+        let reference = serial.run(adapt_all(path_programs(n)), 100).unwrap();
+        for k in 1..=n {
+            let mut rt = Runtime::kmachine(NetConfig::kt1(n).with_seed(3), k);
+            let out = rt.run(adapt_all(path_programs(n)), 100).unwrap();
+            assert_eq!(rt.cost(), serial.cost(), "k={k} cost drifted");
+            for (a, b) in out.iter().zip(reference.iter()) {
+                assert_eq!(a.0.subtree, b.0.subtree, "k={k} output drifted");
+            }
+        }
+    }
+
+    #[test]
+    fn k_equals_n_prices_like_the_clique_and_k_equals_one_is_free() {
+        let n = 8;
+        let mut full = Runtime::kmachine(NetConfig::kt1(n), n);
+        full.run(adapt_all(path_programs(n)), 100).unwrap();
+        let s = full.backend().stats();
+        assert_eq!(s.logical_rounds, full.cost().rounds);
+        assert_eq!(
+            s.machine_rounds, s.logical_rounds,
+            "at k = n every logical round costs exactly one machine round"
+        );
+        assert_eq!(s.local_words, 0, "no co-located nodes at k = n");
+
+        let mut single = Runtime::kmachine(NetConfig::kt1(n), 1);
+        single.run(adapt_all(path_programs(n)), 100).unwrap();
+        let s1 = single.backend().stats();
+        assert_eq!(s1.remote_words, 0, "everything is co-located at k = 1");
+        assert_eq!(s1.machine_rounds, s1.logical_rounds);
+        assert_eq!(
+            s.local_words + s.remote_words,
+            s1.local_words,
+            "total traffic is mapping-invariant"
+        );
+    }
+
+    #[test]
+    fn intermediate_k_splits_traffic_between_local_and_remote() {
+        // Path flood on 2 machines: only the 3-4 edge crosses machines.
+        let n = 8;
+        let mut rt = Runtime::kmachine(NetConfig::kt1(n), 2);
+        rt.run(adapt_all(path_programs(n)), 100).unwrap();
+        let s = rt.backend().stats();
+        assert!(s.local_words > 0);
+        assert!(s.remote_words > 0);
+        assert!(s.machine_rounds >= s.logical_rounds);
+        assert_eq!(rt.backend().machines(), 2);
+    }
+
+    #[test]
+    fn for_model_applies_the_spec_to_the_config() {
+        let spec = ModelSpec::clique().with_bandwidth(4).kmachine(2);
+        let rt = Runtime::for_model(NetConfig::kt1(6), &spec);
+        assert_eq!(rt.config().link_words, 4);
+        assert_eq!(rt.config().mapping, Mapping::KMachine(2));
+        assert_eq!(rt.backend_name(), "kmachine");
+        assert_eq!(rt.backend().machines(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "model spec invalid")]
+    fn kmachine_rejects_more_machines_than_nodes() {
+        let _ = Runtime::kmachine(NetConfig::kt1(4), 5);
+    }
+}

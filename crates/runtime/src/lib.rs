@@ -32,6 +32,11 @@
 //! The serial and parallel engines sit behind one [`Backend`] trait so
 //! tests run both and assert bit-for-bit equivalence; see
 //! `tests/equivalence.rs` and the `runtime_scaling` bench in `cc-bench`.
+//! The [`KMachineBackend`] sits behind the same trait: it multiplexes the
+//! `n` logical nodes onto `k` machines, keeping the logical execution
+//! byte-identical (it delegates to the serial engine) while pricing each
+//! round against per-machine-pair bandwidth (see
+//! [`cc_model::MachineLedger`]).
 //!
 //! # Example
 //!
@@ -65,6 +70,7 @@
 
 pub mod adapter;
 pub mod backend;
+pub mod kmachine;
 pub mod parallel;
 pub mod rng;
 pub mod runtime;
@@ -72,6 +78,7 @@ pub mod serial;
 
 pub use adapter::{adapt_all, Adapted};
 pub use backend::{Backend, Ctx, Phase, Program, RoundOutput};
+pub use kmachine::KMachineBackend;
 pub use parallel::ParallelBackend;
 pub use runtime::Runtime;
 pub use serial::SerialBackend;

@@ -8,6 +8,9 @@
 //! depend on a single crate:
 //!
 //! * [`graph`] — graph substrate and sequential reference algorithms.
+//! * [`model`] — the communication model as data: bandwidth budgets,
+//!   unicast vs broadcast-only links, node-to-machine mappings, and the
+//!   k-machine round-accounting rule.
 //! * [`net`] — the Congested Clique simulator (rounds, bandwidth, KT0/KT1,
 //!   cost metering).
 //! * [`sketch`] — linear graph sketches and ℓ0-sampling (Section 2.1).
@@ -52,6 +55,7 @@ pub use cc_graph as graph;
 pub use cc_kkt as kkt;
 pub use cc_lb as lb;
 pub use cc_lotker as lotker;
+pub use cc_model as model;
 pub use cc_net as net;
 pub use cc_profile as profile;
 pub use cc_route as route;

@@ -151,7 +151,11 @@ fn broadcast_model_is_strictly_weaker() {
     let mut bc: CliqueNet<u64> = CliqueNet::new(NetConfig::kt1(3).broadcast_only());
     assert!(matches!(
         body(&mut bc).unwrap_err(),
-        NetError::UnicastInBroadcastModel { node: 0 }
+        NetError::UnicastInBroadcastModel {
+            round: 0,
+            src: 0,
+            dst: 1
+        }
     ));
 }
 

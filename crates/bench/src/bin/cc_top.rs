@@ -20,7 +20,7 @@
 //!
 //! Exit codes: 0 ok, 1 summarize/poll failure, 2 usage error.
 
-use cc_bench::top::{render_live_frame, summarize_lines};
+use cc_bench::top::{render_links_pane, render_live_frame, summarize_lines};
 use cc_obs::{HealthReport, WindowedSnapshot};
 use cc_trace::Json;
 use std::io::{BufRead, BufReader, Read, Write};
@@ -118,6 +118,9 @@ fn connect(args: &[String]) -> Result<(), String> {
     loop {
         let metrics = ask(&mut stream, &mut reader, "metrics", "metrics")?;
         let health_json = ask(&mut stream, &mut reader, "health", "health")?;
+        // Daemons that predate {"op":"links"} answer an error; skip the
+        // pane rather than failing the whole dashboard.
+        let links = ask(&mut stream, &mut reader, "links", "links").ok();
         let windows = metrics
             .get("windows")
             .ok_or("metrics response lacks windows")
@@ -126,6 +129,9 @@ fn connect(args: &[String]) -> Result<(), String> {
         let health = HealthReport::from_json(&health_json)?;
         // Clear, home, draw.
         print!("\u{1b}[2J\u{1b}[H{}", render_live_frame(&windows, &health));
+        if let Some(links) = &links {
+            print!("{}", render_links_pane(links));
+        }
         std::io::stdout().flush().map_err(|e| e.to_string())?;
         frame += 1;
         if iterations > 0 && frame >= iterations {

@@ -19,6 +19,9 @@
 //!   `GRID_<stamp>.json`; `-` skips writing).
 //! * `--markdown PATH` — also render the E22 table to PATH (`-` prints
 //!   to stdout).
+//! * `--util-markdown PATH` — also render the E23 utilization-profile
+//!   table (peak/quantile link utilization, headroom, broadcast mix,
+//!   pair skew per cell) to PATH (`-` prints to stdout).
 //! * `--baseline PATH` — perf baseline to gate the `grid-*` section
 //!   against (default `BENCH_baseline.json` when it exists).
 //! * `--write-baseline PATH` — merge this run's `grid-*` section into
@@ -32,7 +35,8 @@
 //! artifact invariant violation / gate regression, 2 usage or I/O error.
 
 use cc_bench::grid::{
-    grid_section, merge_grid_section, render_markdown, run_grid, suite_from_grid, GridConfig,
+    grid_section, merge_grid_section, render_markdown, render_utilization_markdown, run_grid,
+    suite_from_grid, GridConfig,
 };
 use cc_profile::{compare, render_comparison, PerfSuite, Tolerance};
 
@@ -90,6 +94,16 @@ fn main() {
     }
     if let Some(path) = value_of(&args, "--markdown") {
         let md = render_markdown(&artifact);
+        if path == "-" {
+            print!("{md}");
+        } else {
+            std::fs::write(&path, &md)
+                .unwrap_or_else(|e| fail(&format!("cannot write {path}: {e}")));
+            eprintln!("wrote {path}");
+        }
+    }
+    if let Some(path) = value_of(&args, "--util-markdown") {
+        let md = render_utilization_markdown(&artifact);
         if path == "-" {
             print!("{md}");
         } else {

@@ -10,6 +10,8 @@
 //! cargo run -p cc-bench --release --bin trace_report -- diff a.jsonl b.jsonl
 //! cargo run -p cc-bench --release --bin trace_report -- top-links t.jsonl --k 20
 //! cargo run -p cc-bench --release --bin trace_report -- profile t.jsonl
+//! cargo run -p cc-bench --release --bin trace_report -- links t.jsonl --bw 8
+//! cargo run -p cc-bench --release --bin trace_report -- heatmap t.jsonl --bw 8
 //! ```
 //!
 //! `--render-docs DIR` regenerates `experiment_tables.txt` and
@@ -21,6 +23,14 @@
 //! exits 1 when the traces diverge. `top-links` prints the hottest
 //! directed links by words. `profile` folds a trace into the
 //! hierarchical phase-tree profile of `cc-profile`.
+//!
+//! `links` folds a trace through `cc-lens` into the full communication
+//! report (utilization quantiles, headroom, phase attribution, machine
+//! skew); `heatmap` renders the round×link utilization heatmap. Both
+//! take `--n` (node count, inferred from the trace when omitted),
+//! `--bw` (budget words/link), `--machines K` (k-machine mapping), and
+//! `--broadcast` (broadcast-only links); `links` also takes `--top N`
+//! and `heatmap` takes `--rows`/`--cols`.
 //!
 //! Exits 2 on usage errors and 3 if the artifact fails schema validation.
 
@@ -40,6 +50,31 @@ fn read_events(path: &str) -> Vec<Event> {
         eprintln!("error: {path} is not a JSONL event trace: {e}");
         std::process::exit(3);
     })
+}
+
+/// Parses `--flag VALUE` as a number, with a default.
+fn flag_num<T: std::str::FromStr>(args: &[String], flag: &str, default: T) -> T {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse::<T>().ok())
+        .unwrap_or(default)
+}
+
+/// Builds the `ModelSpec` the lens subcommands measure against from
+/// `--bw`, `--machines`, and `--broadcast`, plus the node count from
+/// `--n` (falling back to [`cc_lens::infer_n`] over the trace).
+fn lens_setup(args: &[String], events: &[cc_trace::Event]) -> (usize, cc_model::ModelSpec) {
+    let n = flag_num(args, "--n", cc_lens::infer_n(events));
+    let mut spec = cc_model::ModelSpec::clique().with_bandwidth(flag_num(args, "--bw", 8));
+    let machines: usize = flag_num(args, "--machines", 0);
+    if machines > 0 {
+        spec = spec.kmachine(machines);
+    }
+    if args.iter().any(|a| a == "--broadcast") {
+        spec = spec.broadcast_only();
+    }
+    (n, spec)
 }
 
 fn main() {
@@ -66,6 +101,39 @@ fn main() {
                 .and_then(|v| v.parse::<usize>().ok())
                 .unwrap_or(10);
             print!("{}", top_links_table(&read_events(path), k));
+            return;
+        }
+        Some("links") => {
+            let Some(path) = args.get(1) else {
+                eprintln!(
+                    "usage: trace_report links TRACE.jsonl [--n N] [--bw W] [--machines K] [--broadcast] [--top K]"
+                );
+                std::process::exit(2);
+            };
+            let events = read_events(path);
+            let (n, spec) = lens_setup(&args, &events);
+            let top = flag_num(&args, "--top", 10usize);
+            match cc_lens::links_report(n, &spec, &events, top) {
+                Ok(text) => print!("{text}"),
+                Err(e) => {
+                    eprintln!("error: cannot fold {path}: {e}");
+                    std::process::exit(3);
+                }
+            }
+            return;
+        }
+        Some("heatmap") => {
+            let Some(path) = args.get(1) else {
+                eprintln!(
+                    "usage: trace_report heatmap TRACE.jsonl [--n N] [--bw W] [--machines K] [--broadcast] [--rows R] [--cols C]"
+                );
+                std::process::exit(2);
+            };
+            let events = read_events(path);
+            let (n, spec) = lens_setup(&args, &events);
+            let rows = flag_num(&args, "--rows", 24usize);
+            let cols = flag_num(&args, "--cols", 72usize);
+            print!("{}", cc_lens::render_heatmap(n, &spec, &events, rows, cols));
             return;
         }
         Some("profile") => {

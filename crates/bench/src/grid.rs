@@ -40,6 +40,7 @@ use cc_core::{
     ExactMstConfig, GcConfig, GcOutput,
 };
 use cc_graph::{connectivity, generators, Graph, UnionFind, WGraph};
+use cc_lens::{CommLedger, CommReport};
 use cc_model::{LinkMode, MachineLedger, MachineStats, Mapping, ModelSpec};
 use cc_net::NetConfig;
 use cc_profile::{PerfCase, PerfSuite};
@@ -50,8 +51,13 @@ use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 use std::time::Instant;
 
-/// Version stamp of the grid artifact format.
-pub const GRID_SCHEMA_VERSION: u64 = 1;
+/// Version stamp of the grid artifact format. v2 added the per-cell
+/// `utilization` section (the cc-lens communication fold).
+pub const GRID_SCHEMA_VERSION: u64 = 2;
+
+/// Oldest grid schema still readable. v1 documents parse with the
+/// `utilization` section absent.
+pub const MIN_GRID_SCHEMA_VERSION: u64 = 1;
 
 /// Round watchdog for every grid run — a cell that slows an algorithm
 /// past this is reported as a typed `round-cap` rejection, not a hang.
@@ -181,6 +187,10 @@ pub struct CellResult {
     pub words: u64,
     /// Machine-level accounting under the cell's mapping.
     pub machine: MachineStats,
+    /// The cc-lens communication fold: round-resolved utilization vs
+    /// the cell's budget, headroom, mix, phases, pair skew. `None` only
+    /// when parsed from a v1 document.
+    pub utilization: Option<CommReport>,
     /// Wall-clock nanoseconds of the run.
     pub nanos: u64,
 }
@@ -231,6 +241,13 @@ impl CellResult {
             ("remote_words", Json::UInt(self.machine.remote_words)),
             ("max_pair_words", Json::UInt(self.machine.max_pair_words)),
             ("logical_rounds", Json::UInt(self.machine.logical_rounds)),
+            (
+                "utilization",
+                match &self.utilization {
+                    Some(u) => u.to_json(),
+                    None => Json::Null,
+                },
+            ),
             ("nanos", Json::UInt(self.nanos)),
         ])
     }
@@ -278,6 +295,10 @@ impl CellResult {
                 local_words: u("local_words")?,
                 remote_words: u("remote_words")?,
                 max_pair_words: u("max_pair_words")?,
+            },
+            utilization: match j.get("utilization") {
+                None | Some(Json::Null) => None,
+                Some(u) => Some(CommReport::from_json(u)?),
             },
             nanos: u("nanos")?,
         })
@@ -380,9 +401,9 @@ impl GridArtifact {
     /// Returns every violated invariant.
     pub fn validate(&self) -> Result<(), Vec<String>> {
         let mut problems = Vec::new();
-        if self.schema_version != GRID_SCHEMA_VERSION {
+        if !(MIN_GRID_SCHEMA_VERSION..=GRID_SCHEMA_VERSION).contains(&self.schema_version) {
             problems.push(format!(
-                "schema_version {} != supported {GRID_SCHEMA_VERSION}",
+                "schema_version {} outside supported range {MIN_GRID_SCHEMA_VERSION}..={GRID_SCHEMA_VERSION}",
                 self.schema_version
             ));
         }
@@ -432,6 +453,40 @@ impl GridArtifact {
                     }
                 }
             }
+            // The utilization section is mandatory at v2 and pinned to
+            // the cell's own accounting (zero drift between the lens
+            // fold and the live counters).
+            match &c.utilization {
+                None => {
+                    if self.schema_version >= 2 {
+                        problems.push(format!("{tag}: v2 cell without a utilization section"));
+                    }
+                }
+                Some(u) => {
+                    for p in u.validate() {
+                        problems.push(format!("{tag}: utilization: {p}"));
+                    }
+                    if u.machine != c.machine {
+                        problems.push(format!(
+                            "{tag}: utilization machine stats drift from the cell's"
+                        ));
+                    }
+                    if c.status == CellStatus::Ok {
+                        if u.words != c.words {
+                            problems.push(format!(
+                                "{tag}: utilization words {} != metered words {}",
+                                u.words, c.words
+                            ));
+                        }
+                        if u.rounds + u.fast_forward_rounds != c.rounds {
+                            problems.push(format!(
+                                "{tag}: utilization rounds {} (+{} ff) != metered rounds {}",
+                                u.rounds, u.fast_forward_rounds, c.rounds
+                            ));
+                        }
+                    }
+                }
+            }
         }
         if problems.is_empty() {
             Ok(())
@@ -474,12 +529,16 @@ pub fn render_markdown(artifact: &GridArtifact) -> String {
         GRID_ALGORITHMS.len(),
     ));
     out.push_str(
-        "| cell | algorithm | status | rounds | machine rounds | messages | words | remote words | local words | error |\n",
+        "| cell | algorithm | status | rounds | machine rounds | messages | words | remote words | local words | peak util ‰ | headroom ‰ | error |\n",
     );
-    out.push_str("|---|---|---|---:|---:|---:|---:|---:|---:|---|\n");
+    out.push_str("|---|---|---|---:|---:|---:|---:|---:|---:|---:|---:|---|\n");
     for c in &artifact.cells {
+        let (peak, headroom) = match &c.utilization {
+            Some(u) => (u.peak_util_milli.to_string(), u.headroom_milli.to_string()),
+            None => ("—".to_string(), "—".to_string()),
+        };
         out.push_str(&format!(
-            "| `{}` | {} | {} | {} | {} | {} | {} | {} | {} | {} |\n",
+            "| `{}` | {} | {} | {} | {} | {} | {} | {} | {} | {} | {} | {} |\n",
             c.cell_key(),
             c.algorithm,
             if c.status == CellStatus::Ok {
@@ -493,7 +552,45 @@ pub fn render_markdown(artifact: &GridArtifact) -> String {
             c.words,
             c.machine.remote_words,
             c.machine.local_words,
+            peak,
+            headroom,
             c.error.as_deref().unwrap_or("—"),
+        ));
+    }
+    out
+}
+
+/// Renders the E23 utilization-profile table (GitHub-flavored
+/// markdown): per (cell, algorithm), how the per-link budget is
+/// actually spent — peak and quantile utilization, headroom, the
+/// broadcast/unicast mix, and machine-pair skew. Cells parsed from v1
+/// documents (no utilization section) are skipped.
+pub fn render_utilization_markdown(artifact: &GridArtifact) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "Utilization profiles at n = {}, seed {} (per-(round, link) words vs the cell's budget, in ‰).\n\n",
+        artifact.n, artifact.seed,
+    ));
+    out.push_str(
+        "| cell | algorithm | status | peak ‰ | p50 ‰ | p95 ‰ | p99 ‰ | mean ‰ | headroom ‰ | broadcast words | unicast words | pair skew ‰ |\n",
+    );
+    out.push_str("|---|---|---|---:|---:|---:|---:|---:|---:|---:|---:|---:|\n");
+    for c in &artifact.cells {
+        let Some(u) = &c.utilization else { continue };
+        out.push_str(&format!(
+            "| `{}` | {} | {} | {} | {} | {} | {} | {} | {} | {} | {} | {} |\n",
+            c.cell_key(),
+            c.algorithm,
+            c.status.key(),
+            u.peak_util_milli,
+            u.p50_util_milli,
+            u.p95_util_milli,
+            u.p99_util_milli,
+            u.mean_util_milli,
+            u.headroom_milli,
+            u.broadcast_words,
+            u.unicast_words,
+            u.pair_skew_milli,
         ));
     }
     out
@@ -559,7 +656,12 @@ where
     let outcome = run(&mut net);
     let nanos = t0.elapsed().as_nanos() as u64;
     let cost = net.cost();
-    let machine = fold_machine_stats(n, spec, &rec.model_events());
+    // One fold serves both views: the machine stats (the same
+    // `MachineLedger` charges `fold_machine_stats` applies) and the
+    // round-resolved utilization section.
+    let lens =
+        CommLedger::fold(n, spec, &rec.model_events()).expect("grid cells are pre-validated");
+    let machine = lens.machine_stats();
     let (status, error, detail, validated) = match outcome {
         Ok((true, _)) => (CellStatus::Ok, None, None, true),
         Ok((false, why)) => (
@@ -592,6 +694,7 @@ where
         messages: cost.messages,
         words: cost.words,
         machine,
+        utilization: Some(lens.report()),
         nanos,
     }
 }
@@ -649,11 +752,18 @@ fn rt_cell(n: usize, seed: u64, g: &Graph, spec: &ModelSpec) -> CellResult {
         .with_seed(seed)
         .with_round_cap(GRID_ROUND_CAP);
     let mut rt = Runtime::for_model(cfg, spec);
+    let rec = RecordingTracer::new();
+    rt.set_tracer(Box::new(rec.clone()));
     let t0 = Instant::now();
     let outcome = run_connectivity(&mut rt, &adj, None, GRID_ROUND_CAP);
     let nanos = t0.elapsed().as_nanos() as u64;
     let cost = rt.cost();
+    // The machine column stays the *live* KMachineBackend ledger; the
+    // utilization section is the trace fold — `validate` holds the two
+    // bit-identical in every emitted artifact.
     let machine = rt.backend().stats();
+    let lens =
+        CommLedger::fold(n, spec, &rec.model_events()).expect("grid cells are pre-validated");
     let (status, error, detail, validated) = match outcome {
         Ok(out) if out.labels == truth => (CellStatus::Ok, None, None, true),
         Ok(out) => (
@@ -693,6 +803,7 @@ fn rt_cell(n: usize, seed: u64, g: &Graph, spec: &ModelSpec) -> CellResult {
         messages: cost.messages,
         words: cost.words,
         machine,
+        utilization: Some(lens.report()),
         nanos,
     }
 }
@@ -874,6 +985,127 @@ mod tests {
         let folded = fold_machine_stats(n, &spec, &rec.model_events());
         assert_eq!(live, folded);
         assert!(live.machine_rounds >= live.logical_rounds);
+        // The CommLedger embeds the same MachineLedger: its machine view
+        // and its logical totals must both be bit-identical to the live
+        // engine's.
+        let lens = CommLedger::fold(n, &spec, &rec.model_events()).unwrap();
+        assert_eq!(lens.machine_stats(), live);
+        let cost = rt.cost();
+        assert_eq!(lens.words(), cost.words);
+        assert_eq!(lens.messages(), cost.messages);
+        assert_eq!(lens.rounds().len() as u64, cost.rounds);
+        assert_eq!(lens.over_budget(), 0);
+    }
+
+    #[test]
+    fn utilization_sections_are_present_consistent_and_within_budget() {
+        let art = small_grid();
+        for c in &art.cells {
+            let u = c
+                .utilization
+                .as_ref()
+                .unwrap_or_else(|| panic!("{}/{}: no utilization", c.cell_key(), c.algorithm));
+            assert!(
+                u.validate().is_empty(),
+                "{}: {:?}",
+                c.cell_key(),
+                u.validate()
+            );
+            assert_eq!(u.machine, c.machine, "{}/{}", c.cell_key(), c.algorithm);
+            assert!(u.peak_util_milli <= 1000);
+            assert_eq!(u.headroom_milli, 1000 - u.peak_util_milli);
+            if c.status == CellStatus::Ok {
+                assert_eq!(u.words, c.words, "{}/{}", c.cell_key(), c.algorithm);
+                assert_eq!(u.rounds + u.fast_forward_rounds, c.rounds);
+            }
+        }
+        // The lens is not vacuous: every validated run actually touched
+        // links, and at least one of them saturated a link (the paper's
+        // algorithms all pack full words somewhere).
+        let ok_peaks: Vec<u64> = art
+            .cells
+            .iter()
+            .filter(|c| c.status == CellStatus::Ok)
+            .filter_map(|c| c.utilization.as_ref())
+            .map(|u| u.peak_util_milli)
+            .collect();
+        assert!(!ok_peaks.is_empty());
+        assert!(ok_peaks.iter().all(|&p| p > 0), "ok runs carry traffic");
+        assert!(
+            ok_peaks.iter().any(|&p| p == 1000),
+            "some run saturates a link: {ok_peaks:?}"
+        );
+    }
+
+    #[test]
+    fn v1_documents_still_parse_and_validate() {
+        // A v1-shaped document: today's schema minus the utilization
+        // sections, stamped with the old version.
+        let mut art = small_grid();
+        art.schema_version = 1;
+        for c in &mut art.cells {
+            c.utilization = None;
+        }
+        let text = art.to_json_string();
+        assert!(!text.contains("peak_util_milli"), "v1 carries no lens data");
+        let back = GridArtifact::from_json_str(&text).expect("v1 parses");
+        assert_eq!(back.schema_version, MIN_GRID_SCHEMA_VERSION);
+        assert!(back.cells.iter().all(|c| c.utilization.is_none()));
+        back.validate()
+            .expect("v1 validates in the supported range");
+        // Below the floor or above the ceiling is rejected.
+        for bad in [MIN_GRID_SCHEMA_VERSION - 1, GRID_SCHEMA_VERSION + 1] {
+            let mut out_of_range = back.clone();
+            out_of_range.schema_version = bad;
+            let problems = out_of_range.validate().unwrap_err();
+            assert!(problems.iter().any(|p| p.contains("supported range")));
+        }
+        // A v2 document missing its utilization sections is malformed.
+        let mut v2_missing = back.clone();
+        v2_missing.schema_version = GRID_SCHEMA_VERSION;
+        let problems = v2_missing.validate().unwrap_err();
+        assert!(problems.iter().any(|p| p.contains("without a utilization")));
+    }
+
+    #[test]
+    fn net_cell_fold_matches_the_metered_cost_exactly() {
+        // Zero drift on the CliqueNet path: the lens fold of a traced gc
+        // run reproduces the engine's own counters bit for bit.
+        let n = 12;
+        let spec = ModelSpec::clique().with_bandwidth(8).kmachine(4);
+        let mut rng = ChaCha8Rng::seed_from_u64(0xE22);
+        let g = generators::random_connected_graph(n, 0.3, &mut rng);
+        let cfg = NetConfig::from_model(n, &spec).unwrap().with_seed(0xE22);
+        let rec = RecordingTracer::new();
+        let mut net = Net::new(cfg);
+        net.set_tracer(Box::new(rec.clone()));
+        gc::run_on(&mut net, &g, &GcConfig::default()).expect("gc");
+        let cost = net.cost();
+        let lens = CommLedger::fold(n, &spec, &rec.model_events()).unwrap();
+        assert_eq!(lens.words(), cost.words);
+        assert_eq!(lens.messages(), cost.messages);
+        assert_eq!(
+            lens.rounds().len() as u64 + lens.fast_forward_rounds(),
+            cost.rounds
+        );
+        assert_eq!(
+            lens.over_budget(),
+            0,
+            "SendRules admission implies budget respect"
+        );
+        let report = lens.report();
+        assert!(report.validate().is_empty(), "{:?}", report.validate());
+        assert!(report.peak_util_milli <= 1000);
+        // The gc phases are attributed: at least one named scope carries
+        // traffic (gc runs under route:* / gc:* scopes).
+        assert!(
+            report
+                .phases
+                .iter()
+                .any(|(name, p)| name != cc_lens::UNSCOPED && p.words > 0),
+            "phases: {:?}",
+            report.phases
+        );
     }
 
     #[test]

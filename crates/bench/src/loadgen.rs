@@ -110,6 +110,12 @@ pub struct LoadgenReport {
     /// Summed model cost of the cold runs, read back from the streamed
     /// artifacts: `(rounds, messages, words)`.
     pub cold_model: (u64, u64, u64),
+    /// Summed `comm.words` over the cold artifacts' embedded cc-lens
+    /// folds — the same numbers `cc-top --once` aggregates from the
+    /// response stream, pinned equal in CI.
+    pub comm_words: u64,
+    /// Max `comm.peak_util_milli` over the cold artifacts.
+    pub comm_peak_util_milli: u64,
 }
 
 /// The job a mix key stands for. Deterministic: the key fully determines
@@ -218,6 +224,26 @@ fn model_of_artifact(text: &str) -> Result<(u64, u64, u64), String> {
     Ok((field("rounds")?, field("messages")?, field("words")?))
 }
 
+/// Reads the cc-lens fold back out of an artifact's `comm` metrics
+/// snapshot: `(comm.words, comm.peak_util_milli)`.
+fn comm_of_artifact(text: &str) -> Result<(u64, u64), String> {
+    let artifact = RunArtifact::from_json_str(text)?;
+    let comm = artifact
+        .metrics
+        .iter()
+        .find(|(name, _)| name == "comm")
+        .map(|(_, snap)| snap)
+        .ok_or("artifact lacks a comm metrics snapshot")?;
+    let counter = |name: &str| -> Result<u64, String> {
+        comm.counters
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| *v)
+            .ok_or_else(|| format!("comm snapshot lacks {name}"))
+    };
+    Ok((counter("comm.words")?, counter("comm.peak_util_milli")?))
+}
+
 /// Runs the load bench: starts a server, drives it with the configured
 /// concurrent clients, verifies the duplicate-answer byte-identity
 /// invariant, and folds latencies into percentile estimates.
@@ -272,6 +298,8 @@ pub fn run_with_responses(cfg: &LoadgenConfig) -> Result<(LoadgenReport, Vec<Str
     // The serving guarantee, re-checked on every load run: all answers
     // for a key are byte-identical.
     let mut cold_model = (0u64, 0u64, 0u64);
+    let mut comm_words = 0u64;
+    let mut comm_peak_util_milli = 0u64;
     for (key, answers) in &by_key {
         if let Some(diff) = answers.windows(2).find(|w| w[0] != w[1]) {
             let _ = diff;
@@ -281,6 +309,9 @@ pub fn run_with_responses(cfg: &LoadgenConfig) -> Result<(LoadgenReport, Vec<Str
         cold_model.0 += r;
         cold_model.1 += m;
         cold_model.2 += w;
+        let (cw, cp) = comm_of_artifact(&answers[0])?;
+        comm_words += cw;
+        comm_peak_util_milli = comm_peak_util_milli.max(cp);
     }
 
     let cold_runs = stats.completed;
@@ -312,6 +343,8 @@ pub fn run_with_responses(cfg: &LoadgenConfig) -> Result<(LoadgenReport, Vec<Str
         p99_nanos: snap.quantile(0.99),
         mean_nanos: snap.mean() as u64,
         cold_model,
+        comm_words,
+        comm_peak_util_milli,
     };
     Ok((report, lines))
 }
@@ -342,7 +375,15 @@ pub fn suite_from_report(report: &LoadgenReport) -> PerfSuite {
         .with_meta("seed", &report.cfg.seed.to_string())
         .with_meta("workers", &report.cfg.serve.workers.to_string())
         .with_meta("jobs_per_sec", &format!("{:.1}", report.jobs_per_sec))
-        .with_meta("hit_milli", &report.hit_milli.to_string());
+        .with_meta("hit_milli", &report.hit_milli.to_string())
+        // The lens aggregates ride in meta (not a PerfCase) so the
+        // committed baseline's case set is untouched; CI still pins them
+        // against `cc-top --once` over the same stream.
+        .with_meta("comm_words", &report.comm_words.to_string())
+        .with_meta(
+            "comm_peak_util_milli",
+            &report.comm_peak_util_milli.to_string(),
+        );
     suite.cases = vec![
         timing_case(
             "serve-load",
@@ -407,6 +448,9 @@ mod tests {
         assert_eq!(a.dup_answers, b.dup_answers);
         assert_eq!(a.hit_milli, b.hit_milli);
         assert_eq!(a.cold_model, b.cold_model);
+        assert_eq!(a.comm_words, b.comm_words);
+        assert_eq!(a.comm_peak_util_milli, b.comm_peak_util_milli);
+        assert!(a.comm_words > 0 && a.comm_peak_util_milli > 0);
         assert_eq!(a.rejected, 0);
         assert_eq!(a.evictions, 0);
         assert!(a.cold_runs <= 4);

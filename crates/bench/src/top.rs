@@ -51,6 +51,15 @@ pub struct TopSummary {
     /// SLO rules firing at the end of the stream (default rule set
     /// re-evaluated over the artifact timestamps).
     pub firing: Vec<String>,
+    /// Summed `comm.words` over the cold artifacts' embedded cc-lens
+    /// folds (0 for streams from servers that predate the fold).
+    pub comm_words: u64,
+    /// Max `comm.peak_util_milli` over the cold artifacts.
+    pub comm_peak_util_milli: u64,
+    /// Summed `comm.broadcast_words` over the cold artifacts.
+    pub comm_broadcast_words: u64,
+    /// Summed `comm.unicast_words` over the cold artifacts.
+    pub comm_unicast_words: u64,
 }
 
 impl TopSummary {
@@ -72,6 +81,19 @@ impl TopSummary {
             (
                 "firing",
                 Json::Arr(self.firing.iter().map(|s| Json::Str(s.clone())).collect()),
+            ),
+            (
+                "comm",
+                Json::obj(vec![
+                    ("words", Json::UInt(self.comm_words)),
+                    ("peak_util_milli", Json::UInt(self.comm_peak_util_milli)),
+                    (
+                        "headroom_milli",
+                        Json::UInt(1000u64.saturating_sub(self.comm_peak_util_milli)),
+                    ),
+                    ("broadcast_words", Json::UInt(self.comm_broadcast_words)),
+                    ("unicast_words", Json::UInt(self.comm_unicast_words)),
+                ]),
             ),
         ])
     }
@@ -99,6 +121,16 @@ impl TopSummary {
             self.hit_milli as f64 / 10.0,
             self.max_queue_depth
         ));
+        if self.comm_words > 0 {
+            out.push_str(&format!(
+                "links       {:>10} words moved   peak util {}‰ (headroom {}‰)   {} broadcast / {} unicast\n",
+                self.comm_words,
+                self.comm_peak_util_milli,
+                1000u64.saturating_sub(self.comm_peak_util_milli),
+                self.comm_broadcast_words,
+                self.comm_unicast_words
+            ));
+        }
         if self.firing.is_empty() {
             out.push_str("alerts      none firing\n");
         } else {
@@ -166,6 +198,23 @@ where
                     reg.counter_add("serve.cache_misses", finished, 1);
                     reg.counter_add("serve.jobs_completed", finished, 1);
                     reg.observe("serve.job_wall_nanos", finished, wall);
+                    // The embedded cc-lens fold: one `comm` snapshot per
+                    // cold artifact; streams from older servers simply
+                    // lack it, which keeps the aggregate at zero.
+                    if let Some(counters) = artifact
+                        .get("metrics")
+                        .and_then(|m| m.get("comm"))
+                        .and_then(|c| c.get("counters"))
+                    {
+                        let cnt =
+                            |name: &str| counters.get(name).and_then(Json::as_u64).unwrap_or(0);
+                        summary.comm_words += cnt("comm.words");
+                        summary.comm_peak_util_milli = summary
+                            .comm_peak_util_milli
+                            .max(cnt("comm.peak_util_milli"));
+                        summary.comm_broadcast_words += cnt("comm.broadcast_words");
+                        summary.comm_unicast_words += cnt("comm.unicast_words");
+                    }
                 }
             }
             _ => {} // running / progress / stats / metrics / health / spans / closing
@@ -235,6 +284,26 @@ pub fn render_live_frame(windows: &WindowedSnapshot, health: &HealthReport) -> S
         out.push_str(&format!("alerts FIRING: {}\n", health.firing.join(", ")));
     }
     out
+}
+
+/// Renders the optional links pane of the live frame from an
+/// `{"op":"links"}` answer — the server's [`cc_lens::CommAggregate`]
+/// over every cold job it executed. The caller omits the pane when the
+/// daemon predates the op.
+pub fn render_links_pane(links: &cc_trace::Json) -> String {
+    let g = |name: &str| links.get(name).and_then(Json::as_u64).unwrap_or(0);
+    format!(
+        "links  {} jobs folded  {} words  peak util {}‰ (headroom {}‰)  p50/p95/p99 {}‰/{}‰/{}‰  {} bc / {} uni words\n",
+        g("jobs"),
+        g("words"),
+        g("peak_util_milli"),
+        g("headroom_milli"),
+        g("p50_util_milli"),
+        g("p95_util_milli"),
+        g("p99_util_milli"),
+        g("broadcast_words"),
+        g("unicast_words"),
+    )
 }
 
 #[cfg(test)]
@@ -325,6 +394,18 @@ mod tests {
         assert_eq!(t.errors, 0);
         assert!(t.jobs_per_sec > 0.0, "real runs span nonzero wall time");
         assert!(t.p50_nanos > 0 && t.p50_nanos <= t.p99_nanos);
+        // The lens aggregates too: the dashboard folds the embedded comm
+        // snapshots from exactly the artifacts the report folded.
+        assert_eq!(t.comm_words, report.comm_words);
+        assert_eq!(t.comm_peak_util_milli, report.comm_peak_util_milli);
+        assert!(t.comm_words > 0, "cold runs moved words through the lens");
+        assert_eq!(
+            t.to_json()
+                .get("comm")
+                .and_then(|c| c.get("words"))
+                .and_then(Json::as_u64),
+            Some(report.comm_words)
+        );
     }
 
     #[test]

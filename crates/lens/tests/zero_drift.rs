@@ -1,0 +1,266 @@
+//! Zero-drift contract: a [`CommLedger`] folded from a recorded event
+//! stream is bit-identical to the live accounting of the engine that
+//! produced it — on `CliqueNet`, on both runtime backends, and on the
+//! k-machine backend, clean or under chaos.
+//!
+//! The observatory is a *view*, not a second measurement: if these
+//! folds ever disagree with `Cost` / `MachineLedger`, every utilization
+//! column the grid, serve, and cc-top surfaces would be a lie.
+
+use cc_chaos::{FaultPlan, LinkSelector, RoundRange};
+use cc_lens::CommLedger;
+use cc_model::ModelSpec;
+use cc_net::program::{run_program, NodeProgram};
+use cc_net::{CliqueNet, Cost, Envelope, NetConfig, Outbox};
+use cc_runtime::{adapt_all, Runtime};
+use cc_trace::{Event, RecordingTracer};
+
+/// A two-successor pulse: each node sends `[me, beat]` (two words) to
+/// its next two ring neighbors for `beats` rounds and xor-folds
+/// whatever arrives. Nothing is interpreted, so dropped, duplicated,
+/// corrupted, deferred, squeezed, or crash-truncated traffic only
+/// changes the digest — never panics the program.
+#[derive(Clone, Debug, PartialEq, Eq)]
+struct Pulse {
+    n: usize,
+    beats: u64,
+    beat: u64,
+    digest: u64,
+}
+
+impl Pulse {
+    fn new(beats: u64) -> Self {
+        Pulse {
+            n: 0,
+            beats,
+            beat: 0,
+            digest: 0,
+        }
+    }
+
+    fn emit(&mut self, me: usize, out: &mut Outbox<'_, Vec<u64>>) {
+        if self.beat >= self.beats {
+            return;
+        }
+        for hop in [1, 2] {
+            // Sends may be refused under a squeezed budget; the pulse
+            // shrugs and keeps beating (the refusal is the test's
+            // subject, not a failure).
+            let _ = out.send((me + hop) % self.n, vec![me as u64, self.beat]);
+        }
+        self.beat += 1;
+    }
+}
+
+impl NodeProgram for Pulse {
+    type Msg = Vec<u64>;
+
+    fn start(&mut self, me: usize, n: usize, out: &mut Outbox<'_, Vec<u64>>) {
+        self.n = n;
+        self.emit(me, out);
+    }
+
+    fn round(
+        &mut self,
+        me: usize,
+        inbox: &[Envelope<Vec<u64>>],
+        out: &mut Outbox<'_, Vec<u64>>,
+    ) -> bool {
+        for env in inbox {
+            self.digest = self
+                .digest
+                .rotate_left(9)
+                .wrapping_add(env.src as u64)
+                .wrapping_add(env.msg.iter().fold(0, |a, &w| a.rotate_left(3) ^ w));
+        }
+        self.emit(me, out);
+        self.beat >= self.beats
+    }
+}
+
+fn pulses(n: usize, beats: u64) -> Vec<Pulse> {
+    (0..n).map(|_| Pulse::new(beats)).collect()
+}
+
+/// The fold must agree with the live counters exactly: total messages,
+/// total words, executed rounds, and word conservation across nodes.
+fn assert_fold_matches_cost(engine: &str, lens: &CommLedger, cost: &Cost) {
+    assert_eq!(lens.messages(), cost.messages, "{engine}: messages drift");
+    assert_eq!(lens.words(), cost.words, "{engine}: words drift");
+    assert_eq!(
+        lens.rounds().len() as u64 + lens.fast_forward_rounds(),
+        cost.rounds,
+        "{engine}: rounds drift"
+    );
+    assert_eq!(lens.over_budget(), 0, "{engine}: metered send over budget");
+    let sent: u64 = lens.node_sent().iter().sum();
+    let recv: u64 = lens.node_recv().iter().sum();
+    assert_eq!(sent, cost.words, "{engine}: per-node send attribution");
+    assert_eq!(recv, cost.words, "{engine}: per-node recv attribution");
+}
+
+/// Runs the pulse under `plan` on the three logical engines; returns
+/// per-engine `(events, cost)` for the caller to fold and compare.
+fn run_three_ways(n: usize, beats: u64, plan: &FaultPlan) -> Vec<(&'static str, Vec<Event>, Cost)> {
+    let cfg = NetConfig::kt1(n);
+    let mut out = Vec::new();
+
+    let rec = RecordingTracer::new();
+    let mut net: CliqueNet<Vec<u64>> = CliqueNet::new(cfg.clone());
+    net.set_tracer(Box::new(rec.clone()));
+    if !plan.is_empty() {
+        net.set_fault_injector(Box::new(plan.injector()));
+    }
+    run_program(&mut net, pulses(n, beats), 64).unwrap();
+    out.push(("CliqueNet", rec.model_events(), net.cost()));
+
+    let rec = RecordingTracer::new();
+    let mut rt = Runtime::serial(cfg.clone());
+    rt.set_tracer(Box::new(rec.clone()));
+    if !plan.is_empty() {
+        rt.set_fault_injector(Box::new(plan.injector()));
+    }
+    rt.run(adapt_all(pulses(n, beats)), 64).unwrap();
+    out.push(("serial backend", rec.model_events(), rt.cost()));
+
+    let rec = RecordingTracer::new();
+    let mut rt = Runtime::parallel_with_threads(cfg, 4);
+    rt.set_tracer(Box::new(rec.clone()));
+    if !plan.is_empty() {
+        rt.set_fault_injector(Box::new(plan.injector()));
+    }
+    rt.run(adapt_all(pulses(n, beats)), 64).unwrap();
+    out.push(("parallel backend", rec.model_events(), rt.cost()));
+
+    out
+}
+
+#[test]
+fn clean_runs_fold_bit_identical_on_all_three_engines() {
+    let n = 8;
+    let spec = ModelSpec::clique();
+    let runs = run_three_ways(n, 4, &FaultPlan::new(0));
+    let reference = CommLedger::fold(n, &spec, &runs[0].1).unwrap();
+    assert!(reference.messages() > 0);
+    for (engine, events, cost) in &runs {
+        let lens = CommLedger::fold(n, &spec, events).unwrap();
+        assert_fold_matches_cost(engine, &lens, cost);
+        // The engines agree with each other too, so one report serves
+        // for all three streams.
+        assert_eq!(lens.report(), reference.report(), "{engine}: report drift");
+    }
+}
+
+#[test]
+fn chaos_replay_folds_bit_identical_on_every_engine() {
+    // All six fault kinds at once: drops and crashes remove traffic,
+    // duplicates add it, defers move it, squeezes shrink the budget the
+    // fold must honor round-by-round. The ledger sees only what was
+    // actually metered, so it must still match the live cost exactly.
+    let n = 8;
+    let plan = FaultPlan::new(0x1E25)
+        .drop_messages(RoundRange::all(), LinkSelector::All, 0.2)
+        .duplicate_messages(RoundRange::all(), LinkSelector::All, 0.2)
+        .corrupt_messages(RoundRange::all(), LinkSelector::All, 0.2)
+        .defer_messages(RoundRange::all(), LinkSelector::All, 0.2, 2)
+        .crash(5, 2)
+        .squeeze(RoundRange::between(1, 2), 2);
+    let spec = ModelSpec::clique();
+    for (engine, events, cost) in &run_three_ways(n, 4, &plan) {
+        let lens = CommLedger::fold(n, &spec, events).unwrap();
+        assert_fold_matches_cost(engine, &lens, cost);
+    }
+}
+
+#[test]
+fn kmachine_fold_matches_the_live_backend_ledger_exactly() {
+    let n = 8;
+    for k in [1, 3, n] {
+        let spec = ModelSpec::clique().kmachine(k);
+        let rec = RecordingTracer::new();
+        let mut rt = Runtime::for_model(NetConfig::kt1(n), &spec);
+        rt.set_tracer(Box::new(rec.clone()));
+        rt.run(adapt_all(pulses(n, 4)), 64).unwrap();
+        let lens = CommLedger::fold(n, &spec, &rec.model_events()).unwrap();
+        assert_fold_matches_cost(&format!("k={k}"), &lens, &rt.cost());
+        // Bit-identical machine accounting: the fold embeds a real
+        // MachineLedger charged with the same sends the live backend
+        // priced, so the stats structs compare equal field-for-field.
+        assert_eq!(
+            lens.machine_stats(),
+            rt.backend().stats(),
+            "k={k}: machine ledger drift"
+        );
+    }
+}
+
+#[test]
+fn kmachine_fold_matches_under_chaos_too() {
+    let n = 8;
+    let plan = FaultPlan::new(7)
+        .drop_messages(RoundRange::all(), LinkSelector::From(2), 0.5)
+        .crash(1, 2)
+        .squeeze(RoundRange::starting_at(3), 3);
+    for k in [1, 4, n] {
+        let spec = ModelSpec::clique().kmachine(k);
+        let rec = RecordingTracer::new();
+        let mut rt = Runtime::for_model(NetConfig::kt1(n), &spec);
+        rt.set_tracer(Box::new(rec.clone()));
+        rt.set_fault_injector(Box::new(plan.injector()));
+        rt.run(adapt_all(pulses(n, 5)), 64).unwrap();
+        let lens = CommLedger::fold(n, &spec, &rec.model_events()).unwrap();
+        assert_fold_matches_cost(&format!("chaos k={k}"), &lens, &rt.cost());
+        assert_eq!(
+            lens.machine_stats(),
+            rt.backend().stats(),
+            "chaos k={k}: machine ledger drift"
+        );
+    }
+}
+
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(12))]
+
+        /// Random workload shapes, bandwidths, fault mixes, and machine
+        /// counts: the fold never drifts from the live accounting.
+        #[test]
+        fn folds_never_drift_from_live_accounting(
+            n in 4usize..10,
+            beats in 1u64..6,
+            bw_shift in 1u32..4,       // bandwidth ∈ {2, 4, 8}
+            seed in any::<u64>(),
+            p_drop in 0u32..11,
+            p_dup in 0u32..11,
+            squeeze_to in 2u64..4, // never below the 2-word pulse payload
+            squeeze_from in 0u64..4,
+            k_pick in 0usize..3,
+        ) {
+            let bw = 1u64 << bw_shift;
+            let k = [1, 2, n][k_pick].min(n);
+            let spec = ModelSpec::clique().with_bandwidth(bw).kmachine(k);
+            let plan = FaultPlan::new(seed)
+                .drop_messages(RoundRange::all(), LinkSelector::All, f64::from(p_drop) / 20.0)
+                .duplicate_messages(RoundRange::all(), LinkSelector::All, f64::from(p_dup) / 20.0)
+                .squeeze(RoundRange::starting_at(squeeze_from), squeeze_to);
+
+            let cfg = NetConfig::from_model(n, &spec).unwrap();
+            let rec = RecordingTracer::new();
+            let mut rt = Runtime::for_model(cfg, &spec);
+            rt.set_tracer(Box::new(rec.clone()));
+            rt.set_fault_injector(Box::new(plan.injector()));
+            rt.run(adapt_all(pulses(n, beats)), 64).unwrap();
+
+            let lens = CommLedger::fold(n, &spec, &rec.model_events()).unwrap();
+            assert_fold_matches_cost("proptest", &lens, &rt.cost());
+            prop_assert_eq!(lens.machine_stats(), rt.backend().stats());
+            // Utilization never exceeds the (possibly squeezed) budget.
+            let report = lens.report();
+            prop_assert!(report.peak_util_milli <= 1000);
+            prop_assert_eq!(report.headroom_milli, 1000 - report.peak_util_milli);
+        }
+    }
+}

@@ -184,6 +184,83 @@ mod tests {
     }
 
     #[test]
+    fn kind_tags_cover_every_variant_and_never_collide() {
+        // One witness per variant. A `match` on the last entry (without
+        // a wildcard) makes this list compile-time exhaustive: adding a
+        // NetError variant breaks the build here until its witness —
+        // and therefore its kind tag — is added too.
+        let witnesses: Vec<NetError> = vec![
+            NetError::MessageTooLarge {
+                round: 0,
+                src: 0,
+                dst: 1,
+                words: 9,
+                budget: 8,
+            },
+            NetError::LinkBusy {
+                round: 0,
+                src: 0,
+                dst: 1,
+                used: 8,
+                requested: 1,
+                budget: 8,
+            },
+            NetError::BadDestination {
+                src: 0,
+                dst: 9,
+                n: 4,
+            },
+            NetError::SelfMessage { node: 0 },
+            NetError::PendingMessages { pending: 1 },
+            NetError::RoundCapExceeded { cap: 1 },
+            NetError::UnicastInBroadcastModel {
+                round: 0,
+                src: 0,
+                dst: 1,
+            },
+        ];
+        for e in &witnesses {
+            match e {
+                NetError::MessageTooLarge { .. }
+                | NetError::LinkBusy { .. }
+                | NetError::BadDestination { .. }
+                | NetError::SelfMessage { .. }
+                | NetError::PendingMessages { .. }
+                | NetError::RoundCapExceeded { .. }
+                | NetError::UnicastInBroadcastModel { .. } => {}
+            }
+        }
+        // Tags are stable artifact vocabulary: lowercase-kebab, unique.
+        let tags: Vec<&str> = witnesses.iter().map(NetError::kind).collect();
+        for t in &tags {
+            assert!(
+                !t.is_empty()
+                    && t.chars()
+                        .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '-'),
+                "tag {t:?} is not lowercase-kebab"
+            );
+        }
+        let unique: std::collections::BTreeSet<&str> = tags.iter().copied().collect();
+        assert_eq!(
+            unique.len(),
+            witnesses.len(),
+            "kind tags must be unique: {tags:?}"
+        );
+        assert_eq!(
+            unique.into_iter().collect::<Vec<_>>(),
+            vec![
+                "bad-destination",
+                "link-busy",
+                "message-too-large",
+                "pending-messages",
+                "round-cap",
+                "self-message",
+                "unicast-in-broadcast",
+            ]
+        );
+    }
+
+    #[test]
     fn is_std_error() {
         fn takes_err<E: Error>(_: E) {}
         takes_err(NetError::SelfMessage { node: 0 });

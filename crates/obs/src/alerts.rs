@@ -224,6 +224,7 @@ fn decide(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::clock::ManualClock;
     use crate::window::{WindowSpec, WindowedRegistry};
 
     const S: u64 = 1_000_000_000;
@@ -309,6 +310,43 @@ mod tests {
         assert_eq!(events[0].state, AlertState::Resolved);
         // Zero capacity is undecidable, never fires.
         assert!(engine.evaluate(3 * S, &snap, 5, 0).is_empty());
+    }
+
+    #[test]
+    fn flapping_around_the_threshold_emits_transitions_only() {
+        // A queue oscillating across the saturation threshold — one
+        // poll over, one poll under, repeatedly, with polls exactly AT
+        // the threshold mixed in (`>=`, so 800 milli of 10 slots = a
+        // depth of 8 fires). Every evaluation is clocked by a
+        // ManualClock; the engine must emit exactly one event per
+        // *transition* and none for a repeated verdict, and the event
+        // timestamps must be the clock readings of the flips.
+        let clock = ManualClock::new(0);
+        let reg = WindowedRegistry::new(WindowSpec::standard());
+        let mut engine = AlertEngine::new(rules());
+        let depths = [8usize, 2, 8, 8, 7, 8, 3, 3];
+        let mut log = Vec::new();
+        for depth in depths {
+            let now = clock.advance(S);
+            let snap = reg.snapshot(now);
+            for ev in engine.evaluate(now, &snap, depth, 10) {
+                log.push((ev.at_nanos, ev.state, ev.observed));
+            }
+        }
+        // 8 fires, 2 resolves, 8 fires, 8 holds (no event), 7 resolves
+        // (below the 800-milli line), 8 fires, 3 resolves, 3 holds.
+        assert_eq!(
+            log,
+            vec![
+                (S, AlertState::Firing, 8),
+                (2 * S, AlertState::Resolved, 2),
+                (3 * S, AlertState::Firing, 8),
+                (5 * S, AlertState::Resolved, 7),
+                (6 * S, AlertState::Firing, 8),
+                (7 * S, AlertState::Resolved, 3),
+            ]
+        );
+        assert!(engine.firing().is_empty());
     }
 
     #[test]

@@ -4,13 +4,16 @@
 //! `<name>_total`, histograms become the conventional
 //! `_bucket{le="…"}` / `_sum` / `_count` family plus exact `_min` /
 //! `_max` gauges (the log digest records extremes exactly, so exposing
-//! them costs nothing and anchors quantile sanity checks). Metric names
-//! are sanitized to the `[a-zA-Z_][a-zA-Z0-9_]*` charset — the dotted
+//! them costs nothing and anchors quantile sanity checks). Every family
+//! is announced with `# HELP` / `# TYPE` lines, metric names are
+//! sanitized to the `[a-zA-Z_][a-zA-Z0-9_]*` charset — the dotted
 //! `serve.jobs_completed` style used internally renders as
-//! `serve_jobs_completed_total`. Output is deterministic: snapshots
-//! store series sorted by name, and bucket boundaries ascend.
+//! `serve_jobs_completed_total` — and label values are escaped per the
+//! exposition format (`\\`, `\"`, `\n`). Output is deterministic:
+//! snapshots store series sorted by name, and bucket boundaries ascend.
 
 use cc_trace::{HistogramSnapshot, MetricsSnapshot};
+use std::collections::BTreeSet;
 use std::fmt::Write as _;
 
 /// Rewrites a dotted internal metric name into the Prometheus charset.
@@ -34,21 +37,46 @@ pub fn sanitize_name(name: &str) -> String {
     out
 }
 
+/// Escapes a label value per the exposition format: backslash, double
+/// quote, and newline must appear as `\\`, `\"`, and `\n` — anything
+/// else inside the quotes is literal.
+pub fn escape_label_value(value: &str) -> String {
+    let mut out = String::with_capacity(value.len());
+    for c in value.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
 /// Renders `snapshot` in the Prometheus text exposition format.
 pub fn render_prometheus(snapshot: &MetricsSnapshot) -> String {
     let mut out = String::new();
     for (name, v) in &snapshot.counters {
         let p = sanitize_name(name);
+        let _ = writeln!(
+            out,
+            "# HELP {p}_total Monotone counter (internal series {:?}).",
+            name
+        );
         let _ = writeln!(out, "# TYPE {p}_total counter");
         let _ = writeln!(out, "{p}_total {v}");
     }
     for (name, h) in &snapshot.histograms {
-        render_histogram(&mut out, &sanitize_name(name), h);
+        render_histogram(&mut out, name, &sanitize_name(name), h);
     }
     out
 }
 
-fn render_histogram(out: &mut String, p: &str, h: &HistogramSnapshot) {
+fn render_histogram(out: &mut String, name: &str, p: &str, h: &HistogramSnapshot) {
+    let _ = writeln!(
+        out,
+        "# HELP {p} Log-bucketed histogram (internal series {name:?})."
+    );
     let _ = writeln!(out, "# TYPE {p} histogram");
     // The digest stores (lower bound, count) per bucket; Prometheus
     // wants cumulative counts at upper bounds. A bucket [lo, 2·lo)
@@ -56,8 +84,16 @@ fn render_histogram(out: &mut String, p: &str, h: &HistogramSnapshot) {
     let mut cumulative = 0u64;
     for &(lo, c) in &h.buckets {
         cumulative += c;
-        let le = if lo == 0 { 0 } else { lo.saturating_mul(2) - 1 };
-        let _ = writeln!(out, "{p}_bucket{{le=\"{le}\"}} {cumulative}");
+        let le = if lo == 0 {
+            "0".to_string()
+        } else {
+            (lo.saturating_mul(2) - 1).to_string()
+        };
+        let _ = writeln!(
+            out,
+            "{p}_bucket{{le=\"{}\"}} {cumulative}",
+            escape_label_value(&le)
+        );
     }
     let _ = writeln!(out, "{p}_bucket{{le=\"+Inf\"}} {}", h.count);
     let _ = writeln!(out, "{p}_sum {}", h.sum);
@@ -66,20 +102,83 @@ fn render_histogram(out: &mut String, p: &str, h: &HistogramSnapshot) {
     let _ = writeln!(out, "{p}_max {}", h.max);
 }
 
-/// A minimal structural check that `text` is well-formed exposition:
-/// every non-comment line is `name[{labels}] value`, every `# TYPE`
-/// family has at least one sample, and histogram `_count` equals the
-/// `+Inf` bucket. Returns the number of samples.
+/// True when `labels` (the text between `{` and `}`) is a well-formed,
+/// fully escaped label block: comma-separated `key="value"` pairs where
+/// every backslash starts a legal escape (`\\`, `\"`, `\n`) and every
+/// raw double quote terminates a value.
+fn labels_well_formed(labels: &str) -> bool {
+    let mut chars = labels.chars().peekable();
+    loop {
+        // Label name: [a-zA-Z_][a-zA-Z0-9_]*
+        match chars.next() {
+            Some(c) if c.is_ascii_alphabetic() || c == '_' => {}
+            _ => return false,
+        }
+        while matches!(chars.peek(), Some(c) if c.is_ascii_alphanumeric() || *c == '_') {
+            chars.next();
+        }
+        if chars.next() != Some('=') || chars.next() != Some('"') {
+            return false;
+        }
+        // Value: escaped chars until the closing quote.
+        loop {
+            match chars.next() {
+                Some('"') => break,
+                Some('\\') => match chars.next() {
+                    Some('\\' | '"' | 'n') => {}
+                    _ => return false, // dangling or unknown escape
+                },
+                Some(_) => {}
+                None => return false, // unterminated value
+            }
+        }
+        match chars.next() {
+            None => return true,
+            Some(',') => continue,
+            Some(_) => return false, // junk after a value: unescaped quote upstream
+        }
+    }
+}
+
+/// The base family a sample name belongs to: histogram samples carry
+/// one of the conventional suffixes, everything else is its own family.
+fn family_of(name: &str) -> &str {
+    for suffix in ["_bucket", "_sum", "_count", "_min", "_max"] {
+        if let Some(base) = name.strip_suffix(suffix) {
+            if !base.is_empty() {
+                return base;
+            }
+        }
+    }
+    name
+}
+
+/// A structural check that `text` is well-formed exposition: every
+/// non-comment line is `name[{labels}] value`, every sample belongs to
+/// a family declared by a preceding `# TYPE` line, label blocks are
+/// fully escaped, and histogram `_count` equals the `+Inf` bucket.
+/// Returns the number of samples.
 ///
 /// # Errors
 ///
-/// Reports the first malformed line or inconsistent family.
+/// Reports the first malformed line, undeclared family, unescaped
+/// label value, or inconsistent histogram.
 pub fn check_exposition(text: &str) -> Result<usize, String> {
     let mut samples = 0usize;
+    let mut declared: BTreeSet<&str> = BTreeSet::new();
     let mut inf_bucket: Option<(String, u64)> = None;
     for (i, line) in text.lines().enumerate() {
         let n = i + 1;
-        if line.is_empty() || line.starts_with('#') {
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# TYPE ") {
+            if let Some(family) = rest.split_whitespace().next() {
+                declared.insert(family);
+            }
+            continue;
+        }
+        if line.starts_with('#') {
             continue;
         }
         let (series, value) = line
@@ -91,6 +190,21 @@ pub fn check_exposition(text: &str) -> Result<usize, String> {
             || !name.chars().all(|c| c.is_ascii_alphanumeric() || c == '_')
         {
             return Err(format!("line {n}: bad metric name {name:?}"));
+        }
+        if let Some(open) = series.find('{') {
+            let block = series[open + 1..]
+                .strip_suffix('}')
+                .ok_or_else(|| format!("line {n}: unterminated label block: {series:?}"))?;
+            if !labels_well_formed(block) {
+                return Err(format!(
+                    "line {n}: malformed or unescaped label block {{{block}}}"
+                ));
+            }
+        }
+        if !declared.contains(family_of(name)) && !declared.contains(name) {
+            return Err(format!(
+                "line {n}: sample {name} has no preceding # TYPE declaration"
+            ));
         }
         let v: u64 = value
             .parse()
@@ -124,13 +238,25 @@ mod tests {
     }
 
     #[test]
+    fn escapes_label_values_per_the_exposition_format() {
+        assert_eq!(escape_label_value("plain"), "plain");
+        assert_eq!(escape_label_value("a\"b"), "a\\\"b");
+        assert_eq!(escape_label_value("a\\b"), "a\\\\b");
+        assert_eq!(escape_label_value("a\nb"), "a\\nb");
+        assert_eq!(escape_label_value("\\\"\n"), "\\\\\\\"\\n");
+    }
+
+    #[test]
     fn renders_counters_and_histograms() {
         let mut reg = MetricsRegistry::new();
         reg.counter_add("serve.jobs_completed", 7);
         reg.observe("serve.job_wall_nanos", 3);
         reg.observe("serve.job_wall_nanos", 900);
         let text = render_prometheus(&reg.snapshot());
+        assert!(text.contains("# HELP serve_jobs_completed_total "));
+        assert!(text.contains("# TYPE serve_jobs_completed_total counter"));
         assert!(text.contains("serve_jobs_completed_total 7\n"));
+        assert!(text.contains("# HELP serve_job_wall_nanos "));
         assert!(text.contains("# TYPE serve_job_wall_nanos histogram"));
         assert!(text.contains("serve_job_wall_nanos_bucket{le=\"+Inf\"} 2\n"));
         assert!(text.contains("serve_job_wall_nanos_sum 903\n"));
@@ -146,14 +272,49 @@ mod tests {
     #[test]
     fn checker_rejects_malformed_text() {
         assert!(check_exposition("no_value_here\n").is_err());
-        assert!(check_exposition("9bad_name 3\n").is_err());
-        assert!(check_exposition("x 1.5.2\n").is_err());
-        let drifted = "h_bucket{le=\"+Inf\"} 4\nh_sum 9\nh_count 5\n";
+        assert!(check_exposition("# TYPE 9bad_name counter\n9bad_name 3\n").is_err());
+        assert!(check_exposition("# TYPE x counter\nx 1.5.2\n").is_err());
+        let drifted = "# TYPE h histogram\nh_bucket{le=\"+Inf\"} 4\nh_sum 9\nh_count 5\n";
         assert!(
             check_exposition(drifted).is_err(),
             "+Inf ≠ _count must fail"
         );
         assert_eq!(check_exposition("").unwrap(), 0);
+    }
+
+    #[test]
+    fn checker_rejects_samples_without_a_declared_family() {
+        assert!(check_exposition("orphan_total 3\n")
+            .unwrap_err()
+            .contains("no preceding # TYPE"));
+        // Histogram suffixes resolve to their base family.
+        let ok = "# TYPE h histogram\nh_bucket{le=\"+Inf\"} 0\nh_sum 0\nh_count 0\n";
+        assert_eq!(check_exposition(ok).unwrap(), 3);
+        assert!(check_exposition("h_bucket{le=\"+Inf\"} 0\n").is_err());
+    }
+
+    #[test]
+    fn checker_rejects_unescaped_label_values() {
+        let declared = "# TYPE x counter\n";
+        // A raw quote inside the value leaves junk after its premature
+        // terminator; a lone trailing backslash swallows the real one.
+        for bad in [
+            "x{l=\"a\"b\"} 1\n",
+            "x{l=\"a\\q\"} 1\n",
+            "x{l=\"a\\\"} 1\n",
+            "x{l=\"open} 1\n",
+            "x{l=unquoted} 1\n",
+            "x{=\"v\"} 1\n",
+        ] {
+            let text = format!("{declared}{bad}");
+            assert!(
+                check_exposition(&text).is_err(),
+                "must reject {bad:?} as unescaped/malformed"
+            );
+        }
+        // Properly escaped values pass.
+        let good = format!("{declared}x{{l=\"a\\\"b\\\\c\\nd\",m=\"ok\"}} 1\n");
+        assert_eq!(check_exposition(&good).unwrap(), 1);
     }
 
     #[test]

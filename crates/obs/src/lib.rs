@@ -42,7 +42,7 @@ pub mod window;
 
 pub use alerts::{AlertEngine, AlertEvent, AlertState, SloKind, SloRule};
 pub use clock::{Clock, ManualClock, SharedClock, WallClock};
-pub use expose::{check_exposition, render_prometheus, sanitize_name};
+pub use expose::{check_exposition, escape_label_value, render_prometheus, sanitize_name};
 pub use health::HealthReport;
 pub use span::{JobSpan, PhaseMark, SpanBook, SpanOutcome};
 pub use window::{

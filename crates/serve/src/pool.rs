@@ -28,6 +28,8 @@
 use crate::cache::{CacheStats, ResultCache};
 use crate::hash::Digest;
 use crate::job::{execute, JobSpec};
+use cc_lens::{comm_metrics, CommAggregate, CommLedger};
+use cc_model::ModelSpec;
 use cc_obs::{
     render_prometheus, AlertEngine, AlertEvent, HealthReport, SharedClock, SloKind, SloRule,
     SpanBook, SpanOutcome, WallClock, WindowSpec, WindowedRegistry, WindowedSnapshot,
@@ -132,6 +134,10 @@ pub enum Response {
     Health(Box<HealthReport>),
     /// Answer to a `spans` request: `{"live": [...], "recent": [...]}`.
     Spans(Json),
+    /// Answer to a `links` request: the live [`cc_lens::CommAggregate`]
+    /// over every cold job this server executed (utilization peak and
+    /// quantiles, headroom, broadcast/unicast mix).
+    Links(Json),
     /// Acknowledgement of a `shutdown` request.
     Closing,
 }
@@ -151,6 +157,7 @@ impl Response {
             | Response::Metrics { .. }
             | Response::Health(_)
             | Response::Spans(_)
+            | Response::Links(_)
             | Response::Closing => "",
         }
     }
@@ -232,6 +239,13 @@ impl Response {
             Response::Spans(spans) => {
                 let mut obj = vec![("kind".to_string(), Json::Str("spans".into()))];
                 if let Json::Obj(fields) = spans.clone() {
+                    obj.extend(fields);
+                }
+                Json::Obj(obj).emit()
+            }
+            Response::Links(links) => {
+                let mut obj = vec![("kind".to_string(), Json::Str("links".into()))];
+                if let Json::Obj(fields) = links.clone() {
                     obj.extend(fields);
                 }
                 Json::Obj(obj).emit()
@@ -362,6 +376,11 @@ struct State {
     alerts: AlertEngine,
     /// Alert transitions not yet collected by the session layer.
     alert_log: Vec<AlertEvent>,
+    /// Exact merge of every cold job's communication fold, answering
+    /// `{"op":"links"}`. Fed from the same recorded event stream the
+    /// artifact's `comm` metrics come from, so the aggregate can never
+    /// drift from the per-job documents.
+    comm: CommAggregate,
 }
 
 impl State {
@@ -511,6 +530,7 @@ impl Server {
                 spans: SpanBook::new(RECENT_SPANS),
                 alerts: AlertEngine::new(default_slo_rules()),
                 alert_log: Vec::new(),
+                comm: CommAggregate::new(),
             }),
             jobs_cv: Condvar::new(),
             idle_cv: Condvar::new(),
@@ -707,6 +727,13 @@ impl Server {
         st.spans.to_json()
     }
 
+    /// The live communication aggregate over every cold job, as the
+    /// `{"op":"links"}` payload.
+    pub fn links_json(&self) -> Json {
+        let st = self.shared.state.lock().expect("serve state poisoned");
+        st.comm.to_json()
+    }
+
     /// Drains the alert transitions accrued since the last call. The
     /// session layer forwards them as structured log lines.
     pub fn take_alert_events(&self) -> Vec<AlertEvent> {
@@ -785,6 +812,13 @@ fn run_job(shared: &Shared, job: QueuedJob) {
         Ok(exec) => {
             let events = rec.events();
             let phases = phase_marks(&events);
+            // Every engine runs under `NetConfig::kt1(n)` with the default
+            // link budget, which is exactly `ModelSpec::clique()` — so the
+            // lens fold measures utilization against the budget the run
+            // was actually admitted under.
+            let lens = CommLedger::fold(job.spec.graph.n(), &ModelSpec::clique(), &events)
+                .expect("a completed run's recorded stream always folds");
+            let comm_report = lens.report();
             let mut artifact = RunArtifact::new("cc-serve")
                 .with_meta("algorithm", job.spec.algorithm.tag())
                 .with_meta("engine", job.spec.engine.tag())
@@ -811,15 +845,48 @@ fn run_job(shared: &Shared, job: QueuedJob) {
                     .map(|(name, round)| vec![name.clone(), round.to_string()])
                     .collect(),
             });
+            artifact.experiments.push(ExperimentRecord {
+                id: "job-comm".into(),
+                caption: "communication summary (cc-lens fold)".into(),
+                headers: vec!["metric".into(), "value".into()],
+                rows: vec![
+                    vec!["rounds".into(), comm_report.rounds.to_string()],
+                    vec!["messages".into(), comm_report.messages.to_string()],
+                    vec!["words".into(), comm_report.words.to_string()],
+                    vec!["active_links".into(), comm_report.active_links.to_string()],
+                    vec![
+                        "peak_util_milli".into(),
+                        comm_report.peak_util_milli.to_string(),
+                    ],
+                    vec![
+                        "headroom_milli".into(),
+                        comm_report.headroom_milli.to_string(),
+                    ],
+                    vec![
+                        "broadcast_words".into(),
+                        comm_report.broadcast_words.to_string(),
+                    ],
+                    vec![
+                        "unicast_words".into(),
+                        comm_report.unicast_words.to_string(),
+                    ],
+                    vec![
+                        "pair_skew_milli".into(),
+                        comm_report.pair_skew_milli.to_string(),
+                    ],
+                ],
+            });
             artifact
                 .metrics
                 .push(("job".into(), metrics_from_events(&events).snapshot()));
+            artifact.metrics.push(("comm".into(), comm_metrics(&lens)));
             debug_assert!(artifact.validate().is_ok(), "{:?}", artifact.validate());
             let text: Arc<str> = Arc::from(artifact.to_json().emit());
 
             let waiters = {
                 let mut st = shared.state.lock().expect("serve state poisoned");
                 st.cache.insert(job.key, Arc::clone(&text));
+                st.comm.absorb(&lens);
                 st.running -= 1;
                 st.completed += 1;
                 st.metrics
@@ -1205,6 +1272,84 @@ mod tests {
     }
 
     #[test]
+    fn links_aggregate_matches_the_artifact_comm_fold_exactly() {
+        let server = Server::start(ServeConfig {
+            workers: 1,
+            ..ServeConfig::default()
+        });
+        let (tx, rx) = channel();
+        server.submit("cold", spec(17), &tx);
+        let artifact = match drain_terminal(&rx) {
+            Response::Result { artifact, .. } => artifact,
+            other => panic!("expected result, got {other:?}"),
+        };
+        // A cache hit must not re-absorb into the aggregate.
+        server.submit("warm", spec(17), &tx);
+        drain_terminal(&rx);
+
+        let parsed = RunArtifact::from_json_str(&artifact).unwrap();
+        let comm = parsed
+            .metrics
+            .iter()
+            .find(|(name, _)| name == "comm")
+            .map(|(_, snap)| snap)
+            .expect("artifacts embed the comm snapshot");
+        let counter = |name: &str| {
+            comm.counters
+                .iter()
+                .find(|(k, _)| k == name)
+                .map(|(_, v)| *v)
+                .unwrap_or_else(|| panic!("comm snapshot missing {name}"))
+        };
+        let record = parsed
+            .experiments
+            .iter()
+            .find(|e| e.id == "job-comm")
+            .expect("artifacts embed the job-comm record");
+        let row = |metric: &str| {
+            record
+                .rows
+                .iter()
+                .find(|r| r[0] == metric)
+                .map(|r| r[1].clone())
+                .unwrap_or_else(|| panic!("job-comm missing {metric}"))
+        };
+        // The human-readable record and the machine snapshot are two
+        // renderings of the same fold.
+        assert_eq!(row("words"), counter("comm.words").to_string());
+        assert_eq!(
+            row("peak_util_milli"),
+            counter("comm.peak_util_milli").to_string()
+        );
+
+        // One cold execution absorbed exactly once — the live aggregate
+        // equals the artifact's fold, field by field (zero drift).
+        let links = server.links_json();
+        let agg = |name: &str| links.get(name).and_then(Json::as_u64).unwrap();
+        assert_eq!(agg("jobs"), 1);
+        assert_eq!(agg("rounds"), counter("comm.rounds"));
+        assert_eq!(agg("messages"), counter("comm.messages"));
+        assert_eq!(agg("words"), counter("comm.words"));
+        assert_eq!(agg("link_rounds"), counter("comm.link_rounds"));
+        assert_eq!(agg("peak_link_words"), counter("comm.peak_link_words"));
+        assert_eq!(agg("peak_util_milli"), counter("comm.peak_util_milli"));
+        assert_eq!(agg("headroom_milli"), counter("comm.headroom_milli"));
+        assert_eq!(agg("broadcast_words"), counter("comm.broadcast_words"));
+        assert_eq!(agg("unicast_words"), counter("comm.unicast_words"));
+        // The aggregate histogram is the job's histogram verbatim.
+        let hist = comm
+            .histograms
+            .iter()
+            .find(|(k, _)| k == "comm.link_util_milli")
+            .map(|(_, h)| h)
+            .unwrap();
+        assert_eq!(agg("p50_util_milli"), hist.quantile(0.50));
+        assert_eq!(agg("p95_util_milli"), hist.quantile(0.95));
+        assert_eq!(agg("p99_util_milli"), hist.quantile(0.99));
+        server.join();
+    }
+
+    #[test]
     fn health_reports_the_pool_shape() {
         let server = Server::start(ServeConfig {
             workers: 2,
@@ -1297,6 +1442,7 @@ mod tests {
             },
             Response::Health(Box::new(server.health())),
             Response::Spans(server.spans_json()),
+            Response::Links(server.links_json()),
             Response::Closing,
         ] {
             let line = r.to_line();

@@ -1,7 +1,7 @@
 //! The wire protocol: line-delimited JSON requests in, line-delimited
 //! JSON responses out.
 //!
-//! One request per line. Six operations:
+//! One request per line. Seven operations:
 //!
 //! ```json
 //! {"op":"submit","id":"job-1","job":{"graph":{"kind":"random-connected","n":64,"degree_milli":3000,"seed":7},"algorithm":"gc-sketch","engine":"net","seed":1}}
@@ -9,6 +9,7 @@
 //! {"op":"metrics"}
 //! {"op":"health"}
 //! {"op":"spans"}
+//! {"op":"links"}
 //! {"op":"shutdown"}
 //! ```
 //!
@@ -48,12 +49,17 @@ pub enum Request {
     Health,
     /// Ask for live and recent job spans.
     Spans,
+    /// Ask for the live communication aggregate (link utilization,
+    /// headroom, broadcast/unicast mix) over every cold job.
+    Links,
     /// Stop admissions and drain.
     Shutdown,
 }
 
 /// Every op the protocol accepts, for error messages and docs.
-pub const VALID_OPS: &[&str] = &["submit", "stats", "metrics", "health", "spans", "shutdown"];
+pub const VALID_OPS: &[&str] = &[
+    "submit", "stats", "metrics", "health", "spans", "links", "shutdown",
+];
 
 /// Parses one request line.
 pub fn parse_request(line: &str) -> Result<Request, String> {
@@ -80,6 +86,7 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
         "metrics" => Ok(Request::Metrics),
         "health" => Ok(Request::Health),
         "spans" => Ok(Request::Spans),
+        "links" => Ok(Request::Links),
         "shutdown" => Ok(Request::Shutdown),
         other => Err(format!(
             "unknown op {other:?} (valid ops: {})",
@@ -139,6 +146,9 @@ pub fn run_session<R: BufRead, W: Write + Send + 'static>(
             }
             Ok(Request::Spans) => {
                 let _ = tx.send(Response::Spans(server.spans_json()));
+            }
+            Ok(Request::Links) => {
+                let _ = tx.send(Response::Links(server.links_json()));
             }
             Ok(Request::Shutdown) => {
                 server.close();
@@ -268,6 +278,7 @@ mod tests {
         assert_eq!(parse_request("{\"op\":\"metrics\"}"), Ok(Request::Metrics));
         assert_eq!(parse_request("{\"op\":\"health\"}"), Ok(Request::Health));
         assert_eq!(parse_request("{\"op\":\"spans\"}"), Ok(Request::Spans));
+        assert_eq!(parse_request("{\"op\":\"links\"}"), Ok(Request::Links));
         assert!(parse_request("{\"op\":\"dance\"}").is_err());
         assert!(parse_request("not json").is_err());
         assert!(parse_request("{\"op\":\"submit\",\"id\":\"\"}").is_err());
@@ -289,6 +300,7 @@ mod tests {
             "{\"op\":\"metrics\"}".to_string(),
             "{\"op\":\"health\"}".to_string(),
             "{\"op\":\"spans\"}".to_string(),
+            "{\"op\":\"links\"}".to_string(),
         ]);
         let by_kind = |kind: &str| {
             responses
@@ -330,6 +342,18 @@ mod tests {
                 .any(|s| s.get("id").and_then(Json::as_str) == Some("m")),
             "span for job m present: {spans:?}"
         );
+        // The links answer carries the aggregate shape (the job may or
+        // may not have finished when it was taken — both are valid).
+        let links = by_kind("links");
+        let jobs = links.get("jobs").and_then(Json::as_u64).unwrap();
+        let words = links.get("words").and_then(Json::as_u64).unwrap();
+        assert!(jobs <= 1);
+        assert!(links.get("headroom_milli").and_then(Json::as_u64).is_some());
+        if jobs == 0 {
+            assert_eq!(words, 0, "an empty aggregate carries no traffic");
+        } else {
+            assert!(words > 0, "a folded gc-sketch run moved words");
+        }
     }
 
     #[test]

@@ -29,6 +29,9 @@
 //!   gating, and model-event trace diffing.
 //! * [`serve`] — the async job service: bounded queue, worker pool,
 //!   result caching, streamed artifacts (`serve` binary, DESIGN.md §14).
+//! * [`lens`] — the communication observatory: round-resolved link
+//!   utilization, budget headroom, phase attribution, and k-machine
+//!   pair skew, folded from the trace event stream (DESIGN.md §17).
 //!
 //! # Quickstart
 //!
@@ -54,6 +57,7 @@ pub use cc_core as core;
 pub use cc_graph as graph;
 pub use cc_kkt as kkt;
 pub use cc_lb as lb;
+pub use cc_lens as lens;
 pub use cc_lotker as lotker;
 pub use cc_model as model;
 pub use cc_net as net;

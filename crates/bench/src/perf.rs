@@ -22,6 +22,7 @@ use cc_net::{Cost, NetConfig};
 use cc_profile::{PerfCase, PerfSuite};
 use cc_route::{all_to_all_share, Net};
 use cc_runtime::Runtime;
+use cc_sketch::{GraphSketchSpace, NeighborhoodScratch};
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 use std::time::Instant;
@@ -45,10 +46,12 @@ pub fn default_k(quick: bool) -> usize {
 pub enum Large {
     /// No large cases (the PR-4 suite).
     Off,
-    /// Only the `route-a2a` collective at `n = 2048` — the CI smoke entry.
+    /// The `route-a2a` collective at `n = 2048` plus the no-network
+    /// `sketch-build` kernel case at `n = 16 384` — the CI smoke entries.
     Smoke,
-    /// `route-a2a` at `n ∈ {512, 2048, 4096}` and `gc-sketch` at
-    /// `n ∈ {2048, 4096}` (the E19 scaling table).
+    /// `route-a2a` at `n ∈ {512, 2048, 4096}`, `gc-sketch` at
+    /// `n ∈ {2048, 4096}` (the E19 scaling table), and `sketch-build` at
+    /// `n ∈ {16 384, 65 536}` (the E24 large-`n` kernel table).
     Full,
 }
 
@@ -146,17 +149,69 @@ fn large_gc_case(n: usize, k: usize) -> PerfCase {
     })
 }
 
+/// One large-`n` sketch-construction case: every vertex's neighborhood
+/// sketch through the batched SoA kernels, fed from a streamed CSR graph
+/// (never the `C(n, 2)` pair sweep — at `n = 65 536` that sweep alone is
+/// 2.1 billion coin flips and the dense edge set would not fit a laptop).
+///
+/// No network runs here, so the [`Cost`] fields are repurposed as the
+/// kernel's *model quantities* for the zero-drift gate (the gate compares
+/// rounds/messages/words exactly; see `cc_profile::baseline`):
+///
+/// * `messages` — incidences inserted (`2m`, one per directed edge);
+/// * `words` — an FNV-1a-style fold over every produced sketch's wire
+///   words (vertex order), reduced mod 1e9+7: any numeric drift in the batched
+///   `F_p` kernels (a changed hash draw, a mis-reduced product, a
+///   scatter to the wrong cell) flips this fingerprint and trips
+///   MODEL-DRIFT, which is exactly the bit-identical guarantee the
+///   scalar-vs-batched proptests pin at small `n` extended to sizes
+///   proptest cannot reach;
+/// * `rounds` — 0 (no simulator involved).
+fn sketch_build_case(n: usize, k: usize) -> PerfCase {
+    let mut rng = ChaCha8Rng::seed_from_u64(16_000 + n as u64);
+    let g = cc_graph::random_connected_csr(n, 2 * n, &mut rng);
+    measure("sketch-build", "kernel", n, k, || {
+        let space = GraphSketchSpace::new(n, 9_000 + n as u64);
+        let mut scratch = NeighborhoodScratch::default();
+        let mut incidences = 0u64;
+        let mut fingerprint = 0xcbf2_9ce4_8422_2325u64;
+        for v in 0..n {
+            let sk = space.sketch_neighborhood_with(
+                v,
+                g.neighbors(v).iter().map(|&u| u as usize),
+                &mut scratch,
+            );
+            incidences += g.degree(v) as u64;
+            for w in sk.to_words() {
+                fingerprint = fingerprint.wrapping_mul(0x0000_0100_0000_01b3) ^ w;
+            }
+        }
+        Cost {
+            rounds: 0,
+            messages: incidences,
+            words: fingerprint % 1_000_000_007,
+            bits: 0,
+        }
+    })
+}
+
 /// Appends the [`Large`] scaling entries to `cases`.
 fn push_large_cases(cases: &mut Vec<PerfCase>, large: Large, k: usize) {
     match large {
         Large::Off => {}
-        Large::Smoke => cases.push(large_a2a_case(2048, k)),
+        Large::Smoke => {
+            cases.push(large_a2a_case(2048, k));
+            cases.push(sketch_build_case(16_384, k));
+        }
         Large::Full => {
             for n in [512, 2048, 4096] {
                 cases.push(large_a2a_case(n, k));
             }
             for n in [2048, 4096] {
                 cases.push(large_gc_case(n, k));
+            }
+            for n in [16_384, 65_536] {
+                cases.push(sketch_build_case(n, k));
             }
         }
     }
@@ -285,13 +340,19 @@ pub fn case_keys(quick: bool, large: Large) -> Vec<String> {
     }
     match large {
         Large::Off => {}
-        Large::Smoke => keys.push(key("route-a2a", "net", 2048)),
+        Large::Smoke => {
+            keys.push(key("route-a2a", "net", 2048));
+            keys.push(key("sketch-build", "kernel", 16_384));
+        }
         Large::Full => {
             for n in [512, 2048, 4096] {
                 keys.push(key("route-a2a", "net", n));
             }
             for n in [2048, 4096] {
                 keys.push(key("gc-sketch", "net", n));
+            }
+            for n in [16_384, 65_536] {
+                keys.push(key("sketch-build", "kernel", n));
             }
         }
     }
@@ -482,9 +543,28 @@ mod tests {
         let smoke = case_keys(false, Large::Smoke);
         assert_eq!(&smoke[..full.len()], &full[..]);
         assert_eq!(
-            smoke.last().map(String::as_str),
-            Some("route-a2a/net/n=2048")
+            &smoke[full.len()..],
+            &["route-a2a/net/n=2048", "sketch-build/kernel/n=16384"]
         );
-        assert_eq!(case_keys(false, Large::Full).len(), full.len() + 5);
+        assert_eq!(case_keys(false, Large::Full).len(), full.len() + 7);
+    }
+
+    #[test]
+    fn sketch_build_case_model_quantities_are_deterministic() {
+        // Two independent runs at a small n: the fingerprint packed into
+        // `words` must be reproducible (it is what the MODEL-DRIFT gate
+        // compares for this case), and `messages` must equal 2m of the
+        // streamed graph.
+        let a = sketch_build_case(96, 1);
+        let b = sketch_build_case(96, 2);
+        assert_eq!(
+            (a.rounds, a.messages, a.words),
+            (b.rounds, b.messages, b.words)
+        );
+        let mut rng = ChaCha8Rng::seed_from_u64(16_000 + 96);
+        let g = cc_graph::random_connected_csr(96, 192, &mut rng);
+        assert_eq!(a.messages, 2 * g.m() as u64);
+        assert_eq!(a.rounds, 0);
+        assert!(a.words < 1_000_000_007);
     }
 }

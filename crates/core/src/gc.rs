@@ -112,12 +112,13 @@ pub fn sketch_and_span(
     let link_words = net.config().link_words as usize;
     let chunk = link_words.saturating_sub(3).max(1); // seq word + 2 routing header words
     let mut packets: Vec<RoutedPacket> = Vec::new();
+    let mut scratch = cc_sketch::NeighborhoodScratch::default();
     for &l in &unfinished {
         let me = compact[&l];
         let neigh: Vec<usize> = g1.adj[&l].iter().map(|nb| compact[nb]).collect();
         let mut words: Vec<u64> = Vec::with_capacity(t * sketch_words);
         for sp in &spaces {
-            let sk = sp.sketch_neighborhood(me, neigh.iter().copied());
+            let sk = sp.sketch_neighborhood_with(me, neigh.iter().copied(), &mut scratch);
             words.extend(sk.to_words());
         }
         for frag in fragment(&words, chunk) {

@@ -124,11 +124,16 @@ pub fn k_edge_connectivity_sketch(
     let link_words = net.config().link_words as usize;
     let chunk = link_words.saturating_sub(3).max(1);
     let mut packets = Vec::new();
+    let mut scratch = cc_sketch::NeighborhoodScratch::default();
     for v in 0..n {
         let mut words: Vec<u64> = Vec::with_capacity(k * t * words_per);
         for peel in &spaces {
             for sp in peel {
-                let sk = sp.sketch_neighborhood(v, g.neighbors(v).iter().map(|&u| u as usize));
+                let sk = sp.sketch_neighborhood_with(
+                    v,
+                    g.neighbors(v).iter().map(|&u| u as usize),
+                    &mut scratch,
+                );
                 words.extend(sk.to_words());
             }
         }

@@ -160,10 +160,11 @@ pub fn kt1_mst(net: &mut Net, g: &WGraph, cfg: &Kt1MstConfig) -> Result<Kt1MstRu
                 .collect();
             let mut queues: Vec<Vec<Packet>> = vec![Vec::new(); n]; // fragments to leader
             let mut leader_sums: HashMap<usize, Sketch> = HashMap::new();
+            let mut scratch = cc_sketch::NeighborhoodScratch::default();
             for &l in &searching {
                 let sp = &spaces[&l];
                 for &v in &members_of[&l] {
-                    let sk = sp.sketch_neighborhood(
+                    let sk = sp.sketch_neighborhood_with(
                         v,
                         g.neighbors(v).iter().filter_map(|&(u, w)| {
                             let wt = Weight::new(w, v, u as usize);
@@ -172,6 +173,7 @@ pub fn kt1_mst(net: &mut Net, g: &WGraph, cfg: &Kt1MstConfig) -> Result<Kt1MstRu
                                 _ => Some(u as usize),
                             }
                         }),
+                        &mut scratch,
                     );
                     if v == l {
                         leader_sums

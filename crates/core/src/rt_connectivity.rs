@@ -23,7 +23,9 @@ use crate::error::CoreError;
 use cc_graph::UnionFind;
 use cc_net::Envelope;
 use cc_runtime::{Backend, Ctx, Program, Runtime};
-use cc_sketch::{recommended_families, spanning_forest_via_sketches, GraphSketchSpace};
+use cc_sketch::{
+    recommended_families, spanning_forest_via_sketches, GraphSketchSpace, NeighborhoodScratch,
+};
 use rand::Rng;
 
 /// One node of the sketch-connectivity protocol.
@@ -39,6 +41,13 @@ pub struct SketchConnectivity {
     families: Option<usize>,
     /// The announced sketch seed, once known.
     seed: Option<u64>,
+    /// The sketch family derived from the seed, built exactly once — the
+    /// coordinator probes completion every round and must not re-derive
+    /// `t` hash families each time.
+    spaces: Vec<GraphSketchSpace>,
+    /// `spaces.len() * sketch_words` (complete-bundle size), cached with
+    /// the spaces.
+    expected_words: usize,
     /// Serialized own sketches awaiting upload (non-coordinator).
     upload: Vec<u64>,
     /// Words already shipped.
@@ -67,6 +76,8 @@ impl SketchConnectivity {
             neighbors,
             families,
             seed: None,
+            spaces: Vec::new(),
+            expected_words: 0,
             upload: Vec::new(),
             upload_pos: 0,
             received: Vec::new(),
@@ -82,18 +93,21 @@ impl SketchConnectivity {
     /// The coordinator node.
     const COORD: usize = 0;
 
-    /// The sketch family for universe `n` under `seed`.
-    fn spaces(&self, n: usize, seed: u64) -> Vec<GraphSketchSpace> {
+    /// Derives and caches the sketch family for universe `n` under `seed`.
+    fn build_spaces(&mut self, n: usize, seed: u64) {
         let t = self.families.unwrap_or_else(|| recommended_families(n));
-        GraphSketchSpace::family(n.max(2), t, seed)
+        self.spaces = GraphSketchSpace::family(n.max(2), t, seed);
+        self.expected_words = self.spaces.len() * self.spaces[0].sketch_words();
     }
 
     /// This node's serialized sketch bundle: `t` sketches of its own
-    /// neighborhood, concatenated.
-    fn own_bundle(&self, me: usize, spaces: &[GraphSketchSpace]) -> Vec<u64> {
-        let mut words = Vec::with_capacity(spaces.len() * spaces[0].sketch_words());
-        for sp in spaces {
-            let sk = sp.sketch_neighborhood(me, self.neighbors.iter().copied());
+    /// neighborhood, concatenated. Batched kernel path, one scratch across
+    /// all families.
+    fn own_bundle(&self, me: usize) -> Vec<u64> {
+        let mut scratch = NeighborhoodScratch::default();
+        let mut words = Vec::with_capacity(self.expected_words);
+        for sp in &self.spaces {
+            let sk = sp.sketch_neighborhood_with(me, self.neighbors.iter().copied(), &mut scratch);
             words.extend(sk.to_words());
         }
         words
@@ -118,9 +132,8 @@ impl SketchConnectivity {
             return; // already solved
         }
         let n = ctx.n();
-        let seed = self.seed.expect("coordinator drew the seed in start");
-        let spaces = self.spaces(n, seed);
-        let expected = spaces.len() * spaces[0].sketch_words();
+        debug_assert!(self.seed.is_some(), "coordinator drew the seed in start");
+        let expected = self.expected_words;
         let complete = (1..n).all(|v| self.received[v].len() == expected);
         if !complete {
             return;
@@ -128,9 +141,9 @@ impl SketchConnectivity {
 
         // One sketch row per family, one column per node; node 0's own
         // bundle never crossed the network.
-        let own = self.own_bundle(Self::COORD, &spaces);
-        let sketch_words = spaces[0].sketch_words();
-        let mut sketches = vec![Vec::with_capacity(n); spaces.len()];
+        let own = self.own_bundle(Self::COORD);
+        let sketch_words = self.spaces[0].sketch_words();
+        let mut sketches = vec![Vec::with_capacity(n); self.spaces.len()];
         for v in 0..n {
             let bundle = if v == Self::COORD {
                 &own
@@ -138,11 +151,11 @@ impl SketchConnectivity {
                 &self.received[v]
             };
             for (f, piece) in bundle.chunks(sketch_words).enumerate() {
-                sketches[f].push(spaces[f].sketch_from_words(piece.to_vec()));
+                sketches[f].push(self.spaces[f].sketch_from_words(piece.to_vec()));
             }
         }
         let ids: Vec<usize> = (0..n).collect();
-        let result = spanning_forest_via_sketches(&spaces, &ids, &sketches);
+        let result = spanning_forest_via_sketches(&self.spaces, &ids, &sketches);
         self.exhausted = result.exhausted;
 
         let mut uf = UnionFind::new(n);
@@ -182,6 +195,7 @@ impl Program for SketchConnectivity {
             // `cc_route::shared_seed`).
             let seed = ctx.rng().gen::<u64>();
             self.seed = Some(seed);
+            self.build_spaces(ctx.n(), seed);
             self.received = vec![Vec::new(); ctx.n()];
             let _ = ctx.broadcast(vec![seed]);
         }
@@ -202,8 +216,8 @@ impl Program for SketchConnectivity {
                 // First word from the coordinator is the sketch seed.
                 let seed = env.msg[0];
                 self.seed = Some(seed);
-                let spaces = self.spaces(ctx.n(), seed);
-                self.upload = self.own_bundle(ctx.me(), &spaces);
+                self.build_spaces(ctx.n(), seed);
+                self.upload = self.own_bundle(ctx.me());
             } else {
                 // Everything after the seed is label words, in order.
                 self.label_buf.extend_from_slice(&env.msg);

@@ -159,6 +159,7 @@ pub fn sq_mst(
     let link_words = net.config().link_words as usize;
     let chunk = link_words.saturating_sub(3).max(1);
     let mut sketch_packets = Vec::new();
+    let mut scratch = cc_sketch::NeighborhoodScratch::default();
     let mut all_spaces: Vec<Option<Vec<GraphSketchSpace>>> = vec![None; p];
     for (i, slot) in all_spaces.iter_mut().enumerate().skip(1) {
         // guardian index i handles group E_{i+1} in 1-based paper terms
@@ -176,7 +177,7 @@ pub fn sq_mst(
                 .collect();
             let mut words = Vec::with_capacity(t * spaces[0].sketch_words());
             for sp in spaces {
-                let sk = sp.sketch_neighborhood(v, neigh.iter().copied());
+                let sk = sp.sketch_neighborhood_with(v, neigh.iter().copied(), &mut scratch);
                 words.extend(sk.to_words());
             }
             for frag in fragment(&words, chunk) {

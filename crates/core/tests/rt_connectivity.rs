@@ -81,6 +81,46 @@ fn serial_and_parallel_agree_exactly() {
 }
 
 #[test]
+fn all_three_engines_agree_through_the_batched_kernels() {
+    // The batched SoA sketch kernels feed every engine: the direct `Net`
+    // simulator (via gc::run) and both runtime backends (via
+    // run_connectivity). All three must produce the same component
+    // structure as the sequential reference on the same graphs —
+    // including disconnected ones, where a kernel bug that corrupts a
+    // sketch can silently merge components.
+    let mut rng = ChaCha8Rng::seed_from_u64(23);
+    for (trial, n) in [(1u64, 12usize), (2, 18), (3, 24)] {
+        let g = if trial == 2 {
+            generators::with_k_components(n, 3, 0.4, &mut rng)
+        } else {
+            generators::gnp(n, 0.25, &mut rng)
+        };
+        let adj = adjacency(&g);
+        let cfg = NetConfig::kt1(n).with_seed(100 + trial);
+
+        let net = cc_core::gc::run(&g, &cfg).unwrap().output;
+        let mut serial = Runtime::serial(cfg.clone());
+        let s = run_connectivity(&mut serial, &adj, None, MAX_ROUNDS).unwrap();
+        let mut parallel = Runtime::parallel_with_threads(cfg, 4);
+        let p = run_connectivity(&mut parallel, &adj, None, MAX_ROUNDS).unwrap();
+
+        let want = connectivity::component_labels(&g);
+        assert_eq!(net.labels, want, "net engine diverged on trial {trial}");
+        assert_eq!(s.labels, want, "serial engine diverged on trial {trial}");
+        assert_eq!(p.labels, want, "parallel engine diverged on trial {trial}");
+        assert_eq!(
+            (net.connected, net.component_count),
+            (s.connected, s.component_count),
+            "trial {trial}"
+        );
+        assert_eq!(
+            (s.connected, s.component_count),
+            (p.connected, p.component_count)
+        );
+    }
+}
+
+#[test]
 fn model_event_streams_match_between_backends() {
     // Same protocol + seed → identical model-event streams (rounds,
     // per-link batches, totals) from both engines; only the timing events

@@ -49,12 +49,14 @@ pub mod generators;
 pub mod graph;
 pub mod io;
 pub mod mst;
+pub mod stream;
 pub mod tree;
 pub mod union_find;
 pub mod weight;
 
 pub use edge::{edge_from_index, edge_index, num_pairs, Edge, WEdge};
 pub use graph::{Graph, WGraph};
+pub use stream::{random_connected_csr, random_connected_edge_indices, CsrGraph};
 pub use tree::RootedForest;
 pub use union_find::UnionFind;
 pub use weight::Weight;

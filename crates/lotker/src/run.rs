@@ -30,7 +30,6 @@ use crate::merge::{controlled_boruvka, Candidate};
 use cc_graph::{WEdge, WGraph};
 use cc_net::NetError;
 use cc_route::{all_to_all_share, broadcast_large, route, Net, Packet, RoutedPacket};
-use std::collections::HashMap;
 
 /// Result of running CC-MST for some number of phases.
 #[derive(Clone, Debug)]
@@ -118,43 +117,53 @@ pub fn cc_mst(net: &mut Net, g: &WGraph, phases: Option<usize>) -> Result<CcMstR
             break;
         }
 
+        // Dense fragment index shared by steps 2, 3, and 5: fragment labels
+        // are leader node IDs, so an `n`-sized table maps label → compact
+        // index in `leaders`. The per-node/per-leader minimum reductions
+        // below run over epoch-stamped dense arrays instead of hash maps —
+        // the sent message multiset is unchanged (minima under the total
+        // `Weight` order are unique, so reduction order is irrelevant), only
+        // the local compute is cheaper.
+        let m = leaders.len();
+        let mut frag_idx: Vec<u32> = vec![u32::MAX; n];
+        for (j, &l) in leaders.iter().enumerate() {
+            frag_idx[l] = j as u32;
+        }
+        let mut best: Vec<WEdge> = vec![WEdge::new(0, 1, 0); m];
+        let mut mark: Vec<u32> = vec![0; m];
+        let mut epoch: u32 = 0;
+
         // ---- Step 2: every node sends its lightest edge into each other
-        // fragment to that fragment's leader.
-        // Local candidate computation per node.
-        let per_node_cands: Vec<HashMap<usize, WEdge>> = (0..n)
-            .map(|v| {
-                let mut best: HashMap<usize, WEdge> = HashMap::new();
-                for &(u, w) in g.neighbors(v) {
-                    let fu = frag_of[u as usize];
-                    if fu == frag_of[v] {
-                        continue;
-                    }
-                    let e = WEdge::new(v, u as usize, w);
-                    best.entry(fu)
-                        .and_modify(|b| {
-                            if e.weight() < b.weight() {
-                                *b = e;
-                            }
-                        })
-                        .or_insert(e);
-                }
-                // ∞ link to fragments with no real edge from v: the clique
-                // closure provides (v, leader') with weight ∞.
-                for &l in &leaders {
-                    if l != frag_of[v] {
-                        best.entry(l)
-                            .or_insert_with(|| WEdge::new(v, l, cc_graph::weight::INFINITE_W));
-                    }
-                }
-                best
-            })
-            .collect();
-        // inbound[leader] = received candidate edges (sender fragment is
-        // derivable from the table).
+        // fragment to that fragment's leader. Fragments with no real edge
+        // from `v` get the clique-closure link `(v, leader')` of weight ∞.
         let mut inbound: Vec<Vec<WEdge>> = vec![Vec::new(); n];
-        net.step(|node, _inbox, out| {
-            for (&leader, e) in &per_node_cands[node] {
-                let _ = out.send(leader, Packet::of(&[e.w, e.u as u64, e.v as u64]));
+        net.step(|v, _inbox, out| {
+            epoch += 1;
+            let fv = frag_of[v];
+            for &(u, w) in g.neighbors(v) {
+                let fu = frag_of[u as usize];
+                if fu == fv {
+                    continue;
+                }
+                let j = frag_idx[fu] as usize;
+                let e = WEdge::new(v, u as usize, w);
+                if mark[j] != epoch {
+                    mark[j] = epoch;
+                    best[j] = e;
+                } else if e.weight() < best[j].weight() {
+                    best[j] = e;
+                }
+            }
+            for (j, &l) in leaders.iter().enumerate() {
+                if l == fv {
+                    continue;
+                }
+                let e = if mark[j] == epoch {
+                    best[j]
+                } else {
+                    WEdge::new(v, l, cc_graph::weight::INFINITE_W)
+                };
+                let _ = out.send(l, Packet::of(&[e.w, e.u as u64, e.v as u64]));
             }
         })?;
         net.step(|node, inbox, _out| {
@@ -170,35 +179,34 @@ pub fn cc_mst(net: &mut Net, g: &WGraph, phases: Option<usize>) -> Result<CcMstR
         // ---- Step 3: leader of F' reduces per source fragment and returns
         // the row entries to each source fragment's leader.
         // reduce: (source fragment, this fragment) -> min edge.
-        let mut to_send: Vec<Vec<(usize, WEdge)>> = vec![Vec::new(); n]; // per leader: (dst leader, edge)
-        for &l in &leaders {
-            let mut per_src: HashMap<usize, WEdge> = HashMap::new();
-            for e in &inbound[l] {
+        let mut rows: Vec<Vec<WEdge>> = vec![Vec::new(); n]; // candidate row per leader
+        net.step(|node, _inbox, out| {
+            if frag_idx[node] == u32::MAX {
+                return; // not a leader this phase
+            }
+            epoch += 1;
+            for e in &inbound[node] {
                 // The endpoint inside the *sender's* fragment is the one not
-                // in l's fragment.
+                // in this leader's fragment.
                 let (u, v) = e.endpoints();
-                let src_frag = if frag_of[u] == l {
+                let src_frag = if frag_of[u] == node {
                     frag_of[v]
                 } else {
                     frag_of[u]
                 };
-                per_src
-                    .entry(src_frag)
-                    .and_modify(|b| {
-                        if e.weight() < b.weight() {
-                            *b = *e;
-                        }
-                    })
-                    .or_insert(*e);
+                let j = frag_idx[src_frag] as usize;
+                if mark[j] != epoch {
+                    mark[j] = epoch;
+                    best[j] = *e;
+                } else if e.weight() < best[j].weight() {
+                    best[j] = *e;
+                }
             }
-            for (src_frag, e) in per_src {
-                to_send[l].push((src_frag, e));
-            }
-        }
-        let mut rows: Vec<Vec<WEdge>> = vec![Vec::new(); n]; // candidate row per leader
-        net.step(|node, _inbox, out| {
-            for (dst, e) in &to_send[node] {
-                let _ = out.send(*dst, Packet::of(&[e.w, e.u as u64, e.v as u64]));
+            for (j, &dst) in leaders.iter().enumerate() {
+                if mark[j] == epoch {
+                    let e = best[j];
+                    let _ = out.send(dst, Packet::of(&[e.w, e.u as u64, e.v as u64]));
+                }
             }
         })?;
         net.step(|node, inbox, _out| {
@@ -228,8 +236,6 @@ pub fn cc_mst(net: &mut Net, g: &WGraph, phases: Option<usize>) -> Result<CcMstR
 
         // ---- Step 5: coordinator merges locally.
         let mut cand_lists: Vec<Vec<Candidate>> = vec![Vec::new(); leaders.len()];
-        let leader_index: HashMap<usize, usize> =
-            leaders.iter().enumerate().map(|(i, &l)| (l, i)).collect();
         for (src, payload) in &delivered[coordinator] {
             let e = WEdge::new(payload[1] as usize, payload[2] as usize, payload[0]);
             let (u, v) = e.endpoints();
@@ -239,7 +245,7 @@ pub fn cc_mst(net: &mut Net, g: &WGraph, phases: Option<usize>) -> Result<CcMstR
             } else {
                 frag_of[u]
             };
-            cand_lists[leader_index[&src_frag]].push(Candidate {
+            cand_lists[frag_idx[src_frag] as usize].push(Candidate {
                 edge: e,
                 far_fragment: far,
             });
@@ -294,6 +300,7 @@ mod tests {
     use cc_net::NetConfig;
     use rand::SeedableRng;
     use rand_chacha::ChaCha8Rng;
+    use std::collections::HashMap;
 
     fn net(n: usize, seed: u64) -> Net {
         Net::new(NetConfig::kt1(n).with_seed(seed))
@@ -451,6 +458,7 @@ mod property_tests {
     use proptest::prelude::*;
     use rand::SeedableRng;
     use rand_chacha::ChaCha8Rng;
+    use std::collections::HashMap;
 
     proptest! {
         #![proptest_config(ProptestConfig::with_cases(10))]

@@ -561,21 +561,21 @@ impl<M: Wire + Clone> CliqueNet<M> {
                 return Err(e);
             }
             links.reset();
-            for env in &staged {
-                let words = env.msg.words().max(1);
-                self.counters.add_message(words, self.word_bits);
-                if self.tracing {
-                    self.batches.add(env.dst as u32, words);
-                }
-                if self.cfg.record_transcript {
-                    self.transcript
-                        .push((round, env.src as u32, env.dst as u32));
-                }
-            }
-            if self.tracing {
-                self.batches.flush_sender(node as u32);
-            }
             if self.faulty {
+                for env in &staged {
+                    let words = env.msg.words().max(1);
+                    self.counters.add_message(words, self.word_bits);
+                    if self.tracing {
+                        self.batches.add(env.dst as u32, words);
+                    }
+                    if self.cfg.record_transcript {
+                        self.transcript
+                            .push((round, env.src as u32, env.dst as u32));
+                    }
+                }
+                if self.tracing {
+                    self.batches.flush_sender(node as u32);
+                }
                 let inj = self.fault.as_deref().expect("faulty implies injector");
                 let outcome = apply_faults(inj, round, staged);
                 for env in outcome.deliver {
@@ -589,8 +589,22 @@ impl<M: Wire + Clone> CliqueNet<M> {
                 // Senders run in ID order and stage in send order, so
                 // these pushes arrive (src, send-index)-sorted by
                 // construction — no per-round normalization sort needed.
+                // Metering is fused into the delivery drain: this loop
+                // runs once per message and dominates dense rounds.
                 for env in staged.drain(..) {
+                    let words = env.msg.words().max(1);
+                    self.counters.add_message(words, self.word_bits);
+                    if self.tracing {
+                        self.batches.add(env.dst as u32, words);
+                    }
+                    if self.cfg.record_transcript {
+                        self.transcript
+                            .push((round, env.src as u32, env.dst as u32));
+                    }
                     self.inboxes[env.dst].push(env);
+                }
+                if self.tracing {
+                    self.batches.flush_sender(node as u32);
                 }
                 self.staged_pool = staged;
             }

@@ -29,6 +29,12 @@ enum Repr {
     Inline { len: u8, buf: [u64; INLINE_WORDS] },
     /// Spilled representation for larger payloads.
     Heap(Vec<u64>),
+    /// Immutable shared payload: cloning bumps a refcount instead of
+    /// copying. This is the broadcast shape — one chunk fanned out to
+    /// `n − 1` receivers — where per-message heap clones would otherwise
+    /// dominate the round. Any mutation copies out to `Heap` first
+    /// (copy-on-write), so sharing is invisible to callers.
+    Shared(std::sync::Arc<[u64]>),
 }
 
 /// A vector of `⌈log₂ n⌉`-bit words with small-buffer optimization.
@@ -84,6 +90,33 @@ impl WordVec {
         }
     }
 
+    /// A shared (refcounted) buffer: clones are O(1) refcount bumps, not
+    /// word copies. Use for payloads fanned out to many receivers
+    /// (broadcasts); small payloads stay inline, where plain copies are
+    /// already free.
+    #[must_use]
+    pub fn shared(words: &[u64]) -> Self {
+        if words.len() <= INLINE_WORDS {
+            WordVec::of(words)
+        } else {
+            WordVec {
+                repr: Repr::Shared(std::sync::Arc::from(words)),
+            }
+        }
+    }
+
+    /// Like [`WordVec::shared`] but takes ownership of an existing vector.
+    #[must_use]
+    pub fn shared_from_vec(words: Vec<u64>) -> Self {
+        if words.len() <= INLINE_WORDS {
+            WordVec::of(&words)
+        } else {
+            WordVec {
+                repr: Repr::Shared(std::sync::Arc::from(words)),
+            }
+        }
+    }
+
     /// An empty buffer that can hold `cap` words before reallocating;
     /// stays inline when `cap ≤ INLINE_WORDS`.
     #[must_use]
@@ -103,6 +136,7 @@ impl WordVec {
         match &self.repr {
             Repr::Inline { len, .. } => *len as usize,
             Repr::Heap(v) => v.len(),
+            Repr::Shared(a) => a.len(),
         }
     }
 
@@ -118,19 +152,27 @@ impl WordVec {
         match &self.repr {
             Repr::Inline { len, buf } => &buf[..*len as usize],
             Repr::Heap(v) => v,
+            Repr::Shared(a) => a,
         }
     }
 
-    /// The words as a mutable slice.
+    /// The words as a mutable slice (copies a shared buffer out first).
     pub fn as_mut_slice(&mut self) -> &mut [u64] {
+        if let Repr::Shared(a) = &self.repr {
+            self.repr = Repr::Heap(a.to_vec());
+        }
         match &mut self.repr {
             Repr::Inline { len, buf } => &mut buf[..*len as usize],
             Repr::Heap(v) => v,
+            Repr::Shared(_) => unreachable!("shared repr copied out above"),
         }
     }
 
     /// Appends one word, spilling to the heap past [`INLINE_WORDS`].
     pub fn push(&mut self, w: u64) {
+        if let Repr::Shared(a) = &self.repr {
+            self.repr = Repr::Heap(a.to_vec());
+        }
         match &mut self.repr {
             Repr::Inline { len, buf } => {
                 if (*len as usize) < INLINE_WORDS {
@@ -144,12 +186,16 @@ impl WordVec {
                 }
             }
             Repr::Heap(v) => v.push(w),
+            Repr::Shared(_) => unreachable!("shared repr copied out above"),
         }
     }
 
     /// Appends all of `words`, spilling once if the result outgrows the
     /// inline buffer.
     pub fn extend_from_slice(&mut self, words: &[u64]) {
+        if let Repr::Shared(a) = &self.repr {
+            self.repr = Repr::Heap(a.to_vec());
+        }
         match &mut self.repr {
             Repr::Inline { len, buf } => {
                 let cur = *len as usize;
@@ -164,24 +210,28 @@ impl WordVec {
                 }
             }
             Repr::Heap(v) => v.extend_from_slice(words),
+            Repr::Shared(_) => unreachable!("shared repr copied out above"),
         }
     }
 
     /// Drops all words. A spilled buffer keeps its heap capacity, same
-    /// as `Vec::clear`.
+    /// as `Vec::clear`; a shared buffer is released.
     pub fn clear(&mut self) {
         match &mut self.repr {
             Repr::Inline { len, .. } => *len = 0,
             Repr::Heap(v) => v.clear(),
+            Repr::Shared(_) => *self = WordVec::new(),
         }
     }
 
-    /// Converts into a plain `Vec<u64>` (allocates when inline).
+    /// Converts into a plain `Vec<u64>` (allocates when inline; copies a
+    /// shared buffer unless this was the last reference).
     #[must_use]
     pub fn into_vec(self) -> Vec<u64> {
         match self.repr {
             Repr::Inline { len, buf } => buf[..len as usize].to_vec(),
             Repr::Heap(v) => v,
+            Repr::Shared(a) => a.to_vec(),
         }
     }
 }
@@ -311,6 +361,10 @@ enum IterRepr {
         len: u8,
     },
     Heap(std::vec::IntoIter<u64>),
+    Shared {
+        arc: std::sync::Arc<[u64]>,
+        pos: usize,
+    },
 }
 
 impl Iterator for WordVecIntoIter {
@@ -328,6 +382,11 @@ impl Iterator for WordVecIntoIter {
                 }
             }
             IterRepr::Heap(it) => it.next(),
+            IterRepr::Shared { arc, pos } => {
+                let w = arc.get(*pos).copied();
+                *pos += w.is_some() as usize;
+                w
+            }
         }
     }
 
@@ -335,6 +394,7 @@ impl Iterator for WordVecIntoIter {
         let n = match &self.repr {
             IterRepr::Inline { pos, len, .. } => (*len - *pos) as usize,
             IterRepr::Heap(it) => it.len(),
+            IterRepr::Shared { arc, pos } => arc.len() - *pos,
         };
         (n, Some(n))
     }
@@ -351,6 +411,7 @@ impl IntoIterator for WordVec {
             repr: match self.repr {
                 Repr::Inline { len, buf } => IterRepr::Inline { buf, pos: 0, len },
                 Repr::Heap(v) => IterRepr::Heap(v.into_iter()),
+                Repr::Shared(a) => IterRepr::Shared { arc: a, pos: 0 },
             },
         }
     }
@@ -408,6 +469,29 @@ mod tests {
         assert_eq!(WordVec::from(vec![9, 8]), vec![9, 8]);
         let collected: WordVec = (0..6).collect();
         assert_eq!(collected, (0..6).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn shared_repr_is_copy_on_write_and_wire_identical() {
+        let words: Vec<u64> = (0..10).collect();
+        let a = WordVec::shared(&words);
+        assert!(matches!(a.repr, Repr::Shared(_)));
+        let b = a.clone();
+        assert_eq!(a, b);
+        assert_eq!(a.words(), WordVec::of(&words).words());
+        // Mutating one clone must not affect the other (copy-on-write).
+        let mut c = a.clone();
+        c.as_mut_slice()[0] = 99;
+        assert_eq!(c[0], 99);
+        assert_eq!(a[0], 0);
+        let mut d = b.clone();
+        d.push(77);
+        assert_eq!(d.len(), 11);
+        assert_eq!(b.len(), 10);
+        // Small shared payloads stay inline (cheaper than refcounting).
+        assert!(matches!(WordVec::shared(&[1, 2]).repr, Repr::Inline { .. }));
+        assert_eq!(WordVec::shared_from_vec(words.clone()), words);
+        assert_eq!(a.into_vec(), words);
     }
 
     #[test]

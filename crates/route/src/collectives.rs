@@ -56,14 +56,17 @@ pub fn broadcast_large(net: &mut Net, src: usize, data: Packet) -> Result<Packet
     let link_words = net.config().link_words;
     // Payload per chunk: one word reserved for the sequence number.
     let chunk = (link_words as usize - 1).max(1);
+    // Shared (refcounted) chunks: each one is cloned to `n − 1` receivers
+    // in the rebroadcast round, so a copying payload would put one heap
+    // allocation on every message of the hottest fan-out in the suite.
     let chunks: Vec<Packet> = data
         .chunks(chunk)
         .enumerate()
         .map(|(i, c)| {
-            let mut p = Packet::with_capacity(c.len() + 1);
-            p.push(i as u64);
-            p.extend_from_slice(c);
-            p
+            let mut words = Vec::with_capacity(c.len() + 1);
+            words.push(i as u64);
+            words.extend_from_slice(c);
+            Packet::shared_from_vec(words)
         })
         .collect();
     let total = chunks.len();

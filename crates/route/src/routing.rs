@@ -24,7 +24,7 @@
 
 use crate::{Net, Packet};
 use cc_net::NetError;
-use std::collections::VecDeque;
+use std::collections::{BTreeMap, VecDeque};
 
 /// A packet to route: `payload` words from `src` to `dst`.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -125,16 +125,23 @@ fn route_inner(
     };
     let mut rr: Vec<usize> = offsets;
 
-    // Held packets awaiting phase-2 delivery: per node, per destination.
-    let mut held: Vec<Vec<VecDeque<(usize, Packet)>>> = Vec::with_capacity(n);
-    held.resize_with(n, || (0..n).map(|_| VecDeque::new()).collect());
+    // Held packets awaiting phase-2 delivery: per node, keyed by
+    // destination. A BTreeMap (not a dense `n`-vector) keeps both memory
+    // and the per-round sweep proportional to the *active* destination
+    // set — a dense grid is `n²` queues, which at `n = 4096` is more
+    // wall-clock in initialization and empty-queue scanning than the
+    // routing itself. Iteration order (ascending destination) and
+    // therefore the send schedule are identical to the dense layout.
+    let mut held: Vec<BTreeMap<usize, VecDeque<(usize, Packet)>>> = vec![BTreeMap::new(); n];
+    // Live counts, maintained incrementally so the `work_left` check is
+    // O(1) instead of an O(n²) scan per round.
+    let mut spread_left: usize = spread_q.iter().map(VecDeque::len).sum();
+    let mut held_left: usize = 0;
 
     let round_cap = 8 * (total / n.max(1) + 4) as u64 + 64;
     let mut rounds_used = 0u64;
     loop {
-        let work_left = spread_q.iter().any(|q| !q.is_empty())
-            || held.iter().any(|per| per.iter().any(|q| !q.is_empty()))
-            || net.has_pending();
+        let work_left = spread_left > 0 || held_left > 0 || net.has_pending();
         if !work_left {
             break;
         }
@@ -153,18 +160,13 @@ fn route_inner(
                 if dst == node {
                     results[node].push((src, payload));
                 } else {
-                    held[node][dst].push_back((src, payload));
+                    held[node].entry(dst).or_default().push_back((src, payload));
+                    held_left += 1;
                 }
             }
-            // 2. Phase 2 sends: one held packet per destination per round.
-            for (dst, queue) in held[node].iter_mut().enumerate() {
-                if dst == node {
-                    // Held packets destined to self deliver locally.
-                    while let Some((src, payload)) = queue.pop_front() {
-                        results[node].push((src, payload));
-                    }
-                    continue;
-                }
+            // 2. Phase 2 sends: one held packet per destination per round,
+            //    destinations in ascending order (BTreeMap iteration).
+            held[node].retain(|&dst, queue| {
                 if let Some((src, payload)) = queue.front() {
                     let w = 2 + payload.len() as u64;
                     if out.budget_left(dst) >= w {
@@ -174,9 +176,11 @@ fn route_inner(
                         wire.extend_from_slice(payload);
                         let _ = out.send(dst, wire);
                         queue.pop_front();
+                        held_left -= 1;
                     }
                 }
-            }
+                !queue.is_empty()
+            });
             // 3. Phase 1 spread: one packet per intermediary per round,
             //    round-robin; self-assignments transfer locally.
             let mut sent_this_round = 0usize;
@@ -188,10 +192,15 @@ fn route_inner(
                 if inter == node {
                     let p = spread_q[node].pop_front().unwrap();
                     rr[node] += 1;
+                    spread_left -= 1;
                     if p.dst == node {
                         results[node].push((p.src, p.payload));
                     } else {
-                        held[node][p.dst].push_back((p.src, p.payload));
+                        held[node]
+                            .entry(p.dst)
+                            .or_default()
+                            .push_back((p.src, p.payload));
+                        held_left += 1;
                     }
                     continue;
                 }
@@ -204,6 +213,7 @@ fn route_inner(
                 }
                 let p = spread_q[node].pop_front().unwrap();
                 rr[node] += 1;
+                spread_left -= 1;
                 let mut wire = Packet::with_capacity(p.payload.len() + 2);
                 wire.push(p.dst as u64);
                 wire.push(p.src as u64);

@@ -39,7 +39,7 @@ use cc_trace::{
 };
 use std::collections::{HashMap, VecDeque};
 use std::sync::mpsc::Sender;
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
 use std::thread::JoinHandle;
 
 /// Pool sizing knobs.
@@ -407,6 +407,31 @@ struct Shared {
     started_nanos: u64,
 }
 
+impl Shared {
+    /// Locks the shared state, recovering from poison.
+    ///
+    /// A panic while the lock is held (a bug, but one the daemon must
+    /// survive) marks the mutex poisoned forever; propagating that as a
+    /// panic from every later `lock()` turns one bad job into a dead
+    /// server — every `submit`, `stats`, and worker loop would die in a
+    /// cascade. Admission bookkeeping is written in whole-transaction
+    /// blocks under a single lock acquisition, so the state a recovering
+    /// thread observes is at worst missing the interrupted job's final
+    /// counter updates; serving slightly stale stats beats serving
+    /// nothing. Worker panics themselves are additionally contained at
+    /// the job boundary (see `run_job`), which keeps `running`/`pending`
+    /// consistent even for the job that blew up.
+    fn lock_state(&self) -> MutexGuard<'_, State> {
+        self.state.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// [`Condvar::wait`] with the same poison recovery as
+    /// [`Shared::lock_state`].
+    fn wait_on<'a>(&self, cv: &Condvar, guard: MutexGuard<'a, State>) -> MutexGuard<'a, State> {
+        cv.wait(guard).unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
 /// The job service: bounded queue + worker pool + result cache.
 pub struct Server {
     shared: Arc<Shared>,
@@ -553,7 +578,7 @@ impl Server {
             let _ = reply.send(r);
         };
         let now = self.shared.clock.now_nanos();
-        let mut st = self.shared.state.lock().expect("serve state poisoned");
+        let mut st = self.shared.lock_state();
         st.submitted += 1;
         if let Err(problem) = spec.validate() {
             st.rejected += 1;
@@ -647,7 +672,7 @@ impl Server {
     /// deliver their responses; call [`Server::drain`] or
     /// [`Server::join`] to wait for them.
     pub fn close(&self) {
-        let mut st = self.shared.state.lock().expect("serve state poisoned");
+        let mut st = self.shared.lock_state();
         st.accepting = false;
         drop(st);
         self.shared.jobs_cv.notify_all();
@@ -655,9 +680,9 @@ impl Server {
 
     /// Blocks until the queue is empty and no job is running.
     pub fn drain(&self) {
-        let mut st = self.shared.state.lock().expect("serve state poisoned");
+        let mut st = self.shared.lock_state();
         while !st.queue.is_empty() || st.running > 0 {
-            st = self.shared.idle_cv.wait(st).expect("serve state poisoned");
+            st = self.shared.wait_on(&self.shared.idle_cv, st);
         }
     }
 
@@ -671,7 +696,7 @@ impl Server {
 
     /// A statistics snapshot.
     pub fn stats(&self) -> ServeStats {
-        let st = self.shared.state.lock().expect("serve state poisoned");
+        let st = self.shared.lock_state();
         ServeStats {
             queue_depth: st.queue.len() as u64,
             running: st.running,
@@ -690,7 +715,7 @@ impl Server {
     /// the live windowed snapshot, taken atomically.
     pub fn metrics_exposition(&self) -> (String, WindowedSnapshot) {
         let now = self.shared.clock.now_nanos();
-        let st = self.shared.state.lock().expect("serve state poisoned");
+        let st = self.shared.lock_state();
         (
             render_prometheus(&st.metrics.cumulative_snapshot()),
             st.metrics.snapshot(now),
@@ -703,7 +728,7 @@ impl Server {
     pub fn health(&self) -> HealthReport {
         let now = self.shared.clock.now_nanos();
         let workers_alive = self.workers.iter().filter(|w| !w.is_finished()).count();
-        let mut st = self.shared.state.lock().expect("serve state poisoned");
+        let mut st = self.shared.lock_state();
         st.evaluate_alerts(now, self.shared.cfg.queue_capacity);
         let cache_stats = st.cache.stats();
         HealthReport {
@@ -723,21 +748,21 @@ impl Server {
 
     /// Live and recently finished job spans as JSON.
     pub fn spans_json(&self) -> Json {
-        let st = self.shared.state.lock().expect("serve state poisoned");
+        let st = self.shared.lock_state();
         st.spans.to_json()
     }
 
     /// The live communication aggregate over every cold job, as the
     /// `{"op":"links"}` payload.
     pub fn links_json(&self) -> Json {
-        let st = self.shared.state.lock().expect("serve state poisoned");
+        let st = self.shared.lock_state();
         st.comm.to_json()
     }
 
     /// Drains the alert transitions accrued since the last call. The
     /// session layer forwards them as structured log lines.
     pub fn take_alert_events(&self) -> Vec<AlertEvent> {
-        let mut st = self.shared.state.lock().expect("serve state poisoned");
+        let mut st = self.shared.lock_state();
         std::mem::take(&mut st.alert_log)
     }
 }
@@ -754,7 +779,7 @@ impl Drop for Server {
 fn worker_loop(shared: &Shared) {
     loop {
         let job = {
-            let mut st = shared.state.lock().expect("serve state poisoned");
+            let mut st = shared.lock_state();
             loop {
                 if let Some(job) = st.queue.pop_front() {
                     st.running += 1;
@@ -763,7 +788,7 @@ fn worker_loop(shared: &Shared) {
                 if !st.accepting {
                     return;
                 }
-                st = shared.jobs_cv.wait(st).expect("serve state poisoned");
+                st = shared.wait_on(&shared.jobs_cv, st);
             }
         };
         run_job(shared, job);
@@ -785,13 +810,42 @@ fn phase_marks(events: &[Event]) -> Vec<(String, u64)> {
         .collect()
 }
 
+/// Renders a caught panic payload as one line (`&str` and `String`
+/// payloads cover `panic!`/`assert!`; anything else is opaque).
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "opaque panic payload".to_string()
+    }
+}
+
+/// Test-only fault injection: arming [`INJECT`](test_panic::INJECT)
+/// makes the next job any worker executes panic inside the contained
+/// region, exactly where a real algorithm bug would.
+#[cfg(test)]
+pub(crate) mod test_panic {
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    /// One-shot trigger; `maybe_panic` disarms it as it fires.
+    pub static INJECT: AtomicBool = AtomicBool::new(false);
+
+    pub fn maybe_panic() {
+        if INJECT.swap(false, Ordering::SeqCst) {
+            panic!("injected worker panic");
+        }
+    }
+}
+
 fn run_job(shared: &Shared, job: QueuedJob) {
     // Clamp so queued ≤ started ≤ finished even if the clock is shared
     // with a test that never advances it.
     let started_unix = shared.clock.now_nanos().max(job.queued_unix_nanos);
     let queue_nanos = started_unix - job.queued_unix_nanos;
     {
-        let mut st = shared.state.lock().expect("serve state poisoned");
+        let mut st = shared.lock_state();
         st.spans.started(&job.id, started_unix);
     }
     let _ = job.reply.send(Response::Running {
@@ -804,7 +858,19 @@ fn run_job(shared: &Shared, job: QueuedJob) {
         reply: job.reply.clone(),
         id: job.id.clone(),
     };
-    let outcome = execute(&job.spec, Box::new(tracer));
+    // Contain panics at the job boundary: `execute` runs lock-free, so a
+    // panic here (an algorithm bug, a poisoned-input assert) must cost
+    // exactly one job — it folds into the ordinary `Err` path below,
+    // which decrements `running`, retires the pending entry, and answers
+    // this submitter and every coalesced waiter with an `error` response.
+    // Without this, the worker thread dies: the pool quietly loses a
+    // thread per bad job until the daemon stops serving.
+    let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        #[cfg(test)]
+        test_panic::maybe_panic();
+        execute(&job.spec, Box::new(tracer))
+    }))
+    .unwrap_or_else(|payload| Err(format!("worker panicked: {}", panic_message(&*payload))));
     let finished_unix = shared.clock.now_nanos().max(started_unix);
     let compute_nanos = finished_unix - started_unix;
 
@@ -884,7 +950,7 @@ fn run_job(shared: &Shared, job: QueuedJob) {
             let text: Arc<str> = Arc::from(artifact.to_json().emit());
 
             let waiters = {
-                let mut st = shared.state.lock().expect("serve state poisoned");
+                let mut st = shared.lock_state();
                 st.cache.insert(job.key, Arc::clone(&text));
                 st.comm.absorb(&lens);
                 st.running -= 1;
@@ -929,7 +995,7 @@ fn run_job(shared: &Shared, job: QueuedJob) {
         }
         Err(error) => {
             let waiters = {
-                let mut st = shared.state.lock().expect("serve state poisoned");
+                let mut st = shared.lock_state();
                 st.running -= 1;
                 st.failed += 1;
                 st.metrics
@@ -1018,6 +1084,88 @@ mod tests {
         let stats = server.stats();
         assert_eq!(stats.cache.hits, 1);
         assert_eq!(stats.completed, 1);
+        server.join();
+    }
+
+    #[test]
+    fn panicking_worker_degrades_one_job_not_the_daemon() {
+        let server = Server::start(ServeConfig::default());
+        let (tx, rx) = channel();
+
+        // Arm the one-shot fault: the next executed job panics inside
+        // the contained region of `run_job`.
+        test_panic::INJECT.store(true, std::sync::atomic::Ordering::SeqCst);
+        assert_eq!(server.submit("boom", spec(1), &tx), SubmitOutcome::Enqueued);
+        match drain_terminal(&rx) {
+            Response::Error { id, error } => {
+                assert_eq!(id, "boom");
+                assert!(
+                    error.contains("worker panicked: injected worker panic"),
+                    "error should carry the panic message, got {error:?}"
+                );
+            }
+            other => panic!("expected error, got {other:?}"),
+        }
+
+        // The pool keeps serving: a fresh job completes cold...
+        assert_eq!(server.submit("next", spec(2), &tx), SubmitOutcome::Enqueued);
+        match drain_terminal(&rx) {
+            Response::Result { cached, .. } => assert!(!cached),
+            other => panic!("expected result, got {other:?}"),
+        }
+        // ...and resubmitting the job that blew up also succeeds (a
+        // failure must not cache or wedge its pending entry).
+        assert_eq!(
+            server.submit("retry", spec(1), &tx),
+            SubmitOutcome::Enqueued
+        );
+        match drain_terminal(&rx) {
+            Response::Result { cached, .. } => assert!(!cached),
+            other => panic!("expected result, got {other:?}"),
+        }
+
+        let health = server.health();
+        assert_eq!(
+            health.workers_alive, health.workers,
+            "every worker thread must survive the panic"
+        );
+        assert_eq!(
+            health.in_flight, 0,
+            "the failed job must not leak `running`"
+        );
+        let stats = server.stats();
+        assert_eq!(stats.failed, 1);
+        assert_eq!(stats.completed, 2);
+        server.join();
+    }
+
+    #[test]
+    fn poisoned_state_lock_is_recovered_not_propagated() {
+        let server = Server::start(ServeConfig::default());
+        // Poison the state mutex the hard way: panic while holding it on
+        // a foreign thread (the one failure mode `catch_unwind` in
+        // `run_job` cannot prevent, since it only covers `execute`).
+        let shared = Arc::clone(&server.shared);
+        let _ = std::thread::spawn(move || {
+            let _guard = shared.state.lock().expect("first lock cannot be poisoned");
+            panic!("poison the serve state");
+        })
+        .join();
+        assert!(server.shared.state.is_poisoned(), "setup must poison");
+
+        // Every entry point keeps working through the poison.
+        let stats = server.stats();
+        assert_eq!(stats.completed, 0);
+        let _ = server.health();
+        let (tx, rx) = channel();
+        assert_eq!(
+            server.submit("after", spec(3), &tx),
+            SubmitOutcome::Enqueued
+        );
+        match drain_terminal(&rx) {
+            Response::Result { cached, .. } => assert!(!cached),
+            other => panic!("expected result, got {other:?}"),
+        }
         server.join();
     }
 

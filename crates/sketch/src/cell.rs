@@ -49,13 +49,40 @@ pub fn cell_add(into: &mut [u64], from: &[u64]) {
     }
 }
 
-/// Attempts 1-sparse recovery from the cell counters.
+/// Adds a precomputed contribution `(a, a·i, a·z^i)` into the three counter
+/// planes of a structure-of-arrays sketch layout.
 ///
-/// `z` is the space's fingerprint point and `universe` the item-index bound;
-/// candidates outside the universe are rejected as [`CellDecode::Many`].
-pub fn cell_decode(cell: &[u64], z: u64, universe: u64) -> CellDecode {
-    debug_assert_eq!(cell.len(), CELL_WORDS);
-    let (phi, iota, tau) = (cell[0], cell[1], cell[2]);
+/// This is the scatter step of the batched insertion kernel: the per-item
+/// products are computed once by wide slice kernels, then added here. The
+/// field sums are exact, so any insertion order yields the same counters as
+/// the scalar [`cell_insert`] path.
+#[inline(always)]
+pub fn cell_insert_parts(
+    phi: &mut u64,
+    iota: &mut u64,
+    tau: &mut u64,
+    a: u64,
+    a_iota: u64,
+    a_tau: u64,
+) {
+    *phi = field::add(*phi, a);
+    *iota = field::add(*iota, a_iota);
+    *tau = field::add(*tau, a_tau);
+}
+
+/// Attempts 1-sparse recovery from separately-stored counters.
+///
+/// `pow_z` must compute `e ↦ z^e mod p` for the space's fingerprint point
+/// `z` (either [`field::pow`] or a precomputed [`field::PowTable`] — the two
+/// return identical field elements). Candidates outside `universe` are
+/// rejected as [`CellDecode::Many`].
+pub fn cell_decode_with<F: Fn(u64) -> u64>(
+    phi: u64,
+    iota: u64,
+    tau: u64,
+    universe: u64,
+    pow_z: F,
+) -> CellDecode {
     if phi == 0 && iota == 0 && tau == 0 {
         return CellDecode::Zero;
     }
@@ -69,10 +96,19 @@ pub fn cell_decode(cell: &[u64], z: u64, universe: u64) -> CellDecode {
         return CellDecode::Many;
     }
     // Fingerprint check: tau must equal phi · z^{i*}.
-    if tau != field::mul(phi, field::pow(z, cand)) {
+    if tau != field::mul(phi, pow_z(cand)) {
         return CellDecode::Many;
     }
     CellDecode::One(cand, field::to_signed(phi))
+}
+
+/// Attempts 1-sparse recovery from the cell counters.
+///
+/// `z` is the space's fingerprint point and `universe` the item-index bound;
+/// candidates outside the universe are rejected as [`CellDecode::Many`].
+pub fn cell_decode(cell: &[u64], z: u64, universe: u64) -> CellDecode {
+    debug_assert_eq!(cell.len(), CELL_WORDS);
+    cell_decode_with(cell[0], cell[1], cell[2], universe, |e| field::pow(z, e))
 }
 
 #[cfg(test)]
@@ -167,6 +203,29 @@ mod tests {
         assert_eq!(
             cell_decode(&a, z_for_test(), UNIVERSE),
             CellDecode::One(55, 1)
+        );
+    }
+
+    #[test]
+    fn soa_parts_match_interleaved_cell() {
+        // Insert the same multiset through the interleaved path and the
+        // SoA scatter path; counters and decodes must be bit-identical.
+        let z = z_for_test();
+        let items = [(42u64, 1i64), (7, -1), (42, 1), (999, 1), (7, 1)];
+        let mut cell = [0u64; CELL_WORDS];
+        let (mut phi, mut iota, mut tau) = (0u64, 0u64, 0u64);
+        let zpow = field::PowTable::new(z);
+        for &(i, s) in &items {
+            cell_insert(&mut cell, i, s, field::pow(z, i));
+            let a = field::from_signed(s);
+            let a_iota = field::mul(a, field::reduce64(i));
+            let a_tau = field::mul(a, zpow.pow(i));
+            cell_insert_parts(&mut phi, &mut iota, &mut tau, a, a_iota, a_tau);
+        }
+        assert_eq!([phi, iota, tau], cell);
+        assert_eq!(
+            cell_decode_with(phi, iota, tau, UNIVERSE, |e| zpow.pow(e)),
+            cell_decode(&cell, z, UNIVERSE)
         );
     }
 

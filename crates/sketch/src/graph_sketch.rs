@@ -15,8 +15,20 @@
 //! wraps an ℓ0 [`SketchSpace`] over the edge universe
 //! with this encoding.
 
-use crate::l0::{Sample, Sketch, SketchParams, SketchSpace};
+use crate::l0::{BatchScratch, Sample, Sketch, SketchParams, SketchSpace};
 use cc_graph::{edge_from_index, edge_index, num_pairs};
+
+/// Reusable scratch for batched neighborhood sketching
+/// ([`GraphSketchSpace::sketch_neighborhood_with`]).
+///
+/// Holds the staged `(edge index, sign)` items plus the ℓ0 batch buffers;
+/// share one across all vertices and families of a sketching pass to
+/// amortize allocations.
+#[derive(Clone, Debug, Default)]
+pub struct NeighborhoodScratch {
+    items: Vec<(u64, i64)>,
+    batch: BatchScratch,
+}
 
 /// Outcome of sampling an edge from a (summed) neighborhood sketch.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -114,11 +126,52 @@ impl GraphSketchSpace {
         v: usize,
         neighbors: impl IntoIterator<Item = usize>,
     ) -> Sketch {
+        let mut scratch = NeighborhoodScratch::default();
+        self.sketch_neighborhood_with(v, neighbors, &mut scratch)
+    }
+
+    /// [`sketch_neighborhood`](Self::sketch_neighborhood) with reusable
+    /// scratch buffers — the batched kernel path for sketching many
+    /// vertices (or the same vertex across many families).
+    ///
+    /// Bit-identical to the per-incidence path (exact field sums are
+    /// insertion-order independent).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a neighbor equals `v` or is `≥ n`.
+    pub fn sketch_neighborhood_with(
+        &self,
+        v: usize,
+        neighbors: impl IntoIterator<Item = usize>,
+        scratch: &mut NeighborhoodScratch,
+    ) -> Sketch {
         let mut sk = self.zero_sketch();
-        for u in neighbors {
-            self.add_incidence(&mut sk, v, u);
-        }
+        self.add_incidences_with(&mut sk, v, neighbors, scratch);
         sk
+    }
+
+    /// Adds every incidence `a_v({v,u})`, `u ∈ neighbors`, into an existing
+    /// sketch through the batched kernel path.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a neighbor equals `v` or is `≥ n`.
+    pub fn add_incidences_with(
+        &self,
+        sketch: &mut Sketch,
+        v: usize,
+        neighbors: impl IntoIterator<Item = usize>,
+        scratch: &mut NeighborhoodScratch,
+    ) {
+        scratch.items.clear();
+        for u in neighbors {
+            let idx = edge_index(v, u, self.n);
+            let sign = if v < u { 1 } else { -1 };
+            scratch.items.push((idx, sign));
+        }
+        self.inner
+            .insert_batch_with(sketch, &scratch.items, &mut scratch.batch);
     }
 
     /// Adds the single incidence `a_v({v,u})` into an existing sketch.
@@ -275,6 +328,26 @@ mod tests {
             assert_eq!(s.sample_edge(&sketches[i]), EdgeSample::Edge(0, 5));
         }
         assert_ne!(sketches[0], sketches[1]);
+    }
+
+    #[test]
+    fn batched_neighborhood_matches_incidence_loop() {
+        let mut rng = ChaCha8Rng::seed_from_u64(12);
+        let g = generators::random_connected_graph(32, 0.2, &mut rng);
+        let space = GraphSketchSpace::new(32, 9);
+        let mut scratch = NeighborhoodScratch::default();
+        for v in 0..32usize {
+            let mut scalar = space.zero_sketch();
+            for &u in g.neighbors(v) {
+                space.add_incidence(&mut scalar, v, u as usize);
+            }
+            let batched = space.sketch_neighborhood_with(
+                v,
+                g.neighbors(v).iter().map(|&u| u as usize),
+                &mut scratch,
+            );
+            assert_eq!(scalar, batched, "vertex {v}");
+        }
     }
 
     #[test]

@@ -62,6 +62,50 @@ impl KWiseHash {
         self.eval(x) % range
     }
 
+    /// Evaluates the polynomial at every point of `xs`, writing into `out`.
+    ///
+    /// Runs the *same* Horner recurrence as [`eval`](Self::eval) through the
+    /// register-blocked [`field::horner_eval_slice`] kernel — one memory
+    /// sweep over the batch regardless of the hash degree — so results are
+    /// bit-identical to the scalar path. Points must already be canonical
+    /// (`< p`); graph item indices always are.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slices differ in length or a point is `≥ p`.
+    pub fn eval_reduced_batch(&self, xs: &[u64], out: &mut [u64]) {
+        assert_eq!(xs.len(), out.len(), "eval batch length mismatch");
+        debug_assert!(xs.iter().all(|&x| x < field::P));
+        field::horner_eval_slice(&self.coeffs, xs, out);
+    }
+
+    /// Batched [`eval`](Self::eval) for arbitrary (possibly non-canonical)
+    /// points: canonicalizes each point, then runs the batched Horner
+    /// kernel.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slices differ in length.
+    pub fn eval_batch(&self, xs: &[u64], out: &mut [u64]) {
+        let xr: Vec<u64> = xs.iter().map(|&x| field::reduce64(x)).collect();
+        self.eval_reduced_batch(&xr, out);
+    }
+
+    /// Batched [`eval_range`](Self::eval_range): evaluates every canonical
+    /// point and reduces into `[0, range)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `range == 0`, the slices differ in length, or a point is
+    /// `≥ p`.
+    pub fn eval_range_reduced_batch(&self, xs: &[u64], range: u64, out: &mut [u64]) {
+        assert!(range > 0, "empty range");
+        self.eval_reduced_batch(xs, out);
+        for o in out.iter_mut() {
+            *o %= range;
+        }
+    }
+
     /// Number of shared random bits this function consumes, `k · 61`
     /// (the quantity Theorem 1's preprocessing distributes).
     pub fn shared_bits(&self) -> usize {
@@ -160,6 +204,32 @@ mod tests {
     #[should_panic(expected = "empty range")]
     fn zero_range_rejected() {
         KWiseHash::random(2, &mut rng(0)).eval_range(3, 0);
+    }
+
+    #[test]
+    fn batch_eval_matches_scalar() {
+        for k in [1usize, 2, 5, 13] {
+            let h = KWiseHash::random(k, &mut rng(40 + k as u64));
+            let xs: Vec<u64> = (0..37u64).map(|i| i * i * 977 + 3).collect();
+            let mut out = vec![0u64; xs.len()];
+            h.eval_reduced_batch(&xs, &mut out);
+            for (i, &x) in xs.iter().enumerate() {
+                assert_eq!(out[i], h.eval(x), "k={k} x={x}");
+            }
+            let mut ranged = vec![0u64; xs.len()];
+            h.eval_range_reduced_batch(&xs, 23, &mut ranged);
+            for (i, &x) in xs.iter().enumerate() {
+                assert_eq!(ranged[i], h.eval_range(x, 23), "k={k} x={x} ranged");
+            }
+            // Non-canonical points go through the canonicalizing wrapper.
+            let wild: Vec<u64> = xs
+                .iter()
+                .map(|&x| x.wrapping_add(crate::field::P))
+                .collect();
+            let mut out2 = vec![0u64; wild.len()];
+            h.eval_batch(&wild, &mut out2);
+            assert_eq!(out, out2);
+        }
     }
 
     /// Pairwise independence sanity: over the random choice of h, the pair

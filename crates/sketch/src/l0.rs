@@ -14,8 +14,23 @@
 //! when recovery fails at every level — callers treat `Fail` as a retry
 //! with an independent family, exactly as the paper's algorithms tolerate
 //! the sampler's `1/N^c` failure probability.
+//!
+//! # Memory layout and the batched kernel path
+//!
+//! A [`Sketch`] stores its cells structure-of-arrays: three flat planes
+//! `phi[]`, `iota[]`, `tau[]` indexed by `(level · rows + row) · buckets +
+//! bucket`. The wire format ([`Sketch::to_words`]/[`Sketch::from_words`])
+//! interleaves the planes back into per-cell `[φ, ι, τ]` triples, so
+//! transcripts are byte-identical to the historical array-of-structs
+//! layout. [`SketchSpace::insert_batch`] inserts a whole signed multiset at
+//! once: level hashes and bucket hashes are evaluated by batched Horner
+//! kernels ([`KWiseHash::eval_reduced_batch`]), fingerprint powers come
+//! from a 4-bit windowed table ([`field::PowTable`]), and contributions are
+//! scattered into the planes. Field addition is exact, commutative, and
+//! associative, so the batched path produces **bit-identical** sketches to
+//! repeated scalar [`SketchSpace::insert`] calls — pinned by proptest below.
 
-use crate::cell::{cell_decode, cell_insert, CellDecode, CELL_WORDS};
+use crate::cell::{cell_decode_with, cell_insert_parts, CellDecode, CELL_WORDS};
 use crate::field;
 use crate::hash::{KWiseHash, PairwiseHash};
 use rand::SeedableRng;
@@ -38,6 +53,10 @@ impl SketchParams {
     /// Sensible defaults for a universe of size `universe`, following the
     /// Cormode–Firmani shape: `log N` levels, `Θ(log N)`-wise level hash,
     /// a small constant number of rows and buckets per level.
+    ///
+    /// With `lg = bitlength(max(universe, 2)) = ⌊log2 N⌋ + 1`, this yields
+    /// `levels = ⌊log2 N⌋ + 3 ≥ log2 N + 2` at every universe, including
+    /// exact powers of two and `universe ≤ 2` (pinned by proptest below).
     pub fn for_universe(universe: u64) -> Self {
         let lg = (64 - universe.max(2).leading_zeros()) as usize;
         SketchParams {
@@ -60,10 +79,15 @@ impl SketchParams {
         p
     }
 
+    /// Number of cells (one `(φ, ι, τ)` counter triple each).
+    pub fn cells(&self) -> usize {
+        self.levels * self.rows * self.buckets
+    }
+
     /// Total `u64` words one sketch occupies (the quantity message-cost
     /// accounting charges when a sketch crosses the network).
     pub fn words(&self) -> usize {
-        self.levels * self.rows * self.buckets * CELL_WORDS
+        self.cells() * CELL_WORDS
     }
 
     /// Total sketch size in bits (Theorem 1 reports `O(log^4 n)`).
@@ -91,17 +115,26 @@ pub struct SketchSpace {
     h: KWiseHash,
     /// `g[level * rows + row]`.
     g: Vec<PairwiseHash>,
-    z: u64,
+    /// Windowed powers of the fingerprint point `z` — accelerates `z^i` in
+    /// insertion and the fingerprint check in decoding; returns exactly
+    /// [`field::pow`] values.
+    zpow: field::PowTable,
 }
 
-/// A linear sketch: a flat vector of field elements (cells).
+/// A linear sketch: three flat planes of field counters, one per cell
+/// component (structure-of-arrays).
 ///
 /// Sketches from the same [`SketchSpace`] can be added with
 /// [`Sketch::add_assign_sketch`]; that is the component-merge operation of
 /// Section 2.1.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Sketch {
-    data: Vec<u64>,
+    /// `Σ aᵢ` per cell.
+    phi: Vec<u64>,
+    /// `Σ aᵢ · i` per cell.
+    iota: Vec<u64>,
+    /// `Σ aᵢ · z^i` per cell.
+    tau: Vec<u64>,
 }
 
 impl Sketch {
@@ -111,27 +144,39 @@ impl Sketch {
     ///
     /// Panics if the sketches have different shapes.
     pub fn add_assign_sketch(&mut self, other: &Sketch) {
-        assert_eq!(self.data.len(), other.data.len(), "sketch shape mismatch");
-        for (a, b) in self.data.iter_mut().zip(&other.data) {
-            *a = field::add(*a, *b);
-        }
+        assert_eq!(self.phi.len(), other.phi.len(), "sketch shape mismatch");
+        field::add_assign_slice(&mut self.phi, &other.phi);
+        field::add_assign_slice(&mut self.iota, &other.iota);
+        field::add_assign_slice(&mut self.tau, &other.tau);
     }
 
     /// Size in `u64` words (what the network charges per transfer).
     pub fn words(&self) -> usize {
-        self.data.len()
+        self.phi.len() * CELL_WORDS
     }
 
     /// Whether every counter is zero — equivalent to the underlying summed
     /// vector being exactly zero (cancellation in the field is exact).
     pub fn is_zero(&self) -> bool {
-        self.data.iter().all(|&x| x == 0)
+        self.phi.iter().all(|&x| x == 0)
+            && self.iota.iter().all(|&x| x == 0)
+            && self.tau.iter().all(|&x| x == 0)
     }
 
     /// Serializes the sketch into wire words (what actually crosses the
     /// simulated network, fragmented into `O(log n)`-bit messages).
+    ///
+    /// The wire layout interleaves the planes into `[φ, ι, τ]` triples per
+    /// cell — byte-identical to the historical interleaved in-memory layout,
+    /// so transcripts are unchanged by the SoA refactor.
     pub fn to_words(&self) -> Vec<u64> {
-        self.data.clone()
+        let mut out = Vec::with_capacity(self.words());
+        for c in 0..self.phi.len() {
+            out.push(self.phi[c]);
+            out.push(self.iota[c]);
+            out.push(self.tau[c]);
+        }
+        out
     }
 
     /// Reconstructs a sketch of `space`'s shape from wire words.
@@ -145,8 +190,38 @@ impl Sketch {
             space.params().words(),
             "sketch wire size mismatch"
         );
-        Sketch { data: words }
+        let cells = words.len() / CELL_WORDS;
+        let mut sk = Sketch {
+            phi: Vec::with_capacity(cells),
+            iota: Vec::with_capacity(cells),
+            tau: Vec::with_capacity(cells),
+        };
+        for cell in words.chunks_exact(CELL_WORDS) {
+            sk.phi.push(cell[0]);
+            sk.iota.push(cell[1]);
+            sk.tau.push(cell[2]);
+        }
+        sk
     }
+}
+
+/// Reusable scratch buffers for [`SketchSpace::insert_batch_with`].
+///
+/// One scratch can be shared across spaces and batch sizes; buffers grow to
+/// the largest batch seen and are reused without reallocation afterwards.
+#[derive(Clone, Debug, Default)]
+pub struct BatchScratch {
+    raw_idx: Vec<u64>,
+    hval: Vec<u64>,
+    lev: Vec<u32>,
+    counts: Vec<usize>,
+    cursor: Vec<usize>,
+    idx: Vec<u64>,
+    aphi: Vec<u64>,
+    aiota: Vec<u64>,
+    atau: Vec<u64>,
+    zp: Vec<u64>,
+    bucket: Vec<u64>,
 }
 
 impl SketchSpace {
@@ -170,7 +245,7 @@ impl SketchSpace {
             params,
             h,
             g,
-            z,
+            zpow: field::PowTable::new(z),
         }
     }
 
@@ -186,8 +261,11 @@ impl SketchSpace {
 
     /// A fresh all-zero sketch.
     pub fn zero_sketch(&self) -> Sketch {
+        let cells = self.params.cells();
         Sketch {
-            data: vec![0u64; self.params.words()],
+            phi: vec![0u64; cells],
+            iota: vec![0u64; cells],
+            tau: vec![0u64; cells],
         }
     }
 
@@ -203,9 +281,9 @@ impl SketchSpace {
         tz.min(self.params.levels - 1)
     }
 
-    fn cell_range(&self, level: usize, row: usize, bucket: u64) -> std::ops::Range<usize> {
-        let idx = (level * self.params.rows + row) * self.params.buckets + bucket as usize;
-        idx * CELL_WORDS..(idx + 1) * CELL_WORDS
+    /// Flat cell index of `(level, row, bucket)` in the SoA planes.
+    fn cell_index(&self, level: usize, row: usize, bucket: u64) -> usize {
+        (level * self.params.rows + row) * self.params.buckets + bucket as usize
     }
 
     /// Adds `sign · eᵢ` to the sketch.
@@ -216,16 +294,147 @@ impl SketchSpace {
     pub fn insert(&self, sketch: &mut Sketch, i: u64, sign: i64) {
         assert!(i < self.universe, "item outside the universe");
         assert!(sign == 1 || sign == -1, "signs are ±1");
-        let z_pow_i = field::pow(self.z, i);
+        let a = field::from_signed(sign);
+        let a_iota = field::mul(a, field::reduce64(i));
+        let a_tau = field::mul(a, self.zpow.pow(i));
         let max_level = self.item_level(i);
         for level in 0..=max_level {
             for row in 0..self.params.rows {
                 let b = self.g[level * self.params.rows + row]
                     .eval_range(i, self.params.buckets as u64);
-                let range = self.cell_range(level, row, b);
-                cell_insert(&mut sketch.data[range], i, sign, z_pow_i);
+                let c = self.cell_index(level, row, b);
+                cell_insert_parts(
+                    &mut sketch.phi[c],
+                    &mut sketch.iota[c],
+                    &mut sketch.tau[c],
+                    a,
+                    a_iota,
+                    a_tau,
+                );
             }
         }
+    }
+
+    /// Adds a whole signed multiset to the sketch through the batched
+    /// kernel path, reusing `scratch` buffers across calls.
+    ///
+    /// Bit-identical to inserting the items one at a time with
+    /// [`insert`](Self::insert): the per-cell counters are exact field sums
+    /// of per-item contributions, and sums do not depend on insertion order
+    /// or batching. The win is purely computational — level and bucket
+    /// hashes are evaluated by batched Horner kernels over the whole batch,
+    /// and `z^i` comes from the windowed power table.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any item is `≥ universe` or any sign is not `±1`.
+    pub fn insert_batch_with(
+        &self,
+        sketch: &mut Sketch,
+        items: &[(u64, i64)],
+        scratch: &mut BatchScratch,
+    ) {
+        let m = items.len();
+        if m == 0 {
+            return;
+        }
+        let levels = self.params.levels;
+        let rows = self.params.rows;
+        let buckets = self.params.buckets as u64;
+
+        scratch.raw_idx.clear();
+        for &(i, sign) in items {
+            assert!(i < self.universe, "item outside the universe");
+            assert!(sign == 1 || sign == -1, "signs are ±1");
+            scratch.raw_idx.push(i);
+        }
+
+        // Level hash for every item in one batched Horner sweep, then the
+        // geometric level from trailing zeros (identical to `item_level`).
+        scratch.hval.resize(m, 0);
+        self.h
+            .eval_reduced_batch(&scratch.raw_idx, &mut scratch.hval);
+        scratch.lev.clear();
+        scratch.counts.clear();
+        scratch.counts.resize(levels, 0);
+        for &v in scratch.hval.iter() {
+            let tz = if v == 0 {
+                63
+            } else {
+                v.trailing_zeros() as usize
+            };
+            let lev = tz.min(levels - 1);
+            scratch.lev.push(lev as u32);
+            scratch.counts[lev] += 1;
+        }
+
+        // Stable counting sort, deepest level first, so the items belonging
+        // to level ℓ (those with item level ≥ ℓ) are exactly a prefix.
+        scratch.cursor.clear();
+        scratch.cursor.resize(levels, 0);
+        let mut start = 0usize;
+        for lev in (0..levels).rev() {
+            scratch.cursor[lev] = start;
+            start += scratch.counts[lev];
+        }
+        scratch.idx.resize(m, 0);
+        scratch.aphi.resize(m, 0);
+        for (j, &(i, sign)) in items.iter().enumerate() {
+            let lev = scratch.lev[j] as usize;
+            let pos = scratch.cursor[lev];
+            scratch.cursor[lev] = pos + 1;
+            scratch.idx[pos] = i;
+            scratch.aphi[pos] = field::from_signed(sign);
+        }
+
+        // Per-item contributions (a, a·i, a·z^i) in sorted order.
+        scratch.zp.resize(m, 0);
+        self.zpow.pow_slice(&scratch.idx, &mut scratch.zp);
+        scratch.aiota.resize(m, 0);
+        scratch.atau.resize(m, 0);
+        for j in 0..m {
+            let a = scratch.aphi[j];
+            scratch.aiota[j] = field::mul(a, field::reduce64(scratch.idx[j]));
+            scratch.atau[j] = field::mul(a, scratch.zp[j]);
+        }
+
+        // Scatter level by level: one batched bucket-hash evaluation per
+        // (level, row) over the prefix of items still present at that level.
+        scratch.bucket.resize(m, 0);
+        let mut present = m;
+        for level in 0..levels {
+            if present == 0 {
+                break;
+            }
+            for row in 0..rows {
+                let g = &self.g[level * rows + row];
+                g.eval_range_reduced_batch(
+                    &scratch.idx[..present],
+                    buckets,
+                    &mut scratch.bucket[..present],
+                );
+                let base = (level * rows + row) * self.params.buckets;
+                for j in 0..present {
+                    let c = base + scratch.bucket[j] as usize;
+                    cell_insert_parts(
+                        &mut sketch.phi[c],
+                        &mut sketch.iota[c],
+                        &mut sketch.tau[c],
+                        scratch.aphi[j],
+                        scratch.aiota[j],
+                        scratch.atau[j],
+                    );
+                }
+            }
+            present -= scratch.counts[level];
+        }
+    }
+
+    /// [`insert_batch_with`](Self::insert_batch_with) with a throwaway
+    /// scratch (convenience for one-off batches).
+    pub fn insert_batch(&self, sketch: &mut Sketch, items: &[(u64, i64)]) {
+        let mut scratch = BatchScratch::default();
+        self.insert_batch_with(sketch, items, &mut scratch);
     }
 
     /// Valid items recovered at one level (validated against the hash
@@ -234,10 +443,14 @@ impl SketchSpace {
         let mut items: Vec<(u64, i64)> = Vec::new();
         for row in 0..self.params.rows {
             for b in 0..self.params.buckets as u64 {
-                let range = self.cell_range(level, row, b);
-                if let CellDecode::One(i, c) =
-                    cell_decode(&sketch.data[range], self.z, self.universe)
-                {
+                let c = self.cell_index(level, row, b);
+                if let CellDecode::One(i, coeff) = cell_decode_with(
+                    sketch.phi[c],
+                    sketch.iota[c],
+                    sketch.tau[c],
+                    self.universe,
+                    |e| self.zpow.pow(e),
+                ) {
                     // Structural validation: i must actually live in this
                     // level and hash to this bucket.
                     if self.item_level(i) >= level
@@ -246,7 +459,7 @@ impl SketchSpace {
                             == b
                         && !items.iter().any(|&(j, _)| j == i)
                     {
-                        items.push((i, c));
+                        items.push((i, coeff));
                     }
                 }
             }
@@ -301,6 +514,7 @@ impl GenRangeU64 for ChaCha8Rng {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use proptest::prelude::*;
     use rand::Rng as _;
     use std::collections::HashMap;
 
@@ -452,11 +666,42 @@ mod tests {
     }
 
     #[test]
+    fn wire_roundtrip_is_identity() {
+        let s = space(4096, 17);
+        let mut sk = s.zero_sketch();
+        for i in [0u64, 1, 2, 77, 4095] {
+            s.insert(&mut sk, i, 1);
+        }
+        let words = sk.to_words();
+        assert_eq!(words.len(), s.params().words());
+        let back = Sketch::from_words(&s, words);
+        assert_eq!(back, sk);
+        // Interleaved wire triples must match the scalar cell accumulation
+        // semantics: a fresh one-item sketch's first nonzero triple decodes.
+        let mut one = s.zero_sketch();
+        s.insert(&mut one, 42, 1);
+        let w = one.to_words();
+        let triple = w
+            .chunks_exact(CELL_WORDS)
+            .find(|c| c.iter().any(|&x| x != 0))
+            .expect("one insert leaves nonzero cells");
+        assert_ne!(triple[0], 0, "phi occupies the first wire word of a cell");
+    }
+
+    #[test]
     #[should_panic(expected = "outside the universe")]
     fn insert_rejects_out_of_universe() {
         let s = space(100, 1);
         let mut sk = s.zero_sketch();
         s.insert(&mut sk, 100, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside the universe")]
+    fn insert_batch_rejects_out_of_universe() {
+        let s = space(100, 1);
+        let mut sk = s.zero_sketch();
+        s.insert_batch(&mut sk, &[(5, 1), (100, 1)]);
     }
 
     #[test]
@@ -487,5 +732,80 @@ mod tests {
         a.insert(&mut x, 500, 1);
         b.insert(&mut y, 500, 1);
         assert_ne!(x, y, "independent families must differ");
+    }
+
+    #[test]
+    fn batch_insert_matches_scalar_smoke() {
+        let s = space(10_000, 55);
+        let items: Vec<(u64, i64)> = vec![(0, 1), (9_999, -1), (42, 1), (42, 1), (7, -1)];
+        let mut scalar = s.zero_sketch();
+        for &(i, sign) in &items {
+            s.insert(&mut scalar, i, sign);
+        }
+        let mut batched = s.zero_sketch();
+        s.insert_batch(&mut batched, &items);
+        assert_eq!(scalar, batched);
+        assert_eq!(s.sample(&scalar), s.sample(&batched));
+    }
+
+    proptest! {
+        /// `for_universe` must provide `levels ≥ log2(N) + 2` at *every*
+        /// universe, including powers of two and tiny universes — the level
+        /// argument of the sampler needs a level where a singleton survives
+        /// w.h.p. (ISSUE 10 satellite: boundary-universe audit).
+        #[test]
+        fn for_universe_level_bound(exp in 0u32..50, off in -1i64..2) {
+            let universe = ((1u64 << exp) as i64 + off).max(1) as u64;
+            for p in [SketchParams::for_universe(universe),
+                      SketchParams::compact_for_universe(universe)] {
+                let lg_ceil = universe.max(2).next_power_of_two().trailing_zeros() as usize;
+                prop_assert!(
+                    p.levels >= lg_ceil + 2,
+                    "universe {} -> levels {} < ceil(log2)+2 = {}",
+                    universe, p.levels, lg_ceil + 2
+                );
+                prop_assert!(p.k >= 2);
+                prop_assert!(p.buckets >= 2);
+                prop_assert_eq!(p.words(), p.cells() * CELL_WORDS);
+                // The space must actually construct at this shape.
+                let s = SketchSpace::new(universe, p, 7);
+                prop_assert_eq!(s.zero_sketch().words(), p.words());
+            }
+        }
+
+        /// Batched insertion is bit-identical to scalar insertion for random
+        /// signed multisets under both parameter presets (ISSUE 10
+        /// satellite: scalar-vs-batched equivalence).
+        #[test]
+        fn batch_insert_bit_identical(
+            seed in any::<u64>(),
+            universe in 2u64..100_000,
+            raw in proptest::collection::vec((any::<u64>(), any::<bool>()), 0..120),
+            compact in any::<bool>(),
+        ) {
+            let params = if compact {
+                SketchParams::compact_for_universe(universe)
+            } else {
+                SketchParams::for_universe(universe)
+            };
+            let s = SketchSpace::new(universe, params, seed);
+            let items: Vec<(u64, i64)> = raw
+                .iter()
+                .map(|&(i, pos)| (i % universe, if pos { 1 } else { -1 }))
+                .collect();
+            let mut scalar = s.zero_sketch();
+            for &(i, sign) in &items {
+                s.insert(&mut scalar, i, sign);
+            }
+            let mut batched = s.zero_sketch();
+            let mut scratch = BatchScratch::default();
+            // Split the batch in two to exercise scratch reuse mid-sketch.
+            let half = items.len() / 2;
+            s.insert_batch_with(&mut batched, &items[..half], &mut scratch);
+            s.insert_batch_with(&mut batched, &items[half..], &mut scratch);
+            prop_assert_eq!(&scalar, &batched);
+            prop_assert_eq!(scalar.to_words(), batched.to_words());
+            prop_assert_eq!(s.sample(&scalar), s.sample(&batched));
+        }
     }
 }

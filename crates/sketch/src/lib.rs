@@ -48,7 +48,7 @@ pub mod hash;
 pub mod l0;
 pub mod spanning;
 
-pub use graph_sketch::{EdgeSample, GraphSketchSpace};
+pub use graph_sketch::{EdgeSample, GraphSketchSpace, NeighborhoodScratch};
 pub use hash::KWiseHash;
-pub use l0::{Sample, Sketch, SketchParams, SketchSpace};
+pub use l0::{BatchScratch, Sample, Sketch, SketchParams, SketchSpace};
 pub use spanning::{recommended_families, spanning_forest_via_sketches, SpanningResult};

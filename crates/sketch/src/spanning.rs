@@ -55,20 +55,30 @@ pub fn spanning_forest_via_sketches(
     let mut sample_failures = 0usize;
     let mut exhausted = true;
 
+    // Dense per-root accumulator, reused across families. Indexing by the
+    // union-find root (a position in `ids`) makes the component iteration
+    // order deterministic — ascending root — instead of hash-map order.
+    // Which component is sampled first never changes the *number* of
+    // successful unions in a pass (that is the rank of the sampled edge
+    // set), but determinism keeps transcripts reproducible across runs.
+    let mut comp_sketch: Vec<Option<Sketch>> = (0..ids.len()).map(|_| None).collect();
+
     for (f, space) in spaces.iter().enumerate() {
         // Sum this family's sketches per current component.
-        let mut comp_sketch: HashMap<usize, Sketch> = HashMap::new();
+        for slot in comp_sketch.iter_mut() {
+            *slot = None;
+        }
         for (j, sk) in sketches[f].iter().enumerate() {
             let root = uf.find(j);
-            comp_sketch
-                .entry(root)
-                .and_modify(|acc| acc.add_assign_sketch(sk))
-                .or_insert_with(|| sk.clone());
+            match &mut comp_sketch[root] {
+                Some(acc) => acc.add_assign_sketch(sk),
+                slot @ None => *slot = Some(sk.clone()),
+            }
         }
         let mut all_zero = true;
         let mut merged_any = false;
-        for (_root, sk) in comp_sketch {
-            match space.sample_edge(&sk) {
+        for sk in comp_sketch.iter().flatten() {
+            match space.sample_edge(sk) {
                 EdgeSample::Zero => {}
                 EdgeSample::Fail => {
                     sample_failures += 1;
